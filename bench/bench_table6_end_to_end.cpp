@@ -1,0 +1,142 @@
+// Table VI: end-to-end GNN training and inference speedup from FeatGraph,
+// on a reddit-like classification task.
+//
+//   DGL w/o FeatGraph = minidgl with the Materialize backend (per-edge
+//   message tensors gathered, then segment-reduced — DGL's fallback path);
+//   DGL w/  FeatGraph = minidgl with the Fused backend (FeatGraph kernels).
+//
+// CPU rows are measured wall-clock; GPU rows are simulated V100 seconds.
+// Paper headline: >20x training & inference on CPU for all three models;
+// 2.1-2.9x training and 1.4-7.1x inference on GPU; GAT training without
+// FeatGraph exhausts GPU memory at paper scale (*N/A) — we report the
+// projected full-scale materialized footprint to reproduce that footnote.
+//
+// Accuracy (Sec. V-E): both backends are trained briefly and must reach the
+// same test accuracy — FeatGraph changes performance, not semantics.
+#include <cstdio>
+
+#include "common.hpp"
+#include "minidgl/train.hpp"
+
+namespace fb = featgraph::bench;
+namespace fg = featgraph;
+using fg::minidgl::Device;
+using fg::minidgl::ExecContext;
+using fg::minidgl::Model;
+using fg::minidgl::SparseBackend;
+using fg::minidgl::Trainer;
+using fg::support::Table;
+
+namespace {
+
+struct ModelSpec {
+  const char* display;
+  const char* kind;
+  std::int64_t hidden;
+};
+
+ExecContext make_ctx(SparseBackend backend, Device device) {
+  ExecContext ctx;
+  ctx.backend = backend;
+  ctx.device = device;
+  ctx.num_threads = 2;
+  return ctx;
+}
+
+}  // namespace
+
+int main() {
+  fb::print_banner("Table VI", "end-to-end GNN training & inference");
+
+  // reddit-like classification task, scaled. Hidden sizes follow the
+  // paper's ratio (GCN 512, GraphSage/GAT 256) shrunk 4x to keep the full
+  // table under a couple of minutes on a laptop.
+  const double scale = fb::dataset_scale(0.35);
+  const auto n = static_cast<fg::graph::vid_t>(233000 * scale);
+  const double deg = 493.0 * fg::graph::degree_scale_for(scale);
+  const auto data = fg::minidgl::make_sbm_classification(
+      n, deg, /*num_classes=*/8, /*p_in=*/0.8, /*feat_dim=*/32,
+      /*signal=*/2.0f, /*seed=*/5);
+  std::printf("task: %d vertices, %lld edges, 32-dim features, 8 classes\n\n",
+              data.graph.num_vertices(),
+              static_cast<long long>(data.graph.num_edges()));
+
+  // GraphSage uses its default mean aggregator here (the paper's headline
+  // configuration; the max variant is exercised by the test suite).
+  const ModelSpec models[] = {
+      {"GCN", "gcn", 128}, {"GraphSage", "sage-mean", 64}, {"GAT", "gat", 64}};
+  const double full_scale_edges = 114.8e6;
+  const double edge_ratio =
+      full_scale_edges / static_cast<double>(data.graph.num_edges());
+
+  for (auto device : {Device::kCpu, Device::kGpuSim}) {
+    const bool is_gpu = device == Device::kGpuSim;
+    const char* dev_name = is_gpu ? "GPU (simulated)" : "CPU";
+    const char* unit = is_gpu ? "ms" : "s";
+    const double unit_scale = is_gpu ? 1e3 : 1.0;
+    std::printf("--- %s ---\n", dev_name);
+    Table t({"model", "phase", std::string("w/o FeatGraph (") + unit + ")",
+             std::string("w/ FeatGraph (") + unit + ")", "speedup", "note"});
+    for (const auto& spec : models) {
+      double secs[2][2];        // [backend][phase: train, infer]
+      double mat_bytes = 0.0;   // materialized bytes per epoch (w/o FG)
+      for (int b = 0; b < 2; ++b) {
+        const auto backend =
+            b == 0 ? SparseBackend::kMaterialize : SparseBackend::kFused;
+        Trainer trainer(data, Model(spec.kind, 32, spec.hidden, 8, 1),
+                        make_ctx(backend, device), 0.05f);
+        // One warm-up epoch (first-touch partitioning etc.), then measure.
+        trainer.train_epoch();
+        const auto tr = trainer.train_epoch();
+        const auto inf = trainer.infer();
+        secs[b][0] = tr.seconds;
+        secs[b][1] = inf.seconds;
+        if (b == 0) mat_bytes = tr.materialized_bytes;
+      }
+      // The paper's GAT-OOM footnote: DGL's builtin (Minigun) kernels cover
+      // GCN/GraphSage aggregation even without FeatGraph, but GAT's
+      // attention pattern forces per-edge materialization — whose
+      // footprint, projected to full-scale reddit, exceeds a V100's 16 GB.
+      std::string note;
+      if (is_gpu && std::string(spec.kind) == "gat") {
+        const double projected = mat_bytes * edge_ratio;
+        char buf[96];
+        std::snprintf(buf, sizeof(buf),
+                      "w/o FG materializes %.0f GB @full scale%s",
+                      projected / 1e9, projected > 16e9 ? " -> OOM (*N/A)" : "");
+        note = buf;
+      }
+      t.add_row({spec.display, "training",
+                 Table::num(secs[0][0] * unit_scale, 3),
+                 Table::num(secs[1][0] * unit_scale, 3),
+                 fb::speedup_str(secs[0][0], secs[1][0]), note});
+      t.add_row({spec.display, "inference",
+                 Table::num(secs[0][1] * unit_scale, 3),
+                 Table::num(secs[1][1] * unit_scale, 3),
+                 fb::speedup_str(secs[0][1], secs[1][1]), ""});
+    }
+    t.print();
+    std::printf("\n");
+  }
+
+  // Accuracy sanity check (Sec. V-E): same task, both backends, short run.
+  std::printf("--- accuracy check (15 epochs, CPU) ---\n");
+  Table acc({"model", "test acc w/o FeatGraph", "test acc w/ FeatGraph"});
+  for (const auto& spec : models) {
+    double a[2];
+    for (int b = 0; b < 2; ++b) {
+      const auto backend =
+          b == 0 ? SparseBackend::kMaterialize : SparseBackend::kFused;
+      Trainer trainer(data, Model(spec.kind, 32, spec.hidden, 8, 1),
+                      make_ctx(backend, Device::kCpu), 0.05f);
+      fg::minidgl::train(trainer, 15);
+      a[b] = trainer.test_accuracy();
+    }
+    acc.add_row({spec.display, Table::num(a[0] * 100, 1) + "%",
+                 Table::num(a[1] * 100, 1) + "%"});
+  }
+  acc.print();
+  std::printf("\npaper: CPU speedups 20.2x-32.2x, GPU training 2.1-2.9x, GPU "
+              "inference 1.4-7.1x; accuracy unchanged by the backend\n");
+  return 0;
+}

@@ -1,0 +1,29 @@
+#include "common.hpp"
+
+#include <cstdio>
+
+namespace featgraph::bench {
+
+double measure_seconds(const std::function<void()>& fn) {
+  return support::time_mean_seconds(fn, support::bench_reps());
+}
+
+void print_banner(const std::string& experiment, const std::string& what) {
+  std::printf("\n=== %s — %s ===\n", experiment.c_str(), what.c_str());
+  std::printf("(FEATGRAPH_SCALE=%.3g, FEATGRAPH_BENCH_REPS=%d; see "
+              "EXPERIMENTS.md for paper-vs-measured discussion)\n\n",
+              support::bench_scale(), support::bench_reps());
+}
+
+double dataset_scale(double extra_shrink) {
+  return support::bench_scale() * extra_shrink;
+}
+
+std::string speedup_str(double baseline_seconds, double system_seconds) {
+  if (system_seconds <= 0.0) return "n/a";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2fx", baseline_seconds / system_seconds);
+  return buf;
+}
+
+}  // namespace featgraph::bench

@@ -1,0 +1,39 @@
+// Shared harness for the per-table / per-figure benchmark binaries.
+//
+// Conventions (see DESIGN.md §3): every binary prints the paper's rows in
+// the paper's units, honors FEATGRAPH_SCALE (dataset scale factor, default
+// 0.1) and FEATGRAPH_BENCH_REPS (timed repetitions after one warm-up,
+// default 3), and runs unattended with no arguments.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "featgraph.hpp"
+#include "support/env.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+
+namespace featgraph::bench {
+
+/// Feature lengths the paper sweeps in Tables III and IV.
+inline const std::vector<std::int64_t>& paper_feature_lengths() {
+  static const std::vector<std::int64_t> lens = {32, 64, 128, 256, 512};
+  return lens;
+}
+
+/// One warm-up plus FEATGRAPH_BENCH_REPS timed runs; mean seconds.
+double measure_seconds(const std::function<void()>& fn);
+
+/// Prints the standard banner: experiment id, dataset scale, reps.
+void print_banner(const std::string& experiment, const std::string& what);
+
+/// Dataset scale for this process (FEATGRAPH_SCALE x optional extra shrink
+/// for heavyweight kernels; the effective value is always printed).
+double dataset_scale(double extra_shrink = 1.0);
+
+/// Formats a ratio like "3.1x".
+std::string speedup_str(double baseline_seconds, double system_seconds);
+
+}  // namespace featgraph::bench

@@ -1,0 +1,81 @@
+// Custom UDFs: the paper's flexibility claim in action.
+//
+// FeatGraph's two-granularity interface separates WHAT each edge computes
+// (the UDF) from HOW the graph is traversed (the template + schedule). This
+// example builds two kernels no vendor library ships:
+//   1. an MLP-aggregation kernel (paper Fig. 3b) through the builtin
+//      compiled path, with a custom FDS tiling both UDF dimensions;
+//   2. a fully custom "gated distance" message via the generic UDF escape
+//      hatch, demonstrating that arbitrary per-edge tensor computations
+//      compose with every reducer and schedule.
+//
+//   $ ./custom_udf
+#include <cmath>
+#include <cstdio>
+
+#include "featgraph.hpp"
+#include "support/timer.hpp"
+
+namespace fg = featgraph;
+using fg::core::CpuSpmmSchedule;
+using fg::tensor::Tensor;
+
+int main() {
+  fg::graph::Graph g(fg::graph::gen_lognormal(20000, 30.0, 1.0, /*seed=*/1));
+  const std::int64_t d1 = 8, d2 = 128;
+  const Tensor x = Tensor::randn({g.num_vertices(), d1}, 2);
+  const Tensor w = Tensor::randn({d1, d2}, 3);
+
+  // --- 1. MLP aggregation: ReLU((x_u + x_v) W), max-reduced ----------------
+  // FDS: tile the d2 axis (like Fig. 8's split of out.axis[0]); the template
+  // contributes graph partitioning.
+  CpuSpmmSchedule fds;
+  fds.feat_tile = 32;
+  fds.num_partitions = 8;
+  fds.num_threads = 2;
+  fg::support::Timer t1;
+  const Tensor mlp = fg::core::spmm(g.in_csr(), "mlp", "max", fds,
+                                    {&x, nullptr, &w});
+  std::printf("MLP aggregation: %lld x %lld in %.1f ms (fused, never "
+              "materializes %lld x %lld messages)\n",
+              static_cast<long long>(mlp.rows()),
+              static_cast<long long>(mlp.row_size()), t1.millis(),
+              static_cast<long long>(g.num_edges()),
+              static_cast<long long>(d2));
+
+  // --- 2. A message function no builtin covers ----------------------------
+  // msg_j = sigmoid(x_u[0]) * |x_u[j] - x_v[j]|   (a gated feature distance)
+  fg::core::GenericMsgFn gated = [&](fg::graph::vid_t u, fg::graph::eid_t,
+                                     fg::graph::vid_t v, float* out) {
+    const float gate = 1.0f / (1.0f + std::exp(-x.at(u, 0)));
+    for (std::int64_t j = 0; j < d1; ++j)
+      out[j] = gate * std::fabs(x.at(u, j) - x.at(v, j));
+  };
+  fg::support::Timer t2;
+  const Tensor gated_out = fg::core::spmm_generic(g.in_csr(), gated, "mean",
+                                                  d1, fds);
+  std::printf("custom gated-distance UDF with mean reducer: %.1f ms, "
+              "out[0][0..2] = %.3f %.3f %.3f\n",
+              t2.millis(), gated_out.at(0, 0), gated_out.at(0, 1),
+              gated_out.at(0, 2));
+
+  // --- 3. Custom edge function via generic SDDMM ---------------------------
+  // att_e = cosine similarity between endpoint features.
+  fg::core::GenericEdgeFn cosine = [&](fg::graph::vid_t u, fg::graph::eid_t,
+                                       fg::graph::vid_t v, float* out) {
+    float dot = 0, nu = 0, nv = 0;
+    for (std::int64_t j = 0; j < d1; ++j) {
+      dot += x.at(u, j) * x.at(v, j);
+      nu += x.at(u, j) * x.at(u, j);
+      nv += x.at(v, j) * x.at(v, j);
+    }
+    out[0] = dot / (std::sqrt(nu) * std::sqrt(nv) + 1e-6f);
+  };
+  fg::core::CpuSddmmSchedule sfds;
+  sfds.num_threads = 2;
+  sfds.hilbert_order = true;
+  const Tensor cos = fg::core::sddmm_generic(g.coo(), cosine, 1, sfds);
+  std::printf("custom cosine edge UDF on %lld edges, cos[0] = %.3f\n",
+              static_cast<long long>(cos.numel()), cos.at(0));
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Graph-attention inference pipeline: the paper's edge-wise computation
+// story end to end (Sec. II-A, Fig. 4).
+//
+// A single GAT-style attention layer without the training framework:
+//   1. project features              (dense matmul)
+//   2. attention logits per edge     (generalized SDDMM: dot / multi-head)
+//   3. normalize per destination     (edge softmax)
+//   4. attention-weighted aggregate  (generalized SpMM: u_mul_e + sum)
+// The same SDDMM -> softmax -> SpMM chain is what GAT training differentiates
+// through — the gradient of each sparse op is the other sparse pattern.
+//
+//   $ ./gat_attention
+#include <cstdio>
+
+#include "featgraph.hpp"
+#include "support/timer.hpp"
+
+namespace fg = featgraph;
+using fg::tensor::Tensor;
+
+int main() {
+  fg::graph::Graph g(fg::graph::gen_community(15000, 25.0, 15, 0.8, /*seed=*/4));
+  const std::int64_t d_in = 64, d_out = 64;
+  const Tensor x = Tensor::randn({g.num_vertices(), d_in}, 5);
+  const Tensor w = Tensor::randn({d_in, d_out}, 6, 0.1f);
+
+  fg::support::Timer timer;
+
+  // 1. Dense projection z = x W.
+  const Tensor z = fg::tensor::matmul(x, w, /*threads=*/2);
+
+  // 2. Edge logits via SDDMM (dot-product attention, Fig. 4a).
+  fg::core::CpuSddmmSchedule sddmm_fds;
+  sddmm_fds.num_threads = 2;
+  sddmm_fds.hilbert_order = true;   // locality over both endpoints
+  sddmm_fds.reduce_tile = 32;       // FDS: tile the reduction axis
+  const Tensor logits = fg::core::sddmm(g.coo(), "dot", sddmm_fds, {&z, nullptr});
+
+  // 3. Per-destination softmax over in-edges (deterministic segment pass).
+  Tensor alpha({g.num_edges()});
+  const auto& in = g.in_csr();
+  for (fg::graph::vid_t v = 0; v < in.num_rows; ++v) {
+    const std::int64_t lo = in.indptr[v], hi = in.indptr[v + 1];
+    if (lo == hi) continue;
+    float mx = -1e30f;
+    for (std::int64_t i = lo; i < hi; ++i)
+      mx = std::max(mx, logits.at(in.edge_ids[static_cast<std::size_t>(i)]));
+    float denom = 0;
+    for (std::int64_t i = lo; i < hi; ++i)
+      denom += std::exp(logits.at(in.edge_ids[static_cast<std::size_t>(i)]) - mx);
+    for (std::int64_t i = lo; i < hi; ++i) {
+      const auto e = in.edge_ids[static_cast<std::size_t>(i)];
+      alpha.at(e) = std::exp(logits.at(e) - mx) / denom;
+    }
+  }
+
+  // 4. Attention-weighted aggregation via generalized SpMM (u_mul_e + sum) —
+  //    fused: the |E| x d weighted messages are never materialized.
+  fg::core::CpuSpmmSchedule spmm_fds;
+  spmm_fds.num_threads = 2;
+  spmm_fds.num_partitions = 8;
+  spmm_fds.feat_tile = 32;
+  const Tensor h = fg::core::spmm(g.in_csr(), "u_mul_e", "sum", spmm_fds,
+                                  {&z, &alpha, nullptr});
+
+  std::printf("GAT attention layer over %d vertices / %lld edges in %.1f ms\n",
+              g.num_vertices(), static_cast<long long>(g.num_edges()),
+              timer.millis());
+  std::printf("h[0][0..3] = %.4f %.4f %.4f %.4f\n", h.at(0, 0), h.at(0, 1),
+              h.at(0, 2), h.at(0, 3));
+
+  // Multi-head variant of step 2 (Fig. 4b): 4 heads over the same features.
+  const Tensor z4 = z.reshape({g.num_vertices(), 4, d_out / 4});
+  const Tensor mh = fg::core::sddmm(g.coo(), "multihead_dot", sddmm_fds,
+                                    {&z4, nullptr});
+  std::printf("multi-head logits: %lld edges x %lld heads, mh[0] = %.4f\n",
+              static_cast<long long>(mh.rows()),
+              static_cast<long long>(mh.row_size()), mh.at(0, 0));
+  return 0;
+}

@@ -1,0 +1,58 @@
+// End-to-end GCN training with minidgl on FeatGraph kernels — the paper's
+// Sec. V-E experiment in miniature, including the fused-vs-materialized
+// backend comparison that Table VI quantifies.
+//
+//   $ ./gcn_training
+#include <cstdio>
+
+#include "minidgl/train.hpp"
+#include "support/timer.hpp"
+
+namespace fg = featgraph;
+using fg::minidgl::Device;
+using fg::minidgl::ExecContext;
+using fg::minidgl::Model;
+using fg::minidgl::SparseBackend;
+using fg::minidgl::Trainer;
+
+int main() {
+  // A synthetic classification task: communities are both graph structure
+  // and label, features carry a noisy class signal.
+  const auto data = fg::minidgl::make_sbm_classification(
+      /*n=*/4000, /*avg_degree=*/20.0, /*num_classes=*/6, /*p_in=*/0.85,
+      /*feat_dim=*/32, /*signal=*/1.5f, /*seed=*/11);
+  std::printf("task: %d vertices, %lld edges, %zu train / %zu val / %zu test\n",
+              data.graph.num_vertices(),
+              static_cast<long long>(data.graph.num_edges()),
+              data.train_rows.size(), data.val_rows.size(),
+              data.test_rows.size());
+
+  ExecContext ctx;
+  ctx.backend = SparseBackend::kFused;  // FeatGraph kernels
+  ctx.num_threads = 2;
+
+  Trainer trainer(data, Model("gcn", 32, 64, 6, /*seed=*/1), ctx, /*lr=*/0.05f);
+  std::printf("\ntraining 2-layer GCN (hidden 64) with the fused backend:\n");
+  for (int epoch = 0; epoch < 20; ++epoch) {
+    const auto r = trainer.train_epoch();
+    if (epoch % 4 == 0 || epoch == 19)
+      std::printf("  epoch %2d  loss %.4f  train acc %.3f  (%.0f ms)\n", epoch,
+                  r.loss, r.train_accuracy, r.seconds * 1e3);
+  }
+  std::printf("test accuracy: %.3f\n", trainer.test_accuracy());
+
+  // The same model trained on the materialize backend (DGL-without-
+  // FeatGraph): identical semantics, measurably slower, and it allocates
+  // |E| x d message tensors every epoch.
+  ExecContext mat = ctx;
+  mat.backend = SparseBackend::kMaterialize;
+  Trainer baseline(data, Model("gcn", 32, 64, 6, /*seed=*/1), mat, 0.05f);
+  const auto fused_epoch = trainer.train_epoch();
+  const auto mat_epoch = baseline.train_epoch();
+  std::printf("\nper-epoch comparison: fused %.0f ms vs materialize %.0f ms "
+              "(%.1fx); materialized %.1f MB of messages\n",
+              fused_epoch.seconds * 1e3, mat_epoch.seconds * 1e3,
+              mat_epoch.seconds / fused_epoch.seconds,
+              mat_epoch.materialized_bytes / 1e6);
+  return 0;
+}

@@ -1,0 +1,35 @@
+#include "baselines/cusparse_sim.hpp"
+
+#include <algorithm>
+
+namespace featgraph::baselines::cusparse {
+
+gpusim::GpuKernelResult spmm(const graph::Csr& adj,
+                             const core::SpmmOperands& operands,
+                             const gpusim::DeviceSpec& spec) {
+  gpusim::GpuKernelResult result;
+
+  core::CpuSpmmSchedule cpu;
+  cpu.num_threads = 2;
+  result.out = core::spmm(adj, "copy_u", "sum", cpu, operands);
+
+  const std::int64_t n = adj.num_rows;
+  const auto nnz = static_cast<double>(adj.nnz());
+  const std::int64_t d = result.out.row_size();
+
+  gpusim::KernelStats& s = result.stats;
+  s.threads_per_block = 256;
+  // Vendor kernels pick grids that saturate the device even on small inputs.
+  s.num_blocks = std::max<std::int64_t>(4096, n / 4);
+  s.occupancy = 1.0;  // hand-tuned vendor kernel
+
+  s.add_load_bytes(static_cast<double>(n) * 8.0 + nnz * 4.0);
+  s.add_load_bytes(nnz * static_cast<double>(d) * 4.0);
+  s.add_store_bytes(static_cast<double>(n) * d * 4.0);
+  s.flops = nnz * static_cast<double>(d);
+
+  result.cost = gpusim::estimate_time(s, spec);
+  return result;
+}
+
+}  // namespace featgraph::baselines::cusparse

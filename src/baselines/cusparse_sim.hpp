@@ -1,0 +1,22 @@
+// cuSPARSE-like vendor GPU SpMM on the gpusim execution model (Table IV's
+// "cuSPARSE" column).
+//
+// Models csrmm2-style execution: warp-per-row-chunk with the feature axis
+// coalesced across lanes — the same access pattern FeatGraph generates —
+// running at full hand-tuned occupancy (FeatGraph's generated code pays a
+// small overhead; hybrid partitioning is what wins it back on skewed
+// graphs). Like the real library, only vanilla SpMM is supported: no MLP
+// aggregation, no dot-product attention (Sec. V-B).
+#pragma once
+
+#include "core/spmm.hpp"
+#include "gpusim/spmm_gpu.hpp"
+
+namespace featgraph::baselines::cusparse {
+
+/// out = A * X (copy_u / sum only, like mkl_sparse / cusparseScsrmm).
+gpusim::GpuKernelResult spmm(const graph::Csr& adj,
+                             const core::SpmmOperands& operands,
+                             const gpusim::DeviceSpec& spec = {});
+
+}  // namespace featgraph::baselines::cusparse

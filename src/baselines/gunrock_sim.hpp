@@ -1,0 +1,37 @@
+// Gunrock-style GPU kernels on the gpusim execution model — the paper's GPU
+// graph-system baseline (Table IV, Figs 12).
+//
+// Gunrock's design center (Sec. II-B): edge-parallel execution with
+// sophisticated load balancing, where the computation on an edge is a
+// BLACKBOX. For GNN kernels this means
+//   * vertex-wise reductions (GCN/MLP aggregation) need one global
+//     atomicAdd per output element per edge — "huge overhead of atomic
+//     operations" (Sec. V-B);
+//   * the feature-dimension parallelism inside an edge is invisible, so a
+//     single thread walks the whole feature vector (register pressure kills
+//     occupancy at large feature lengths, Fig. 12);
+//   * the load-balancing machinery itself costs extra index traffic per
+//     edge (binary searches over the frontier's edge offsets).
+#pragma once
+
+#include <string_view>
+
+#include "core/sddmm.hpp"
+#include "core/spmm.hpp"
+#include "gpusim/spmm_gpu.hpp"
+
+namespace featgraph::baselines::gunrock {
+
+/// Edge-parallel generalized SpMM with per-element atomics.
+/// msg ops: "copy_u", "mlp"; reducers: "sum", "max", "min", "mean".
+gpusim::GpuKernelResult spmm(const graph::Csr& adj, std::string_view msg_op,
+                             std::string_view reduce_op,
+                             const core::SpmmOperands& operands,
+                             const gpusim::DeviceSpec& spec = {});
+
+/// One-thread-per-edge SDDMM (serial dot per thread).
+gpusim::GpuKernelResult sddmm(const graph::Coo& coo, std::string_view edge_op,
+                              const core::SddmmOperands& operands,
+                              const gpusim::DeviceSpec& spec = {});
+
+}  // namespace featgraph::baselines::gunrock

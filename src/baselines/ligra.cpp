@@ -1,0 +1,247 @@
+#include "baselines/ligra.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <mutex>
+
+#include "parallel/parallel_for.hpp"
+#include "support/check.hpp"
+
+namespace featgraph::baselines::ligra {
+
+VertexSubset VertexSubset::all(vid_t n) {
+  VertexSubset s;
+  s.n_ = n;
+  s.ids_.resize(static_cast<std::size_t>(n));
+  for (vid_t v = 0; v < n; ++v) s.ids_[static_cast<std::size_t>(v)] = v;
+  s.flags_.assign(static_cast<std::size_t>(n), 1);
+  return s;
+}
+
+VertexSubset VertexSubset::of(vid_t n, std::vector<vid_t> ids) {
+  VertexSubset s;
+  s.n_ = n;
+  s.flags_.assign(static_cast<std::size_t>(n), 0);
+  for (vid_t v : ids) {
+    FG_CHECK(v >= 0 && v < n);
+    s.flags_[static_cast<std::size_t>(v)] = 1;
+  }
+  s.ids_ = std::move(ids);
+  return s;
+}
+
+VertexSubset VertexSubset::none(vid_t n) { return of(n, {}); }
+
+VertexSubset Engine::edge_map(const VertexSubset& frontier, const EdgeFn& fn,
+                              const CondFn& cond, int threshold_den) {
+  std::int64_t frontier_edges = 0;
+  const graph::Csr& out = g_->out_csr();
+  for (vid_t v : frontier.ids()) frontier_edges += out.degree(v);
+  const bool dense =
+      frontier_edges * threshold_den > g_->num_edges();
+  return dense ? edge_map_pull(frontier, fn, cond)
+               : edge_map_push(frontier, fn, cond);
+}
+
+VertexSubset Engine::edge_map_push(const VertexSubset& frontier,
+                                   const EdgeFn& fn, const CondFn& cond) {
+  const graph::Csr& out = g_->out_csr();
+  std::vector<std::uint8_t> next_flags(
+      static_cast<std::size_t>(g_->num_vertices()), 0);
+  std::mutex m;
+  std::vector<vid_t> next_ids;
+  parallel::parallel_for_ranges(
+      0, frontier.size(), num_threads_,
+      [&](std::int64_t i0, std::int64_t i1) {
+        std::vector<vid_t> local;
+        for (std::int64_t i = i0; i < i1; ++i) {
+          const vid_t u = frontier.ids()[static_cast<std::size_t>(i)];
+          for (std::int64_t e = out.indptr[u]; e < out.indptr[u + 1]; ++e) {
+            const vid_t v = out.indices[static_cast<std::size_t>(e)];
+            if (!cond(v)) continue;
+            if (fn(u, v, out.edge_ids[static_cast<std::size_t>(e)])) {
+              // CAS-free flag set is benign (idempotent), dedupe below.
+              auto& flag = next_flags[static_cast<std::size_t>(v)];
+              if (!__atomic_test_and_set(&flag, __ATOMIC_RELAXED))
+                local.push_back(v);
+            }
+          }
+        }
+        std::lock_guard<std::mutex> lock(m);
+        next_ids.insert(next_ids.end(), local.begin(), local.end());
+      });
+  std::sort(next_ids.begin(), next_ids.end());
+  return VertexSubset::of(g_->num_vertices(), std::move(next_ids));
+}
+
+VertexSubset Engine::edge_map_pull(const VertexSubset& frontier,
+                                   const EdgeFn& fn, const CondFn& cond) {
+  const graph::Csr& in = g_->in_csr();
+  std::vector<std::uint8_t> next_flags(
+      static_cast<std::size_t>(g_->num_vertices()), 0);
+  parallel::parallel_for_ranges(
+      0, g_->num_vertices(), num_threads_,
+      [&](std::int64_t v0, std::int64_t v1) {
+        for (std::int64_t v = v0; v < v1; ++v) {
+          if (!cond(static_cast<vid_t>(v))) continue;
+          for (std::int64_t i = in.indptr[v]; i < in.indptr[v + 1]; ++i) {
+            const vid_t u = in.indices[static_cast<std::size_t>(i)];
+            if (!frontier.contains(u)) continue;
+            if (fn(u, static_cast<vid_t>(v),
+                   in.edge_ids[static_cast<std::size_t>(i)])) {
+              next_flags[static_cast<std::size_t>(v)] = 1;
+              break;  // pull direction can stop after first success
+            }
+          }
+        }
+      });
+  std::vector<vid_t> next_ids;
+  for (vid_t v = 0; v < g_->num_vertices(); ++v)
+    if (next_flags[static_cast<std::size_t>(v)]) next_ids.push_back(v);
+  return VertexSubset::of(g_->num_vertices(), std::move(next_ids));
+}
+
+VertexSubset Engine::vertex_map(const VertexSubset& subset,
+                                const std::function<bool(vid_t)>& fn) {
+  std::vector<vid_t> kept;
+  for (vid_t v : subset.ids())
+    if (fn(v)) kept.push_back(v);
+  return VertexSubset::of(subset.universe(), std::move(kept));
+}
+
+std::vector<std::int32_t> bfs(const graph::Graph& g, vid_t root,
+                              int num_threads) {
+  Engine engine(g, num_threads);
+  std::vector<std::int32_t> level(static_cast<std::size_t>(g.num_vertices()),
+                                  -1);
+  level[static_cast<std::size_t>(root)] = 0;
+  VertexSubset frontier = VertexSubset::of(g.num_vertices(), {root});
+  std::int32_t depth = 0;
+  while (!frontier.empty()) {
+    ++depth;
+    frontier = engine.edge_map(
+        frontier,
+        [&](vid_t, vid_t v, eid_t) {
+          // Benign race: all writers store the same depth value.
+          if (level[static_cast<std::size_t>(v)] == -1) {
+            level[static_cast<std::size_t>(v)] = depth;
+            return true;
+          }
+          return false;
+        },
+        [&](vid_t v) { return level[static_cast<std::size_t>(v)] == -1; });
+  }
+  return level;
+}
+
+std::vector<double> pagerank(const graph::Graph& g, int iters, double damping,
+                             int num_threads) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  std::vector<double> rank(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n, 0.0);
+  const graph::Csr& in = g.in_csr();
+  const graph::Csr& out = g.out_csr();
+  for (int it = 0; it < iters; ++it) {
+    parallel::parallel_for_ranges(
+        0, g.num_vertices(), num_threads,
+        [&](std::int64_t v0, std::int64_t v1) {
+          for (std::int64_t v = v0; v < v1; ++v) {
+            double acc = 0.0;
+            for (std::int64_t i = in.indptr[v]; i < in.indptr[v + 1]; ++i) {
+              const vid_t u = in.indices[static_cast<std::size_t>(i)];
+              const auto du = out.degree(u);
+              if (du > 0) acc += rank[static_cast<std::size_t>(u)] /
+                                 static_cast<double>(du);
+            }
+            next[static_cast<std::size_t>(v)] =
+                (1.0 - damping) / static_cast<double>(n) + damping * acc;
+          }
+        });
+    std::swap(rank, next);
+  }
+  return rank;
+}
+
+// --- GNN kernels ----------------------------------------------------------
+
+tensor::Tensor gcn_aggregate(const graph::Graph& g, const tensor::Tensor& x,
+                             int num_threads) {
+  const std::int64_t d = x.row_size();
+  tensor::Tensor out = tensor::Tensor::zeros({g.num_vertices(), d});
+  const graph::Csr& in = g.in_csr();
+  // The Ligra idiom: a blackbox per-edge update closure. The std::function
+  // indirection per edge and the engine's blindness to the interior feature
+  // loop are the baseline's defining costs.
+  const std::function<void(vid_t, vid_t)> update = [&](vid_t u, vid_t v) {
+    const float* xu = x.row(u);
+    float* ov = out.row(v);
+    for (std::int64_t j = 0; j < d; ++j) ov[j] += xu[j];
+  };
+  parallel::parallel_for_ranges(
+      0, g.num_vertices(), num_threads,
+      [&](std::int64_t v0, std::int64_t v1) {
+        for (std::int64_t v = v0; v < v1; ++v)
+          for (std::int64_t i = in.indptr[v]; i < in.indptr[v + 1]; ++i)
+            update(in.indices[static_cast<std::size_t>(i)],
+                   static_cast<vid_t>(v));
+      });
+  return out;
+}
+
+tensor::Tensor mlp_aggregate(const graph::Graph& g, const tensor::Tensor& x,
+                             const tensor::Tensor& w, int num_threads) {
+  const std::int64_t d1 = x.row_size();
+  const std::int64_t d2 = w.shape(1);
+  FG_CHECK(w.shape(0) == d1);
+  tensor::Tensor out = tensor::Tensor::zeros({g.num_vertices(), d2});
+  const graph::Csr& in = g.in_csr();
+  parallel::parallel_for_ranges(
+      0, g.num_vertices(), num_threads,
+      [&](std::int64_t v0, std::int64_t v1) {
+        // A Ligra user materializes the per-edge message in a scratch
+        // buffer, then folds it — the engine cannot fuse the two.
+        std::vector<float> sum_buf(static_cast<std::size_t>(d1));
+        std::vector<float> msg(static_cast<std::size_t>(d2));
+        const std::function<void(vid_t, vid_t)> update = [&](vid_t u, vid_t v) {
+          for (std::int64_t k = 0; k < d1; ++k)
+            sum_buf[static_cast<std::size_t>(k)] = x.at(u, k) + x.at(v, k);
+          for (std::int64_t j = 0; j < d2; ++j) {
+            float acc = 0.0f;
+            for (std::int64_t k = 0; k < d1; ++k)
+              acc += sum_buf[static_cast<std::size_t>(k)] * w.at(k, j);
+            msg[static_cast<std::size_t>(j)] = acc > 0 ? acc : 0;
+          }
+          float* ov = out.row(v);
+          for (std::int64_t j = 0; j < d2; ++j)
+            ov[j] = std::max(ov[j], msg[static_cast<std::size_t>(j)]);
+        };
+        for (std::int64_t v = v0; v < v1; ++v)
+          for (std::int64_t i = in.indptr[v]; i < in.indptr[v + 1]; ++i)
+            update(in.indices[static_cast<std::size_t>(i)],
+                   static_cast<vid_t>(v));
+      });
+  return out;
+}
+
+tensor::Tensor dot_attention(const graph::Graph& g, const tensor::Tensor& x,
+                             int num_threads) {
+  const std::int64_t d = x.row_size();
+  tensor::Tensor out({g.num_edges()});
+  const graph::Coo& coo = g.coo();
+  parallel::parallel_for_ranges(
+      0, g.num_edges(), num_threads, [&](std::int64_t e0, std::int64_t e1) {
+        const std::function<float(vid_t, vid_t)> edge_fn = [&](vid_t u,
+                                                               vid_t v) {
+          float acc = 0.0f;
+          for (std::int64_t k = 0; k < d; ++k) acc += x.at(u, k) * x.at(v, k);
+          return acc;
+        };
+        for (std::int64_t e = e0; e < e1; ++e)
+          out.at(e) = edge_fn(coo.src[static_cast<std::size_t>(e)],
+                              coo.dst[static_cast<std::size_t>(e)]);
+      });
+  return out;
+}
+
+}  // namespace featgraph::baselines::ligra

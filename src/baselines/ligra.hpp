@@ -1,0 +1,105 @@
+// Ligra-style CPU graph processing engine (Shun & Blelloch, PPoPP'13) — the
+// paper's CPU graph-system baseline.
+//
+// Faithful to the original's programming model: frontier-based edgeMap with
+// direction switching (push when the frontier is sparse, pull when dense)
+// and vertexMap. Crucially faithful to its *limitation* for GNNs (paper
+// Sec. II-B): the per-edge update function is a BLACKBOX to the scheduler —
+// an indirect call whose interior feature loop the engine can neither tile,
+// vectorize with the traversal, nor partition around. The GNN kernels below
+// (GCN aggregation, MLP aggregation, dot-product attention) are written the
+// way a Ligra user would write them, which is exactly what Table III
+// measures FeatGraph against.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "tensor/tensor.hpp"
+
+namespace featgraph::baselines::ligra {
+
+using graph::eid_t;
+using graph::vid_t;
+
+/// A set of active vertices, storable sparsely (id list) or densely (flags).
+class VertexSubset {
+ public:
+  static VertexSubset all(vid_t n);
+  static VertexSubset of(vid_t n, std::vector<vid_t> ids);
+  static VertexSubset none(vid_t n);
+
+  vid_t universe() const { return n_; }
+  std::int64_t size() const { return static_cast<std::int64_t>(ids_.size()); }
+  bool empty() const { return ids_.empty(); }
+  bool contains(vid_t v) const { return flags_[static_cast<std::size_t>(v)] != 0; }
+  const std::vector<vid_t>& ids() const { return ids_; }
+
+ private:
+  vid_t n_ = 0;
+  std::vector<vid_t> ids_;
+  std::vector<std::uint8_t> flags_;
+};
+
+/// Per-edge update: returns true to add dst to the next frontier. Receives
+/// (src, dst, edge id). Blackbox to the engine by design.
+using EdgeFn = std::function<bool(vid_t, vid_t, eid_t)>;
+/// Edge condition for pull direction: stop visiting dst's in-edges early.
+using CondFn = std::function<bool(vid_t)>;
+
+class Engine {
+ public:
+  explicit Engine(const graph::Graph& g, int num_threads = 1)
+      : g_(&g), num_threads_(num_threads) {}
+
+  /// Ligra's edgeMap with automatic push/pull direction selection: pull
+  /// when the frontier's out-edge count exceeds |E| / threshold_den.
+  VertexSubset edge_map(const VertexSubset& frontier, const EdgeFn& fn,
+                        const CondFn& cond, int threshold_den = 20);
+
+  /// Applies fn to every vertex of the subset; keeps vertices where fn
+  /// returns true.
+  VertexSubset vertex_map(const VertexSubset& subset,
+                          const std::function<bool(vid_t)>& fn);
+
+  int num_threads() const { return num_threads_; }
+  const graph::Graph& graph() const { return *g_; }
+
+ private:
+  VertexSubset edge_map_push(const VertexSubset& frontier, const EdgeFn& fn,
+                             const CondFn& cond);
+  VertexSubset edge_map_pull(const VertexSubset& frontier, const EdgeFn& fn,
+                             const CondFn& cond);
+
+  const graph::Graph* g_;
+  int num_threads_;
+};
+
+// --- classic graph workloads (engine validation) -------------------------
+
+/// BFS levels from `root` (-1 = unreachable).
+std::vector<std::int32_t> bfs(const graph::Graph& g, vid_t root,
+                              int num_threads = 1);
+
+/// PageRank with uniform teleport; returns scores after `iters` iterations.
+std::vector<double> pagerank(const graph::Graph& g, int iters,
+                             double damping = 0.85, int num_threads = 1);
+
+// --- GNN kernels, written the Ligra way (Table III baselines) -------------
+
+/// GCN aggregation: out[v] = sum over in-edges of x[u]. Scalar per-edge
+/// blackbox update, no feature tiling or graph partitioning.
+tensor::Tensor gcn_aggregate(const graph::Graph& g, const tensor::Tensor& x,
+                             int num_threads = 1);
+
+/// MLP aggregation: out[v] = max over in-edges of ReLU((x[u]+x[v]) W).
+tensor::Tensor mlp_aggregate(const graph::Graph& g, const tensor::Tensor& x,
+                             const tensor::Tensor& w, int num_threads = 1);
+
+/// Dot-product attention: att[e] = <x[u], x[v]>.
+tensor::Tensor dot_attention(const graph::Graph& g, const tensor::Tensor& x,
+                             int num_threads = 1);
+
+}  // namespace featgraph::baselines::ligra

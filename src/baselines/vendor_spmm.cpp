@@ -1,0 +1,44 @@
+#include "baselines/vendor_spmm.hpp"
+
+#include "parallel/parallel_for.hpp"
+#include "support/check.hpp"
+
+namespace featgraph::baselines::vendor {
+
+tensor::Tensor csr_spmm(const graph::Csr& adj, const tensor::Tensor& x,
+                        int num_threads) {
+  FG_CHECK(x.rows() == adj.num_cols);
+  const std::int64_t d = x.row_size();
+  tensor::Tensor out({adj.num_rows, d});
+  parallel::parallel_for_ranges(
+      0, adj.num_rows, num_threads, [&](std::int64_t v0, std::int64_t v1) {
+        for (std::int64_t v = v0; v < v1; ++v) {
+          float* ov = out.row(v);
+          for (std::int64_t j = 0; j < d; ++j) ov[j] = 0.0f;
+          for (std::int64_t i = adj.indptr[v]; i < adj.indptr[v + 1]; ++i) {
+            const float* xu = x.row(adj.indices[static_cast<std::size_t>(i)]);
+            for (std::int64_t j = 0; j < d; ++j) ov[j] += xu[j];
+          }
+        }
+      });
+  return out;
+}
+
+std::vector<float> csr_spmv(const graph::Csr& adj, const std::vector<float>& x,
+                            int num_threads) {
+  FG_CHECK(static_cast<graph::vid_t>(x.size()) == adj.num_cols);
+  std::vector<float> out(static_cast<std::size_t>(adj.num_rows), 0.0f);
+  parallel::parallel_for_ranges(
+      0, adj.num_rows, num_threads, [&](std::int64_t v0, std::int64_t v1) {
+        for (std::int64_t v = v0; v < v1; ++v) {
+          float acc = 0.0f;
+          for (std::int64_t i = adj.indptr[v]; i < adj.indptr[v + 1]; ++i)
+            acc += x[static_cast<std::size_t>(
+                adj.indices[static_cast<std::size_t>(i)])];
+          out[static_cast<std::size_t>(v)] = acc;
+        }
+      });
+  return out;
+}
+
+}  // namespace featgraph::baselines::vendor

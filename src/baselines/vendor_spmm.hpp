@@ -1,0 +1,25 @@
+// MKL-like vendor SpMM baseline (paper Table III's "MKL" column).
+//
+// What vendor sparse libraries do well: a hand-vectorized row-parallel CSR
+// x dense-matrix product (mkl_sparse_s_mm). What they do not do: graph
+// partitioning for cache locality, feature-dimension tiling, or any message
+// function beyond copy-and-sum — "MKL does not support MLP aggregation and
+// dot-product attention" (Sec. V-B). This module implements exactly that
+// envelope: a fast vanilla SpMM/SpMV and nothing else.
+#pragma once
+
+#include "graph/csr.hpp"
+#include "tensor/tensor.hpp"
+
+namespace featgraph::baselines::vendor {
+
+/// out = A * X for a destination-major CSR: out[v,:] = sum_{u in N_in(v)}
+/// x[u,:]. Row-parallel with a full-width vectorizable inner axpy.
+tensor::Tensor csr_spmm(const graph::Csr& adj, const tensor::Tensor& x,
+                        int num_threads = 1);
+
+/// out = A * x (sparse matrix - dense vector).
+std::vector<float> csr_spmv(const graph::Csr& adj,
+                            const std::vector<float>& x, int num_threads = 1);
+
+}  // namespace featgraph::baselines::vendor

@@ -1,0 +1,39 @@
+#include "core/partition_cache.hpp"
+
+#include <map>
+#include <mutex>
+
+namespace featgraph::core {
+
+namespace {
+
+std::mutex g_mutex;
+// Keyed by the CSR's process-unique uid + partition count (never by
+// address: addresses get recycled, uids do not). Entries are stable
+// pointers (unique_ptr) so callers can hold results across insertions.
+std::map<std::pair<std::uint64_t, int>,
+         std::unique_ptr<graph::SrcPartitionedCsr>>
+    g_cache;
+
+}  // namespace
+
+const graph::SrcPartitionedCsr* cached_partition(const graph::Csr& adj,
+                                                 int num_partitions) {
+  if (num_partitions <= 1) return nullptr;
+  const auto key = std::make_pair(adj.uid, num_partitions);
+  std::lock_guard<std::mutex> lock(g_mutex);
+  auto it = g_cache.find(key);
+  if (it == g_cache.end()) {
+    auto parts = std::make_unique<graph::SrcPartitionedCsr>(
+        graph::partition_by_source(adj, num_partitions));
+    it = g_cache.emplace(key, std::move(parts)).first;
+  }
+  return it->second.get();
+}
+
+void clear_partition_cache() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_cache.clear();
+}
+
+}  // namespace featgraph::core

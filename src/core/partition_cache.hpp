@@ -1,0 +1,26 @@
+// Process-wide cache of 1D source partitionings.
+//
+// FeatGraph "generates kernel codes for a specific graph topology ... the
+// compilation cost is amortized" (Sec. IV-B). The analog here: partitioning
+// a CSR is the per-topology preprocessing step, computed once per
+// (CSR, num_partitions) pair and reused across kernel launches, epochs and
+// tuner trials.
+#pragma once
+
+#include <memory>
+
+#include "graph/csr.hpp"
+#include "graph/partition.hpp"
+
+namespace featgraph::core {
+
+/// Returns the cached partitioning of `adj` into `num_partitions` segments,
+/// computing it on first use. Thread-safe. Returns nullptr when
+/// num_partitions <= 1 (kernels then use the unpartitioned CSR directly).
+const graph::SrcPartitionedCsr* cached_partition(const graph::Csr& adj,
+                                                 int num_partitions);
+
+/// Drops all cached partitionings (tests; memory-conscious benchmarks).
+void clear_partition_cache();
+
+}  // namespace featgraph::core

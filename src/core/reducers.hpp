@@ -1,0 +1,45 @@
+// Aggregation functions for generalized SpMM: "sum and any commutative
+// reducer is allowed" (paper Sec. III-B). Each reducer supplies an identity
+// and a combine; Mean is Sum plus a per-row degree division; empty rows
+// (zero in-degree) produce 0 for every reducer, matching DGL semantics.
+#pragma once
+
+#include <limits>
+
+namespace featgraph::core {
+
+struct SumReducer {
+  static constexpr float identity() { return 0.0f; }
+  static float combine(float a, float b) { return a + b; }
+  /// Value written for rows with no in-edges after aggregation.
+  static constexpr float empty_value() { return 0.0f; }
+  static constexpr bool needs_degree_normalize() { return false; }
+};
+
+struct MaxReducer {
+  static constexpr float identity() {
+    return -std::numeric_limits<float>::infinity();
+  }
+  static float combine(float a, float b) { return a > b ? a : b; }
+  static constexpr float empty_value() { return 0.0f; }
+  static constexpr bool needs_degree_normalize() { return false; }
+};
+
+struct MinReducer {
+  static constexpr float identity() {
+    return std::numeric_limits<float>::infinity();
+  }
+  static float combine(float a, float b) { return a < b ? a : b; }
+  static constexpr float empty_value() { return 0.0f; }
+  static constexpr bool needs_degree_normalize() { return false; }
+};
+
+/// Sum followed by division by the row's in-degree.
+struct MeanReducer {
+  static constexpr float identity() { return 0.0f; }
+  static float combine(float a, float b) { return a + b; }
+  static constexpr float empty_value() { return 0.0f; }
+  static constexpr bool needs_degree_normalize() { return true; }
+};
+
+}  // namespace featgraph::core

@@ -1,0 +1,67 @@
+// Schedules: the knobs of FeatGraph's two-level optimization space.
+//
+// The paper splits a kernel's schedule into (a) template parameters owned by
+// the sparse template (number of graph partitions, CUDA block counts,
+// hybrid-partitioning threshold) and (b) the user-provided feature dimension
+// schedule, FDS (feature tiling factors, parallelization/binding of the
+// feature axis, tree reduction). This header holds both halves; the tuner
+// (core/tuner.hpp) searches their product space by grid search, exactly as
+// Sec. IV-A describes.
+#pragma once
+
+#include <cstdint>
+
+namespace featgraph::core {
+
+enum class Target { kCpu, kGpuSim };
+
+/// CPU generalized-SpMM schedule.
+struct CpuSpmmSchedule {
+  /// Template half: number of 1D source partitions (1 = no partitioning).
+  int num_partitions = 1;
+  /// FDS half: feature tile width in elements (0 = whole feature vector).
+  std::int64_t feat_tile = 0;
+  /// Worker threads; threads cooperate on one partition at a time
+  /// (Sec. IV-A) so the LLC holds a single partition's working set.
+  int num_threads = 1;
+
+  static CpuSpmmSchedule single_thread_default() { return {}; }
+};
+
+/// CPU generalized-SDDMM schedule.
+struct CpuSddmmSchedule {
+  /// FDS half: tile width of the per-edge reduction axis (0 = untiled).
+  std::int64_t reduce_tile = 0;
+  /// Template half: visit edges in Hilbert-curve order (Sec. III-C-1).
+  bool hilbert_order = false;
+  int num_threads = 1;
+};
+
+/// GPU (simulated) generalized-SpMM schedule.
+struct GpuSpmmSchedule {
+  /// Template half: CUDA blocks in the grid; rows are cyclically assigned.
+  int num_blocks = 4096;
+  /// FDS half: threads per block, bound to the feature axis (Fig. 7a).
+  int threads_per_block = 256;
+  /// Template half: hybrid degree-based partitioning (Sec. III-C-3).
+  bool hybrid_partition = false;
+  /// Quantile of the source-degree distribution above which sources are
+  /// staged in shared memory when hybrid_partition is on.
+  double hybrid_quantile = 0.8;
+  /// Rows per shared-memory staging tile: the hybrid kernel grid-strides
+  /// over row tiles of this size, staging the high-degree sources each tile
+  /// touches. Larger tiles see more reuse per staged row but need more
+  /// shared memory (the paper's read-efficiency vs merge-cost trade-off).
+  int hybrid_rows_per_tile = 32;
+};
+
+/// GPU (simulated) generalized-SDDMM schedule.
+struct GpuSddmmSchedule {
+  int num_blocks = 4096;
+  int threads_per_block = 256;
+  /// FDS half: tree reduction across threads for per-edge dots (Fig. 7b);
+  /// false degenerates to Gunrock's one-thread-per-edge strategy.
+  bool tree_reduce = true;
+};
+
+}  // namespace featgraph::core

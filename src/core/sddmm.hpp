@@ -1,0 +1,40 @@
+// Public generalized-SDDMM API: the `featgraph.sddmm` template of the paper
+// (Fig. 4) with string-named builtin edge functions and a CPU FDS.
+//
+// Builtin edge ops:
+//   "dot"            out_e    = <a_u, b_v>          (dot-product attention)
+//   "multihead_dot"  out_e,h  = <a_u[h], b_v[h]>    (Fig. 4b; rank-3 inputs)
+//   "u_add_v"        out_e,j  = a_u[j] + b_v[j]
+//   "u_mul_v"        out_e,j  = a_u[j] * b_v[j]
+// `a` is indexed by the edge's source, `b` by its destination; attention
+// uses a == b, gradient kernels pass different tensors.
+#pragma once
+
+#include <string_view>
+
+#include "core/schedule.hpp"
+#include "core/udf.hpp"
+#include "graph/csr.hpp"
+#include "tensor/tensor.hpp"
+
+namespace featgraph::core {
+
+struct SddmmOperands {
+  const tensor::Tensor* src_feat = nullptr;  // a: indexed by edge source
+  const tensor::Tensor* dst_feat = nullptr;  // b: indexed by edge destination
+};
+
+/// Runs the generalized SDDMM over all edges of `coo` and returns the
+/// (num_edges x d_out) result (d_out == 1 collapses to a vector of length m).
+tensor::Tensor sddmm(const graph::Coo& coo, std::string_view edge_op,
+                     const CpuSddmmSchedule& fds, const SddmmOperands& ops);
+
+/// Blackbox-UDF fallback / reference path: `fn` writes all `d_out` outputs
+/// for one edge.
+tensor::Tensor sddmm_generic(const graph::Coo& coo, const GenericEdgeFn& fn,
+                             std::int64_t d_out, const CpuSddmmSchedule& fds);
+
+/// Cached Hilbert-curve edge order for a COO (computed once per graph).
+const std::vector<graph::eid_t>* cached_hilbert_order(const graph::Coo& coo);
+
+}  // namespace featgraph::core

@@ -1,0 +1,71 @@
+// Generalized SDDMM kernel templates (paper Sec. III-B, Fig. 4).
+//
+// out[e, :] = EDGEFN(u, e, v)   for every edge u -e-> v
+//
+// The coarse-grained template owns edge traversal (optionally in
+// Hilbert-curve order, Sec. III-C-1, which keeps both endpoint feature rows
+// hot) and splits edges across threads. The fine-grained UDF exposes its
+// reduce axis through `partial`, which the FDS tiles: with a reduce tile the
+// edge list is swept once per tile and partial sums accumulate in the output
+// (the SDDMM analog of Fig. 6b's trade-off: more topology traffic for better
+// feature locality).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "graph/csr.hpp"
+#include "parallel/parallel_for.hpp"
+#include "support/check.hpp"
+
+namespace featgraph::core {
+
+template <class EdgeFn>
+void generalized_sddmm(const graph::Coo& coo,
+                       const std::vector<graph::eid_t>* order,
+                       const EdgeFn& fn, float* out,
+                       const CpuSddmmSchedule& sched) {
+  const graph::eid_t m = coo.num_edges();
+  const std::int64_t n_out = fn.num_out();
+  const std::int64_t len = fn.reduce_len();
+  if (m == 0 || n_out == 0) return;
+  FG_CHECK(order == nullptr ||
+           static_cast<graph::eid_t>(order->size()) == m);
+
+  const std::int64_t tile =
+      (sched.reduce_tile > 0 && sched.reduce_tile < len) ? sched.reduce_tile
+                                                         : len;
+  const bool tiled = tile < len;
+  const graph::vid_t* src = coo.src.data();
+  const graph::vid_t* dst = coo.dst.data();
+  const graph::eid_t* perm = order != nullptr ? order->data() : nullptr;
+
+  if (tiled) {
+    // Partial sums accumulate across reduce-axis tiles; zero-init first.
+    std::fill(out, out + m * n_out, 0.0f);
+  }
+  for (std::int64_t k0 = 0; k0 < len; k0 += tile) {
+    const std::int64_t k1 = std::min(k0 + tile, len);
+    parallel::parallel_for_ranges(
+        0, m, sched.num_threads, [&](std::int64_t i0, std::int64_t i1) {
+          for (std::int64_t i = i0; i < i1; ++i) {
+            const graph::eid_t e = perm != nullptr ? perm[i] : i;
+            const graph::vid_t u = src[e];
+            const graph::vid_t v = dst[e];
+            float* out_e = out + e * n_out;
+            for (std::int64_t h = 0; h < n_out; ++h) {
+              const float p = fn.partial(u, e, v, h, k0, k1);
+              if (tiled) {
+                out_e[h] += p;
+              } else {
+                out_e[h] = p;
+              }
+            }
+          }
+        });
+  }
+}
+
+}  // namespace featgraph::core

@@ -1,0 +1,105 @@
+#include "core/smart_tuner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace featgraph::core {
+
+namespace {
+
+/// Canonical key for memoizing measured points.
+using Point = std::pair<int, std::int64_t>;  // (num_partitions, feat_tile)
+
+std::vector<std::int64_t> tile_axis(std::int64_t d_out, std::int64_t min_tile) {
+  std::vector<std::int64_t> axis = {0};  // 0 = untiled (full width)
+  for (std::int64_t t = min_tile; t < d_out; t *= 2) axis.push_back(t);
+  return axis;
+}
+
+std::vector<int> partition_axis(std::int64_t max_partitions) {
+  std::vector<int> axis;
+  for (int p = 1; p <= max_partitions; p *= 2) axis.push_back(p);
+  return axis;
+}
+
+}  // namespace
+
+SmartTuneResult smart_tune_spmm(std::int64_t d_out, int num_threads,
+                                const MeasureFn& measure,
+                                const SmartTuneOptions& options) {
+  FG_CHECK(options.max_trials >= 1);
+  const auto tiles = tile_axis(d_out, options.min_tile);
+  const auto parts = partition_axis(options.max_partitions);
+
+  std::map<Point, double> measured;
+  SmartTuneResult result;
+  result.best_seconds = std::numeric_limits<double>::infinity();
+
+  auto eval = [&](int pi, int ti) -> double {
+    const Point key{parts[static_cast<std::size_t>(pi)],
+                    tiles[static_cast<std::size_t>(ti)]};
+    auto it = measured.find(key);
+    if (it != measured.end()) return it->second;
+    if (result.trials_used >= options.max_trials)
+      return std::numeric_limits<double>::infinity();
+    CpuSpmmSchedule s;
+    s.num_partitions = key.first;
+    s.feat_tile = key.second;
+    s.num_threads = num_threads;
+    const double secs = measure(s);
+    ++result.trials_used;
+    measured.emplace(key, secs);
+    if (secs < result.best_seconds) {
+      result.best_seconds = secs;
+      result.best = s;
+    }
+    return secs;
+  };
+
+  support::Rng rng(options.seed);
+  for (int seed_idx = 0;
+       seed_idx < options.num_seeds && result.trials_used < options.max_trials;
+       ++seed_idx) {
+    // Seed point: first seed is the untuned default (1 partition, untiled),
+    // later seeds are random — the "random restart" half of the strategy.
+    int pi = 0, ti = 0;
+    if (seed_idx > 0) {
+      pi = static_cast<int>(rng.uniform(parts.size()));
+      ti = static_cast<int>(rng.uniform(tiles.size()));
+    }
+    double current = eval(pi, ti);
+
+    // Greedy neighbor descent on the lattice.
+    for (;;) {
+      int best_pi = pi, best_ti = ti;
+      double best = current;
+      const int candidates[4][2] = {
+          {pi - 1, ti}, {pi + 1, ti}, {pi, ti - 1}, {pi, ti + 1}};
+      for (const auto& c : candidates) {
+        if (c[0] < 0 || c[0] >= static_cast<int>(parts.size())) continue;
+        if (c[1] < 0 || c[1] >= static_cast<int>(tiles.size())) continue;
+        const double secs = eval(c[0], c[1]);
+        if (secs < best) {
+          best = secs;
+          best_pi = c[0];
+          best_ti = c[1];
+        }
+      }
+      if (best_pi == pi && best_ti == ti) break;  // local optimum
+      pi = best_pi;
+      ti = best_ti;
+      current = best;
+      if (result.trials_used >= options.max_trials) break;
+    }
+  }
+  FG_CHECK_MSG(std::isfinite(result.best_seconds),
+               "smart_tune_spmm needs at least one successful measurement");
+  return result;
+}
+
+}  // namespace featgraph::core

@@ -1,0 +1,47 @@
+// Budgeted schedule search — the paper's future work made concrete:
+// "it is an interesting future direction to try more intelligent tuners
+// [OpenTuner, AutoTVM] for faster design space exploration" (Sec. IV-A).
+//
+// This tuner replaces exhaustive grid search with random-restart hill
+// climbing over the (num_partitions, feat_tile) lattice: evaluate a few
+// seed points, then repeatedly step to the best untried neighbor (x2 / /2
+// moves along each axis) until no neighbor improves, respecting a hard
+// trial budget. On the spaces FeatGraph cares about the runtime cost
+// surface is close to unimodal along each axis (Fig. 14), which hill
+// climbing exploits — typically reaching the grid-search winner with a
+// third of the measurements (see bench_ablation_tuner).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/schedule.hpp"
+
+namespace featgraph::core {
+
+struct SmartTuneOptions {
+  int max_trials = 12;       // hard measurement budget
+  int num_seeds = 3;         // random-restart seed points
+  std::uint64_t seed = 1;    // deterministic search
+  std::int64_t max_partitions = 64;
+  std::int64_t min_tile = 8;
+};
+
+struct SmartTuneResult {
+  CpuSpmmSchedule best;
+  double best_seconds = 0.0;
+  int trials_used = 0;
+};
+
+/// Measurement callback: returns the runtime of a candidate schedule.
+using MeasureFn = std::function<double(const CpuSpmmSchedule&)>;
+
+/// Hill-climbs the schedule space within `options.max_trials` measurements.
+/// `d_out` bounds the feature-tile axis; `num_threads` is fixed across
+/// candidates. Deterministic for a fixed options.seed.
+SmartTuneResult smart_tune_spmm(std::int64_t d_out, int num_threads,
+                                const MeasureFn& measure,
+                                const SmartTuneOptions& options = {});
+
+}  // namespace featgraph::core

@@ -1,0 +1,108 @@
+#include "core/tuner.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <tuple>
+
+#include "support/timer.hpp"
+
+namespace featgraph::core {
+
+std::vector<CpuSpmmSchedule> default_spmm_candidates(std::int64_t d_out,
+                                                     int num_threads) {
+  std::vector<CpuSpmmSchedule> grid;
+  for (int parts : {1, 2, 4, 8, 16, 32}) {
+    for (std::int64_t tile : {std::int64_t{0}, std::int64_t{16},
+                              std::int64_t{32}, std::int64_t{64},
+                              std::int64_t{128}}) {
+      if (tile > d_out) continue;
+      CpuSpmmSchedule s;
+      s.num_partitions = parts;
+      s.feat_tile = tile;
+      s.num_threads = num_threads;
+      grid.push_back(s);
+    }
+  }
+  return grid;
+}
+
+SpmmTuneResult tune_spmm(const graph::Csr& adj, std::string_view msg_op,
+                         std::string_view reduce_op,
+                         const SpmmOperands& operands,
+                         std::vector<CpuSpmmSchedule> candidates,
+                         int timing_reps) {
+  FG_CHECK(!candidates.empty());
+  SpmmTuneResult result;
+  result.best_seconds = std::numeric_limits<double>::infinity();
+  for (const auto& cand : candidates) {
+    const double secs = support::time_mean_seconds(
+        [&] { (void)spmm(adj, msg_op, reduce_op, cand, operands); },
+        timing_reps);
+    result.trials.push_back({cand, secs});
+    if (secs < result.best_seconds) {
+      result.best_seconds = secs;
+      result.best = cand;
+    }
+  }
+  return result;
+}
+
+namespace {
+
+struct TuneKey {
+  std::uint64_t adj_uid;  // structure uid, not address (addresses recycle)
+  std::string msg_op;
+  std::string reduce_op;
+  std::int64_t d;
+  int threads;
+  bool operator<(const TuneKey& o) const {
+    return std::tie(adj_uid, msg_op, reduce_op, d, threads) <
+           std::tie(o.adj_uid, o.msg_op, o.reduce_op, o.d, o.threads);
+  }
+};
+
+std::mutex g_tune_mutex;
+std::map<TuneKey, CpuSpmmSchedule> g_tune_cache;
+
+}  // namespace
+
+CpuSpmmSchedule tuned_spmm_schedule(const graph::Csr& adj,
+                                    std::string_view msg_op,
+                                    std::string_view reduce_op,
+                                    const SpmmOperands& operands,
+                                    int num_threads) {
+  const std::int64_t d =
+      operands.weight != nullptr ? operands.weight->shape(1)
+                                 : operands.src_feat->row_size();
+  const TuneKey key{adj.uid, std::string(msg_op), std::string(reduce_op), d,
+                    num_threads};
+  {
+    std::lock_guard<std::mutex> lock(g_tune_mutex);
+    auto it = g_tune_cache.find(key);
+    if (it != g_tune_cache.end()) return it->second;
+  }
+  SpmmTuneResult tuned =
+      tune_spmm(adj, msg_op, reduce_op, operands,
+                default_spmm_candidates(d, num_threads));
+  std::lock_guard<std::mutex> lock(g_tune_mutex);
+  g_tune_cache.emplace(key, tuned.best);
+  return tuned.best;
+}
+
+CpuSpmmSchedule heuristic_spmm_schedule(const graph::Csr& adj,
+                                        std::int64_t d_feat, int num_threads) {
+  CpuSpmmSchedule s;
+  s.num_threads = num_threads;
+  s.feat_tile = std::min<std::int64_t>(d_feat, 64);
+  const double tile_bytes = static_cast<double>(s.feat_tile) * sizeof(float);
+  const double src_bytes = static_cast<double>(adj.num_cols) * tile_bytes;
+  const double budget = 12.5 * 1024 * 1024;  // half of the paper's 25 MB LLC
+  int parts = 1;
+  while (parts < 64 && src_bytes / parts > budget) parts *= 2;
+  s.num_partitions = parts;
+  return s;
+}
+
+}  // namespace featgraph::core

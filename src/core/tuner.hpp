@@ -1,0 +1,57 @@
+// Grid-search schedule tuner (paper Sec. IV-A: "we use naive grid search to
+// find the optimal parameters under a given input shape").
+//
+// The design space is the product of template parameters (number of graph
+// partitions) and FDS parameters (feature tile width). Results are cached
+// per (graph, kernel, feature length, threads): GNN training runs hundreds
+// of epochs over a fixed topology, so tuning cost is amortized to noise
+// (Sec. V-E excludes it for the same reason).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "core/spmm.hpp"
+#include "graph/csr.hpp"
+
+namespace featgraph::core {
+
+struct SpmmTrial {
+  CpuSpmmSchedule schedule;
+  double seconds = 0.0;
+};
+
+struct SpmmTuneResult {
+  CpuSpmmSchedule best;
+  double best_seconds = 0.0;
+  std::vector<SpmmTrial> trials;
+};
+
+/// Candidate grid: partition counts x feature tiles, all at `num_threads`.
+std::vector<CpuSpmmSchedule> default_spmm_candidates(std::int64_t d_out,
+                                                     int num_threads);
+
+/// Times every candidate on the real kernel and returns the winner plus the
+/// full trial log (benchmarks use the log for the Fig. 14 sensitivity grid).
+SpmmTuneResult tune_spmm(const graph::Csr& adj, std::string_view msg_op,
+                         std::string_view reduce_op,
+                         const SpmmOperands& operands,
+                         std::vector<CpuSpmmSchedule> candidates,
+                         int timing_reps = 1);
+
+/// Cached best schedule for (adj, msg_op, reduce_op, d_out, threads);
+/// tunes with the default grid on first call.
+CpuSpmmSchedule tuned_spmm_schedule(const graph::Csr& adj,
+                                    std::string_view msg_op,
+                                    std::string_view reduce_op,
+                                    const SpmmOperands& operands,
+                                    int num_threads);
+
+/// A sensible untuned default: partitions sized so one partition's source
+/// features fit in roughly half of a 25 MB LLC, feature tile 64.
+CpuSpmmSchedule heuristic_spmm_schedule(const graph::Csr& adj,
+                                        std::int64_t d_feat, int num_threads);
+
+}  // namespace featgraph::core

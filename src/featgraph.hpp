@@ -1,0 +1,27 @@
+// FeatGraph — a flexible and efficient backend for graph neural network
+// systems (C++ reproduction of Hu et al., SC 2020).
+//
+// Umbrella header: includes the full public API.
+//
+//   graph::Graph / datasets      graph substrate & evaluation datasets
+//   core::spmm / core::sddmm     generalized sparse templates + builtin UDFs
+//   core::CpuSpmmSchedule etc.   two-level schedules (template half + FDS)
+//   core::tune_spmm              grid-search schedule tuner
+//   gpusim::*                    GPU execution-model simulator kernels
+//   baselines::*                 Ligra-, MKL-, Gunrock-, cuSPARSE-style comparators
+//   minidgl::*                   miniature GNN framework (GCN/GraphSage/GAT)
+#pragma once
+
+#include "core/schedule.hpp"
+#include "core/sddmm.hpp"
+#include "core/spmm.hpp"
+#include "core/tuner.hpp"
+#include "core/udf.hpp"
+#include "graph/csr.hpp"
+#include "graph/datasets.hpp"
+#include "graph/generators.hpp"
+#include "graph/hilbert.hpp"
+#include "graph/partition.hpp"
+#include "graph/reorder.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"

@@ -1,0 +1,41 @@
+#include "gpusim/device.hpp"
+
+#include <algorithm>
+
+namespace featgraph::gpusim {
+
+CostBreakdown estimate_time(const KernelStats& stats, const DeviceSpec& spec) {
+  CostBreakdown cost;
+  cost.mem_s = (stats.global_load_transactions + stats.global_store_transactions) *
+               DeviceSpec::kSectorBytes / spec.mem_bw_bytes_per_s;
+  cost.compute_s = stats.flops / spec.flops_per_s;
+  cost.atomic_s =
+      stats.global_atomics * stats.atomic_conflict_factor / spec.atomics_per_s;
+  cost.smem_s = stats.smem_bytes / spec.smem_bw_bytes_per_s;
+  cost.launch_s = spec.launch_overhead_s;
+
+  // Grid-size utilization: a grid with fewer threads than the device's
+  // resident capacity leaves SMs idle (paper Fig. 15: more blocks -> faster
+  // until the device is saturated).
+  const double grid_threads = static_cast<double>(stats.num_blocks) *
+                              std::max(1, stats.threads_per_block);
+  const double resident =
+      static_cast<double>(spec.num_sms) * spec.max_threads_per_sm;
+  const double grid_util =
+      grid_threads > 0 ? std::min(1.0, grid_threads / resident) : 1.0;
+
+  const double occ = std::max(0.05, stats.occupancy * grid_util);
+  cost.total_s =
+      std::max(std::max(cost.mem_s, cost.compute_s),
+               std::max(cost.atomic_s, cost.smem_s)) /
+          occ +
+      cost.launch_s;
+  return cost;
+}
+
+double dense_op_seconds(double flops, double bytes, const DeviceSpec& spec) {
+  return std::max(flops / spec.flops_per_s, bytes / spec.mem_bw_bytes_per_s) +
+         spec.launch_overhead_s;
+}
+
+}  // namespace featgraph::gpusim

@@ -1,0 +1,85 @@
+// GPU execution-model simulator: device description and cost model.
+//
+// The paper's GPU claims are architecture-mechanism claims (Sec. III-C-2/3,
+// Tables IV, Figs 12/13/15): Gunrock loses GCN/MLP aggregation because
+// per-edge atomics serialize and feature parallelism is unexploited;
+// FeatGraph matches cuSPARSE by coalescing feature-axis loads across
+// threads; tree reduction beats one-thread-per-edge dots at large feature
+// lengths (register pressure kills occupancy); staging high-degree vertices
+// in shared memory pays off exactly when they are re-read often.
+//
+// gpusim kernels therefore execute functionally on the host (bit-accurate
+// outputs, validated against the CPU kernels) while tallying mechanistic
+// counters — 32-byte global-memory transactions with the kernel's actual
+// coalescing pattern, atomic operations, shared-memory traffic, FLOPs, an
+// occupancy estimate — from the real graph structure. `estimate_time`
+// converts counters to seconds with V100-like throughput constants. The
+// constants are calibrated (DESIGN.md §1); the counters are not.
+#pragma once
+
+#include <cstdint>
+
+namespace featgraph::gpusim {
+
+/// Tesla V100-SXM2-16GB-like device (the paper's p3.2xlarge GPU).
+struct DeviceSpec {
+  int num_sms = 80;
+  int warp_size = 32;
+  int max_threads_per_sm = 2048;
+  double clock_hz = 1.38e9;
+  double mem_bw_bytes_per_s = 810e9;       // ~90% of 900 GB/s peak HBM2
+  double flops_per_s = 14e12;              // fp32 FMA peak
+  double atomics_per_s = 4e9;              // conflict-free global atomics
+  double smem_bw_bytes_per_s = 80 * 128 * 1.38e9;  // 128 B/cycle/SM
+  double launch_overhead_s = 5e-6;
+  std::int64_t smem_bytes_per_block = 96 * 1024;   // configurable max
+  std::int64_t dram_bytes = std::int64_t{16} * 1024 * 1024 * 1024;
+
+  /// Bytes moved per global-memory transaction (one 32-byte sector).
+  static constexpr double kSectorBytes = 32.0;
+};
+
+/// Counters a kernel accumulates while executing. All transaction counts are
+/// in 32-byte sectors.
+struct KernelStats {
+  double global_load_transactions = 0.0;
+  double global_store_transactions = 0.0;
+  double global_atomics = 0.0;
+  /// Serialization multiplier for atomics (conflicting updates replay).
+  double atomic_conflict_factor = 1.0;
+  double smem_bytes = 0.0;
+  double flops = 0.0;
+  /// Fraction of peak thread occupancy the kernel sustains (register
+  /// pressure / insufficient parallelism lower it).
+  double occupancy = 1.0;
+  std::int64_t num_blocks = 0;
+  int threads_per_block = 0;
+
+  void add_load_bytes(double bytes) {
+    global_load_transactions += bytes / DeviceSpec::kSectorBytes;
+  }
+  void add_store_bytes(double bytes) {
+    global_store_transactions += bytes / DeviceSpec::kSectorBytes;
+  }
+};
+
+struct CostBreakdown {
+  double mem_s = 0.0;
+  double compute_s = 0.0;
+  double atomic_s = 0.0;
+  double smem_s = 0.0;
+  double launch_s = 0.0;
+  double total_s = 0.0;
+};
+
+/// Roofline-style conversion: the kernel runs at the slowest of its memory,
+/// compute, atomic and shared-memory rates, divided by occupancy, plus a
+/// fixed launch overhead; grids too small to fill the device lose
+/// parallelism proportionally.
+CostBreakdown estimate_time(const KernelStats& stats, const DeviceSpec& spec);
+
+/// Cost of a dense tensor op (used by the end-to-end GPU simulation for
+/// matmuls/activations): max of compute and memory rooflines + launch.
+double dense_op_seconds(double flops, double bytes, const DeviceSpec& spec);
+
+}  // namespace featgraph::gpusim

@@ -1,0 +1,67 @@
+#include "gpusim/sddmm_gpu.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace featgraph::gpusim {
+
+namespace {
+
+constexpr double kGeneratedKernelOccupancy = 0.91;
+
+}  // namespace
+
+double serial_dot_occupancy(std::int64_t reduce_len) {
+  // One thread accumulating a length-L dot needs ~L/8 extra registers for
+  // unrolled loads; beyond L ~ 128 the register file limits resident warps.
+  // Floor of 0.45: the kernel still runs, just with fewer warps in flight.
+  if (reduce_len <= 0) return 1.0;
+  return std::clamp(128.0 / static_cast<double>(reduce_len), 0.45, 1.0);
+}
+
+GpuKernelResult sddmm_gpu(const graph::Coo& coo, std::string_view edge_op,
+                          const core::GpuSddmmSchedule& sched,
+                          const core::SddmmOperands& operands,
+                          const DeviceSpec& spec) {
+  GpuKernelResult result;
+
+  core::CpuSddmmSchedule cpu;
+  cpu.num_threads = 2;
+  result.out = core::sddmm(coo, edge_op, cpu, operands);
+
+  const auto m = static_cast<double>(coo.num_edges());
+  const std::int64_t d = operands.src_feat->row_size();
+  const std::int64_t n_out = result.out.numel() / std::max<std::int64_t>(
+                                                      1, coo.num_edges());
+
+  KernelStats& s = result.stats;
+  s.num_blocks = sched.num_blocks;
+  s.threads_per_block = sched.threads_per_block;
+
+  // Edge endpoints (two 4 B ids) + output stores.
+  s.add_load_bytes(m * 8.0);
+  s.add_store_bytes(m * static_cast<double>(n_out) * 4.0);
+  // Both endpoint feature rows per edge. Coalesced across threads with tree
+  // reduction; without it the per-thread serial scan still walks sectors in
+  // order (L1 reuse), so traffic is comparable — occupancy is what differs.
+  s.add_load_bytes(m * 2.0 * static_cast<double>(d) * 4.0);
+  s.flops = m * 2.0 * static_cast<double>(d);
+
+  if (sched.tree_reduce) {
+    // log2(warp) shuffle/smem combine steps per edge.
+    s.smem_bytes = m * 4.0 * 5.0;
+    s.occupancy = kGeneratedKernelOccupancy;
+  } else {
+    const std::int64_t reduce_len =
+        edge_op == "multihead_dot" ? operands.src_feat->shape(2)
+        : (edge_op == "dot")       ? d
+                                   : 1;
+    s.occupancy = kGeneratedKernelOccupancy * serial_dot_occupancy(reduce_len);
+  }
+
+  result.cost = estimate_time(s, spec);
+  return result;
+}
+
+}  // namespace featgraph::gpusim

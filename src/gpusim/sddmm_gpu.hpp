@@ -1,0 +1,33 @@
+// FeatGraph's GPU generalized-SDDMM kernels on the gpusim execution model
+// (paper Fig. 7b, Fig. 12).
+//
+// Parallelization strategy: each CUDA block owns a chunk of edges. With
+// tree reduction (the FDS the paper advocates), the threads of a block
+// collectively compute each edge's dot product — loads are coalesced across
+// threads and partial sums combine through shared memory in log2(warp)
+// steps. Without tree reduction the kernel degenerates to one thread per
+// edge computing the whole dot serially; at large feature lengths the
+// per-thread register footprint collapses occupancy, which is exactly why
+// the paper's Fig. 12 gap grows with feature length.
+#pragma once
+
+#include <string_view>
+
+#include "core/schedule.hpp"
+#include "core/sddmm.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/spmm_gpu.hpp"
+
+namespace featgraph::gpusim {
+
+/// Supported edge ops: "dot", "multihead_dot", "u_add_v", "u_mul_v".
+GpuKernelResult sddmm_gpu(const graph::Coo& coo, std::string_view edge_op,
+                          const core::GpuSddmmSchedule& sched,
+                          const core::SddmmOperands& operands,
+                          const DeviceSpec& spec = {});
+
+/// Occupancy of a one-thread-per-edge serial reduction over `reduce_len`
+/// elements (register-pressure model shared with the Gunrock baseline).
+double serial_dot_occupancy(std::int64_t reduce_len);
+
+}  // namespace featgraph::gpusim

@@ -1,0 +1,45 @@
+// FeatGraph's GPU generalized-SpMM kernels on the gpusim execution model
+// (paper Fig. 7a and Sec. III-C-2/3).
+//
+// Parallelization strategy: each CUDA block owns a contiguous chunk of
+// destination rows; the feature axis is bound to the threads of the block
+// (the FDS half of the schedule). Loads of a source row are therefore
+// coalesced across threads, there is no control divergence and no atomics —
+// the properties the paper credits for matching cuSPARSE.
+//
+// Hybrid partitioning (Sec. III-C-3) additionally stages high-out-degree
+// source rows in shared memory: the first edge of a block that touches a
+// high-degree source pays a global load + smem store, subsequent edges in
+// the same block hit shared memory. When the staged set overflows the
+// 96 KB/block budget the sweep splits into column partitions, re-reading
+// the adjacency and merging output tiles per extra partition — the exact
+// read-efficiency vs merge-cost trade-off of the paper.
+#pragma once
+
+#include <string_view>
+
+#include "core/schedule.hpp"
+#include "core/spmm.hpp"
+#include "gpusim/device.hpp"
+
+namespace featgraph::gpusim {
+
+struct GpuKernelResult {
+  tensor::Tensor out;
+  KernelStats stats;
+  CostBreakdown cost;
+
+  double milliseconds() const { return cost.total_s * 1e3; }
+};
+
+/// Supported msg ops: "copy_u" (GCN aggregation), "u_mul_e" (scalar edge
+/// weights), "mlp" (MLP aggregation); reducers: "sum", "max", "min", "mean".
+/// Output is bit-identical to the CPU kernels; `cost` is the simulated V100
+/// time under `sched`.
+GpuKernelResult spmm_gpu(const graph::Csr& adj, std::string_view msg_op,
+                         std::string_view reduce_op,
+                         const core::GpuSpmmSchedule& sched,
+                         const core::SpmmOperands& operands,
+                         const DeviceSpec& spec = {});
+
+}  // namespace featgraph::gpusim

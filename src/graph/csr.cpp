@@ -1,0 +1,102 @@
+#include "graph/csr.hpp"
+
+#include <atomic>
+
+#include "support/check.hpp"
+
+namespace featgraph::graph {
+
+std::uint64_t next_structure_uid() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+namespace {
+
+/// Counting sort of edges by key (either src or dst), preserving COO order
+/// within a row (stable), carrying original edge ids.
+Csr build_csr(vid_t num_rows, vid_t num_cols, const std::vector<vid_t>& keys,
+              const std::vector<vid_t>& values) {
+  const eid_t m = static_cast<eid_t>(keys.size());
+  Csr csr;
+  csr.num_rows = num_rows;
+  csr.num_cols = num_cols;
+  csr.indptr.assign(static_cast<std::size_t>(num_rows) + 1, 0);
+  csr.indices.resize(static_cast<std::size_t>(m));
+  csr.edge_ids.resize(static_cast<std::size_t>(m));
+
+  for (eid_t e = 0; e < m; ++e) {
+    const vid_t r = keys[static_cast<std::size_t>(e)];
+    FG_CHECK_MSG(r >= 0 && r < num_rows, "edge endpoint out of range");
+    ++csr.indptr[static_cast<std::size_t>(r) + 1];
+  }
+  for (vid_t r = 0; r < num_rows; ++r)
+    csr.indptr[static_cast<std::size_t>(r) + 1] +=
+        csr.indptr[static_cast<std::size_t>(r)];
+
+  std::vector<std::int64_t> cursor(csr.indptr.begin(), csr.indptr.end() - 1);
+  for (eid_t e = 0; e < m; ++e) {
+    const vid_t r = keys[static_cast<std::size_t>(e)];
+    const vid_t c = values[static_cast<std::size_t>(e)];
+    FG_CHECK_MSG(c >= 0 && c < num_cols, "edge endpoint out of range");
+    const std::int64_t slot = cursor[static_cast<std::size_t>(r)]++;
+    csr.indices[static_cast<std::size_t>(slot)] = c;
+    csr.edge_ids[static_cast<std::size_t>(slot)] = e;
+  }
+  return csr;
+}
+
+}  // namespace
+
+Csr coo_to_in_csr(const Coo& coo) {
+  return build_csr(coo.num_dst, coo.num_src, coo.dst, coo.src);
+}
+
+Csr coo_to_out_csr(const Coo& coo) {
+  return build_csr(coo.num_src, coo.num_dst, coo.src, coo.dst);
+}
+
+Csr transpose(const Csr& csr) {
+  const eid_t m = csr.nnz();
+  Csr out;
+  out.num_rows = csr.num_cols;
+  out.num_cols = csr.num_rows;
+  out.indptr.assign(static_cast<std::size_t>(csr.num_cols) + 1, 0);
+  out.indices.resize(static_cast<std::size_t>(m));
+  out.edge_ids.resize(static_cast<std::size_t>(m));
+
+  for (eid_t i = 0; i < m; ++i)
+    ++out.indptr[static_cast<std::size_t>(csr.indices[static_cast<std::size_t>(i)]) + 1];
+  for (vid_t r = 0; r < out.num_rows; ++r)
+    out.indptr[static_cast<std::size_t>(r) + 1] +=
+        out.indptr[static_cast<std::size_t>(r)];
+
+  std::vector<std::int64_t> cursor(out.indptr.begin(), out.indptr.end() - 1);
+  for (vid_t row = 0; row < csr.num_rows; ++row) {
+    for (std::int64_t i = csr.indptr[static_cast<std::size_t>(row)];
+         i < csr.indptr[static_cast<std::size_t>(row) + 1]; ++i) {
+      const vid_t col = csr.indices[static_cast<std::size_t>(i)];
+      const std::int64_t slot = cursor[static_cast<std::size_t>(col)]++;
+      out.indices[static_cast<std::size_t>(slot)] = row;
+      out.edge_ids[static_cast<std::size_t>(slot)] =
+          csr.edge_ids[static_cast<std::size_t>(i)];
+    }
+  }
+  return out;
+}
+
+std::vector<std::int64_t> column_counts(const Csr& csr) {
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(csr.num_cols), 0);
+  for (vid_t c : csr.indices) ++counts[static_cast<std::size_t>(c)];
+  return counts;
+}
+
+Graph::Graph(Coo coo)
+    : coo_(std::move(coo)),
+      in_csr_(coo_to_in_csr(coo_)),
+      out_csr_(coo_to_out_csr(coo_)) {
+  FG_CHECK_MSG(coo_.num_src == coo_.num_dst,
+               "GNN graphs are square: num_src must equal num_dst");
+}
+
+}  // namespace featgraph::graph

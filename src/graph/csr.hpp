@@ -1,0 +1,90 @@
+// Sparse graph representations.
+//
+// A GNN graph is an adjacency matrix A (paper Sec. II-A): row v of A holds
+// the in-neighbors of destination v. Generalized SpMM iterates rows of the
+// destination-major CSR ("in-CSR"); generalized SDDMM iterates edges.
+// `edge_ids` keeps the original COO edge index for every CSR entry so edge
+// feature tensors (indexed by edge id) stay valid under any reordering.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace featgraph::graph {
+
+using vid_t = std::int32_t;  // vertex id
+using eid_t = std::int64_t;  // edge id / nnz index
+
+/// Process-unique id stamped on every graph structure at construction.
+/// Caches (partitionings, Hilbert orders, tuned schedules) key on this id:
+/// unlike an address, a uid is never reused after the structure dies, so a
+/// new graph allocated at a recycled address cannot alias a stale cache
+/// entry. Copies share the uid (identical content, shared cache entries);
+/// structures are treated as immutable once built.
+std::uint64_t next_structure_uid();
+
+/// Edge list: edge e points src[e] -> dst[e].
+struct Coo {
+  vid_t num_src = 0;
+  vid_t num_dst = 0;
+  std::vector<vid_t> src;
+  std::vector<vid_t> dst;
+  std::uint64_t uid = next_structure_uid();
+
+  eid_t num_edges() const { return static_cast<eid_t>(src.size()); }
+};
+
+/// Compressed sparse rows with per-entry original edge ids.
+struct Csr {
+  vid_t num_rows = 0;
+  vid_t num_cols = 0;
+  std::vector<std::int64_t> indptr;  // size num_rows + 1
+  std::vector<vid_t> indices;        // size nnz
+  std::vector<eid_t> edge_ids;       // size nnz, original COO edge index
+  std::uint64_t uid = next_structure_uid();
+
+  eid_t nnz() const { return static_cast<eid_t>(indices.size()); }
+  std::int64_t degree(vid_t row) const {
+    return indptr[static_cast<std::size_t>(row) + 1] -
+           indptr[static_cast<std::size_t>(row)];
+  }
+};
+
+/// Destination-major CSR: row = dst, column = src ("pull" direction, the
+/// layout of the adjacency matrix A in Equation (3)).
+Csr coo_to_in_csr(const Coo& coo);
+
+/// Source-major CSR: row = src, column = dst ("push" direction). Used for
+/// gradient kernels: grad of SpMM w.r.t. X runs over the reversed graph.
+Csr coo_to_out_csr(const Coo& coo);
+
+/// Swaps rows and columns (in-CSR <-> out-CSR of the same COO).
+Csr transpose(const Csr& csr);
+
+/// Per-column reference counts (= out-degree of each source in an in-CSR).
+std::vector<std::int64_t> column_counts(const Csr& csr);
+
+/// Bundles the COO with both CSR orientations, built once.
+class Graph {
+ public:
+  explicit Graph(Coo coo);
+
+  vid_t num_vertices() const { return coo_.num_src; }
+  eid_t num_edges() const { return coo_.num_edges(); }
+  double average_degree() const {
+    return num_vertices() == 0
+               ? 0.0
+               : static_cast<double>(num_edges()) / num_vertices();
+  }
+
+  const Coo& coo() const { return coo_; }
+  const Csr& in_csr() const { return in_csr_; }
+  const Csr& out_csr() const { return out_csr_; }
+
+ private:
+  Coo coo_;
+  Csr in_csr_;
+  Csr out_csr_;
+};
+
+}  // namespace featgraph::graph

@@ -1,0 +1,63 @@
+#include "graph/datasets.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "support/check.hpp"
+
+namespace featgraph::graph {
+
+namespace {
+
+vid_t scaled(double base, double scale) {
+  return static_cast<vid_t>(std::max(64.0, std::round(base * scale)));
+}
+
+}  // namespace
+
+double degree_scale_for(double scale) {
+  return std::clamp(4.0 * scale, 0.02, 1.0);
+}
+
+Dataset make_proteins_like(double scale) {
+  const double ds = degree_scale_for(scale);
+  Coo coo = gen_lognormal(scaled(132500, scale), 597.0 * ds,
+                          /*sigma=*/1.1, /*seed=*/11);
+  return Dataset{"ogbn-proteins", Graph(std::move(coo))};
+}
+
+Dataset make_reddit_like(double scale) {
+  const double ds = degree_scale_for(scale);
+  Coo coo = gen_community(scaled(233000, scale), 493.0 * ds,
+                          /*num_communities=*/50, /*p_in=*/0.7, /*seed=*/22);
+  return Dataset{"reddit", Graph(std::move(coo))};
+}
+
+Dataset make_rand_100k(double scale) {
+  const double ds = degree_scale_for(scale);
+  const vid_t n_high = scaled(20000, scale);
+  const vid_t n_low = scaled(80000, scale);
+  const auto deg_high = static_cast<std::int64_t>(std::max(8.0, 2000.0 * ds));
+  const auto deg_low = static_cast<std::int64_t>(std::max(1.0, 100.0 * ds));
+  Coo coo = gen_two_class(n_high, deg_high, n_low, deg_low, /*seed=*/33);
+  return Dataset{"rand-100K", Graph(std::move(coo))};
+}
+
+std::vector<Dataset> standard_datasets(double scale) {
+  std::vector<Dataset> ds;
+  ds.push_back(make_proteins_like(scale));
+  ds.push_back(make_reddit_like(scale));
+  ds.push_back(make_rand_100k(scale));
+  return ds;
+}
+
+Dataset make_uniform_density(double scale, double density) {
+  FG_CHECK(density > 0.0 && density <= 1.0);
+  const vid_t n = scaled(100000, scale);
+  const double avg_degree = density * static_cast<double>(n);
+  Coo coo = gen_uniform(n, avg_degree, /*seed=*/44);
+  return Dataset{"uniform", Graph(std::move(coo))};
+}
+
+}  // namespace featgraph::graph

@@ -1,0 +1,41 @@
+// Named evaluation datasets (paper Table II), regenerated synthetically at a
+// configurable scale.
+//
+//   dataset        |V|      |E|     avg degree   shape
+//   ogbn-proteins  132.5K   79.1M   597          skewed (lognormal-like)
+//   reddit         233.0K   114.8M  493          community structure + skew
+//   rand-100K      100.0K   48.0M   480          20K deg-2000 + 80K deg-100
+//
+// `scale` multiplies vertex counts; average degree is scaled by
+// min(1, 4*scale) so scaled-down graphs keep substantial reuse per source
+// (the property the CPU cache optimizations exploit) without the quadratic
+// edge blow-up of full-degree graphs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace featgraph::graph {
+
+struct Dataset {
+  std::string name;
+  Graph graph;
+};
+
+/// Degree multiplier applied alongside a vertex-count scale factor.
+double degree_scale_for(double scale);
+
+Dataset make_proteins_like(double scale);
+Dataset make_reddit_like(double scale);
+Dataset make_rand_100k(double scale);
+
+/// The paper's standard trio, in Table II order.
+std::vector<Dataset> standard_datasets(double scale);
+
+/// Table V's uniform graph: 100K * scale vertices at the given density
+/// (fraction of nonzeros in the adjacency matrix; sparsity = 1 - density).
+Dataset make_uniform_density(double scale, double density);
+
+}  // namespace featgraph::graph

@@ -1,0 +1,110 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace featgraph::graph {
+
+namespace {
+
+Coo from_out_degrees(const std::vector<std::int64_t>& out_degree, vid_t n,
+                     support::Rng& rng) {
+  Coo coo;
+  coo.num_src = n;
+  coo.num_dst = n;
+  std::int64_t m = 0;
+  for (std::int64_t d : out_degree) m += d;
+  coo.src.reserve(static_cast<std::size_t>(m));
+  coo.dst.reserve(static_cast<std::size_t>(m));
+  for (vid_t u = 0; u < n; ++u) {
+    for (std::int64_t k = 0; k < out_degree[static_cast<std::size_t>(u)]; ++k) {
+      coo.src.push_back(u);
+      coo.dst.push_back(static_cast<vid_t>(rng.uniform(static_cast<std::uint64_t>(n))));
+    }
+  }
+  return coo;
+}
+
+}  // namespace
+
+Coo gen_uniform(vid_t n, double avg_degree, std::uint64_t seed) {
+  FG_CHECK(n > 0 && avg_degree >= 0.0);
+  support::Rng rng(seed);
+  const eid_t m = static_cast<eid_t>(static_cast<double>(n) * avg_degree);
+  Coo coo;
+  coo.num_src = n;
+  coo.num_dst = n;
+  coo.src.resize(static_cast<std::size_t>(m));
+  coo.dst.resize(static_cast<std::size_t>(m));
+  for (eid_t e = 0; e < m; ++e) {
+    coo.src[static_cast<std::size_t>(e)] =
+        static_cast<vid_t>(rng.uniform(static_cast<std::uint64_t>(n)));
+    coo.dst[static_cast<std::size_t>(e)] =
+        static_cast<vid_t>(rng.uniform(static_cast<std::uint64_t>(n)));
+  }
+  return coo;
+}
+
+Coo gen_two_class(vid_t n_high, std::int64_t deg_high, vid_t n_low,
+                  std::int64_t deg_low, std::uint64_t seed) {
+  FG_CHECK(n_high >= 0 && n_low >= 0 && n_high + n_low > 0);
+  support::Rng rng(seed);
+  const vid_t n = n_high + n_low;
+  std::vector<std::int64_t> out_degree(static_cast<std::size_t>(n));
+  // High-degree vertices come first; gpusim's hybrid partitioning re-derives
+  // the split from actual degrees, not from this ordering.
+  for (vid_t u = 0; u < n_high; ++u)
+    out_degree[static_cast<std::size_t>(u)] = deg_high;
+  for (vid_t u = n_high; u < n; ++u)
+    out_degree[static_cast<std::size_t>(u)] = deg_low;
+  return from_out_degrees(out_degree, n, rng);
+}
+
+Coo gen_lognormal(vid_t n, double avg_degree, double sigma,
+                  std::uint64_t seed) {
+  FG_CHECK(n > 0 && avg_degree > 0.0 && sigma >= 0.0);
+  support::Rng rng(seed);
+  // E[lognormal(mu, sigma)] = exp(mu + sigma^2/2); pick mu for the target
+  // average, then round per-vertex draws.
+  const double mu = std::log(avg_degree) - 0.5 * sigma * sigma;
+  std::vector<std::int64_t> out_degree(static_cast<std::size_t>(n));
+  for (vid_t u = 0; u < n; ++u) {
+    const double d = rng.lognormal(mu, sigma);
+    out_degree[static_cast<std::size_t>(u)] =
+        static_cast<std::int64_t>(std::llround(std::max(1.0, d)));
+  }
+  return from_out_degrees(out_degree, n, rng);
+}
+
+Coo gen_community(vid_t n, double avg_degree, int num_communities, double p_in,
+                  std::uint64_t seed) {
+  FG_CHECK(n > 0 && num_communities > 0 && p_in >= 0.0 && p_in <= 1.0);
+  support::Rng rng(seed);
+  const vid_t comm_size =
+      static_cast<vid_t>((n + num_communities - 1) / num_communities);
+  const eid_t m = static_cast<eid_t>(static_cast<double>(n) * avg_degree);
+  Coo coo;
+  coo.num_src = n;
+  coo.num_dst = n;
+  coo.src.resize(static_cast<std::size_t>(m));
+  coo.dst.resize(static_cast<std::size_t>(m));
+  for (eid_t e = 0; e < m; ++e) {
+    const vid_t u = static_cast<vid_t>(rng.uniform(static_cast<std::uint64_t>(n)));
+    vid_t v;
+    if (rng.uniform_real() < p_in) {
+      const vid_t base = (u / comm_size) * comm_size;
+      const vid_t span = std::min<vid_t>(comm_size, n - base);
+      v = base + static_cast<vid_t>(rng.uniform(static_cast<std::uint64_t>(span)));
+    } else {
+      v = static_cast<vid_t>(rng.uniform(static_cast<std::uint64_t>(n)));
+    }
+    coo.src[static_cast<std::size_t>(e)] = u;
+    coo.dst[static_cast<std::size_t>(e)] = v;
+  }
+  return coo;
+}
+
+}  // namespace featgraph::graph

@@ -1,0 +1,41 @@
+// Deterministic synthetic graph generators.
+//
+// The paper evaluates on ogbn-proteins (132.5K vertices, avg degree 597),
+// reddit (233K, avg 493) and a synthetic rand-100K (20K vertices of degree
+// 2000 + 80K of degree 100, built to study hybrid partitioning), plus
+// uniform graphs of controlled sparsity for Table V. We regenerate all of
+// them synthetically (see DESIGN.md §1): what the kernels are sensitive to
+// is size, degree distribution/skew, and locality structure, which these
+// generators control explicitly.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr.hpp"
+
+namespace featgraph::graph {
+
+/// Erdos-Renyi-style multigraph: `n * avg_degree` edges with independently
+/// uniform endpoints. Matches Table V's "synthetic uniform graph".
+Coo gen_uniform(vid_t n, double avg_degree, std::uint64_t seed);
+
+/// rand-100K family: `n_high` sources of out-degree `deg_high` plus `n_low`
+/// sources of out-degree `deg_low`; destinations uniform. High-degree
+/// sources are re-read thousands of times during aggregation, which is what
+/// hybrid partitioning (Sec. III-C-3) exploits.
+Coo gen_two_class(vid_t n_high, std::int64_t deg_high, vid_t n_low,
+                  std::int64_t deg_low, std::uint64_t seed);
+
+/// proteins-like: lognormal out-degrees (sigma controls skew) normalized to
+/// the requested average degree; destinations uniform.
+Coo gen_lognormal(vid_t n, double avg_degree, double sigma,
+                  std::uint64_t seed);
+
+/// reddit-like: vertices split into `num_communities` equal blocks;
+/// each edge stays inside its source's community with probability `p_in`.
+/// Community structure produces the source-locality that 1D partitioning +
+/// feature tiling exploit on CPU.
+Coo gen_community(vid_t n, double avg_degree, int num_communities,
+                  double p_in, std::uint64_t seed);
+
+}  // namespace featgraph::graph

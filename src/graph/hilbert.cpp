@@ -1,0 +1,65 @@
+#include "graph/hilbert.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace featgraph::graph {
+
+std::uint64_t hilbert_index(int order, std::uint32_t x, std::uint32_t y) {
+  FG_CHECK(order > 0 && order <= 32);
+  std::uint64_t rx, ry, d = 0;
+  for (std::uint64_t s = std::uint64_t{1} << (order - 1); s > 0; s >>= 1) {
+    rx = (x & s) > 0 ? 1 : 0;
+    ry = (y & s) > 0 ? 1 : 0;
+    d += s * s * ((3 * rx) ^ ry);
+    // Rotate the quadrant.
+    if (ry == 0) {
+      if (rx == 1) {
+        x = static_cast<std::uint32_t>(s - 1 - x);
+        y = static_cast<std::uint32_t>(s - 1 - y);
+      }
+      std::swap(x, y);
+    }
+  }
+  return d;
+}
+
+std::vector<eid_t> hilbert_edge_order(const Coo& coo) {
+  const eid_t m = coo.num_edges();
+  int order = 1;
+  const std::uint32_t n =
+      static_cast<std::uint32_t>(std::max(coo.num_src, coo.num_dst));
+  while ((std::uint32_t{1} << order) < n) ++order;
+
+  std::vector<std::pair<std::uint64_t, eid_t>> keyed(
+      static_cast<std::size_t>(m));
+  for (eid_t e = 0; e < m; ++e) {
+    keyed[static_cast<std::size_t>(e)] = {
+        hilbert_index(order,
+                      static_cast<std::uint32_t>(coo.src[static_cast<std::size_t>(e)]),
+                      static_cast<std::uint32_t>(coo.dst[static_cast<std::size_t>(e)])),
+        e};
+  }
+  std::sort(keyed.begin(), keyed.end());
+  std::vector<eid_t> perm(static_cast<std::size_t>(m));
+  for (eid_t i = 0; i < m; ++i)
+    perm[static_cast<std::size_t>(i)] = keyed[static_cast<std::size_t>(i)].second;
+  return perm;
+}
+
+double edge_order_jump_distance(const Coo& coo,
+                                const std::vector<eid_t>& order) {
+  if (order.size() < 2) return 0.0;
+  double total = 0.0;
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    const auto a = static_cast<std::size_t>(order[i - 1]);
+    const auto b = static_cast<std::size_t>(order[i]);
+    total += std::abs(static_cast<double>(coo.src[a]) - coo.src[b]) +
+             std::abs(static_cast<double>(coo.dst[a]) - coo.dst[b]);
+  }
+  return total / static_cast<double>(order.size() - 1);
+}
+
+}  // namespace featgraph::graph

@@ -1,0 +1,85 @@
+#include "graph/io.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "support/check.hpp"
+
+namespace featgraph::graph {
+
+namespace {
+
+constexpr char kMagic[4] = {'F', 'G', 'C', '1'};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+void write_exact(std::FILE* f, const void* data, std::size_t bytes) {
+  FG_CHECK_MSG(std::fwrite(data, 1, bytes, f) == bytes, "short write");
+}
+
+void read_exact(std::FILE* f, void* data, std::size_t bytes) {
+  FG_CHECK_MSG(std::fread(data, 1, bytes, f) == bytes, "short read");
+}
+
+}  // namespace
+
+void save_coo(const Coo& coo, const std::string& path) {
+  File f(std::fopen(path.c_str(), "wb"));
+  FG_CHECK_MSG(f != nullptr, "cannot open graph file for writing");
+  write_exact(f.get(), kMagic, sizeof(kMagic));
+  write_exact(f.get(), &coo.num_src, sizeof(coo.num_src));
+  write_exact(f.get(), &coo.num_dst, sizeof(coo.num_dst));
+  const eid_t m = coo.num_edges();
+  write_exact(f.get(), &m, sizeof(m));
+  if (m > 0) {
+    write_exact(f.get(), coo.src.data(), sizeof(vid_t) * static_cast<std::size_t>(m));
+    write_exact(f.get(), coo.dst.data(), sizeof(vid_t) * static_cast<std::size_t>(m));
+  }
+}
+
+Coo load_coo(const std::string& path) {
+  File f(std::fopen(path.c_str(), "rb"));
+  FG_CHECK_MSG(f != nullptr, "cannot open graph file for reading");
+  char magic[4];
+  read_exact(f.get(), magic, sizeof(magic));
+  FG_CHECK_MSG(std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
+               "not a FeatGraph graph file (bad magic)");
+  Coo coo;
+  read_exact(f.get(), &coo.num_src, sizeof(coo.num_src));
+  read_exact(f.get(), &coo.num_dst, sizeof(coo.num_dst));
+  FG_CHECK_MSG(coo.num_src >= 0 && coo.num_dst >= 0, "corrupt header");
+  eid_t m = 0;
+  read_exact(f.get(), &m, sizeof(m));
+  FG_CHECK_MSG(m >= 0, "corrupt edge count");
+  coo.src.resize(static_cast<std::size_t>(m));
+  coo.dst.resize(static_cast<std::size_t>(m));
+  if (m > 0) {
+    read_exact(f.get(), coo.src.data(), sizeof(vid_t) * static_cast<std::size_t>(m));
+    read_exact(f.get(), coo.dst.data(), sizeof(vid_t) * static_cast<std::size_t>(m));
+  }
+  for (eid_t e = 0; e < m; ++e) {
+    FG_CHECK_MSG(coo.src[static_cast<std::size_t>(e)] >= 0 &&
+                     coo.src[static_cast<std::size_t>(e)] < coo.num_src &&
+                     coo.dst[static_cast<std::size_t>(e)] >= 0 &&
+                     coo.dst[static_cast<std::size_t>(e)] < coo.num_dst,
+                 "edge endpoint out of range in graph file");
+  }
+  return coo;
+}
+
+bool is_featgraph_file(const std::string& path) {
+  File f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) return false;
+  char magic[4];
+  if (std::fread(magic, 1, sizeof(magic), f.get()) != sizeof(magic))
+    return false;
+  return std::memcmp(magic, kMagic, sizeof(kMagic)) == 0;
+}
+
+}  // namespace featgraph::graph

@@ -1,0 +1,24 @@
+// Binary graph serialization: regenerate-once, load-many for the benchmark
+// harness, and a stable on-disk interchange format for downstream users.
+//
+// Format (little-endian):
+//   magic "FGC1" | num_src i32 | num_dst i32 | num_edges i64
+//   | src vid_t[num_edges] | dst vid_t[num_edges]
+#pragma once
+
+#include <string>
+
+#include "graph/csr.hpp"
+
+namespace featgraph::graph {
+
+/// Writes the edge list to `path`; aborts via FG_CHECK on I/O failure.
+void save_coo(const Coo& coo, const std::string& path);
+
+/// Reads an edge list written by save_coo. Validates the magic/bounds.
+Coo load_coo(const std::string& path);
+
+/// True when `path` exists and carries the FGC1 magic.
+bool is_featgraph_file(const std::string& path);
+
+}  // namespace featgraph::graph

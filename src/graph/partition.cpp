@@ -1,0 +1,92 @@
+#include "graph/partition.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace featgraph::graph {
+
+SrcPartitionedCsr partition_by_source(const Csr& in_csr, int num_parts) {
+  FG_CHECK(num_parts >= 1);
+  SrcPartitionedCsr out;
+  out.num_rows = in_csr.num_rows;
+  out.num_cols = in_csr.num_cols;
+  out.parts.resize(static_cast<std::size_t>(num_parts));
+
+  // nnz-balanced column boundaries from the per-column reference counts.
+  const std::vector<std::int64_t> col_nnz = column_counts(in_csr);
+  std::vector<std::int64_t> prefix(col_nnz.size() + 1, 0);
+  for (std::size_t c = 0; c < col_nnz.size(); ++c)
+    prefix[c + 1] = prefix[c] + col_nnz[c];
+  const std::int64_t total = prefix.back();
+
+  std::vector<vid_t> boundary(static_cast<std::size_t>(num_parts) + 1, 0);
+  boundary[static_cast<std::size_t>(num_parts)] = in_csr.num_cols;
+  for (int p = 1; p < num_parts; ++p) {
+    const std::int64_t target = total * p / num_parts;
+    const auto it = std::lower_bound(prefix.begin(), prefix.end(), target);
+    boundary[static_cast<std::size_t>(p)] =
+        static_cast<vid_t>(it - prefix.begin());
+  }
+  // Boundaries must be non-decreasing (lower_bound already guarantees this
+  // on a non-decreasing prefix array) and clamped to the column count.
+  for (int p = 0; p <= num_parts; ++p)
+    boundary[static_cast<std::size_t>(p)] = std::min(
+        boundary[static_cast<std::size_t>(p)], in_csr.num_cols);
+
+  // Map each column to its partition id (columns are contiguous per part).
+  std::vector<std::int32_t> part_of_col(static_cast<std::size_t>(in_csr.num_cols));
+  for (int p = 0; p < num_parts; ++p)
+    for (vid_t c = boundary[static_cast<std::size_t>(p)];
+         c < boundary[static_cast<std::size_t>(p) + 1]; ++c)
+      part_of_col[static_cast<std::size_t>(c)] = p;
+
+  // Pass 1: per-part per-row entry counts.
+  for (int p = 0; p < num_parts; ++p) {
+    auto& seg = out.parts[static_cast<std::size_t>(p)];
+    seg.col_begin = boundary[static_cast<std::size_t>(p)];
+    seg.col_end = boundary[static_cast<std::size_t>(p) + 1];
+    seg.indptr.assign(static_cast<std::size_t>(in_csr.num_rows) + 1, 0);
+  }
+  for (vid_t row = 0; row < in_csr.num_rows; ++row) {
+    for (std::int64_t i = in_csr.indptr[static_cast<std::size_t>(row)];
+         i < in_csr.indptr[static_cast<std::size_t>(row) + 1]; ++i) {
+      const int p = part_of_col[static_cast<std::size_t>(
+          in_csr.indices[static_cast<std::size_t>(i)])];
+      ++out.parts[static_cast<std::size_t>(p)]
+            .indptr[static_cast<std::size_t>(row) + 1];
+    }
+  }
+  for (auto& seg : out.parts) {
+    for (vid_t r = 0; r < in_csr.num_rows; ++r)
+      seg.indptr[static_cast<std::size_t>(r) + 1] +=
+          seg.indptr[static_cast<std::size_t>(r)];
+    seg.indices.resize(static_cast<std::size_t>(seg.indptr.back()));
+    seg.edge_ids.resize(static_cast<std::size_t>(seg.indptr.back()));
+  }
+
+  // Pass 2: scatter entries, preserving within-row order.
+  std::vector<std::vector<std::int64_t>> cursor(
+      static_cast<std::size_t>(num_parts));
+  for (int p = 0; p < num_parts; ++p) {
+    const auto& seg = out.parts[static_cast<std::size_t>(p)];
+    cursor[static_cast<std::size_t>(p)].assign(seg.indptr.begin(),
+                                               seg.indptr.end() - 1);
+  }
+  for (vid_t row = 0; row < in_csr.num_rows; ++row) {
+    for (std::int64_t i = in_csr.indptr[static_cast<std::size_t>(row)];
+         i < in_csr.indptr[static_cast<std::size_t>(row) + 1]; ++i) {
+      const vid_t col = in_csr.indices[static_cast<std::size_t>(i)];
+      const int p = part_of_col[static_cast<std::size_t>(col)];
+      auto& seg = out.parts[static_cast<std::size_t>(p)];
+      const std::int64_t slot = cursor[static_cast<std::size_t>(p)]
+                                      [static_cast<std::size_t>(row)]++;
+      seg.indices[static_cast<std::size_t>(slot)] = col;
+      seg.edge_ids[static_cast<std::size_t>(slot)] =
+          in_csr.edge_ids[static_cast<std::size_t>(i)];
+    }
+  }
+  return out;
+}
+
+}  // namespace featgraph::graph

@@ -1,0 +1,41 @@
+// 1D graph partitioning (paper Sec. III-C-1, Fig. 6).
+//
+// Partitions the SOURCE vertices (columns of the destination-major adjacency
+// CSR) into contiguous, nnz-balanced segments. During SpMM the segments are
+// processed one after another, so at any instant only one segment's source
+// feature rows are streamed through the cache; combined with feature
+// dimension tiling this is the paper's central CPU optimization.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace featgraph::graph {
+
+/// The slice of an in-CSR restricted to source (column) range
+/// [col_begin, col_end). Row structure is preserved: segment row v lists the
+/// in-neighbors of v that fall inside the column range.
+struct CsrSegment {
+  vid_t col_begin = 0;
+  vid_t col_end = 0;
+  std::vector<std::int64_t> indptr;  // size num_rows + 1
+  std::vector<vid_t> indices;
+  std::vector<eid_t> edge_ids;
+
+  eid_t nnz() const { return static_cast<eid_t>(indices.size()); }
+};
+
+struct SrcPartitionedCsr {
+  vid_t num_rows = 0;
+  vid_t num_cols = 0;
+  std::vector<CsrSegment> parts;
+};
+
+/// Splits the columns of `in_csr` into `num_parts` contiguous segments whose
+/// boundaries balance nnz (so skewed graphs don't put all edges in one
+/// segment). Edge order within a row is preserved across the concatenation
+/// of segments.
+SrcPartitionedCsr partition_by_source(const Csr& in_csr, int num_parts);
+
+}  // namespace featgraph::graph

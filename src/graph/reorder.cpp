@@ -1,0 +1,37 @@
+#include "graph/reorder.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace featgraph::graph {
+
+HybridSplit split_by_degree(const Csr& in_csr, std::int64_t degree_threshold) {
+  HybridSplit split;
+  split.degree_threshold = degree_threshold;
+  split.is_high.assign(static_cast<std::size_t>(in_csr.num_cols), 0);
+  const std::vector<std::int64_t> counts = column_counts(in_csr);
+  for (vid_t c = 0; c < in_csr.num_cols; ++c) {
+    if (counts[static_cast<std::size_t>(c)] >= degree_threshold) {
+      split.is_high[static_cast<std::size_t>(c)] = 1;
+      split.high_vertices.push_back(c);
+      split.high_nnz += counts[static_cast<std::size_t>(c)];
+    }
+  }
+  return split;
+}
+
+std::int64_t degree_threshold_by_quantile(const Csr& in_csr, double quantile) {
+  FG_CHECK(quantile >= 0.0 && quantile <= 1.0);
+  std::vector<std::int64_t> counts = column_counts(in_csr);
+  if (counts.empty()) return 0;
+  std::sort(counts.begin(), counts.end());
+  // floor(q * n) so that exactly the top (1-q) fraction sits at or above the
+  // returned threshold (q = 0.8 over 20/80 split -> the high class).
+  const auto idx = std::min(
+      counts.size() - 1,
+      static_cast<std::size_t>(quantile * static_cast<double>(counts.size())));
+  return counts[idx];
+}
+
+}  // namespace featgraph::graph

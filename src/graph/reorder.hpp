@@ -1,0 +1,30 @@
+// Degree-based hybrid split (paper Sec. III-C-3).
+//
+// On GPU, only HIGH out-degree source vertices earn their place in shared
+// memory: they are re-read once per incident edge, so staging them amortizes.
+// The split reorders/classifies sources by a degree threshold; gpusim's
+// hybrid SpMM kernel stages exactly the high-degree class.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace featgraph::graph {
+
+struct HybridSplit {
+  std::int64_t degree_threshold = 0;
+  std::vector<vid_t> high_vertices;   // sources with out-degree >= threshold
+  std::vector<std::uint8_t> is_high;  // size num_cols, 1 if high-degree
+  eid_t high_nnz = 0;                 // entries referencing high sources
+};
+
+/// Classifies the columns (sources) of an in-CSR by reference count.
+HybridSplit split_by_degree(const Csr& in_csr, std::int64_t degree_threshold);
+
+/// Picks the threshold as `quantile` of the column-count distribution
+/// (e.g. 0.8 marks the top 20% most-referenced sources as high).
+std::int64_t degree_threshold_by_quantile(const Csr& in_csr, double quantile);
+
+}  // namespace featgraph::graph

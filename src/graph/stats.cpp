@@ -1,0 +1,60 @@
+#include "graph/stats.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "graph/reorder.hpp"
+#include "support/check.hpp"
+
+namespace featgraph::graph {
+
+DegreeStats source_degree_stats(const Csr& in_csr) {
+  DegreeStats stats;
+  std::vector<std::int64_t> deg = column_counts(in_csr);
+  if (deg.empty()) return stats;
+  std::sort(deg.begin(), deg.end());
+
+  stats.min = deg.front();
+  stats.max = deg.back();
+  stats.median = deg[deg.size() / 2];
+  stats.p99 = deg[deg.size() * 99 / 100];
+  const double total =
+      static_cast<double>(std::accumulate(deg.begin(), deg.end(),
+                                          std::int64_t{0}));
+  stats.mean = total / static_cast<double>(deg.size());
+
+  // Gini via the sorted-sum identity:
+  //   G = (2 * sum_i i*x_i) / (n * sum_i x_i) - (n + 1) / n, x ascending.
+  if (total > 0) {
+    double weighted = 0.0;
+    for (std::size_t i = 0; i < deg.size(); ++i)
+      weighted += static_cast<double>(i + 1) * static_cast<double>(deg[i]);
+    const double n = static_cast<double>(deg.size());
+    stats.gini = 2.0 * weighted / (n * total) - (n + 1.0) / n;
+  }
+  return stats;
+}
+
+double high_degree_edge_fraction(const Csr& in_csr, double quantile) {
+  if (in_csr.nnz() == 0) return 0.0;
+  const std::int64_t threshold =
+      degree_threshold_by_quantile(in_csr, quantile);
+  const auto split = split_by_degree(in_csr, threshold);
+  return static_cast<double>(split.high_nnz) /
+         static_cast<double>(in_csr.nnz());
+}
+
+std::string describe(const DegreeStats& stats) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "deg min=%lld median=%lld mean=%.1f p99=%lld max=%lld "
+                "gini=%.2f",
+                static_cast<long long>(stats.min),
+                static_cast<long long>(stats.median), stats.mean,
+                static_cast<long long>(stats.p99),
+                static_cast<long long>(stats.max), stats.gini);
+  return buf;
+}
+
+}  // namespace featgraph::graph

@@ -1,0 +1,37 @@
+// Graph statistics: the structural properties FeatGraph's optimizations key
+// on. Degree skew decides whether hybrid partitioning pays (Sec. III-C-3);
+// source reuse (average degree) decides how much partitioning + tiling can
+// save (Table V); locality structure decides Hilbert-order gains.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace featgraph::graph {
+
+struct DegreeStats {
+  std::int64_t min = 0;
+  std::int64_t max = 0;
+  double mean = 0.0;
+  std::int64_t median = 0;
+  std::int64_t p99 = 0;
+  /// Gini coefficient of the degree distribution in [0, 1):
+  /// 0 = perfectly uniform, ->1 = all edges on one vertex.
+  double gini = 0.0;
+};
+
+/// Statistics over the out-degrees of the sources referenced by an in-CSR
+/// (i.e. column reference counts — the reuse distribution).
+DegreeStats source_degree_stats(const Csr& in_csr);
+
+/// Fraction of edges whose source is in the top `quantile` of the degree
+/// distribution — the share of traffic hybrid partitioning can stage.
+double high_degree_edge_fraction(const Csr& in_csr, double quantile);
+
+/// Human-readable one-line summary.
+std::string describe(const DegreeStats& stats);
+
+}  // namespace featgraph::graph

@@ -1,0 +1,63 @@
+#include "minidgl/autograd.hpp"
+
+#include <unordered_set>
+
+#include "support/check.hpp"
+
+namespace featgraph::minidgl {
+
+void Node::accumulate_grad(const tensor::Tensor& g) {
+  FG_CHECK(g.numel() == value_.numel());
+  if (!grad_.defined()) {
+    grad_ = g.clone();
+    return;
+  }
+  float* dst = grad_.data();
+  const float* src = g.data();
+  for (std::int64_t i = 0; i < grad_.numel(); ++i) dst[i] += src[i];
+}
+
+Var make_leaf(tensor::Tensor value, bool requires_grad, std::string name) {
+  return std::make_shared<Node>(std::move(value), requires_grad,
+                                std::move(name));
+}
+
+Var make_op(tensor::Tensor value, std::vector<Var> inputs,
+            std::function<void(Node&)> backward, std::string op) {
+  bool needs_grad = false;
+  for (const auto& in : inputs) needs_grad = needs_grad || in->requires_grad();
+  auto node =
+      std::make_shared<Node>(std::move(value), needs_grad, std::move(op));
+  if (needs_grad) node->set_edges(std::move(inputs), std::move(backward));
+  return node;
+}
+
+namespace {
+
+void topo_visit(const Var& node, std::unordered_set<Node*>& seen,
+                std::vector<Var>& order) {
+  if (!node || !node->requires_grad() || seen.count(node.get())) return;
+  seen.insert(node.get());
+  for (const auto& in : node->inputs()) topo_visit(in, seen, order);
+  order.push_back(node);
+}
+
+}  // namespace
+
+void backward(const Var& root, const tensor::Tensor* seed) {
+  FG_CHECK(root != nullptr);
+  std::unordered_set<Node*> seen;
+  std::vector<Var> order;
+  topo_visit(root, seen, order);
+
+  if (seed != nullptr) {
+    root->accumulate_grad(*seed);
+  } else {
+    root->accumulate_grad(tensor::Tensor::full(root->value().shape(), 1.0f));
+  }
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if ((*it)->has_grad()) (*it)->run_backward();
+  }
+}
+
+}  // namespace featgraph::minidgl

@@ -1,0 +1,76 @@
+// Miniature tape-based autograd over featgraph::tensor::Tensor.
+//
+// Stands in for the deep-learning framework under DGL (paper Sec. IV-B):
+// the GNN layers build a dataflow graph of Variables; backward() walks it in
+// reverse topological order. Gradients of the sparse ops follow the paper's
+// Sec. II-A observation — the gradient of generalized SpMM w.r.t. the
+// adjacency values is an SDDMM and vice versa — so training exercises both
+// templates in both directions.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace featgraph::minidgl {
+
+class Node;
+using Var = std::shared_ptr<Node>;
+
+class Node {
+ public:
+  Node(tensor::Tensor value, bool requires_grad, std::string op)
+      : value_(std::move(value)),
+        requires_grad_(requires_grad),
+        op_(std::move(op)) {}
+
+  const tensor::Tensor& value() const { return value_; }
+  tensor::Tensor& mutable_value() { return value_; }
+  bool requires_grad() const { return requires_grad_; }
+  const std::string& op() const { return op_; }
+
+  /// Gradient w.r.t. this node; zeros-shaped lazily on first accumulation.
+  const tensor::Tensor& grad() const { return grad_; }
+  bool has_grad() const { return grad_.defined(); }
+  void accumulate_grad(const tensor::Tensor& g);
+  void zero_grad() { grad_ = tensor::Tensor(); }
+
+  const std::vector<Var>& inputs() const { return inputs_; }
+
+  /// Wires an op node: `backward` reads this node's grad and accumulates
+  /// into the inputs' grads.
+  void set_edges(std::vector<Var> inputs,
+                 std::function<void(Node&)> backward) {
+    inputs_ = std::move(inputs);
+    backward_ = std::move(backward);
+  }
+
+  void run_backward() {
+    if (backward_) backward_(*this);
+  }
+
+ private:
+  tensor::Tensor value_;
+  tensor::Tensor grad_;
+  bool requires_grad_;
+  std::string op_;
+  std::vector<Var> inputs_;
+  std::function<void(Node&)> backward_;
+};
+
+/// Leaf variable (inputs, parameters).
+Var make_leaf(tensor::Tensor value, bool requires_grad,
+              std::string name = "leaf");
+
+/// Interior op node; requires_grad is inherited from any input.
+Var make_op(tensor::Tensor value, std::vector<Var> inputs,
+            std::function<void(Node&)> backward, std::string op);
+
+/// Reverse-mode sweep from `root` (seed gradient = ones unless provided).
+/// Clears nothing: call zero_grad on parameters between steps.
+void backward(const Var& root, const tensor::Tensor* seed = nullptr);
+
+}  // namespace featgraph::minidgl

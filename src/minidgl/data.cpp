@@ -1,0 +1,63 @@
+#include "minidgl/data.hpp"
+
+#include "graph/generators.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace featgraph::minidgl {
+
+ClassificationData make_sbm_classification(graph::vid_t n, double avg_degree,
+                                           std::int64_t num_classes,
+                                           double p_in, std::int64_t feat_dim,
+                                           float signal, std::uint64_t seed) {
+  FG_CHECK(num_classes >= 2 && feat_dim >= num_classes);
+  // gen_community assigns communities as contiguous blocks; labels follow.
+  graph::Coo coo = graph::gen_community(n, avg_degree,
+                                        static_cast<int>(num_classes), p_in,
+                                        seed);
+  const graph::vid_t comm_size =
+      static_cast<graph::vid_t>((n + num_classes - 1) / num_classes);
+
+  ClassificationData data{graph::Graph(std::move(coo)),
+                          tensor::Tensor::randn({n, feat_dim}, seed + 1),
+                          {}, {}, {}, {}, num_classes};
+  data.labels.resize(static_cast<std::size_t>(n));
+  for (graph::vid_t v = 0; v < n; ++v) {
+    const auto cls = static_cast<std::int32_t>(
+        std::min<std::int64_t>(v / comm_size, num_classes - 1));
+    data.labels[static_cast<std::size_t>(v)] = cls;
+    data.features.at(v, cls) += signal;
+  }
+
+  // 65/10/25 split, deterministic.
+  support::Rng rng(seed + 2);
+  for (graph::vid_t v = 0; v < n; ++v) {
+    const double r = rng.uniform_real();
+    if (r < 0.65) {
+      data.train_rows.push_back(v);
+    } else if (r < 0.75) {
+      data.val_rows.push_back(v);
+    } else {
+      data.test_rows.push_back(v);
+    }
+  }
+  return data;
+}
+
+double accuracy(const tensor::Tensor& log_probs,
+                const std::vector<std::int32_t>& labels,
+                const std::vector<std::int64_t>& rows) {
+  if (rows.empty()) return 0.0;
+  std::int64_t correct = 0;
+  const std::int64_t c = log_probs.row_size();
+  for (std::int64_t v : rows) {
+    const float* lp = log_probs.row(v);
+    std::int64_t best = 0;
+    for (std::int64_t j = 1; j < c; ++j)
+      if (lp[j] > lp[best]) best = j;
+    if (best == labels[static_cast<std::size_t>(v)]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(rows.size());
+}
+
+}  // namespace featgraph::minidgl

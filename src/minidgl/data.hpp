@@ -1,0 +1,42 @@
+// Vertex-classification datasets for the end-to-end experiments (Sec. V-E).
+//
+// The paper trains on reddit (vertex classification, 153K/24K/56K
+// train/val/test split). We regenerate the task synthetically: a stochastic
+// block model whose communities are both the graph structure AND the label,
+// with class-correlated noisy features — so a GNN that aggregates neighbor
+// features genuinely learns, accuracy is meaningful, and the fused-vs-
+// materialized equivalence check has teeth.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "tensor/tensor.hpp"
+
+namespace featgraph::minidgl {
+
+struct ClassificationData {
+  graph::Graph graph;
+  tensor::Tensor features;           // n x feat_dim
+  std::vector<std::int32_t> labels;  // n
+  std::vector<std::int64_t> train_rows;
+  std::vector<std::int64_t> val_rows;
+  std::vector<std::int64_t> test_rows;
+  std::int64_t num_classes = 0;
+};
+
+/// SBM with `num_classes` equal communities; edges stay in-community with
+/// probability `p_in`; features = one-hot(class) * signal + N(0, 1) noise.
+/// Split fractions mirror the paper's reddit split (65% / 10% / 25%).
+ClassificationData make_sbm_classification(graph::vid_t n, double avg_degree,
+                                           std::int64_t num_classes,
+                                           double p_in, std::int64_t feat_dim,
+                                           float signal, std::uint64_t seed);
+
+/// Fraction of rows whose argmax log-probability matches the label.
+double accuracy(const tensor::Tensor& log_probs,
+                const std::vector<std::int32_t>& labels,
+                const std::vector<std::int64_t>& rows);
+
+}  // namespace featgraph::minidgl

@@ -1,0 +1,154 @@
+#include "minidgl/modules.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace featgraph::minidgl {
+
+namespace {
+
+using tensor::Tensor;
+
+/// Glorot-style scaled normal initialization.
+Tensor glorot(std::int64_t in_dim, std::int64_t out_dim, std::uint64_t seed) {
+  const float stddev =
+      std::sqrt(2.0f / static_cast<float>(in_dim + out_dim));
+  return Tensor::randn({in_dim, out_dim}, seed, stddev);
+}
+
+}  // namespace
+
+Linear::Linear(std::int64_t in_dim, std::int64_t out_dim, std::uint64_t seed)
+    : w_(make_leaf(glorot(in_dim, out_dim, seed), true, "weight")),
+      b_(make_leaf(Tensor::zeros({out_dim}), true, "bias")) {}
+
+Var Linear::forward(ExecContext& ctx, const Var& x) const {
+  return add_bias(ctx, matmul(ctx, x, w_), b_);
+}
+
+GcnLayer::GcnLayer(std::int64_t in_dim, std::int64_t out_dim, bool final_layer,
+                   std::uint64_t seed, std::string normalization)
+    : linear_(in_dim, out_dim, seed),
+      final_layer_(final_layer),
+      normalization_(std::move(normalization)) {
+  FG_CHECK_MSG(normalization_ == "mean" || normalization_ == "sym",
+               "gcn normalization must be mean or sym");
+}
+
+Var GcnLayer::forward(ExecContext& ctx, const graph::Graph& g,
+                      const Var& x) const {
+  Var agg;
+  if (normalization_ == "mean") {
+    agg = spmm_copy_u(ctx, g, x, "mean");
+  } else {
+    if (cached_graph_uid_ != g.coo().uid) {
+      cached_norm_ = make_leaf(symmetric_norm_weights(g), false, "gcn_norm");
+      cached_graph_uid_ = g.coo().uid;
+    }
+    agg = spmm_u_mul_e(ctx, g, x, cached_norm_);
+  }
+  Var h = linear_.forward(ctx, agg);
+  return final_layer_ ? h : relu(ctx, h);
+}
+
+SageLayer::SageLayer(std::int64_t in_dim, std::int64_t out_dim,
+                     std::string aggregator, bool final_layer,
+                     std::uint64_t seed)
+    : self_(in_dim, out_dim, seed),
+      neigh_(in_dim, out_dim, seed + 1),
+      aggregator_(std::move(aggregator)),
+      final_layer_(final_layer) {
+  FG_CHECK_MSG(aggregator_ == "mean" || aggregator_ == "max",
+               "sage aggregator must be mean or max");
+}
+
+Var SageLayer::forward(ExecContext& ctx, const graph::Graph& g,
+                       const Var& x) const {
+  Var agg = spmm_copy_u(ctx, g, x, aggregator_);
+  Var h = add(ctx, self_.forward(ctx, x), neigh_.forward(ctx, agg));
+  return final_layer_ ? h : relu(ctx, h);
+}
+
+std::vector<Var> SageLayer::parameters() const {
+  std::vector<Var> params = self_.parameters();
+  for (const auto& p : neigh_.parameters()) params.push_back(p);
+  return params;
+}
+
+GatLayer::GatLayer(std::int64_t in_dim, std::int64_t out_dim, bool final_layer,
+                   std::uint64_t seed, int num_heads)
+    : final_layer_(final_layer) {
+  FG_CHECK(num_heads >= 1);
+  heads_.reserve(static_cast<std::size_t>(num_heads));
+  for (int h = 0; h < num_heads; ++h)
+    heads_.emplace_back(in_dim, out_dim,
+                        seed + static_cast<std::uint64_t>(h) * 97);
+}
+
+std::vector<Var> GatLayer::parameters() const {
+  std::vector<Var> params;
+  for (const auto& head : heads_)
+    for (const auto& p : head.parameters()) params.push_back(p);
+  return params;
+}
+
+Var GatLayer::forward(ExecContext& ctx, const graph::Graph& g,
+                      const Var& x) const {
+  Var sum;
+  for (const auto& head : heads_) {
+    Var z = head.forward(ctx, x);
+    // Scaled dot-product attention logits (Sec. II-A / Fig. 4a) — scaling
+    // by 1/sqrt(d) keeps the softmax in a trainable range.
+    Var logits =
+        scale(ctx, sddmm_dot(ctx, g, z),
+              1.0f / std::sqrt(static_cast<float>(z->value().row_size())));
+    Var alpha = edge_softmax(ctx, g, logits);
+    Var h = spmm_u_mul_e(ctx, g, z, alpha);
+    sum = sum == nullptr ? h : add(ctx, sum, h);
+  }
+  Var h = heads_.size() == 1
+              ? sum
+              : scale(ctx, sum, 1.0f / static_cast<float>(heads_.size()));
+  return final_layer_ ? h : relu(ctx, h);
+}
+
+Model::Model(const std::string& kind, std::int64_t in_dim, std::int64_t hidden,
+             std::int64_t num_classes, std::uint64_t seed)
+    : kind_(kind) {
+  if (kind == "gcn") {
+    gcn1_ = std::make_shared<GcnLayer>(in_dim, hidden, false, seed);
+    gcn2_ = std::make_shared<GcnLayer>(hidden, num_classes, true, seed + 10);
+    for (const auto& p : gcn1_->parameters()) params_.push_back(p);
+    for (const auto& p : gcn2_->parameters()) params_.push_back(p);
+  } else if (kind == "sage-mean" || kind == "sage-max") {
+    const std::string agg = kind == "sage-mean" ? "mean" : "max";
+    sage1_ = std::make_shared<SageLayer>(in_dim, hidden, agg, false, seed);
+    sage2_ =
+        std::make_shared<SageLayer>(hidden, num_classes, agg, true, seed + 10);
+    for (const auto& p : sage1_->parameters()) params_.push_back(p);
+    for (const auto& p : sage2_->parameters()) params_.push_back(p);
+  } else if (kind == "gat") {
+    gat1_ = std::make_shared<GatLayer>(in_dim, hidden, false, seed);
+    gat2_ = std::make_shared<GatLayer>(hidden, num_classes, true, seed + 10);
+    for (const auto& p : gat1_->parameters()) params_.push_back(p);
+    for (const auto& p : gat2_->parameters()) params_.push_back(p);
+  } else {
+    FG_CHECK_MSG(false, "unknown model kind (gcn/sage-mean/sage-max/gat)");
+  }
+}
+
+Var Model::forward(ExecContext& ctx, const graph::Graph& g,
+                   const Var& x) const {
+  Var h;
+  if (gcn1_) {
+    h = gcn2_->forward(ctx, g, gcn1_->forward(ctx, g, x));
+  } else if (sage1_) {
+    h = sage2_->forward(ctx, g, sage1_->forward(ctx, g, x));
+  } else {
+    h = gat2_->forward(ctx, g, gat1_->forward(ctx, g, x));
+  }
+  return log_softmax(ctx, h);
+}
+
+}  // namespace featgraph::minidgl

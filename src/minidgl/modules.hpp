@@ -1,0 +1,108 @@
+// GNN layers and the paper's three evaluation models (Sec. V-E):
+//   * GCN       — 2 layers, hidden 512: mean aggregation then linear+ReLU;
+//                 generalized SpMM forward and backward;
+//   * GraphSage — 2 layers, hidden 256: self + neighbor aggregation
+//                 (mean or max), exercising the flexible-reducer claim;
+//   * GAT       — 2 layers, hidden 256: dot-product attention (Sec. V-E),
+//                 exercising both generalized SpMM and SDDMM per layer.
+//
+// Every layer is backend-agnostic: the ExecContext picks Fused (FeatGraph)
+// vs Materialize (DGL-without-FeatGraph) and CPU vs simulated GPU.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "minidgl/ops.hpp"
+
+namespace featgraph::minidgl {
+
+/// Dense layer: y = x W + b.
+class Linear {
+ public:
+  Linear(std::int64_t in_dim, std::int64_t out_dim, std::uint64_t seed);
+  Var forward(ExecContext& ctx, const Var& x) const;
+  std::vector<Var> parameters() const { return {w_, b_}; }
+
+ private:
+  Var w_;
+  Var b_;
+};
+
+/// GCN layer: h = ReLU?(agg(x) W + b). `normalization` picks the
+/// aggregation: "mean" (row-normalized, a plain generalized SpMM) or "sym"
+/// (Kipf-Welling symmetric normalization D^-1/2 A D^-1/2, expressed as a
+/// u_mul_e SpMM over precomputed edge weights).
+class GcnLayer {
+ public:
+  GcnLayer(std::int64_t in_dim, std::int64_t out_dim, bool final_layer,
+           std::uint64_t seed, std::string normalization = "mean");
+  Var forward(ExecContext& ctx, const graph::Graph& g, const Var& x) const;
+  std::vector<Var> parameters() const { return linear_.parameters(); }
+
+ private:
+  Linear linear_;
+  bool final_layer_;
+  std::string normalization_;
+  // Norm weights depend only on the topology; cached per graph uid.
+  mutable std::uint64_t cached_graph_uid_ = 0;
+  mutable Var cached_norm_;
+};
+
+/// GraphSage layer: h = ReLU?(x W_self + agg(x) W_neigh + b),
+/// agg in {"mean", "max"}.
+class SageLayer {
+ public:
+  SageLayer(std::int64_t in_dim, std::int64_t out_dim, std::string aggregator,
+            bool final_layer, std::uint64_t seed);
+  Var forward(ExecContext& ctx, const graph::Graph& g, const Var& x) const;
+  std::vector<Var> parameters() const;
+
+ private:
+  Linear self_;
+  Linear neigh_;
+  std::string aggregator_;
+  bool final_layer_;
+};
+
+/// GAT layer with (multi-head) dot-product attention. Per head h:
+///   z_h = x W_h;  logit_e = <z_u, z_v> / sqrt(d);  alpha = edge_softmax;
+///   out_h = sum_e alpha_e z_u;  output = ReLU?(mean over heads).
+/// Head averaging (rather than concat) keeps the output width equal to
+/// out_dim for any head count.
+class GatLayer {
+ public:
+  GatLayer(std::int64_t in_dim, std::int64_t out_dim, bool final_layer,
+           std::uint64_t seed, int num_heads = 1);
+  Var forward(ExecContext& ctx, const graph::Graph& g, const Var& x) const;
+  std::vector<Var> parameters() const;
+  int num_heads() const { return static_cast<int>(heads_.size()); }
+
+ private:
+  std::vector<Linear> heads_;
+  bool final_layer_;
+};
+
+/// A 2-layer model of homogeneous layers ending in log-softmax.
+class Model {
+ public:
+  /// kind in {"gcn", "sage-mean", "sage-max", "gat"}.
+  Model(const std::string& kind, std::int64_t in_dim, std::int64_t hidden,
+        std::int64_t num_classes, std::uint64_t seed);
+
+  /// Returns per-vertex log-probabilities (n x num_classes).
+  Var forward(ExecContext& ctx, const graph::Graph& g, const Var& x) const;
+  std::vector<Var> parameters() const { return params_; }
+  const std::string& kind() const { return kind_; }
+
+ private:
+  std::string kind_;
+  std::shared_ptr<GcnLayer> gcn1_, gcn2_;
+  std::shared_ptr<SageLayer> sage1_, sage2_;
+  std::shared_ptr<GatLayer> gat1_, gat2_;
+  std::vector<Var> params_;
+};
+
+}  // namespace featgraph::minidgl

@@ -1,0 +1,605 @@
+#include "minidgl/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/sddmm.hpp"
+#include "core/spmm.hpp"
+#include "core/tuner.hpp"
+#include "gpusim/sddmm_gpu.hpp"
+#include "gpusim/spmm_gpu.hpp"
+#include "parallel/parallel_for.hpp"
+#include "support/check.hpp"
+#include "tensor/ops.hpp"
+
+namespace featgraph::minidgl {
+
+namespace {
+
+using graph::eid_t;
+using graph::vid_t;
+using tensor::Tensor;
+
+void charge_dense(ExecContext& ctx, double flops, double bytes) {
+  if (ctx.device == Device::kGpuSim)
+    ctx.sim_seconds += gpusim::dense_op_seconds(flops, bytes, ctx.gpu);
+}
+
+/// Fused generalized SpMM: native on CPU, functional + simulated cost on
+/// gpusim. `adj` may be the in-CSR (forward) or out-CSR (gradients).
+Tensor run_spmm(ExecContext& ctx, const graph::Csr& adj,
+                std::string_view msg_op, std::string_view reduce_op,
+                const core::SpmmOperands& operands, std::int64_t d_out) {
+  if (ctx.device == Device::kGpuSim) {
+    core::GpuSpmmSchedule sched;
+    sched.num_blocks = std::max<std::int64_t>(1024, adj.num_rows / 4);
+    // 256 threads regardless of feature width: narrow features pack
+    // multiple rows per block, so the grid always fills the device.
+    sched.threads_per_block = 256;
+    auto result = gpusim::spmm_gpu(adj, msg_op, reduce_op, sched, operands,
+                                   ctx.gpu);
+    ctx.sim_seconds += result.cost.total_s;
+    return std::move(result.out);
+  }
+  core::CpuSpmmSchedule sched =
+      core::heuristic_spmm_schedule(adj, d_out, ctx.num_threads);
+  return core::spmm(adj, msg_op, reduce_op, sched, operands);
+}
+
+Tensor run_sddmm_dot(ExecContext& ctx, const graph::Coo& coo, const Tensor& a,
+                     const Tensor& b) {
+  core::SddmmOperands ops{&a, &b};
+  if (ctx.device == Device::kGpuSim) {
+    core::GpuSddmmSchedule sched;  // tree reduction on by default
+    auto result = gpusim::sddmm_gpu(coo, "dot", sched, ops, ctx.gpu);
+    ctx.sim_seconds += result.cost.total_s;
+    return std::move(result.out);
+  }
+  core::CpuSddmmSchedule sched;
+  sched.num_threads = ctx.num_threads;
+  return core::sddmm(coo, "dot", sched, ops);
+}
+
+// --- materialize-backend primitives (the DGL-without-FeatGraph path) -------
+
+/// M[e, :] = x[idx[e], :]. Books the materialized tensor and its traffic.
+Tensor gather_rows(ExecContext& ctx, const Tensor& x,
+                   const std::vector<vid_t>& idx) {
+  const std::int64_t d = x.row_size();
+  const auto m = static_cast<std::int64_t>(idx.size());
+  Tensor out({m, d});
+  parallel::parallel_for_ranges(
+      0, m, ctx.num_threads, [&](std::int64_t e0, std::int64_t e1) {
+        for (std::int64_t e = e0; e < e1; ++e) {
+          const float* src = x.row(idx[static_cast<std::size_t>(e)]);
+          float* dst = out.row(e);
+          for (std::int64_t j = 0; j < d; ++j) dst[j] = src[j];
+        }
+      });
+  const double bytes = static_cast<double>(m) * d * 4.0;
+  ctx.materialized_bytes += bytes;
+  charge_dense(ctx, 0.0, 2.0 * bytes + m * 4.0);
+  return out;
+}
+
+/// out[v, :] = reduce over in-edges e of M[edge_id(e), :]. For max, records
+/// the winning edge id per output element in `arg_eid` when non-null.
+Tensor segment_reduce(ExecContext& ctx, const graph::Csr& in_csr,
+                      const Tensor& msgs, const std::string& reduce,
+                      std::vector<eid_t>* arg_eid) {
+  const std::int64_t d = msgs.row_size();
+  const std::int64_t n = in_csr.num_rows;
+  Tensor out({n, d});
+  if (arg_eid != nullptr) arg_eid->assign(static_cast<std::size_t>(n * d), -1);
+  parallel::parallel_for_ranges(
+      0, n, ctx.num_threads, [&](std::int64_t v0, std::int64_t v1) {
+        for (std::int64_t v = v0; v < v1; ++v) {
+          float* ov = out.row(v);
+          const std::int64_t lo = in_csr.indptr[v], hi = in_csr.indptr[v + 1];
+          if (lo == hi) {
+            for (std::int64_t j = 0; j < d; ++j) ov[j] = 0.0f;
+            continue;
+          }
+          const bool is_max = reduce == "max";
+          for (std::int64_t j = 0; j < d; ++j)
+            ov[j] = is_max ? -std::numeric_limits<float>::infinity() : 0.0f;
+          for (std::int64_t i = lo; i < hi; ++i) {
+            const eid_t e = in_csr.edge_ids[static_cast<std::size_t>(i)];
+            const float* me = msgs.row(e);
+            for (std::int64_t j = 0; j < d; ++j) {
+              if (is_max) {
+                if (me[j] > ov[j]) {
+                  ov[j] = me[j];
+                  if (arg_eid != nullptr)
+                    (*arg_eid)[static_cast<std::size_t>(v * d + j)] = e;
+                }
+              } else {
+                ov[j] += me[j];
+              }
+            }
+          }
+          if (reduce == "mean") {
+            const float inv = 1.0f / static_cast<float>(hi - lo);
+            for (std::int64_t j = 0; j < d; ++j) ov[j] *= inv;
+          }
+        }
+      });
+  charge_dense(ctx, static_cast<double>(in_csr.nnz()) * d,
+               static_cast<double>(in_csr.nnz()) * d * 4.0 +
+                   static_cast<double>(n) * d * 4.0);
+  return out;
+}
+
+/// dx[u, :] = sum over out-edges e of u of dM[edge_id(e), :] — the backward
+/// of gather_rows-by-source, computed race-free over the out-CSR.
+Tensor scatter_rows_by_src(ExecContext& ctx, const graph::Csr& out_csr,
+                           const Tensor& d_msgs) {
+  const std::int64_t d = d_msgs.row_size();
+  Tensor out = Tensor::zeros({out_csr.num_rows, d});
+  parallel::parallel_for_ranges(
+      0, out_csr.num_rows, ctx.num_threads,
+      [&](std::int64_t u0, std::int64_t u1) {
+        for (std::int64_t u = u0; u < u1; ++u) {
+          float* ou = out.row(u);
+          for (std::int64_t i = out_csr.indptr[u]; i < out_csr.indptr[u + 1];
+               ++i) {
+            const float* me =
+                d_msgs.row(out_csr.edge_ids[static_cast<std::size_t>(i)]);
+            for (std::int64_t j = 0; j < d; ++j) ou[j] += me[j];
+          }
+        }
+      });
+  charge_dense(ctx, static_cast<double>(out_csr.nnz()) * d,
+               static_cast<double>(out_csr.nnz()) * d * 4.0 +
+                   static_cast<double>(out_csr.num_rows) * d * 4.0);
+  return out;
+}
+
+/// Scales each row v of `t` (n x d) by s[v].
+Tensor scale_rows(const Tensor& t, const std::vector<float>& s) {
+  Tensor out(t.shape());
+  const std::int64_t d = t.row_size();
+  for (std::int64_t v = 0; v < t.rows(); ++v) {
+    const float* src = t.row(v);
+    float* dst = out.row(v);
+    for (std::int64_t j = 0; j < d; ++j) dst[j] = src[j] * s[static_cast<std::size_t>(v)];
+  }
+  return out;
+}
+
+std::vector<float> inverse_in_degrees(const graph::Csr& in_csr) {
+  std::vector<float> inv(static_cast<std::size_t>(in_csr.num_rows), 0.0f);
+  for (vid_t v = 0; v < in_csr.num_rows; ++v) {
+    const auto deg = in_csr.degree(v);
+    if (deg > 0) inv[static_cast<std::size_t>(v)] = 1.0f / static_cast<float>(deg);
+  }
+  return inv;
+}
+
+}  // namespace
+
+// --- dense ops --------------------------------------------------------------
+
+Var matmul(ExecContext& ctx, const Var& a, const Var& b) {
+  const std::int64_t m = a->value().shape(0), k = a->value().shape(1),
+                     n = b->value().shape(1);
+  Tensor value = tensor::matmul(a->value(), b->value(), ctx.num_threads);
+  charge_dense(ctx, 2.0 * m * k * n,
+               4.0 * (static_cast<double>(m) * k + static_cast<double>(k) * n +
+                      static_cast<double>(m) * n));
+  ExecContext* c = &ctx;
+  return make_op(
+      std::move(value), {a, b},
+      [a, b, c, m, k, n](Node& node) {
+        if (a->requires_grad()) {
+          a->accumulate_grad(
+              tensor::matmul_transposed(node.grad(), b->value(), c->num_threads));
+          charge_dense(*c, 2.0 * m * k * n, 0.0);
+        }
+        if (b->requires_grad()) {
+          Tensor at = tensor::transpose(a->value());
+          b->accumulate_grad(tensor::matmul(at, node.grad(), c->num_threads));
+          charge_dense(*c, 2.0 * m * k * n, 0.0);
+        }
+      },
+      "matmul");
+}
+
+Var add_bias(ExecContext& ctx, const Var& a, const Var& bias) {
+  Tensor value = tensor::add_bias(a->value(), bias->value());
+  charge_dense(ctx, a->value().numel(), a->value().numel() * 8.0);
+  return make_op(
+      std::move(value), {a, bias},
+      [a, bias](Node& node) {
+        if (a->requires_grad()) a->accumulate_grad(node.grad());
+        if (bias->requires_grad()) {
+          const std::int64_t n = node.grad().shape(1);
+          Tensor db = Tensor::zeros({n});
+          for (std::int64_t i = 0; i < node.grad().shape(0); ++i) {
+            const float* g = node.grad().row(i);
+            for (std::int64_t j = 0; j < n; ++j) db.at(j) += g[j];
+          }
+          bias->accumulate_grad(db);
+        }
+      },
+      "add_bias");
+}
+
+Var relu(ExecContext& ctx, const Var& x) {
+  Tensor value = tensor::relu(x->value());
+  charge_dense(ctx, x->value().numel(), x->value().numel() * 8.0);
+  return make_op(
+      std::move(value), {x},
+      [x](Node& node) {
+        x->accumulate_grad(tensor::relu_backward(node.grad(), x->value()));
+      },
+      "relu");
+}
+
+Var leaky_relu(ExecContext& ctx, const Var& x, float slope) {
+  Tensor value = tensor::leaky_relu(x->value(), slope);
+  charge_dense(ctx, x->value().numel(), x->value().numel() * 8.0);
+  return make_op(
+      std::move(value), {x},
+      [x, slope](Node& node) {
+        x->accumulate_grad(
+            tensor::leaky_relu_backward(node.grad(), x->value(), slope));
+      },
+      "leaky_relu");
+}
+
+Var add(ExecContext& ctx, const Var& a, const Var& b) {
+  Tensor value = tensor::add(a->value(), b->value());
+  charge_dense(ctx, a->value().numel(), a->value().numel() * 12.0);
+  return make_op(
+      std::move(value), {a, b},
+      [a, b](Node& node) {
+        if (a->requires_grad()) a->accumulate_grad(node.grad());
+        if (b->requires_grad()) b->accumulate_grad(node.grad());
+      },
+      "add");
+}
+
+Var scale(ExecContext& ctx, const Var& a, float s) {
+  Tensor value = tensor::scale(a->value(), s);
+  charge_dense(ctx, a->value().numel(), a->value().numel() * 8.0);
+  return make_op(
+      std::move(value), {a},
+      [a, s](Node& node) {
+        a->accumulate_grad(tensor::scale(node.grad(), s));
+      },
+      "scale");
+}
+
+Var log_softmax(ExecContext& ctx, const Var& x) {
+  Tensor value = tensor::log_softmax_rows(x->value());
+  charge_dense(ctx, 4.0 * x->value().numel(), x->value().numel() * 8.0);
+  Tensor ls = value.clone();
+  return make_op(
+      std::move(value), {x},
+      [x, ls = std::move(ls)](Node& node) {
+        // dx = dY - softmax(x) * rowsum(dY)
+        const std::int64_t n = ls.shape(0), c = ls.shape(1);
+        Tensor dx({n, c});
+        for (std::int64_t i = 0; i < n; ++i) {
+          const float* g = node.grad().row(i);
+          const float* l = ls.row(i);
+          float gsum = 0.0f;
+          for (std::int64_t j = 0; j < c; ++j) gsum += g[j];
+          float* d = dx.row(i);
+          for (std::int64_t j = 0; j < c; ++j)
+            d[j] = g[j] - std::exp(l[j]) * gsum;
+        }
+        x->accumulate_grad(dx);
+      },
+      "log_softmax");
+}
+
+Var nll_loss(ExecContext& ctx, const Var& log_probs,
+             const std::vector<std::int32_t>& labels,
+             const std::vector<std::int64_t>& rows) {
+  FG_CHECK(!rows.empty());
+  double loss = 0.0;
+  for (std::int64_t r : rows)
+    loss -= log_probs->value().at(r, labels[static_cast<std::size_t>(r)]);
+  Tensor value({1});
+  value.at(0) = static_cast<float>(loss / static_cast<double>(rows.size()));
+  charge_dense(ctx, static_cast<double>(rows.size()), rows.size() * 8.0);
+  return make_op(
+      std::move(value), {log_probs},
+      [log_probs, labels, rows](Node& node) {
+        const float seed = node.grad().at(0);
+        Tensor d = Tensor::zeros(log_probs->value().shape());
+        const float inv = seed / static_cast<float>(rows.size());
+        for (std::int64_t r : rows)
+          d.at(r, labels[static_cast<std::size_t>(r)]) -= inv;
+        log_probs->accumulate_grad(d);
+      },
+      "nll_loss");
+}
+
+// --- sparse ops ---------------------------------------------------------
+
+Var spmm_copy_u(ExecContext& ctx, const graph::Graph& g, const Var& x,
+                const std::string& reduce) {
+  FG_CHECK_MSG(reduce == "sum" || reduce == "mean" || reduce == "max",
+               "spmm_copy_u supports sum/mean/max");
+  const std::int64_t d = x->value().row_size();
+  ExecContext* c = &ctx;
+  const graph::Graph* gp = &g;
+
+  if (reduce == "max") {
+    // Both backends need the argmax for the gradient; the fused kernel
+    // tracks the winning source, the materialize path the winning edge.
+    if (ctx.backend == SparseBackend::kFused) {
+      auto arg = std::make_shared<std::vector<vid_t>>();
+      Tensor value =
+          core::spmm_copy_u_max_arg(g.in_csr(), x->value(), arg.get(),
+                                    ctx.num_threads);
+      if (ctx.device == Device::kGpuSim) {
+        // Same traffic as a fused max-SpMM; charge it.
+        core::GpuSpmmSchedule sched;
+        auto r = gpusim::spmm_gpu(g.in_csr(), "copy_u", "max", sched,
+                                  {&x->value(), nullptr, nullptr}, ctx.gpu);
+        ctx.sim_seconds += r.cost.total_s;
+      }
+      return make_op(
+          std::move(value), {x},
+          [x, arg, c, d](Node& node) {
+            Tensor dx = Tensor::zeros(x->value().shape());
+            const std::int64_t n = node.grad().rows();
+            for (std::int64_t v = 0; v < n; ++v) {
+              const float* gv = node.grad().row(v);
+              for (std::int64_t j = 0; j < d; ++j) {
+                const vid_t u = (*arg)[static_cast<std::size_t>(v * d + j)];
+                if (u >= 0) dx.at(u, j) += gv[j];
+              }
+            }
+            charge_dense(*c, 0.0, node.grad().numel() * 12.0);
+            x->accumulate_grad(dx);
+          },
+          "spmm_copy_u_max");
+    }
+    // Materialize: gather messages, segment-max with edge arg.
+    Tensor msgs = gather_rows(ctx, x->value(), g.coo().src);
+    auto arg = std::make_shared<std::vector<eid_t>>();
+    Tensor value = segment_reduce(ctx, g.in_csr(), msgs, "max", arg.get());
+    return make_op(
+        std::move(value), {x},
+        [x, arg, c, gp, d](Node& node) {
+          const auto m = gp->num_edges();
+          Tensor d_msgs = Tensor::zeros({m, d});
+          c->materialized_bytes += static_cast<double>(m) * d * 4.0;
+          const std::int64_t n = node.grad().rows();
+          for (std::int64_t v = 0; v < n; ++v) {
+            const float* gv = node.grad().row(v);
+            for (std::int64_t j = 0; j < d; ++j) {
+              const eid_t e = (*arg)[static_cast<std::size_t>(v * d + j)];
+              if (e >= 0) d_msgs.at(e * d + j) += gv[j];
+            }
+          }
+          x->accumulate_grad(scatter_rows_by_src(*c, gp->out_csr(), d_msgs));
+        },
+        "spmm_copy_u_max_mat");
+  }
+
+  // sum / mean.
+  Tensor value;
+  if (ctx.backend == SparseBackend::kFused) {
+    value = run_spmm(ctx, g.in_csr(), "copy_u", reduce,
+                     {&x->value(), nullptr, nullptr}, d);
+  } else {
+    Tensor msgs = gather_rows(ctx, x->value(), g.coo().src);
+    value = segment_reduce(ctx, g.in_csr(), msgs, reduce, nullptr);
+  }
+  const bool is_mean = reduce == "mean";
+  return make_op(
+      std::move(value), {x},
+      [x, c, gp, d, is_mean](Node& node) {
+        // d(loss)/dx[u] = sum over out-edges (u->v) of dout[v] (scaled by
+        // 1/in-deg(v) for mean): an SpMM over the reversed graph.
+        Tensor dout = node.grad();
+        if (is_mean)
+          dout = scale_rows(node.grad(), inverse_in_degrees(gp->in_csr()));
+        if (c->backend == SparseBackend::kFused) {
+          x->accumulate_grad(run_spmm(*c, gp->out_csr(), "copy_u", "sum",
+                                      {&dout, nullptr, nullptr}, d));
+        } else {
+          Tensor d_msgs = gather_rows(*c, dout, gp->coo().dst);
+          x->accumulate_grad(scatter_rows_by_src(*c, gp->out_csr(), d_msgs));
+        }
+      },
+      "spmm_copy_u_" + reduce);
+}
+
+Var spmm_u_mul_e(ExecContext& ctx, const graph::Graph& g, const Var& x,
+                 const Var& w) {
+  FG_CHECK(w->value().numel() == g.num_edges());
+  const std::int64_t d = x->value().row_size();
+  ExecContext* c = &ctx;
+  const graph::Graph* gp = &g;
+
+  Tensor value;
+  if (ctx.backend == SparseBackend::kFused) {
+    value = run_spmm(ctx, g.in_csr(), "u_mul_e", "sum",
+                     {&x->value(), &w->value(), nullptr}, d);
+  } else {
+    Tensor msgs = gather_rows(ctx, x->value(), g.coo().src);
+    for (eid_t e = 0; e < g.num_edges(); ++e) {
+      float* me = msgs.row(e);
+      const float we = w->value().at(e);
+      for (std::int64_t j = 0; j < d; ++j) me[j] *= we;
+    }
+    charge_dense(ctx, static_cast<double>(g.num_edges()) * d,
+                 static_cast<double>(g.num_edges()) * d * 8.0);
+    value = segment_reduce(ctx, g.in_csr(), msgs, "sum", nullptr);
+  }
+  return make_op(
+      std::move(value), {x, w},
+      [x, w, c, gp, d](Node& node) {
+        if (x->requires_grad()) {
+          // dx[u] = sum over out-edges of w_e * dout[v]: u_mul_e SpMM on the
+          // reversed graph (edge ids are shared between orientations).
+          if (c->backend == SparseBackend::kFused) {
+            x->accumulate_grad(run_spmm(*c, gp->out_csr(), "u_mul_e", "sum",
+                                        {&node.grad(), &w->value(), nullptr},
+                                        d));
+          } else {
+            Tensor d_msgs = gather_rows(*c, node.grad(), gp->coo().dst);
+            for (eid_t e = 0; e < gp->num_edges(); ++e) {
+              float* me = d_msgs.row(e);
+              const float we = w->value().at(e);
+              for (std::int64_t j = 0; j < d; ++j) me[j] *= we;
+            }
+            x->accumulate_grad(scatter_rows_by_src(*c, gp->out_csr(), d_msgs));
+          }
+        }
+        if (w->requires_grad()) {
+          // dw_e = <x[u], dout[v]>: the SDDMM pattern (Sec. II-A).
+          if (c->backend == SparseBackend::kFused) {
+            w->accumulate_grad(
+                run_sddmm_dot(*c, gp->coo(), x->value(), node.grad()));
+          } else {
+            Tensor xu = gather_rows(*c, x->value(), gp->coo().src);
+            Tensor gv = gather_rows(*c, node.grad(), gp->coo().dst);
+            Tensor dw({gp->num_edges()});
+            for (eid_t e = 0; e < gp->num_edges(); ++e) {
+              const float* a = xu.row(e);
+              const float* b = gv.row(e);
+              float acc = 0.0f;
+              for (std::int64_t j = 0; j < d; ++j) acc += a[j] * b[j];
+              dw.at(e) = acc;
+            }
+            charge_dense(*c, static_cast<double>(gp->num_edges()) * d * 2.0,
+                         static_cast<double>(gp->num_edges()) * d * 8.0);
+            w->accumulate_grad(dw);
+          }
+        }
+      },
+      "spmm_u_mul_e");
+}
+
+Var sddmm_dot(ExecContext& ctx, const graph::Graph& g, const Var& x) {
+  const std::int64_t d = x->value().row_size();
+  ExecContext* c = &ctx;
+  const graph::Graph* gp = &g;
+
+  Tensor value;
+  if (ctx.backend == SparseBackend::kFused) {
+    value = run_sddmm_dot(ctx, g.coo(), x->value(), x->value());
+  } else {
+    Tensor xu = gather_rows(ctx, x->value(), g.coo().src);
+    Tensor xv = gather_rows(ctx, x->value(), g.coo().dst);
+    value = Tensor({g.num_edges()});
+    for (eid_t e = 0; e < g.num_edges(); ++e) {
+      const float* a = xu.row(e);
+      const float* b = xv.row(e);
+      float acc = 0.0f;
+      for (std::int64_t j = 0; j < d; ++j) acc += a[j] * b[j];
+      value.at(e) = acc;
+    }
+    charge_dense(ctx, static_cast<double>(g.num_edges()) * d * 2.0,
+                 static_cast<double>(g.num_edges()) * d * 8.0);
+  }
+  return make_op(
+      std::move(value), {x},
+      [x, c, gp, d](Node& node) {
+        // d x[u] += g_e x[v] over out-edges; d x[v] += g_e x[u] over
+        // in-edges: two u_mul_e SpMMs (the SpMM pattern, Sec. II-A).
+        if (c->backend == SparseBackend::kFused) {
+          x->accumulate_grad(run_spmm(*c, gp->out_csr(), "u_mul_e", "sum",
+                                      {&x->value(), &node.grad(), nullptr}, d));
+          x->accumulate_grad(run_spmm(*c, gp->in_csr(), "u_mul_e", "sum",
+                                      {&x->value(), &node.grad(), nullptr}, d));
+        } else {
+          Tensor xv = gather_rows(*c, x->value(), gp->coo().dst);
+          Tensor xu = gather_rows(*c, x->value(), gp->coo().src);
+          for (eid_t e = 0; e < gp->num_edges(); ++e) {
+            const float ge = node.grad().at(e);
+            float* pv = xv.row(e);
+            float* pu = xu.row(e);
+            for (std::int64_t j = 0; j < d; ++j) {
+              pv[j] *= ge;
+              pu[j] *= ge;
+            }
+          }
+          // xv rows scatter to sources, xu rows scatter to destinations.
+          x->accumulate_grad(scatter_rows_by_src(*c, gp->out_csr(), xv));
+          Tensor to_dst = scatter_rows_by_src(*c, gp->in_csr(), xu);
+          x->accumulate_grad(to_dst);
+        }
+      },
+      "sddmm_dot");
+}
+
+Var edge_softmax(ExecContext& ctx, const graph::Graph& g, const Var& logits) {
+  FG_CHECK(logits->value().numel() == g.num_edges());
+  const graph::Csr& in = g.in_csr();
+  Tensor value({g.num_edges()});
+  // Segment softmax over each destination's in-edges (shared by both
+  // backends; three sweeps over the edges).
+  for (vid_t v = 0; v < in.num_rows; ++v) {
+    const std::int64_t lo = in.indptr[v], hi = in.indptr[v + 1];
+    if (lo == hi) continue;
+    float mx = -std::numeric_limits<float>::infinity();
+    for (std::int64_t i = lo; i < hi; ++i)
+      mx = std::max(mx, logits->value().at(in.edge_ids[static_cast<std::size_t>(i)]));
+    float denom = 0.0f;
+    for (std::int64_t i = lo; i < hi; ++i)
+      denom += std::exp(
+          logits->value().at(in.edge_ids[static_cast<std::size_t>(i)]) - mx);
+    for (std::int64_t i = lo; i < hi; ++i) {
+      const eid_t e = in.edge_ids[static_cast<std::size_t>(i)];
+      value.at(e) = std::exp(logits->value().at(e) - mx) / denom;
+    }
+  }
+  charge_dense(ctx, 3.0 * static_cast<double>(g.num_edges()),
+               6.0 * static_cast<double>(g.num_edges()) * 4.0);
+
+  Tensor alpha = value.clone();
+  ExecContext* c = &ctx;
+  const graph::Graph* gp = &g;
+  return make_op(
+      std::move(value), {logits},
+      [logits, alpha = std::move(alpha), c, gp](Node& node) {
+        // dlogit_e = alpha_e * (dalpha_e - sum_{e' in segment} alpha_e'
+        // dalpha_e'), per destination segment.
+        const graph::Csr& in2 = gp->in_csr();
+        Tensor d(alpha.shape());
+        for (vid_t v = 0; v < in2.num_rows; ++v) {
+          const std::int64_t lo = in2.indptr[v], hi = in2.indptr[v + 1];
+          float dot = 0.0f;
+          for (std::int64_t i = lo; i < hi; ++i) {
+            const eid_t e = in2.edge_ids[static_cast<std::size_t>(i)];
+            dot += alpha.at(e) * node.grad().at(e);
+          }
+          for (std::int64_t i = lo; i < hi; ++i) {
+            const eid_t e = in2.edge_ids[static_cast<std::size_t>(i)];
+            d.at(e) = alpha.at(e) * (node.grad().at(e) - dot);
+          }
+        }
+        charge_dense(*c, 3.0 * static_cast<double>(gp->num_edges()),
+                     6.0 * static_cast<double>(gp->num_edges()) * 4.0);
+        logits->accumulate_grad(d);
+      },
+      "edge_softmax");
+}
+
+Tensor symmetric_norm_weights(const graph::Graph& g) {
+  const graph::Csr& in = g.in_csr();
+  const graph::Csr& out = g.out_csr();
+  Tensor w({g.num_edges()});
+  const graph::Coo& coo = g.coo();
+  for (eid_t e = 0; e < g.num_edges(); ++e) {
+    const auto du = out.degree(coo.src[static_cast<std::size_t>(e)]);
+    const auto dv = in.degree(coo.dst[static_cast<std::size_t>(e)]);
+    w.at(e) = (du > 0 && dv > 0)
+                  ? 1.0f / std::sqrt(static_cast<float>(du) *
+                                     static_cast<float>(dv))
+                  : 0.0f;
+  }
+  return w;
+}
+
+}  // namespace featgraph::minidgl

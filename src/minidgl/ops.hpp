@@ -1,0 +1,86 @@
+// Differentiable operator library for minidgl.
+//
+// Every op takes an ExecContext that selects
+//   * the sparse backend: kFused runs FeatGraph kernels (messages are never
+//     materialized); kMaterialize gathers per-edge message tensors and
+//     segment-reduces them — what DGL does WITHOUT FeatGraph (Sec. IV-B),
+//     Table VI's baseline;
+//   * the device: kCpu executes natively (wall-clock measured outside);
+//     kGpuSim executes functionally on the host while accumulating
+//     simulated V100 time and materialized-memory bookkeeping in the
+//     context (Table VI's GPU rows; the paper's GAT-OOM footnote).
+//
+// Gradient routing follows the paper's Sec. II-A duality: the backward of
+// generalized SpMM w.r.t. edge values is an SDDMM, the backward of SDDMM is
+// an SpMM over the reversed graph.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "gpusim/device.hpp"
+#include "graph/csr.hpp"
+#include "minidgl/autograd.hpp"
+
+namespace featgraph::minidgl {
+
+enum class SparseBackend { kFused, kMaterialize };
+enum class Device { kCpu, kGpuSim };
+
+struct ExecContext {
+  SparseBackend backend = SparseBackend::kFused;
+  Device device = Device::kCpu;
+  int num_threads = 2;
+  gpusim::DeviceSpec gpu;
+
+  /// Simulated GPU seconds accumulated across ops (kGpuSim only).
+  double sim_seconds = 0.0;
+  /// Total bytes of materialized per-edge message tensors this epoch —
+  /// drives the paper's "GAT training runs out of GPU memory" observation.
+  double materialized_bytes = 0.0;
+
+  void reset_accounting() {
+    sim_seconds = 0.0;
+    materialized_bytes = 0.0;
+  }
+};
+
+// --- dense ops -------------------------------------------------------------
+
+Var matmul(ExecContext& ctx, const Var& a, const Var& b);
+Var add_bias(ExecContext& ctx, const Var& a, const Var& bias);
+Var relu(ExecContext& ctx, const Var& x);
+Var leaky_relu(ExecContext& ctx, const Var& x, float slope);
+Var add(ExecContext& ctx, const Var& a, const Var& b);
+Var scale(ExecContext& ctx, const Var& a, float s);
+Var log_softmax(ExecContext& ctx, const Var& x);
+
+/// Mean NLL over `rows` of log-probabilities; returns a scalar variable.
+Var nll_loss(ExecContext& ctx, const Var& log_probs,
+             const std::vector<std::int32_t>& labels,
+             const std::vector<std::int64_t>& rows);
+
+// --- sparse (message passing) ops -------------------------------------------
+
+/// h[v] = reduce over in-edges of x[u];  reduce in {"sum", "mean", "max"}.
+Var spmm_copy_u(ExecContext& ctx, const graph::Graph& g, const Var& x,
+                const std::string& reduce);
+
+/// h[v] = sum over in-edges of w_e * x[u]; w is an edge-scalar variable of
+/// shape {|E|} (attention-weighted aggregation).
+Var spmm_u_mul_e(ExecContext& ctx, const graph::Graph& g, const Var& x,
+                 const Var& w);
+
+/// logits_e = <x[u], x[v]> (dot-product attention scores).
+Var sddmm_dot(ExecContext& ctx, const graph::Graph& g, const Var& x);
+
+/// alpha = softmax of edge scalars over each destination's in-edges.
+Var edge_softmax(ExecContext& ctx, const graph::Graph& g, const Var& logits);
+
+/// Edge weights w_e = 1 / sqrt(deg_out(u) * deg_in(v)) — the symmetric GCN
+/// normalization A_hat = D^-1/2 A D^-1/2 (Kipf & Welling); combine with
+/// spmm_u_mul_e. Zero-degree endpoints produce weight 0.
+tensor::Tensor symmetric_norm_weights(const graph::Graph& g);
+
+}  // namespace featgraph::minidgl

@@ -1,0 +1,55 @@
+#include "minidgl/optim.hpp"
+
+#include <cmath>
+
+namespace featgraph::minidgl {
+
+void Sgd::step() {
+  for (auto& p : params_) {
+    if (!p->has_grad()) continue;
+    float* w = p->mutable_value().data();
+    const float* g = p->grad().data();
+    for (std::int64_t i = 0; i < p->value().numel(); ++i) w[i] -= lr_ * g[i];
+  }
+}
+
+void Sgd::zero_grad() {
+  for (auto& p : params_) p->zero_grad();
+}
+
+Adam::Adam(std::vector<Var> params, float lr, float beta1, float beta2,
+           float eps)
+    : params_(std::move(params)), lr_(lr), beta1_(beta1), beta2_(beta2),
+      eps_(eps) {
+  for (const auto& p : params_) {
+    m_.push_back(tensor::Tensor::zeros(p->value().shape()));
+    v_.push_back(tensor::Tensor::zeros(p->value().shape()));
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    auto& p = params_[k];
+    if (!p->has_grad()) continue;
+    float* w = p->mutable_value().data();
+    const float* g = p->grad().data();
+    float* m = m_[k].data();
+    float* v = v_[k].data();
+    for (std::int64_t i = 0; i < p->value().numel(); ++i) {
+      m[i] = beta1_ * m[i] + (1.0f - beta1_) * g[i];
+      v[i] = beta2_ * v[i] + (1.0f - beta2_) * g[i] * g[i];
+      const float m_hat = m[i] / bc1;
+      const float v_hat = v[i] / bc2;
+      w[i] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+    }
+  }
+}
+
+void Adam::zero_grad() {
+  for (auto& p : params_) p->zero_grad();
+}
+
+}  // namespace featgraph::minidgl

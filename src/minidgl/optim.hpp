@@ -1,0 +1,38 @@
+// Optimizers over autograd parameters.
+#pragma once
+
+#include <vector>
+
+#include "minidgl/autograd.hpp"
+
+namespace featgraph::minidgl {
+
+/// Plain SGD: p -= lr * grad.
+class Sgd {
+ public:
+  Sgd(std::vector<Var> params, float lr) : params_(std::move(params)), lr_(lr) {}
+  void step();
+  void zero_grad();
+
+ private:
+  std::vector<Var> params_;
+  float lr_;
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class Adam {
+ public:
+  Adam(std::vector<Var> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f);
+  void step();
+  void zero_grad();
+
+ private:
+  std::vector<Var> params_;
+  std::vector<tensor::Tensor> m_;
+  std::vector<tensor::Tensor> v_;
+  float lr_, beta1_, beta2_, eps_;
+  std::int64_t t_ = 0;
+};
+
+}  // namespace featgraph::minidgl

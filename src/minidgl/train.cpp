@@ -1,0 +1,65 @@
+#include "minidgl/train.hpp"
+
+#include "support/timer.hpp"
+
+namespace featgraph::minidgl {
+
+Trainer::Trainer(const ClassificationData& data, Model model, ExecContext ctx,
+                 float lr)
+    : data_(&data),
+      model_(std::move(model)),
+      ctx_(ctx),
+      optimizer_(model_.parameters(), lr) {}
+
+EpochResult Trainer::train_epoch() {
+  EpochResult result;
+  ctx_.reset_accounting();
+  support::Timer timer;
+
+  Var x = make_leaf(data_->features.clone(), false, "features");
+  Var log_probs = model_.forward(ctx_, data_->graph, x);
+  Var loss = nll_loss(ctx_, log_probs, data_->labels, data_->train_rows);
+  optimizer_.zero_grad();
+  backward(loss);
+  optimizer_.step();
+
+  result.loss = loss->value().at(0);
+  result.train_accuracy =
+      accuracy(log_probs->value(), data_->labels, data_->train_rows);
+  result.seconds =
+      ctx_.device == Device::kGpuSim ? ctx_.sim_seconds : timer.seconds();
+  result.materialized_bytes = ctx_.materialized_bytes;
+  return result;
+}
+
+EpochResult Trainer::infer() {
+  EpochResult result;
+  ctx_.reset_accounting();
+  support::Timer timer;
+
+  Var x = make_leaf(data_->features.clone(), false, "features");
+  Var log_probs = model_.forward(ctx_, data_->graph, x);
+
+  result.loss = 0.0f;
+  result.train_accuracy =
+      accuracy(log_probs->value(), data_->labels, data_->test_rows);
+  result.seconds =
+      ctx_.device == Device::kGpuSim ? ctx_.sim_seconds : timer.seconds();
+  result.materialized_bytes = ctx_.materialized_bytes;
+  return result;
+}
+
+double Trainer::test_accuracy() {
+  Var x = make_leaf(data_->features.clone(), false, "features");
+  Var log_probs = model_.forward(ctx_, data_->graph, x);
+  return accuracy(log_probs->value(), data_->labels, data_->test_rows);
+}
+
+std::vector<EpochResult> train(Trainer& trainer, int epochs) {
+  std::vector<EpochResult> history;
+  history.reserve(static_cast<std::size_t>(epochs));
+  for (int e = 0; e < epochs; ++e) history.push_back(trainer.train_epoch());
+  return history;
+}
+
+}  // namespace featgraph::minidgl

@@ -1,0 +1,50 @@
+// Full-batch training / inference driver for the end-to-end experiments
+// (paper Table VI and the Sec. V-E accuracy check).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "minidgl/data.hpp"
+#include "minidgl/modules.hpp"
+#include "minidgl/optim.hpp"
+
+namespace featgraph::minidgl {
+
+struct EpochResult {
+  float loss = 0.0f;
+  double train_accuracy = 0.0;
+  /// Wall-clock seconds on CPU; simulated seconds on kGpuSim.
+  double seconds = 0.0;
+  /// Materialized message bytes this epoch (0 for the fused backend).
+  double materialized_bytes = 0.0;
+};
+
+class Trainer {
+ public:
+  Trainer(const ClassificationData& data, Model model, ExecContext ctx,
+          float lr = 0.01f);
+
+  /// One full-batch training epoch (forward + loss + backward + Adam step).
+  EpochResult train_epoch();
+
+  /// One inference pass (forward only), reporting test accuracy.
+  EpochResult infer();
+
+  /// Test accuracy of the current parameters.
+  double test_accuracy();
+
+  ExecContext& context() { return ctx_; }
+  const Model& model() const { return model_; }
+
+ private:
+  const ClassificationData* data_;
+  Model model_;
+  ExecContext ctx_;
+  Adam optimizer_;
+};
+
+/// Trains for `epochs` and returns per-epoch results.
+std::vector<EpochResult> train(Trainer& trainer, int epochs);
+
+}  // namespace featgraph::minidgl

@@ -1,0 +1,85 @@
+#include "parallel/scaling_model.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "support/check.hpp"
+
+namespace featgraph::parallel {
+
+namespace {
+
+/// LPT makespan: sort descending, always give the next chunk to the least
+/// loaded worker. Classic 4/3-approximation; deterministic.
+double lpt_makespan(std::vector<double> costs, int threads) {
+  std::sort(costs.begin(), costs.end(), std::greater<>());
+  std::priority_queue<double, std::vector<double>, std::greater<>> load;
+  for (int t = 0; t < threads; ++t) load.push(0.0);
+  for (double c : costs) {
+    double least = load.top();
+    load.pop();
+    load.push(least + c);
+  }
+  double makespan = 0.0;
+  while (!load.empty()) {
+    makespan = load.top();
+    load.pop();
+  }
+  return makespan;
+}
+
+}  // namespace
+
+double predict_parallel_seconds(const std::vector<WorkChunk>& chunks,
+                                int threads, SchedulingMode mode,
+                                const ScalingModelParams& params) {
+  FG_CHECK(threads >= 1);
+  if (chunks.empty()) return params.launch_overhead_s;
+
+  double total_bytes = 0.0;
+  std::vector<double> costs;
+  costs.reserve(chunks.size());
+  for (const auto& c : chunks) {
+    costs.push_back(c.seconds);
+    total_bytes += c.bytes;
+  }
+  const double avg_chunk_bytes = total_bytes / static_cast<double>(chunks.size());
+
+  double makespan;
+  double concurrent_ws;  // bytes resident across threads at any instant
+  if (mode == SchedulingMode::kCooperative) {
+    // Threads split each chunk evenly; chunk boundaries are barriers, so the
+    // time is the sum of per-chunk times, each divided by k.
+    makespan = 0.0;
+    for (double c : costs) makespan += c / threads;
+    concurrent_ws = avg_chunk_bytes;
+  } else {
+    makespan = lpt_makespan(costs, threads);
+    concurrent_ws = avg_chunk_bytes * std::min<double>(threads, chunks.size());
+  }
+
+  double contention = 1.0;
+  double effective_bytes = total_bytes;
+  if (threads > 1 && concurrent_ws > params.llc_bytes) {
+    const double overflow = concurrent_ws / params.llc_bytes - 1.0;
+    // Thrashing shows up both as lost time per chunk and as extra DRAM
+    // traffic (lines evicted before reuse); both saturate. Caps calibrated
+    // against Fig. 10's 16-thread efficiencies (see DESIGN.md §1).
+    contention += std::min(0.5, params.contention_per_overflow * overflow);
+    effective_bytes *=
+        1.0 + std::min(0.25, 0.25 * params.contention_per_overflow * overflow);
+  }
+
+  // Bandwidth roofline: k streams saturate the socket near
+  // socket_bw / per_thread_bw threads.
+  const double bw = std::min(
+      static_cast<double>(threads) * params.per_thread_bw_bytes_per_s,
+      params.socket_bw_bytes_per_s);
+  const double bw_floor_s = effective_bytes / bw;
+
+  return std::max(makespan * contention, bw_floor_s) +
+         params.launch_overhead_s +
+         params.per_chunk_overhead_s * static_cast<double>(chunks.size());
+}
+
+}  // namespace featgraph::parallel

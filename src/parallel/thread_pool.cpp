@@ -1,0 +1,94 @@
+#include "parallel/thread_pool.hpp"
+
+#include "support/check.hpp"
+
+namespace featgraph::parallel {
+
+ThreadPool::ThreadPool(unsigned num_workers) {
+  if (num_workers == 0) {
+    num_workers = std::thread::hardware_concurrency();
+    if (num_workers == 0) num_workers = 2;
+  }
+  workers_.reserve(num_workers);
+  for (unsigned i = 0; i < num_workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::launch(int num_threads, const std::function<void(int, int)>& fn) {
+  FG_CHECK(num_threads >= 1);
+  if (num_threads == 1) {
+    fn(0, 1);
+    return;
+  }
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  // Launches are serialized: nested/concurrent launches run inline instead of
+  // deadlocking on the single job slot.
+  if (job_ != nullptr) {
+    lock.unlock();
+    for (int tid = 0; tid < num_threads; ++tid) fn(tid, num_threads);
+    return;
+  }
+  job_ = &fn;
+  job_lanes_ = num_threads;
+  next_lane_ = 0;
+  lanes_remaining_ = num_threads;
+  ++epoch_;
+  lock.unlock();
+  work_ready_.notify_all();
+
+  // The caller also executes lanes so a pool of N workers plus the caller
+  // saturates N+1 cores and a launch can never wait on a busy pool.
+  for (;;) {
+    lock.lock();
+    if (next_lane_ >= job_lanes_) break;  // keep lock; wait for completion
+    int lane = next_lane_++;
+    lock.unlock();
+    fn(lane, job_lanes_);
+    lock.lock();
+    --lanes_remaining_;
+    if (lanes_remaining_ == 0) work_done_.notify_all();
+    lock.unlock();
+  }
+  work_done_.wait(lock, [this] { return lanes_remaining_ == 0; });
+  job_ = nullptr;
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    work_ready_.wait(lock, [&] {
+      return shutdown_ || (job_ != nullptr && epoch_ != seen_epoch &&
+                           next_lane_ < job_lanes_);
+    });
+    if (shutdown_) return;
+    seen_epoch = epoch_;
+    while (job_ != nullptr && next_lane_ < job_lanes_) {
+      int lane = next_lane_++;
+      const auto* fn = job_;
+      int lanes = job_lanes_;
+      lock.unlock();
+      (*fn)(lane, lanes);
+      lock.lock();
+      --lanes_remaining_;
+      if (lanes_remaining_ == 0) work_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace featgraph::parallel

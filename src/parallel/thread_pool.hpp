@@ -1,0 +1,57 @@
+// Persistent worker pool in the spirit of the TVM runtime thread pool the
+// paper relies on (Sec. IV-A): workers are created once and reused across
+// kernel launches (Core Guidelines CP.41), wait on a condition variable with
+// a predicate (CP.42), and kernels hand them embarrassingly parallel chunks.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace featgraph::parallel {
+
+/// A fixed set of persistent workers executing "launches". A launch runs
+/// `fn(tid, num_threads)` on `num_threads` logical lanes; lanes beyond the
+/// number of OS workers are multiplexed onto the available workers, so a
+/// launch with num_threads == 8 is functionally correct on a 2-core host.
+class ThreadPool {
+ public:
+  /// Creates `num_workers` OS threads (defaults to hardware concurrency).
+  explicit ThreadPool(unsigned num_workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Runs fn(tid, num_threads) for tid in [0, num_threads). Blocks until all
+  /// lanes finish. num_threads == 1 executes inline on the caller so
+  /// single-threaded measurements pay zero scheduling overhead.
+  void launch(int num_threads, const std::function<void(int, int)>& fn);
+
+  unsigned num_workers() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Process-wide pool, sized to hardware concurrency, created on first use.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+
+  // State of the current launch, guarded by mutex_ (CP.50: mutex lives with
+  // the data it protects).
+  const std::function<void(int, int)>* job_ = nullptr;
+  int job_lanes_ = 0;        // total logical lanes in this launch
+  int next_lane_ = 0;        // next lane index to hand to a worker
+  int lanes_remaining_ = 0;  // lanes not yet completed
+  std::uint64_t epoch_ = 0;  // bumps every launch so workers detect new work
+  bool shutdown_ = false;
+};
+
+}  // namespace featgraph::parallel

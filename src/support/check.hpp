@@ -1,0 +1,38 @@
+// Lightweight precondition / invariant checking (GSL Expects/Ensures style).
+//
+// FG_CHECK is always on: it guards API misuse that would otherwise corrupt
+// memory (bad shapes, out-of-range vertex ids). FG_DCHECK compiles out in
+// release builds and is used inside hot loops.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace featgraph::support {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "FG_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace featgraph::support
+
+#define FG_CHECK(cond)                                                     \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::featgraph::support::check_failed(#cond, __FILE__, __LINE__, "");   \
+  } while (0)
+
+#define FG_CHECK_MSG(cond, msg)                                            \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::featgraph::support::check_failed(#cond, __FILE__, __LINE__, msg);  \
+  } while (0)
+
+#ifdef NDEBUG
+#define FG_DCHECK(cond) ((void)0)
+#else
+#define FG_DCHECK(cond) FG_CHECK(cond)
+#endif

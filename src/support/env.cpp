@@ -1,0 +1,34 @@
+#include "support/env.hpp"
+
+#include <cstdlib>
+
+namespace featgraph::support {
+
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  double parsed = std::strtod(v, &end);
+  return (end == v) ? fallback : parsed;
+}
+
+long env_long(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  long parsed = std::strtol(v, &end, 10);
+  return (end == v) ? fallback : parsed;
+}
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return (v == nullptr || *v == '\0') ? fallback : std::string(v);
+}
+
+double bench_scale() { return env_double("FEATGRAPH_SCALE", 0.05); }
+
+int bench_reps() {
+  return static_cast<int>(env_long("FEATGRAPH_BENCH_REPS", 2));
+}
+
+}  // namespace featgraph::support

@@ -1,0 +1,24 @@
+// Environment-variable driven configuration used by the benchmark harness
+// (FEATGRAPH_SCALE, FEATGRAPH_BENCH_REPS, ...).
+#pragma once
+
+#include <string>
+
+namespace featgraph::support {
+
+/// Returns the value of environment variable `name`, or `fallback` when the
+/// variable is unset or unparsable.
+double env_double(const char* name, double fallback);
+long env_long(const char* name, long fallback);
+std::string env_string(const char* name, const std::string& fallback);
+
+/// Global benchmark scale factor (FEATGRAPH_SCALE, default 0.05). Dataset
+/// constructors multiply vertex counts by this factor so the full harness
+/// runs quickly by default while preserving the paper's graph shapes.
+double bench_scale();
+
+/// Number of timed repetitions per measurement (FEATGRAPH_BENCH_REPS,
+/// default 2; the paper uses 10 after one warm-up run).
+int bench_reps();
+
+}  // namespace featgraph::support

@@ -1,0 +1,50 @@
+#include "support/table.hpp"
+
+#include <cstdio>
+
+#include "support/check.hpp"
+
+namespace featgraph::support {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  FG_CHECK_MSG(cells.size() == header_.size(),
+               "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      if (row[c].size() > width[c]) width[c] = row[c].size();
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string out = "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += " " + row[c] + std::string(width[c] - row[c].size(), ' ') + " |";
+    }
+    return out + "\n";
+  };
+
+  std::string sep = "|";
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    sep += std::string(width[c] + 2, '-') + "|";
+  sep += "\n";
+
+  std::string out = render_row(header_) + sep;
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void Table::print() const { std::fputs(to_string().c_str(), stdout); }
+
+}  // namespace featgraph::support

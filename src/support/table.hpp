@@ -1,0 +1,32 @@
+// ASCII table printer used by every benchmark binary to emit the paper's
+// tables/figure series in a uniform, diffable format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace featgraph::support {
+
+/// Collects rows of string cells and prints them with aligned columns.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; the row must have as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the table (header, separator, rows) to a string.
+  std::string to_string() const;
+
+  /// Prints to stdout.
+  void print() const;
+
+  /// Formats a double with `digits` decimal places.
+  static std::string num(double v, int digits = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace featgraph::support

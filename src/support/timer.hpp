@@ -1,0 +1,39 @@
+// Wall-clock timing helpers for the benchmark harness.
+#pragma once
+
+#include <chrono>
+#include <utility>
+
+namespace featgraph::support {
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Runs `fn` once as warm-up, then `reps` timed repetitions, and returns the
+/// mean wall-clock seconds per repetition. This mirrors the paper's
+/// measurement protocol (Sec. V-A: one warm-up run, average of N runs).
+template <class Fn>
+double time_mean_seconds(Fn&& fn, int reps) {
+  fn();  // warm-up
+  Timer t;
+  for (int i = 0; i < reps; ++i) fn();
+  return t.seconds() / reps;
+}
+
+}  // namespace featgraph::support

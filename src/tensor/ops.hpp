@@ -1,0 +1,48 @@
+// Dense operator library over Tensor: the "dense side" of GNN workloads
+// (linear layers, activations, softmax/loss). These back both the UDF bodies
+// (e.g. MLP aggregation multiplies with a weight matrix) and the minidgl
+// framework's dense layers.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+
+namespace featgraph::tensor {
+
+/// C = A(m x k) * B(k x n), blocked over k for cache reuse; `threads` > 1
+/// parallelizes over row blocks of A.
+Tensor matmul(const Tensor& a, const Tensor& b, int threads = 1);
+
+/// C = A(m x k) * B^T where B is (n x k).
+Tensor matmul_transposed(const Tensor& a, const Tensor& b_t, int threads = 1);
+
+/// Elementwise helpers; all allocate a fresh result.
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);
+Tensor scale(const Tensor& a, float s);
+/// out[i, :] = a[i, :] + bias[:] (bias broadcast along rows).
+Tensor add_bias(const Tensor& a, const Tensor& bias);
+
+Tensor relu(const Tensor& a);
+/// grad of relu: dx = dy * (x > 0).
+Tensor relu_backward(const Tensor& dy, const Tensor& x);
+Tensor leaky_relu(const Tensor& a, float slope);
+Tensor leaky_relu_backward(const Tensor& dy, const Tensor& x, float slope);
+
+/// Row-wise log-softmax for an (n x c) matrix.
+Tensor log_softmax_rows(const Tensor& a);
+/// Mean negative log-likelihood over the rows listed in `mask_rows`;
+/// also writes d(loss)/d(logits) into `grad_out` (same shape as logits).
+float nll_loss_masked(const Tensor& log_probs,
+                      const std::vector<std::int64_t>& mask_rows,
+                      const std::vector<std::int32_t>& labels,
+                      Tensor* grad_out);
+
+/// (m x n) -> (n x m).
+Tensor transpose(const Tensor& a);
+
+float sum(const Tensor& a);
+
+}  // namespace featgraph::tensor

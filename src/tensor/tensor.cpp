@@ -1,0 +1,99 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "support/aligned.hpp"
+
+namespace featgraph::tensor {
+
+namespace {
+
+std::int64_t shape_numel(const std::vector<std::int64_t>& shape) {
+  std::int64_t n = 1;
+  for (std::int64_t d : shape) {
+    FG_CHECK_MSG(d >= 0, "tensor dimensions must be non-negative");
+    n *= d;
+  }
+  return n;
+}
+
+std::shared_ptr<float[]> allocate_aligned(std::int64_t numel) {
+  if (numel == 0) numel = 1;  // keep data() non-null for empty tensors
+  support::AlignedAllocator<float> alloc;
+  float* p = alloc.allocate(static_cast<std::size_t>(numel));
+  return std::shared_ptr<float[]>(p, [](float* q) { std::free(q); });
+}
+
+}  // namespace
+
+Tensor::Tensor(std::vector<std::int64_t> shape)
+    : shape_(std::move(shape)),
+      numel_(shape_numel(shape_)),
+      data_(allocate_aligned(numel_)) {
+  FG_CHECK_MSG(shape_.size() <= 3, "tensors support rank <= 3");
+}
+
+Tensor Tensor::zeros(std::vector<std::int64_t> shape) {
+  Tensor t(std::move(shape));
+  t.fill(0.0f);
+  return t;
+}
+
+Tensor Tensor::full(std::vector<std::int64_t> shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::randn(std::vector<std::int64_t> shape, std::uint64_t seed,
+                     float stddev) {
+  Tensor t(std::move(shape));
+  support::Rng rng(seed);
+  float* p = t.data();
+  for (std::int64_t i = 0; i < t.numel(); ++i)
+    p[i] = stddev * static_cast<float>(rng.normal());
+  return t;
+}
+
+Tensor Tensor::uniform(std::vector<std::int64_t> shape, std::uint64_t seed,
+                       float lo, float hi) {
+  Tensor t(std::move(shape));
+  support::Rng rng(seed);
+  float* p = t.data();
+  for (std::int64_t i = 0; i < t.numel(); ++i)
+    p[i] = lo + (hi - lo) * static_cast<float>(rng.uniform_real());
+  return t;
+}
+
+Tensor Tensor::clone() const {
+  Tensor t(shape_);
+  std::memcpy(t.data(), data(), static_cast<std::size_t>(numel_) * sizeof(float));
+  return t;
+}
+
+Tensor Tensor::reshape(std::vector<std::int64_t> new_shape) const {
+  FG_CHECK_MSG(shape_numel(new_shape) == numel_,
+               "reshape must preserve the number of elements");
+  Tensor t;
+  t.shape_ = std::move(new_shape);
+  t.numel_ = numel_;
+  t.data_ = data_;
+  return t;
+}
+
+void Tensor::fill(float value) {
+  std::fill(data(), data() + numel_, value);
+}
+
+float max_abs_diff(const Tensor& a, const Tensor& b) {
+  FG_CHECK(a.numel() == b.numel());
+  float m = 0.0f;
+  for (std::int64_t i = 0; i < a.numel(); ++i)
+    m = std::max(m, std::fabs(a.at(i) - b.at(i)));
+  return m;
+}
+
+}  // namespace featgraph::tensor

@@ -1,0 +1,78 @@
+// Naive reference implementations the optimized kernels are validated
+// against. Deliberately simple: direct translations of the paper's
+// Equations (1) and (2) with no tiling, partitioning or threading.
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "tensor/tensor.hpp"
+
+namespace featgraph::testing {
+
+using graph::eid_t;
+using graph::vid_t;
+using tensor::Tensor;
+
+using RefMsgFn =
+    std::function<void(vid_t u, eid_t e, vid_t v, std::vector<float>& msg)>;
+
+/// out[v,:] = reduce over in-edges of msg(u, e, v); reduce_op in
+/// {sum, max, min, mean}; empty rows produce zeros.
+inline Tensor reference_spmm(const graph::Csr& adj, const RefMsgFn& msg,
+                             const std::string& reduce_op,
+                             std::int64_t d_out) {
+  Tensor out = Tensor::zeros({adj.num_rows, d_out});
+  std::vector<float> buf(static_cast<std::size_t>(d_out));
+  for (vid_t v = 0; v < adj.num_rows; ++v) {
+    const std::int64_t lo = adj.indptr[static_cast<std::size_t>(v)];
+    const std::int64_t hi = adj.indptr[static_cast<std::size_t>(v) + 1];
+    if (lo == hi) continue;
+    std::vector<float> acc(
+        static_cast<std::size_t>(d_out),
+        reduce_op == "max" ? -std::numeric_limits<float>::infinity()
+        : reduce_op == "min" ? std::numeric_limits<float>::infinity()
+                             : 0.0f);
+    for (std::int64_t i = lo; i < hi; ++i) {
+      msg(adj.indices[static_cast<std::size_t>(i)],
+          adj.edge_ids[static_cast<std::size_t>(i)], v, buf);
+      for (std::int64_t j = 0; j < d_out; ++j) {
+        const auto ju = static_cast<std::size_t>(j);
+        if (reduce_op == "max") {
+          acc[ju] = std::max(acc[ju], buf[ju]);
+        } else if (reduce_op == "min") {
+          acc[ju] = std::min(acc[ju], buf[ju]);
+        } else {
+          acc[ju] += buf[ju];
+        }
+      }
+    }
+    const float scale =
+        reduce_op == "mean" ? 1.0f / static_cast<float>(hi - lo) : 1.0f;
+    for (std::int64_t j = 0; j < d_out; ++j)
+      out.at(v, j) = acc[static_cast<std::size_t>(j)] * scale;
+  }
+  return out;
+}
+
+using RefEdgeFn =
+    std::function<void(vid_t u, eid_t e, vid_t v, std::vector<float>& out)>;
+
+/// out[e,:] = fn(u, e, v) over all edges.
+inline Tensor reference_sddmm(const graph::Coo& coo, const RefEdgeFn& fn,
+                              std::int64_t d_out) {
+  Tensor out = d_out == 1 ? Tensor::zeros({coo.num_edges()})
+                          : Tensor::zeros({coo.num_edges(), d_out});
+  std::vector<float> buf(static_cast<std::size_t>(d_out));
+  for (eid_t e = 0; e < coo.num_edges(); ++e) {
+    fn(coo.src[static_cast<std::size_t>(e)], e,
+       coo.dst[static_cast<std::size_t>(e)], buf);
+    for (std::int64_t j = 0; j < d_out; ++j)
+      out.at(e * d_out + j) = buf[static_cast<std::size_t>(j)];
+  }
+  return out;
+}
+
+}  // namespace featgraph::testing

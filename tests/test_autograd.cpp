@@ -1,0 +1,389 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "graph/generators.hpp"
+#include "minidgl/autograd.hpp"
+#include "minidgl/ops.hpp"
+#include "tensor/ops.hpp"
+
+namespace fg = featgraph;
+using fg::graph::Graph;
+using fg::minidgl::backward;
+using fg::minidgl::ExecContext;
+using fg::minidgl::make_leaf;
+using fg::minidgl::Var;
+using fg::tensor::Tensor;
+
+namespace {
+
+/// Numeric gradient check: `loss_of` rebuilds the computation from raw
+/// tensors, `build` produces (loss, leaf) for analytic gradients. Probes a
+/// few indices with central differences.
+void check_gradient(
+    const Tensor& x0,
+    const std::function<float(const Tensor&)>& loss_of,
+    const std::function<std::pair<Var, Var>(const Tensor&)>& build,
+    float eps = 1e-2f, float tol = 2e-2f) {
+  auto [loss, leaf] = build(x0);
+  backward(loss);
+  ASSERT_TRUE(leaf->has_grad());
+  const Tensor& grad = leaf->grad();
+
+  const std::int64_t probes = std::min<std::int64_t>(x0.numel(), 7);
+  for (std::int64_t p = 0; p < probes; ++p) {
+    const std::int64_t i = (p * 131) % x0.numel();
+    Tensor plus = x0.clone();
+    plus.at(i) += eps;
+    Tensor minus = x0.clone();
+    minus.at(i) -= eps;
+    const float fd = (loss_of(plus) - loss_of(minus)) / (2 * eps);
+    EXPECT_NEAR(grad.at(i), fd, tol + 0.05f * std::fabs(fd))
+        << "flat index " << i;
+  }
+}
+
+/// Deterministic "project to scalar" weights so every output element
+/// contributes to the loss.
+Tensor projection(const std::vector<std::int64_t>& shape) {
+  return Tensor::uniform(shape, 999, 0.1f, 1.0f);
+}
+
+float weighted_sum(const Tensor& t, const Tensor& w) {
+  float acc = 0;
+  for (std::int64_t i = 0; i < t.numel(); ++i) acc += t.at(i) * w.at(i);
+  return acc;
+}
+
+Var project_to_scalar(ExecContext& ctx, const Var& v, const Tensor& w) {
+  // loss = sum(v * w) expressed via existing ops: scale rows then nll-like
+  // reduction is overkill; use a manual op node.
+  Tensor value({1});
+  value.at(0) = weighted_sum(v->value(), w);
+  (void)ctx;
+  return fg::minidgl::make_op(
+      std::move(value), {v},
+      [v, w](fg::minidgl::Node& node) {
+        Tensor g(w.shape());
+        const float seed = node.grad().at(0);
+        for (std::int64_t i = 0; i < w.numel(); ++i) g.at(i) = w.at(i) * seed;
+        v->accumulate_grad(g);
+      },
+      "project");
+}
+
+}  // namespace
+
+TEST(Autograd, LeafAccumulatesAcrossPaths) {
+  ExecContext ctx;
+  Var x = make_leaf(Tensor::full({2, 2}, 3.0f), true);
+  Var y = fg::minidgl::add(ctx, x, x);  // y = 2x
+  backward(y);
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(x->grad().at(i), 2.0f);
+}
+
+TEST(Autograd, NoGradForFrozenLeaves) {
+  ExecContext ctx;
+  Var x = make_leaf(Tensor::full({2, 2}, 1.0f), false);
+  Var y = fg::minidgl::relu(ctx, x);
+  backward(y);
+  EXPECT_FALSE(x->has_grad());
+}
+
+TEST(Autograd, DiamondGraphGradientIsCorrect) {
+  // z = relu(x) + scale(x, 2): dz/dx = 1{x>0} + 2.
+  ExecContext ctx;
+  Tensor x0({3});
+  x0.at(0) = -1;
+  x0.at(1) = 0.5f;
+  x0.at(2) = 2;
+  Var x = make_leaf(x0.clone(), true);
+  Var z = fg::minidgl::add(ctx, fg::minidgl::relu(ctx, x),
+                           fg::minidgl::scale(ctx, x, 2.0f));
+  backward(z);
+  EXPECT_FLOAT_EQ(x->grad().at(0), 2.0f);
+  EXPECT_FLOAT_EQ(x->grad().at(1), 3.0f);
+  EXPECT_FLOAT_EQ(x->grad().at(2), 3.0f);
+}
+
+TEST(Autograd, MatmulGradient) {
+  ExecContext ctx;
+  const Tensor a0 = Tensor::randn({4, 5}, 1);
+  const Tensor b0 = Tensor::randn({5, 3}, 2);
+  const Tensor w = projection({4, 3});
+
+  check_gradient(
+      a0,
+      [&](const Tensor& a) {
+        return weighted_sum(fg::tensor::matmul(a, b0), w);
+      },
+      [&](const Tensor& a) {
+        Var av = make_leaf(a.clone(), true);
+        Var bv = make_leaf(b0.clone(), false);
+        Var y = fg::minidgl::matmul(ctx, av, bv);
+        return std::make_pair(project_to_scalar(ctx, y, w), av);
+      });
+
+  check_gradient(
+      b0,
+      [&](const Tensor& b) {
+        return weighted_sum(fg::tensor::matmul(a0, b), w);
+      },
+      [&](const Tensor& b) {
+        Var av = make_leaf(a0.clone(), false);
+        Var bv = make_leaf(b.clone(), true);
+        Var y = fg::minidgl::matmul(ctx, av, bv);
+        return std::make_pair(project_to_scalar(ctx, y, w), bv);
+      });
+}
+
+TEST(Autograd, AddBiasGradient) {
+  ExecContext ctx;
+  const Tensor x0 = Tensor::randn({4, 3}, 3);
+  const Tensor b0 = Tensor::randn({3}, 4);
+  const Tensor w = projection({4, 3});
+  check_gradient(
+      b0,
+      [&](const Tensor& b) {
+        return weighted_sum(fg::tensor::add_bias(x0, b), w);
+      },
+      [&](const Tensor& b) {
+        Var xv = make_leaf(x0.clone(), false);
+        Var bv = make_leaf(b.clone(), true);
+        Var y = fg::minidgl::add_bias(ctx, xv, bv);
+        return std::make_pair(project_to_scalar(ctx, y, w), bv);
+      });
+}
+
+TEST(Autograd, ActivationsGradient) {
+  ExecContext ctx;
+  const Tensor x0 = Tensor::randn({5, 4}, 5);
+  const Tensor w = projection({5, 4});
+  check_gradient(
+      x0,
+      [&](const Tensor& x) { return weighted_sum(fg::tensor::relu(x), w); },
+      [&](const Tensor& x) {
+        Var xv = make_leaf(x.clone(), true);
+        return std::make_pair(
+            project_to_scalar(ctx, fg::minidgl::relu(ctx, xv), w), xv);
+      });
+  check_gradient(
+      x0,
+      [&](const Tensor& x) {
+        return weighted_sum(fg::tensor::leaky_relu(x, 0.2f), w);
+      },
+      [&](const Tensor& x) {
+        Var xv = make_leaf(x.clone(), true);
+        return std::make_pair(
+            project_to_scalar(ctx, fg::minidgl::leaky_relu(ctx, xv, 0.2f), w),
+            xv);
+      });
+}
+
+TEST(Autograd, LogSoftmaxNllGradient) {
+  ExecContext ctx;
+  const Tensor x0 = Tensor::randn({6, 4}, 6);
+  const std::vector<std::int32_t> labels = {0, 1, 2, 3, 1, 2};
+  const std::vector<std::int64_t> rows = {0, 2, 4, 5};
+
+  check_gradient(
+      x0,
+      [&](const Tensor& x) {
+        Tensor lp = fg::tensor::log_softmax_rows(x);
+        return fg::tensor::nll_loss_masked(lp, rows, labels, nullptr);
+      },
+      [&](const Tensor& x) {
+        Var xv = make_leaf(x.clone(), true);
+        Var lp = fg::minidgl::log_softmax(ctx, xv);
+        Var loss = fg::minidgl::nll_loss(ctx, lp, labels, rows);
+        return std::make_pair(loss, xv);
+      },
+      /*eps=*/1e-2f, /*tol=*/1e-2f);
+}
+
+// --- sparse op gradients: fused vs materialize equality + numeric probes ---
+
+class SparseGradTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  Graph g_{fg::graph::gen_uniform(60, 4.0, 20)};
+  Tensor x0_ = Tensor::randn({60, 6}, 21);
+  Tensor w_ = projection({60, 6});
+};
+
+TEST_P(SparseGradTest, SpmmCopyUNumericGradient) {
+  const std::string reduce = GetParam();
+  ExecContext ctx;
+  check_gradient(
+      x0_,
+      [&](const Tensor& x) {
+        ExecContext c2;
+        Var xv = make_leaf(x.clone(), false);
+        Var y = fg::minidgl::spmm_copy_u(c2, g_, xv, reduce);
+        return weighted_sum(y->value(), w_);
+      },
+      [&](const Tensor& x) {
+        Var xv = make_leaf(x.clone(), true);
+        Var y = fg::minidgl::spmm_copy_u(ctx, g_, xv, reduce);
+        return std::make_pair(project_to_scalar(ctx, y, w_), xv);
+      });
+}
+
+TEST_P(SparseGradTest, FusedAndMaterializeGradientsAgree) {
+  const std::string reduce = GetParam();
+  Tensor grads[2];
+  for (int b = 0; b < 2; ++b) {
+    ExecContext ctx;
+    ctx.backend = b == 0 ? fg::minidgl::SparseBackend::kFused
+                         : fg::minidgl::SparseBackend::kMaterialize;
+    Var xv = make_leaf(x0_.clone(), true);
+    Var y = fg::minidgl::spmm_copy_u(ctx, g_, xv, reduce);
+    Var loss = project_to_scalar(ctx, y, w_);
+    backward(loss);
+    grads[b] = xv->grad().clone();
+  }
+  EXPECT_LT(fg::tensor::max_abs_diff(grads[0], grads[1]), 1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Reducers, SparseGradTest,
+                         ::testing::Values("sum", "mean", "max"));
+
+TEST(Autograd, SpmmUMulEGradients) {
+  Graph g(fg::graph::gen_uniform(40, 3.0, 22));
+  const Tensor x0 = Tensor::randn({40, 5}, 23);
+  Tensor e0 = Tensor::randn({g.num_edges()}, 24);
+  const Tensor w = projection({40, 5});
+
+  for (auto backend : {fg::minidgl::SparseBackend::kFused,
+                       fg::minidgl::SparseBackend::kMaterialize}) {
+    ExecContext ctx;
+    ctx.backend = backend;
+    // Gradient w.r.t. x.
+    check_gradient(
+        x0,
+        [&](const Tensor& x) {
+          ExecContext c2;
+          c2.backend = backend;
+          Var xv = make_leaf(x.clone(), false);
+          Var ev = make_leaf(e0.clone(), false);
+          Var y = fg::minidgl::spmm_u_mul_e(c2, g, xv, ev);
+          return weighted_sum(y->value(), w);
+        },
+        [&](const Tensor& x) {
+          Var xv = make_leaf(x.clone(), true);
+          Var ev = make_leaf(e0.clone(), false);
+          Var y = fg::minidgl::spmm_u_mul_e(ctx, g, xv, ev);
+          return std::make_pair(project_to_scalar(ctx, y, w), xv);
+        });
+    // Gradient w.r.t. the edge weights (the SDDMM-shaped gradient).
+    check_gradient(
+        e0,
+        [&](const Tensor& e) {
+          ExecContext c2;
+          c2.backend = backend;
+          Var xv = make_leaf(x0.clone(), false);
+          Var ev = make_leaf(e.clone(), false);
+          Var y = fg::minidgl::spmm_u_mul_e(c2, g, xv, ev);
+          return weighted_sum(y->value(), w);
+        },
+        [&](const Tensor& e) {
+          Var xv = make_leaf(x0.clone(), false);
+          Var ev = make_leaf(e.clone(), true);
+          Var y = fg::minidgl::spmm_u_mul_e(ctx, g, xv, ev);
+          return std::make_pair(project_to_scalar(ctx, y, w), ev);
+        });
+  }
+}
+
+TEST(Autograd, SddmmDotGradient) {
+  Graph g(fg::graph::gen_uniform(30, 3.0, 25));
+  const Tensor x0 = Tensor::randn({30, 4}, 26);
+  const Tensor w = projection({g.num_edges()});
+
+  for (auto backend : {fg::minidgl::SparseBackend::kFused,
+                       fg::minidgl::SparseBackend::kMaterialize}) {
+    ExecContext ctx;
+    ctx.backend = backend;
+    check_gradient(
+        x0,
+        [&](const Tensor& x) {
+          ExecContext c2;
+          c2.backend = backend;
+          Var xv = make_leaf(x.clone(), false);
+          Var y = fg::minidgl::sddmm_dot(c2, g, xv);
+          return weighted_sum(y->value(), w);
+        },
+        [&](const Tensor& x) {
+          Var xv = make_leaf(x.clone(), true);
+          Var y = fg::minidgl::sddmm_dot(ctx, g, xv);
+          return std::make_pair(project_to_scalar(ctx, y, w), xv);
+        });
+  }
+}
+
+TEST(Autograd, EdgeSoftmaxGradientAndNormalization) {
+  Graph g(fg::graph::gen_uniform(25, 4.0, 27));
+  const Tensor l0 = Tensor::randn({g.num_edges()}, 28);
+  const Tensor w = projection({g.num_edges()});
+  ExecContext ctx;
+
+  // Property: per-destination alpha sums to 1.
+  Var lv = make_leaf(l0.clone(), true);
+  Var alpha = fg::minidgl::edge_softmax(ctx, g, lv);
+  const auto& in = g.in_csr();
+  for (fg::graph::vid_t v = 0; v < in.num_rows; ++v) {
+    if (in.degree(v) == 0) continue;
+    float sum = 0;
+    for (std::int64_t i = in.indptr[v]; i < in.indptr[v + 1]; ++i)
+      sum += alpha->value().at(in.edge_ids[static_cast<std::size_t>(i)]);
+    EXPECT_NEAR(sum, 1.0f, 1e-4f);
+  }
+
+  check_gradient(
+      l0,
+      [&](const Tensor& l) {
+        ExecContext c2;
+        Var lv2 = make_leaf(l.clone(), false);
+        Var a = fg::minidgl::edge_softmax(c2, g, lv2);
+        return weighted_sum(a->value(), w);
+      },
+      [&](const Tensor& l) {
+        Var lv2 = make_leaf(l.clone(), true);
+        Var a = fg::minidgl::edge_softmax(ctx, g, lv2);
+        return std::make_pair(project_to_scalar(ctx, a, w), lv2);
+      },
+      /*eps=*/5e-3f, /*tol=*/1e-2f);
+}
+
+TEST(Autograd, FusedAndMaterializeForwardValuesAgree) {
+  Graph g(fg::graph::gen_uniform(80, 5.0, 29));
+  const Tensor x0 = Tensor::randn({80, 8}, 30);
+  for (const char* reduce : {"sum", "mean", "max"}) {
+    Tensor vals[2];
+    for (int b = 0; b < 2; ++b) {
+      ExecContext ctx;
+      ctx.backend = b == 0 ? fg::minidgl::SparseBackend::kFused
+                           : fg::minidgl::SparseBackend::kMaterialize;
+      Var xv = make_leaf(x0.clone(), false);
+      vals[b] = fg::minidgl::spmm_copy_u(ctx, g, xv, reduce)->value().clone();
+    }
+    EXPECT_LT(fg::tensor::max_abs_diff(vals[0], vals[1]), 1e-4f) << reduce;
+  }
+}
+
+TEST(Autograd, MaterializeBackendBooksMessageMemory) {
+  Graph g(fg::graph::gen_uniform(50, 4.0, 31));
+  const Tensor x0 = Tensor::randn({50, 16}, 32);
+
+  ExecContext fused;
+  Var x1 = make_leaf(x0.clone(), false);
+  (void)fg::minidgl::spmm_copy_u(fused, g, x1, "sum");
+  EXPECT_EQ(fused.materialized_bytes, 0.0);
+
+  ExecContext mat;
+  mat.backend = fg::minidgl::SparseBackend::kMaterialize;
+  Var x2 = make_leaf(x0.clone(), false);
+  (void)fg::minidgl::spmm_copy_u(mat, g, x2, "sum");
+  EXPECT_DOUBLE_EQ(mat.materialized_bytes,
+                   static_cast<double>(g.num_edges()) * 16 * 4);
+}

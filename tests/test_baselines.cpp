@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <queue>
+
+#include "baselines/ligra.hpp"
+#include "baselines/vendor_spmm.hpp"
+#include "core/sddmm.hpp"
+#include "core/spmm.hpp"
+#include "graph/generators.hpp"
+
+namespace fg = featgraph;
+namespace ligra = fg::baselines::ligra;
+using fg::graph::Coo;
+using fg::graph::Graph;
+using fg::graph::vid_t;
+using fg::tensor::Tensor;
+
+namespace {
+
+/// Reference BFS levels by std::queue.
+std::vector<std::int32_t> bfs_reference(const Graph& g, vid_t root) {
+  std::vector<std::int32_t> level(static_cast<std::size_t>(g.num_vertices()),
+                                  -1);
+  std::queue<vid_t> q;
+  q.push(root);
+  level[static_cast<std::size_t>(root)] = 0;
+  const auto& out = g.out_csr();
+  while (!q.empty()) {
+    const vid_t u = q.front();
+    q.pop();
+    for (std::int64_t i = out.indptr[u]; i < out.indptr[u + 1]; ++i) {
+      const vid_t v = out.indices[static_cast<std::size_t>(i)];
+      if (level[static_cast<std::size_t>(v)] == -1) {
+        level[static_cast<std::size_t>(v)] =
+            level[static_cast<std::size_t>(u)] + 1;
+        q.push(v);
+      }
+    }
+  }
+  return level;
+}
+
+Graph chain_graph(vid_t n) {
+  Coo coo;
+  coo.num_src = coo.num_dst = n;
+  for (vid_t v = 0; v + 1 < n; ++v) {
+    coo.src.push_back(v);
+    coo.dst.push_back(v + 1);
+  }
+  return Graph(std::move(coo));
+}
+
+}  // namespace
+
+TEST(LigraEngine, BfsOnChain) {
+  Graph g = chain_graph(10);
+  const auto level = ligra::bfs(g, 0);
+  for (vid_t v = 0; v < 10; ++v)
+    EXPECT_EQ(level[static_cast<std::size_t>(v)], v);
+}
+
+TEST(LigraEngine, BfsMatchesReferenceOnRandomGraphs) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    Graph g(fg::graph::gen_uniform(500, 3.0, seed));
+    for (int threads : {1, 2}) {
+      const auto got = ligra::bfs(g, 0, threads);
+      const auto want = bfs_reference(g, 0);
+      EXPECT_EQ(got, want) << "seed " << seed;
+    }
+  }
+}
+
+TEST(LigraEngine, PushAndPullDirectionsAgree) {
+  Graph g(fg::graph::gen_uniform(300, 4.0, 7));
+  ligra::Engine engine(g, 2);
+  auto frontier = ligra::VertexSubset::of(g.num_vertices(), {0, 5, 17});
+  std::vector<std::uint8_t> seen_push, seen_pull;
+  for (int den : {1000000, 1}) {  // force push, then force pull
+    std::vector<std::uint8_t> seen(static_cast<std::size_t>(g.num_vertices()),
+                                   0);
+    auto next = engine.edge_map(
+        frontier, [&](vid_t, vid_t v, fg::graph::eid_t) {
+          seen[static_cast<std::size_t>(v)] = 1;
+          return true;
+        },
+        [](vid_t) { return true; }, den);
+    // The produced frontier is the set of destinations reachable from the
+    // input frontier in one hop, independent of direction.
+    std::vector<std::uint8_t> flags(static_cast<std::size_t>(g.num_vertices()),
+                                    0);
+    for (vid_t v : next.ids()) flags[static_cast<std::size_t>(v)] = 1;
+    if (den == 1000000) {
+      seen_push = flags;
+    } else {
+      seen_pull = flags;
+    }
+  }
+  EXPECT_EQ(seen_push, seen_pull);
+}
+
+TEST(LigraEngine, VertexMapFilters) {
+  Graph g = chain_graph(10);
+  ligra::Engine engine(g);
+  auto all = ligra::VertexSubset::all(10);
+  auto evens = engine.vertex_map(all, [](vid_t v) { return v % 2 == 0; });
+  EXPECT_EQ(evens.size(), 5);
+  EXPECT_TRUE(evens.contains(4));
+  EXPECT_FALSE(evens.contains(3));
+}
+
+TEST(LigraEngine, PagerankSumsToOneAndRanksHubs) {
+  // Star graph: everyone points to vertex 0.
+  Coo coo;
+  coo.num_src = coo.num_dst = 20;
+  for (vid_t v = 1; v < 20; ++v) {
+    coo.src.push_back(v);
+    coo.dst.push_back(0);
+  }
+  Graph g(std::move(coo));
+  const auto pr = ligra::pagerank(g, 30, 0.85, 2);
+  const double total = std::accumulate(pr.begin(), pr.end(), 0.0);
+  // Vertex 0 is dangling (no out-edges), so its mass leaks each iteration —
+  // total stays in (0, 1] rather than exactly 1 (Ligra's example PageRank
+  // behaves the same way).
+  EXPECT_GT(total, 0.0);
+  EXPECT_LE(total, 1.0 + 1e-9);
+  for (std::size_t v = 1; v < 20; ++v) EXPECT_GT(pr[0], pr[v]);
+}
+
+TEST(LigraKernels, GcnAggregationMatchesFeatGraph) {
+  Graph g(fg::graph::gen_uniform(300, 6.0, 9));
+  Tensor x = Tensor::randn({300, 24}, 10);
+  for (int threads : {1, 2}) {
+    const Tensor got = ligra::gcn_aggregate(g, x, threads);
+    const Tensor want =
+        fg::core::spmm(g.in_csr(), "copy_u", "sum", {}, {&x, nullptr, nullptr});
+    EXPECT_LT(fg::tensor::max_abs_diff(got, want), 1e-4f);
+  }
+}
+
+TEST(LigraKernels, MlpAggregationMatchesFeatGraph) {
+  Graph g(fg::graph::gen_uniform(200, 5.0, 11));
+  Tensor x = Tensor::randn({200, 8}, 12);
+  Tensor w = Tensor::randn({8, 32}, 13);
+  const Tensor got = ligra::mlp_aggregate(g, x, w, 2);
+  const Tensor want =
+      fg::core::spmm(g.in_csr(), "mlp", "max", {}, {&x, nullptr, &w});
+  EXPECT_LT(fg::tensor::max_abs_diff(got, want), 1e-4f);
+}
+
+TEST(LigraKernels, DotAttentionMatchesFeatGraph) {
+  Graph g(fg::graph::gen_uniform(250, 5.0, 14));
+  Tensor x = Tensor::randn({250, 16}, 15);
+  const Tensor got = ligra::dot_attention(g, x, 2);
+  const Tensor want = fg::core::sddmm(g.coo(), "dot", {}, {&x, nullptr});
+  EXPECT_LT(fg::tensor::max_abs_diff(got, want), 1e-4f);
+}
+
+TEST(VendorSpmm, MatchesFeatGraphVanillaSpmm) {
+  Coo coo = fg::graph::gen_uniform(400, 8.0, 16);
+  const auto in = fg::graph::coo_to_in_csr(coo);
+  Tensor x = Tensor::randn({400, 48}, 17);
+  for (int threads : {1, 2}) {
+    const Tensor got = fg::baselines::vendor::csr_spmm(in, x, threads);
+    const Tensor want =
+        fg::core::spmm(in, "copy_u", "sum", {}, {&x, nullptr, nullptr});
+    EXPECT_LT(fg::tensor::max_abs_diff(got, want), 1e-4f);
+  }
+}
+
+TEST(VendorSpmm, SpmvMatchesSpmmWithWidthOne) {
+  Coo coo = fg::graph::gen_uniform(300, 6.0, 18);
+  const auto in = fg::graph::coo_to_in_csr(coo);
+  Tensor x = Tensor::randn({300, 1}, 19);
+  std::vector<float> xv(static_cast<std::size_t>(300));
+  for (vid_t v = 0; v < 300; ++v) xv[static_cast<std::size_t>(v)] = x.at(v, 0);
+  const auto got = fg::baselines::vendor::csr_spmv(in, xv, 2);
+  const Tensor want = fg::baselines::vendor::csr_spmm(in, x, 1);
+  for (vid_t v = 0; v < 300; ++v)
+    EXPECT_NEAR(got[static_cast<std::size_t>(v)], want.at(v, 0), 1e-4f);
+}
+
+TEST(VendorSpmm, HandlesEmptyRows) {
+  Coo coo;
+  coo.num_src = coo.num_dst = 4;
+  coo.src = {0};
+  coo.dst = {1};
+  const auto in = fg::graph::coo_to_in_csr(coo);
+  Tensor x = Tensor::full({4, 3}, 2.0f);
+  const Tensor out = fg::baselines::vendor::csr_spmm(in, x, 1);
+  EXPECT_EQ(out.at(0, 0), 0.0f);
+  EXPECT_EQ(out.at(1, 0), 2.0f);
+}

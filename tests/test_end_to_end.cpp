@@ -1,0 +1,158 @@
+// End-to-end training/inference integration tests (paper Sec. V-E): models
+// learn, the FeatGraph backend does not change semantics (the paper's
+// accuracy sanity check), and the GPU simulation accounts time and
+// materialized memory.
+#include <gtest/gtest.h>
+
+#include "minidgl/train.hpp"
+
+namespace fg = featgraph;
+using fg::minidgl::ClassificationData;
+using fg::minidgl::Device;
+using fg::minidgl::ExecContext;
+using fg::minidgl::Model;
+using fg::minidgl::SparseBackend;
+using fg::minidgl::Trainer;
+
+namespace {
+
+const ClassificationData& small_data() {
+  static const ClassificationData data = fg::minidgl::make_sbm_classification(
+      /*n=*/600, /*avg_degree=*/10.0, /*num_classes=*/4, /*p_in=*/0.9,
+      /*feat_dim=*/16, /*signal=*/2.0f, /*seed=*/77);
+  return data;
+}
+
+ExecContext ctx_of(SparseBackend backend, Device device = Device::kCpu) {
+  ExecContext ctx;
+  ctx.backend = backend;
+  ctx.device = device;
+  ctx.num_threads = 2;
+  return ctx;
+}
+
+}  // namespace
+
+TEST(EndToEnd, DatasetIsWellFormed) {
+  const auto& d = small_data();
+  EXPECT_EQ(d.graph.num_vertices(), 600);
+  EXPECT_EQ(d.num_classes, 4);
+  EXPECT_GT(d.train_rows.size(), 300u);
+  EXPECT_GT(d.val_rows.size(), 20u);
+  EXPECT_GT(d.test_rows.size(), 80u);
+  // Labels cover all classes.
+  std::vector<int> counts(4, 0);
+  for (auto y : d.labels) ++counts[static_cast<std::size_t>(y)];
+  for (int c : counts) EXPECT_GT(c, 50);
+}
+
+TEST(EndToEnd, GcnLearnsTheSbmTask) {
+  Trainer trainer(small_data(), Model("gcn", 16, 32, 4, /*seed=*/1),
+                  ctx_of(SparseBackend::kFused), /*lr=*/0.05f);
+  const auto history = fg::minidgl::train(trainer, 25);
+  EXPECT_LT(history.back().loss, history.front().loss * 0.5f);
+  EXPECT_GT(trainer.test_accuracy(), 0.9);
+}
+
+TEST(EndToEnd, SageMaxLearnsTheSbmTask) {
+  Trainer trainer(small_data(), Model("sage-max", 16, 32, 4, 2),
+                  ctx_of(SparseBackend::kFused), 0.05f);
+  const auto history = fg::minidgl::train(trainer, 25);
+  EXPECT_LT(history.back().loss, history.front().loss * 0.6f);
+  EXPECT_GT(trainer.test_accuracy(), 0.85);
+}
+
+TEST(EndToEnd, GatLearnsTheSbmTask) {
+  Trainer trainer(small_data(), Model("gat", 16, 32, 4, 3),
+                  ctx_of(SparseBackend::kFused), 0.05f);
+  const auto history = fg::minidgl::train(trainer, 25);
+  EXPECT_LT(history.back().loss, history.front().loss * 0.6f);
+  EXPECT_GT(trainer.test_accuracy(), 0.85);
+}
+
+// The paper's accuracy check (Sec. V-E): FeatGraph "is for performance
+// optimization without changing the semantics of GNN models". The fused and
+// materialized backends must produce the same training trajectory.
+class BackendEquivalence : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BackendEquivalence, LossTrajectoriesMatch) {
+  const std::string kind = GetParam();
+  std::vector<float> losses[2];
+  double final_acc[2] = {0, 0};
+  for (int b = 0; b < 2; ++b) {
+    Trainer trainer(small_data(), Model(kind, 16, 24, 4, /*seed=*/42),
+                    ctx_of(b == 0 ? SparseBackend::kFused
+                                  : SparseBackend::kMaterialize),
+                    0.05f);
+    for (int e = 0; e < 6; ++e)
+      losses[b].push_back(trainer.train_epoch().loss);
+    final_acc[b] = trainer.test_accuracy();
+  }
+  for (std::size_t e = 0; e < losses[0].size(); ++e)
+    EXPECT_NEAR(losses[0][e], losses[1][e], 2e-3f) << "epoch " << e;
+  EXPECT_NEAR(final_acc[0], final_acc[1], 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, BackendEquivalence,
+                         ::testing::Values("gcn", "sage-mean", "sage-max",
+                                           "gat"));
+
+TEST(EndToEnd, GpuSimProducesSameResultsAndAccountsTime) {
+  std::vector<float> losses[2];
+  for (int dev = 0; dev < 2; ++dev) {
+    Trainer trainer(small_data(), Model("gcn", 16, 24, 4, 7),
+                    ctx_of(SparseBackend::kFused,
+                           dev == 0 ? Device::kCpu : Device::kGpuSim),
+                    0.05f);
+    for (int e = 0; e < 4; ++e) {
+      const auto r = trainer.train_epoch();
+      losses[dev].push_back(r.loss);
+      if (dev == 1) EXPECT_GT(r.seconds, 0.0);  // simulated seconds
+    }
+  }
+  for (std::size_t e = 0; e < losses[0].size(); ++e)
+    EXPECT_NEAR(losses[0][e], losses[1][e], 1e-4f);
+}
+
+TEST(EndToEnd, MaterializeBackendBooksMemoryFusedDoesNot) {
+  for (int b = 0; b < 2; ++b) {
+    Trainer trainer(small_data(), Model("gat", 16, 24, 4, 8),
+                    ctx_of(b == 0 ? SparseBackend::kFused
+                                  : SparseBackend::kMaterialize),
+                    0.05f);
+    const auto r = trainer.train_epoch();
+    if (b == 0) {
+      EXPECT_EQ(r.materialized_bytes, 0.0);
+    } else {
+      EXPECT_GT(r.materialized_bytes, 0.0);
+    }
+  }
+}
+
+TEST(EndToEnd, InferenceReportsTestAccuracy) {
+  Trainer trainer(small_data(), Model("gcn", 16, 32, 4, 9),
+                  ctx_of(SparseBackend::kFused), 0.05f);
+  fg::minidgl::train(trainer, 15);
+  const auto inf = trainer.infer();
+  EXPECT_GT(inf.train_accuracy, 0.8);  // holds test accuracy for infer()
+  EXPECT_GT(inf.seconds, 0.0);
+}
+
+TEST(EndToEnd, SgdAlsoDecreasesLoss) {
+  const auto& d = small_data();
+  Model model("gcn", 16, 24, 4, 10);
+  ExecContext ctx = ctx_of(SparseBackend::kFused);
+  fg::minidgl::Sgd sgd(model.parameters(), 0.1f);
+  float first = 0, last = 0;
+  for (int e = 0; e < 10; ++e) {
+    auto x = fg::minidgl::make_leaf(d.features.clone(), false);
+    auto lp = model.forward(ctx, d.graph, x);
+    auto loss = fg::minidgl::nll_loss(ctx, lp, d.labels, d.train_rows);
+    sgd.zero_grad();
+    fg::minidgl::backward(loss);
+    sgd.step();
+    if (e == 0) first = loss->value().at(0);
+    last = loss->value().at(0);
+  }
+  EXPECT_LT(last, first);
+}

@@ -1,0 +1,306 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "graph/csr.hpp"
+#include "graph/datasets.hpp"
+#include "graph/generators.hpp"
+#include "graph/hilbert.hpp"
+#include "graph/partition.hpp"
+#include "graph/reorder.hpp"
+#include "support/rng.hpp"
+
+namespace fg = featgraph;
+using fg::graph::Coo;
+using fg::graph::Csr;
+using fg::graph::eid_t;
+using fg::graph::vid_t;
+
+namespace {
+
+/// 8-vertex sample graph in the spirit of the paper's Fig. 5.
+Coo sample_graph() {
+  Coo coo;
+  coo.num_src = 8;
+  coo.num_dst = 8;
+  const std::pair<vid_t, vid_t> edges[] = {{0, 1}, {1, 0}, {2, 3}, {3, 2},
+                                           {4, 5}, {5, 4}, {6, 7}, {7, 6},
+                                           {0, 7}, {7, 0}, {3, 4}, {4, 3}};
+  for (auto [u, v] : edges) {
+    coo.src.push_back(u);
+    coo.dst.push_back(v);
+  }
+  return coo;
+}
+
+/// Collects (row, col, eid) triples of a CSR for order-insensitive compare.
+std::set<std::tuple<vid_t, vid_t, eid_t>> entries(const Csr& csr) {
+  std::set<std::tuple<vid_t, vid_t, eid_t>> out;
+  for (vid_t r = 0; r < csr.num_rows; ++r)
+    for (std::int64_t i = csr.indptr[r]; i < csr.indptr[r + 1]; ++i)
+      out.insert({r, csr.indices[i], csr.edge_ids[i]});
+  return out;
+}
+
+}  // namespace
+
+TEST(Csr, InCsrListsInNeighbors) {
+  const Coo coo = sample_graph();
+  const Csr in = fg::graph::coo_to_in_csr(coo);
+  EXPECT_EQ(in.num_rows, 8);
+  EXPECT_EQ(in.nnz(), coo.num_edges());
+  // Vertex 0 has in-edges from 1 and 7.
+  std::set<vid_t> nbrs(in.indices.begin() + in.indptr[0],
+                       in.indices.begin() + in.indptr[1]);
+  EXPECT_EQ(nbrs, (std::set<vid_t>{1, 7}));
+}
+
+TEST(Csr, EdgeIdsPreserveCooIndex) {
+  const Coo coo = sample_graph();
+  const Csr in = fg::graph::coo_to_in_csr(coo);
+  for (vid_t v = 0; v < in.num_rows; ++v) {
+    for (std::int64_t i = in.indptr[v]; i < in.indptr[v + 1]; ++i) {
+      const eid_t e = in.edge_ids[i];
+      EXPECT_EQ(coo.dst[static_cast<std::size_t>(e)], v);
+      EXPECT_EQ(coo.src[static_cast<std::size_t>(e)], in.indices[i]);
+    }
+  }
+}
+
+TEST(Csr, TransposeSwapsOrientation) {
+  const Coo coo = sample_graph();
+  const Csr in = fg::graph::coo_to_in_csr(coo);
+  const Csr out = fg::graph::coo_to_out_csr(coo);
+  EXPECT_EQ(entries(fg::graph::transpose(in)), entries(out));
+}
+
+TEST(Csr, TransposeIsInvolution) {
+  const Coo coo = sample_graph();
+  const Csr in = fg::graph::coo_to_in_csr(coo);
+  EXPECT_EQ(entries(fg::graph::transpose(fg::graph::transpose(in))),
+            entries(in));
+}
+
+TEST(Csr, ColumnCountsMatchOutDegrees) {
+  const Coo coo = sample_graph();
+  const Csr in = fg::graph::coo_to_in_csr(coo);
+  const auto counts = fg::graph::column_counts(in);
+  std::vector<std::int64_t> expected(8, 0);
+  for (vid_t u : coo.src) ++expected[static_cast<std::size_t>(u)];
+  EXPECT_EQ(counts, expected);
+}
+
+TEST(Graph, BundlesBothOrientations) {
+  fg::graph::Graph g(sample_graph());
+  EXPECT_EQ(g.num_vertices(), 8);
+  EXPECT_EQ(g.num_edges(), 12);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 1.5);
+  EXPECT_EQ(entries(fg::graph::transpose(g.in_csr())), entries(g.out_csr()));
+}
+
+// --- generators ---------------------------------------------------------
+
+TEST(Generators, UniformHasRequestedEdgeCount) {
+  const Coo coo = fg::graph::gen_uniform(1000, 8.0, 1);
+  EXPECT_EQ(coo.num_edges(), 8000);
+  EXPECT_EQ(coo.num_src, 1000);
+  for (eid_t e = 0; e < coo.num_edges(); ++e) {
+    ASSERT_GE(coo.src[static_cast<std::size_t>(e)], 0);
+    ASSERT_LT(coo.src[static_cast<std::size_t>(e)], 1000);
+  }
+}
+
+TEST(Generators, DeterministicPerSeed) {
+  const Coo a = fg::graph::gen_uniform(500, 4.0, 7);
+  const Coo b = fg::graph::gen_uniform(500, 4.0, 7);
+  EXPECT_EQ(a.src, b.src);
+  EXPECT_EQ(a.dst, b.dst);
+  const Coo c = fg::graph::gen_uniform(500, 4.0, 8);
+  EXPECT_NE(a.src, c.src);
+}
+
+TEST(Generators, TwoClassDegreesAreExact) {
+  const Coo coo = fg::graph::gen_two_class(10, 100, 40, 5, 3);
+  const Csr out = fg::graph::coo_to_out_csr(coo);
+  for (vid_t u = 0; u < 10; ++u) EXPECT_EQ(out.degree(u), 100);
+  for (vid_t u = 10; u < 50; ++u) EXPECT_EQ(out.degree(u), 5);
+}
+
+TEST(Generators, LognormalHitsAverageDegree) {
+  const Coo coo = fg::graph::gen_lognormal(20000, 50.0, 1.0, 5);
+  const double avg =
+      static_cast<double>(coo.num_edges()) / static_cast<double>(coo.num_src);
+  EXPECT_NEAR(avg, 50.0, 5.0);
+}
+
+TEST(Generators, LognormalIsSkewed) {
+  const Coo coo = fg::graph::gen_lognormal(20000, 50.0, 1.2, 5);
+  const Csr out = fg::graph::coo_to_out_csr(coo);
+  std::vector<std::int64_t> degs;
+  for (vid_t u = 0; u < out.num_rows; ++u) degs.push_back(out.degree(u));
+  std::sort(degs.begin(), degs.end());
+  const std::int64_t median = degs[degs.size() / 2];
+  const std::int64_t p99 = degs[degs.size() * 99 / 100];
+  EXPECT_GT(p99, 4 * median);  // heavy tail
+}
+
+TEST(Generators, CommunityEdgesMostlyStayInside) {
+  const int n = 10000, comms = 10;
+  const Coo coo = fg::graph::gen_community(n, 20.0, comms, 0.9, 6);
+  const vid_t comm_size = n / comms;
+  std::int64_t inside = 0;
+  for (eid_t e = 0; e < coo.num_edges(); ++e) {
+    if (coo.src[static_cast<std::size_t>(e)] / comm_size ==
+        coo.dst[static_cast<std::size_t>(e)] / comm_size)
+      ++inside;
+  }
+  const double frac =
+      static_cast<double>(inside) / static_cast<double>(coo.num_edges());
+  EXPECT_GT(frac, 0.85);
+}
+
+// --- partitioning (property tests over partition counts) -----------------
+
+class PartitionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartitionTest, SegmentsAreDisjointAndComplete) {
+  const int parts = GetParam();
+  const Coo coo = fg::graph::gen_lognormal(2000, 10.0, 1.0, 9);
+  const Csr in = fg::graph::coo_to_in_csr(coo);
+  const auto partitioned = fg::graph::partition_by_source(in, parts);
+  ASSERT_EQ(static_cast<int>(partitioned.parts.size()), parts);
+
+  // Column ranges tile [0, num_cols) without overlap.
+  vid_t expected_begin = 0;
+  eid_t total_nnz = 0;
+  std::multiset<std::tuple<vid_t, vid_t, eid_t>> all_entries;
+  for (const auto& seg : partitioned.parts) {
+    EXPECT_EQ(seg.col_begin, expected_begin);
+    EXPECT_LE(seg.col_begin, seg.col_end);
+    expected_begin = seg.col_end;
+    total_nnz += seg.nnz();
+    for (vid_t r = 0; r < in.num_rows; ++r) {
+      for (std::int64_t i = seg.indptr[r]; i < seg.indptr[r + 1]; ++i) {
+        EXPECT_GE(seg.indices[i], seg.col_begin);
+        EXPECT_LT(seg.indices[i], seg.col_end);
+        all_entries.insert({r, seg.indices[i], seg.edge_ids[i]});
+      }
+    }
+  }
+  EXPECT_EQ(expected_begin, in.num_cols);
+  EXPECT_EQ(total_nnz, in.nnz());
+
+  std::multiset<std::tuple<vid_t, vid_t, eid_t>> original;
+  for (vid_t r = 0; r < in.num_rows; ++r)
+    for (std::int64_t i = in.indptr[r]; i < in.indptr[r + 1]; ++i)
+      original.insert({r, in.indices[i], in.edge_ids[i]});
+  EXPECT_EQ(all_entries, original);
+}
+
+TEST_P(PartitionTest, NnzIsRoughlyBalanced) {
+  const int parts = GetParam();
+  if (parts == 1) GTEST_SKIP();
+  const Coo coo = fg::graph::gen_uniform(4000, 16.0, 10);
+  const Csr in = fg::graph::coo_to_in_csr(coo);
+  const auto partitioned = fg::graph::partition_by_source(in, parts);
+  const double ideal =
+      static_cast<double>(in.nnz()) / static_cast<double>(parts);
+  for (const auto& seg : partitioned.parts) {
+    EXPECT_LT(static_cast<double>(seg.nnz()), 2.0 * ideal + 64.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Parts, PartitionTest,
+                         ::testing::Values(1, 2, 3, 4, 8, 16, 61));
+
+// --- hilbert --------------------------------------------------------------
+
+TEST(Hilbert, IndexIsBijectiveOnSmallGrid) {
+  const int order = 4;  // 16x16
+  std::set<std::uint64_t> seen;
+  for (std::uint32_t x = 0; x < 16; ++x)
+    for (std::uint32_t y = 0; y < 16; ++y)
+      seen.insert(fg::graph::hilbert_index(order, x, y));
+  EXPECT_EQ(seen.size(), 256u);
+  EXPECT_EQ(*seen.rbegin(), 255u);
+}
+
+TEST(Hilbert, AdjacentCellsDifferByOneStep) {
+  // Consecutive curve positions are 4-neighbors on the grid.
+  const int order = 5;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pos(1u << (2 * order));
+  for (std::uint32_t x = 0; x < (1u << order); ++x)
+    for (std::uint32_t y = 0; y < (1u << order); ++y)
+      pos[fg::graph::hilbert_index(order, x, y)] = {x, y};
+  for (std::size_t i = 1; i < pos.size(); ++i) {
+    const int dx = std::abs(static_cast<int>(pos[i].first) -
+                            static_cast<int>(pos[i - 1].first));
+    const int dy = std::abs(static_cast<int>(pos[i].second) -
+                            static_cast<int>(pos[i - 1].second));
+    ASSERT_EQ(dx + dy, 1) << "curve breaks at position " << i;
+  }
+}
+
+TEST(Hilbert, EdgeOrderIsAPermutation) {
+  const Coo coo = fg::graph::gen_uniform(300, 10.0, 11);
+  const auto order = fg::graph::hilbert_edge_order(coo);
+  std::vector<eid_t> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  for (eid_t e = 0; e < coo.num_edges(); ++e)
+    ASSERT_EQ(sorted[static_cast<std::size_t>(e)], e);
+}
+
+TEST(Hilbert, ImprovesLocalityOverCooOrder) {
+  const Coo coo = fg::graph::gen_uniform(2048, 16.0, 12);
+  std::vector<eid_t> identity(static_cast<std::size_t>(coo.num_edges()));
+  std::iota(identity.begin(), identity.end(), 0);
+  const auto hilbert = fg::graph::hilbert_edge_order(coo);
+  const double jump_identity =
+      fg::graph::edge_order_jump_distance(coo, identity);
+  const double jump_hilbert = fg::graph::edge_order_jump_distance(coo, hilbert);
+  EXPECT_LT(jump_hilbert, 0.25 * jump_identity);
+}
+
+// --- hybrid split -----------------------------------------------------
+
+TEST(HybridSplit, ClassifiesByThreshold) {
+  const Coo coo = fg::graph::gen_two_class(5, 50, 20, 2, 13);
+  const Csr in = fg::graph::coo_to_in_csr(coo);
+  const auto split = fg::graph::split_by_degree(in, 25);
+  EXPECT_EQ(split.high_vertices.size(), 5u);
+  for (vid_t u : split.high_vertices) EXPECT_LT(u, 5);
+  EXPECT_EQ(split.high_nnz, 250);
+}
+
+TEST(HybridSplit, QuantileThresholdSeparatesClasses) {
+  const Coo coo = fg::graph::gen_two_class(20, 100, 80, 5, 14);
+  const Csr in = fg::graph::coo_to_in_csr(coo);
+  const std::int64_t thr = fg::graph::degree_threshold_by_quantile(in, 0.8);
+  EXPECT_GT(thr, 5);
+  EXPECT_LE(thr, 100);
+  const auto split = fg::graph::split_by_degree(in, thr);
+  EXPECT_EQ(split.high_vertices.size(), 20u);
+}
+
+// --- datasets ------------------------------------------------------------
+
+TEST(Datasets, StandardTrioMatchesTable2Shapes) {
+  const auto ds = fg::graph::standard_datasets(0.01);
+  ASSERT_EQ(ds.size(), 3u);
+  EXPECT_EQ(ds[0].name, "ogbn-proteins");
+  EXPECT_EQ(ds[1].name, "reddit");
+  EXPECT_EQ(ds[2].name, "rand-100K");
+  // Vertex-count ordering from Table II: reddit > proteins > rand-100K.
+  EXPECT_GT(ds[1].graph.num_vertices(), ds[0].graph.num_vertices());
+  EXPECT_GT(ds[0].graph.num_vertices(), ds[2].graph.num_vertices());
+  for (const auto& d : ds) EXPECT_GT(d.graph.average_degree(), 1.0);
+}
+
+TEST(Datasets, UniformDensityControlsSparsity) {
+  const auto d = fg::graph::make_uniform_density(0.01, 0.005);
+  const double n = static_cast<double>(d.graph.num_vertices());
+  const double density = static_cast<double>(d.graph.num_edges()) / (n * n);
+  EXPECT_NEAR(density, 0.005, 0.0005);
+}

@@ -1,0 +1,166 @@
+// Unit tests for minidgl layers, optimizers and the SBM dataset.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "minidgl/data.hpp"
+#include "minidgl/modules.hpp"
+#include "minidgl/optim.hpp"
+
+namespace fg = featgraph;
+using fg::graph::Graph;
+using fg::minidgl::ExecContext;
+using fg::minidgl::make_leaf;
+using fg::minidgl::Model;
+using fg::minidgl::Var;
+using fg::tensor::Tensor;
+
+namespace {
+
+Graph test_graph() { return Graph(fg::graph::gen_uniform(50, 4.0, 7)); }
+
+}  // namespace
+
+TEST(Modules, LinearShapesAndBias) {
+  ExecContext ctx;
+  fg::minidgl::Linear lin(8, 5, 1);
+  Var x = make_leaf(Tensor::zeros({10, 8}), false);
+  Var y = lin.forward(ctx, x);
+  EXPECT_EQ(y->value().shape(0), 10);
+  EXPECT_EQ(y->value().shape(1), 5);
+  // Zero input -> bias only, and bias initializes to zero.
+  for (std::int64_t i = 0; i < y->value().numel(); ++i)
+    EXPECT_EQ(y->value().at(i), 0.0f);
+  EXPECT_EQ(lin.parameters().size(), 2u);
+}
+
+TEST(Modules, GcnLayerShapesAndActivation) {
+  ExecContext ctx;
+  Graph g = test_graph();
+  fg::minidgl::GcnLayer hidden(6, 4, /*final_layer=*/false, 2);
+  fg::minidgl::GcnLayer final(6, 4, /*final_layer=*/true, 2);
+  Var x = make_leaf(Tensor::randn({50, 6}, 3), false);
+  Var h = hidden.forward(ctx, g, x);
+  Var f = final.forward(ctx, g, x);
+  EXPECT_EQ(h->value().shape(1), 4);
+  // Hidden layers apply ReLU: all outputs non-negative.
+  for (std::int64_t i = 0; i < h->value().numel(); ++i)
+    EXPECT_GE(h->value().at(i), 0.0f);
+  // Final layers don't: some negative logits expected.
+  bool any_negative = false;
+  for (std::int64_t i = 0; i < f->value().numel(); ++i)
+    any_negative |= f->value().at(i) < 0.0f;
+  EXPECT_TRUE(any_negative);
+}
+
+TEST(Modules, SageLayerHasFourParameters) {
+  fg::minidgl::SageLayer layer(6, 4, "mean", false, 4);
+  EXPECT_EQ(layer.parameters().size(), 4u);  // 2 linears x (W, b)
+}
+
+TEST(ModulesDeathTest, SageRejectsUnknownAggregator) {
+  EXPECT_DEATH(fg::minidgl::SageLayer(4, 4, "median", false, 1), "aggregator");
+}
+
+TEST(Modules, GatLayerOutputsFiniteValues) {
+  ExecContext ctx;
+  Graph g = test_graph();
+  fg::minidgl::GatLayer layer(6, 4, false, 5);
+  Var x = make_leaf(Tensor::randn({50, 6}, 6), false);
+  Var h = layer.forward(ctx, g, x);
+  EXPECT_EQ(h->value().shape(0), 50);
+  EXPECT_EQ(h->value().shape(1), 4);
+  for (std::int64_t i = 0; i < h->value().numel(); ++i)
+    EXPECT_TRUE(std::isfinite(h->value().at(i)));
+}
+
+TEST(Modules, ModelForwardGivesLogProbabilities) {
+  ExecContext ctx;
+  Graph g = test_graph();
+  for (const char* kind : {"gcn", "sage-mean", "sage-max", "gat"}) {
+    Model model(kind, 6, 8, 3, 7);
+    Var x = make_leaf(Tensor::randn({50, 6}, 8), false);
+    Var lp = model.forward(ctx, g, x);
+    ASSERT_EQ(lp->value().shape(1), 3) << kind;
+    for (std::int64_t v = 0; v < 50; ++v) {
+      double p = 0.0;
+      for (std::int64_t c = 0; c < 3; ++c) p += std::exp(lp->value().at(v, c));
+      EXPECT_NEAR(p, 1.0, 1e-4) << kind;
+    }
+  }
+}
+
+TEST(ModulesDeathTest, ModelRejectsUnknownKind) {
+  EXPECT_DEATH(Model("transformer", 4, 4, 2, 1), "model kind");
+}
+
+TEST(Optim, SgdMovesAgainstGradient) {
+  Var p = make_leaf(Tensor::full({3}, 1.0f), true);
+  fg::minidgl::Sgd sgd({p}, 0.5f);
+  Tensor g = Tensor::full({3}, 2.0f);
+  p->accumulate_grad(g);
+  sgd.step();
+  for (std::int64_t i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(p->value().at(i), 0.0f);
+  sgd.zero_grad();
+  EXPECT_FALSE(p->has_grad());
+}
+
+TEST(Optim, AdamFirstStepIsLrSized) {
+  // With bias correction, the first Adam step is ~lr * sign(grad).
+  Var p = make_leaf(Tensor::full({2}, 0.0f), true);
+  fg::minidgl::Adam adam({p}, 0.1f);
+  Tensor g({2});
+  g.at(0) = 3.0f;
+  g.at(1) = -0.5f;
+  p->accumulate_grad(g);
+  adam.step();
+  EXPECT_NEAR(p->value().at(0), -0.1f, 1e-4f);
+  EXPECT_NEAR(p->value().at(1), 0.1f, 1e-4f);
+}
+
+TEST(Optim, AdamSkipsParametersWithoutGrad) {
+  Var p = make_leaf(Tensor::full({2}, 5.0f), true);
+  fg::minidgl::Adam adam({p}, 0.1f);
+  adam.step();  // no grad accumulated
+  EXPECT_FLOAT_EQ(p->value().at(0), 5.0f);
+}
+
+TEST(Data, SbmFeaturesCarryClassSignal) {
+  const auto data = fg::minidgl::make_sbm_classification(400, 8.0, 4, 0.9, 8,
+                                                         3.0f, 9);
+  // Average feature value at the label coordinate must exceed the average
+  // elsewhere by roughly the signal strength.
+  double on = 0.0, off = 0.0;
+  for (fg::graph::vid_t v = 0; v < 400; ++v) {
+    for (std::int64_t j = 0; j < 8; ++j) {
+      if (j == data.labels[static_cast<std::size_t>(v)]) {
+        on += data.features.at(v, j);
+      } else {
+        off += data.features.at(v, j);
+      }
+    }
+  }
+  EXPECT_GT(on / 400 - off / (400 * 7), 2.0);
+}
+
+TEST(Data, SplitsArePartition) {
+  const auto data = fg::minidgl::make_sbm_classification(300, 6.0, 3, 0.8, 6,
+                                                         1.0f, 10);
+  std::vector<int> seen(300, 0);
+  for (auto v : data.train_rows) ++seen[static_cast<std::size_t>(v)];
+  for (auto v : data.val_rows) ++seen[static_cast<std::size_t>(v)];
+  for (auto v : data.test_rows) ++seen[static_cast<std::size_t>(v)];
+  for (int s : seen) EXPECT_EQ(s, 1);
+}
+
+TEST(Data, AccuracyOfPerfectAndWorstPredictions) {
+  Tensor lp = Tensor::zeros({4, 3});
+  // argmax = label for rows 0,1; wrong for 2,3.
+  lp.at(0, 1) = 1.0f;
+  lp.at(1, 2) = 1.0f;
+  lp.at(2, 0) = 1.0f;
+  lp.at(3, 0) = 1.0f;
+  std::vector<std::int32_t> labels = {1, 2, 1, 2};
+  EXPECT_DOUBLE_EQ(
+      fg::minidgl::accuracy(lp, labels, {0, 1, 2, 3}), 0.5);
+  EXPECT_DOUBLE_EQ(fg::minidgl::accuracy(lp, labels, {0, 1}), 1.0);
+}

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/scaling_model.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace fg = featgraph;
+using fg::parallel::ThreadPool;
+
+TEST(ThreadPool, SingleLaneRunsInline) {
+  int calls = 0;
+  ThreadPool::global().launch(1, [&](int tid, int lanes) {
+    EXPECT_EQ(tid, 0);
+    EXPECT_EQ(lanes, 1);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, AllLanesRunExactlyOnce) {
+  for (int lanes : {2, 3, 8, 16}) {
+    std::vector<std::atomic<int>> counts(static_cast<std::size_t>(lanes));
+    for (auto& c : counts) c = 0;
+    ThreadPool::global().launch(lanes, [&](int tid, int total) {
+      EXPECT_EQ(total, lanes);
+      counts[static_cast<std::size_t>(tid)].fetch_add(1);
+    });
+    for (auto& c : counts) EXPECT_EQ(c.load(), 1);
+  }
+}
+
+TEST(ThreadPool, ReusableAcrossManyLaunches) {
+  std::atomic<int> total{0};
+  for (int i = 0; i < 200; ++i)
+    ThreadPool::global().launch(4, [&](int, int) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 800);
+}
+
+TEST(ThreadPool, OversubscriptionIsFunctionallyCorrect) {
+  // More lanes than cores must still run every lane.
+  std::atomic<int> total{0};
+  ThreadPool::global().launch(64, [&](int, int) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+  for (int threads : {1, 2, 4}) {
+    std::vector<std::atomic<int>> hits(100);
+    for (auto& h : hits) h = 0;
+    fg::parallel::parallel_for(0, 100, threads, [&](std::int64_t i) {
+      hits[static_cast<std::size_t>(i)].fetch_add(1);
+    });
+    for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  int calls = 0;
+  fg::parallel::parallel_for(5, 5, 4, [&](std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelForRanges, RangesPartitionTheInterval) {
+  std::mutex m;
+  std::vector<std::pair<std::int64_t, std::int64_t>> ranges;
+  fg::parallel::parallel_for_ranges(
+      0, 103, 4, [&](std::int64_t lo, std::int64_t hi) {
+        std::lock_guard<std::mutex> lock(m);
+        ranges.emplace_back(lo, hi);
+      });
+  std::sort(ranges.begin(), ranges.end());
+  std::int64_t covered = 0;
+  std::int64_t expected_next = 0;
+  for (auto [lo, hi] : ranges) {
+    EXPECT_EQ(lo, expected_next);
+    EXPECT_LT(lo, hi);
+    covered += hi - lo;
+    expected_next = hi;
+  }
+  EXPECT_EQ(covered, 103);
+}
+
+TEST(CooperativeChunks, EveryChunkProcessedOnce) {
+  for (int threads : {1, 2, 4}) {
+    std::vector<std::atomic<int>> hits(37);
+    for (auto& h : hits) h = 0;
+    fg::parallel::cooperative_chunks(37, threads, [&](std::int64_t c) {
+      hits[static_cast<std::size_t>(c)].fetch_add(1);
+    });
+    for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+// --- scaling model -----------------------------------------------------
+
+using fg::parallel::predict_parallel_seconds;
+using fg::parallel::SchedulingMode;
+using fg::parallel::WorkChunk;
+
+namespace {
+
+std::vector<WorkChunk> uniform_chunks(int n, double secs, double bytes) {
+  return std::vector<WorkChunk>(static_cast<std::size_t>(n),
+                                WorkChunk{secs, bytes});
+}
+
+}  // namespace
+
+TEST(ScalingModel, OneThreadMatchesTotalWork) {
+  const auto chunks = uniform_chunks(16, 0.1, 1e6);
+  const double t =
+      predict_parallel_seconds(chunks, 1, SchedulingMode::kIndependent);
+  EXPECT_NEAR(t, 1.6, 0.01);
+}
+
+TEST(ScalingModel, MoreThreadsNeverSlower) {
+  const auto chunks = uniform_chunks(64, 0.05, 1e6);
+  for (auto mode :
+       {SchedulingMode::kIndependent, SchedulingMode::kCooperative}) {
+    double prev = predict_parallel_seconds(chunks, 1, mode);
+    for (int k : {2, 4, 8, 16}) {
+      const double t = predict_parallel_seconds(chunks, k, mode);
+      EXPECT_LE(t, prev * 1.0001);
+      prev = t;
+    }
+  }
+}
+
+TEST(ScalingModel, SpeedupBoundedByThreadCount) {
+  const auto chunks = uniform_chunks(64, 0.05, 1e6);
+  const double t1 =
+      predict_parallel_seconds(chunks, 1, SchedulingMode::kCooperative);
+  const double t16 =
+      predict_parallel_seconds(chunks, 16, SchedulingMode::kCooperative);
+  EXPECT_LE(t1 / t16, 16.0 + 1e-6);
+  EXPECT_GT(t1 / t16, 8.0);  // near-linear when chunks fit the LLC
+}
+
+TEST(ScalingModel, CooperativeDodgesLlcContention) {
+  // Chunks of 8 MB: 16 independent chunks blow past a 25 MB LLC while the
+  // cooperative mode keeps one chunk resident, so cooperative must win.
+  const auto chunks = uniform_chunks(64, 0.05, 8e6);
+  const double indep =
+      predict_parallel_seconds(chunks, 16, SchedulingMode::kIndependent);
+  const double coop =
+      predict_parallel_seconds(chunks, 16, SchedulingMode::kCooperative);
+  EXPECT_LT(coop, indep);
+}
+
+TEST(ScalingModel, BandwidthRooflineCapsSpeedup) {
+  // A purely bandwidth-bound workload (huge bytes, little compute) cannot
+  // scale past socket_bw / per_thread_bw regardless of thread count.
+  fg::parallel::ScalingModelParams params;
+  std::vector<WorkChunk> chunks(64, WorkChunk{0.001, 2e9});  // 128 GB total
+  const double t1 =
+      predict_parallel_seconds(chunks, 1, SchedulingMode::kCooperative, params);
+  const double t16 = predict_parallel_seconds(chunks, 16,
+                                              SchedulingMode::kCooperative,
+                                              params);
+  const double max_speedup =
+      params.socket_bw_bytes_per_s / params.per_thread_bw_bytes_per_s;
+  EXPECT_LT(t1 / t16, max_speedup + 0.01);
+  EXPECT_GT(t1 / t16, max_speedup * 0.75);
+}
+
+TEST(ScalingModel, ComputeBoundWorkloadsScaleLinearly) {
+  // Negligible bytes: the bandwidth floor never binds and cooperative
+  // scheduling reaches ideal speedup.
+  std::vector<WorkChunk> chunks(64, WorkChunk{0.01, 1e3});
+  const double t1 =
+      predict_parallel_seconds(chunks, 1, SchedulingMode::kCooperative);
+  const double t16 =
+      predict_parallel_seconds(chunks, 16, SchedulingMode::kCooperative);
+  EXPECT_NEAR(t1 / t16, 16.0, 0.5);
+}
+
+TEST(ScalingModel, SkewedChunksScaleWorse) {
+  auto uniform = uniform_chunks(16, 0.1, 1e6);
+  std::vector<WorkChunk> skewed = uniform;
+  // Same total work, but one chunk dominates.
+  for (auto& c : skewed) c.seconds = 0.02;
+  skewed[0].seconds = 0.1 * 16 - 0.02 * 15;
+  const double tu =
+      predict_parallel_seconds(uniform, 8, SchedulingMode::kIndependent);
+  const double ts =
+      predict_parallel_seconds(skewed, 8, SchedulingMode::kIndependent);
+  EXPECT_GT(ts, tu);
+}

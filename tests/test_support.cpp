@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <set>
+
+#include "support/aligned.hpp"
+#include "support/env.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+
+namespace fg = featgraph;
+
+TEST(Env, DoubleParsesAndFallsBack) {
+  ::setenv("FG_TEST_D", "2.5", 1);
+  EXPECT_DOUBLE_EQ(fg::support::env_double("FG_TEST_D", 1.0), 2.5);
+  ::setenv("FG_TEST_D", "not-a-number", 1);
+  EXPECT_DOUBLE_EQ(fg::support::env_double("FG_TEST_D", 1.0), 1.0);
+  ::unsetenv("FG_TEST_D");
+  EXPECT_DOUBLE_EQ(fg::support::env_double("FG_TEST_D", 3.0), 3.0);
+}
+
+TEST(Env, LongParsesAndFallsBack) {
+  ::setenv("FG_TEST_L", "42", 1);
+  EXPECT_EQ(fg::support::env_long("FG_TEST_L", 7), 42);
+  ::unsetenv("FG_TEST_L");
+  EXPECT_EQ(fg::support::env_long("FG_TEST_L", 7), 7);
+}
+
+TEST(Env, StringFallsBack) {
+  ::unsetenv("FG_TEST_S");
+  EXPECT_EQ(fg::support::env_string("FG_TEST_S", "dflt"), "dflt");
+  ::setenv("FG_TEST_S", "abc", 1);
+  EXPECT_EQ(fg::support::env_string("FG_TEST_S", "dflt"), "abc");
+  ::unsetenv("FG_TEST_S");
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  fg::support::Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  fg::support::Rng a(1), b(2);
+  int differ = 0;
+  for (int i = 0; i < 16; ++i) differ += (a.next() != b.next());
+  EXPECT_GT(differ, 0);
+}
+
+TEST(Rng, UniformRespectsBound) {
+  fg::support::Rng rng(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.uniform(17), 17u);
+}
+
+TEST(Rng, UniformRealInUnitInterval) {
+  fg::support::Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform_real();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformCoversRange) {
+  fg::support::Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NormalHasApproxUnitMoments) {
+  fg::support::Rng rng(11);
+  double sum = 0.0, sumsq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sumsq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.05);
+}
+
+TEST(Rng, LognormalMeanMatchesFormula) {
+  fg::support::Rng rng(13);
+  const double mu = 1.0, sigma = 0.5;
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.lognormal(mu, sigma);
+  EXPECT_NEAR(sum / n, std::exp(mu + 0.5 * sigma * sigma), 0.1);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  fg::support::Timer t;
+  double sink = 0.0;
+  for (int i = 0; i < 2000000; ++i) sink += static_cast<double>(i);
+  EXPECT_GT(sink, 0.0);  // also keeps the loop from being optimized away
+  EXPECT_GT(t.seconds(), 0.0);
+  EXPECT_GE(t.millis(), t.seconds() * 1000.0 * 0.5);
+}
+
+TEST(Timer, TimeMeanRunsWarmupPlusReps) {
+  int calls = 0;
+  const double mean =
+      fg::support::time_mean_seconds([&] { ++calls; }, /*reps=*/5);
+  EXPECT_EQ(calls, 6);  // 1 warm-up + 5 timed
+  EXPECT_GE(mean, 0.0);
+}
+
+TEST(Aligned, AllocationsAreCacheLineAligned) {
+  fg::support::AlignedAllocator<float> alloc;
+  for (std::size_t n : {1u, 3u, 17u, 1024u}) {
+    float* p = alloc.allocate(n);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 64, 0u);
+    alloc.deallocate(p, n);
+  }
+}
+
+TEST(Table, RendersAlignedColumns) {
+  fg::support::Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22.5"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22.5"), std::string::npos);
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+}
+
+TEST(Table, NumFormatsDigits) {
+  EXPECT_EQ(fg::support::Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(fg::support::Table::num(2.0, 0), "2");
+}
+
+TEST(TableDeathTest, RejectsMismatchedRowWidth) {
+  fg::support::Table t({"a", "b"});
+  EXPECT_DEATH(t.add_row({"only-one"}), "row width");
+}

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "core/tuner.hpp"
+#include "graph/generators.hpp"
+
+namespace fg = featgraph;
+using fg::core::CpuSpmmSchedule;
+using fg::graph::Csr;
+using fg::tensor::Tensor;
+
+namespace {
+
+struct Fixture {
+  fg::graph::Coo coo = fg::graph::gen_uniform(800, 16.0, 1000);
+  Csr in_csr = fg::graph::coo_to_in_csr(coo);
+  Tensor x = Tensor::randn({800, 32}, 1001);
+};
+
+}  // namespace
+
+TEST(Tuner, DefaultGridCoversPartitionAndTileAxes) {
+  const auto grid = fg::core::default_spmm_candidates(128, 2);
+  EXPECT_GE(grid.size(), 20u);
+  bool has_unpartitioned = false, has_partitioned = false;
+  bool has_untiled = false, has_tiled = false;
+  for (const auto& s : grid) {
+    has_unpartitioned |= s.num_partitions == 1;
+    has_partitioned |= s.num_partitions > 1;
+    has_untiled |= s.feat_tile == 0;
+    has_tiled |= s.feat_tile > 0;
+    EXPECT_EQ(s.num_threads, 2);
+    EXPECT_LE(s.feat_tile, 128);
+  }
+  EXPECT_TRUE(has_unpartitioned && has_partitioned && has_untiled && has_tiled);
+}
+
+TEST(Tuner, GridRespectsSmallFeatureLengths) {
+  for (const auto& s : fg::core::default_spmm_candidates(8, 1))
+    EXPECT_LE(s.feat_tile, 8);
+}
+
+TEST(Tuner, ReturnsBestTrial) {
+  Fixture f;
+  std::vector<CpuSpmmSchedule> cands;
+  for (int parts : {1, 4}) {
+    CpuSpmmSchedule s;
+    s.num_partitions = parts;
+    cands.push_back(s);
+  }
+  const auto result = fg::core::tune_spmm(f.in_csr, "copy_u", "sum",
+                                          {&f.x, nullptr, nullptr}, cands);
+  ASSERT_EQ(result.trials.size(), 2u);
+  double best = std::min(result.trials[0].seconds, result.trials[1].seconds);
+  EXPECT_DOUBLE_EQ(result.best_seconds, best);
+  EXPECT_GT(result.best_seconds, 0.0);
+}
+
+TEST(Tuner, CachedScheduleIsStable) {
+  Fixture f;
+  const auto s1 = fg::core::tuned_spmm_schedule(f.in_csr, "copy_u", "sum",
+                                                {&f.x, nullptr, nullptr}, 1);
+  const auto s2 = fg::core::tuned_spmm_schedule(f.in_csr, "copy_u", "sum",
+                                                {&f.x, nullptr, nullptr}, 1);
+  EXPECT_EQ(s1.num_partitions, s2.num_partitions);
+  EXPECT_EQ(s1.feat_tile, s2.feat_tile);
+  EXPECT_EQ(s1.num_threads, 1);
+}
+
+TEST(Tuner, HeuristicPartitionsGrowWithGraphSize) {
+  Fixture f;
+  // Tiny source set: one partition suffices.
+  const auto small = fg::core::heuristic_spmm_schedule(f.in_csr, 64, 1);
+  EXPECT_EQ(small.num_partitions, 1);
+
+  // Fake a huge column count by constructing a wide CSR header.
+  Csr wide;
+  wide.num_rows = 10;
+  wide.num_cols = 4 * 1000 * 1000;
+  wide.indptr.assign(11, 0);
+  const auto big = fg::core::heuristic_spmm_schedule(wide, 512, 1);
+  EXPECT_GT(big.num_partitions, 1);
+}
+
+TEST(Tuner, TransfersAcrossFeatureLengthByCacheKey) {
+  // Different feature lengths tune independently (Fig. 14: optimal feature
+  // partitions scale with feature length).
+  Fixture f;
+  Tensor x64 = Tensor::randn({800, 64}, 1002);
+  const auto a = fg::core::tuned_spmm_schedule(f.in_csr, "copy_u", "sum",
+                                               {&f.x, nullptr, nullptr}, 1);
+  const auto b = fg::core::tuned_spmm_schedule(f.in_csr, "copy_u", "sum",
+                                               {&x64, nullptr, nullptr}, 1);
+  // Keys differ, so both entries exist; re-querying returns each unchanged.
+  const auto a2 = fg::core::tuned_spmm_schedule(f.in_csr, "copy_u", "sum",
+                                                {&f.x, nullptr, nullptr}, 1);
+  EXPECT_EQ(a.num_partitions, a2.num_partitions);
+  EXPECT_EQ(a.feat_tile, a2.feat_tile);
+  (void)b;
+}
