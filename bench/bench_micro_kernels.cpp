@@ -1,13 +1,28 @@
 // Google-benchmark micro suite over kernel variants: SpMM and SDDMM under
-// different schedules (unpartitioned / partitioned / tiled / Hilbert).
-// Complements the paper-table binaries with statistically robust
-// per-kernel timings.
+// different schedules (unpartitioned / partitioned / tiled / Hilbert), SIMD
+// backends (scalar / AVX2) and row-split policies (static / nnz-balanced).
+// Complements the paper-table binaries with statistically robust per-kernel
+// timings.
+//
+// After the registered benchmarks run, main() records the canonical
+// micro-kernel baseline — copy_u/sum SpMM at d=64 on an R-MAT graph, scalar
+// vs SIMD and static vs nnz-balanced — to BENCH_kernels.json in the working
+// directory, so successive PRs accumulate a perf trajectory. Pass
+// --benchmark_filter='^$' to skip the google-benchmark suite and only
+// refresh the baseline file.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string_view>
+#include <thread>
+
 #include "featgraph.hpp"
+#include "common.hpp"
 
 namespace fg = featgraph;
 using fg::core::CpuSpmmSchedule;
+using fg::core::LoadBalance;
+using fg::simd::Isa;
 using fg::tensor::Tensor;
 
 namespace {
@@ -28,11 +43,19 @@ struct MicroFixture {
   }
 };
 
+Isa isa_arg(std::int64_t v) { return v == 0 ? Isa::kScalar : Isa::kAvx2; }
+LoadBalance lb_arg(std::int64_t v) {
+  return v == 0 ? LoadBalance::kStaticRows : LoadBalance::kNnzBalanced;
+}
+
 void BM_SpmmCopyUSum(benchmark::State& state) {
   auto& f = MicroFixture::get();
   CpuSpmmSchedule sched;
   sched.num_partitions = static_cast<int>(state.range(0));
   sched.feat_tile = state.range(1);
+  sched.load_balance = lb_arg(state.range(3));
+  sched.num_threads = static_cast<int>(state.range(4));
+  fg::simd::ScopedIsa pin(isa_arg(state.range(2)));
   for (auto _ : state) {
     auto out = fg::core::spmm(f.in_csr, "copy_u", "sum", sched,
                               {&f.x, nullptr, nullptr});
@@ -47,6 +70,7 @@ void BM_SpmmMlpMax(benchmark::State& state) {
   static Tensor w = Tensor::randn({8, 64}, 10);
   CpuSpmmSchedule sched;
   sched.num_partitions = static_cast<int>(state.range(0));
+  fg::simd::ScopedIsa pin(isa_arg(state.range(1)));
   for (auto _ : state) {
     auto out = fg::core::spmm(f.in_csr, "mlp", "max", sched, {&x8, nullptr, &w});
     benchmark::DoNotOptimize(out.data());
@@ -59,6 +83,7 @@ void BM_SddmmDot(benchmark::State& state) {
   fg::core::CpuSddmmSchedule sched;
   sched.hilbert_order = state.range(0) != 0;
   sched.reduce_tile = state.range(1);
+  fg::simd::ScopedIsa pin(isa_arg(state.range(2)));
   for (auto _ : state) {
     auto out = fg::core::sddmm(f.coo, "dot", sched, {&f.x, nullptr});
     benchmark::DoNotOptimize(out.data());
@@ -81,20 +106,145 @@ void BM_GenericUdfOverhead(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * f.in_csr.nnz());
 }
 
+// ---------------------------------------------------------------------------
+// Recorded baseline (BENCH_kernels.json)
+// ---------------------------------------------------------------------------
+
+void record_baseline() {
+  // The acceptance workload: copy_u/sum SpMM, d=64, R-MAT skew.
+  const auto coo = fg::graph::gen_rmat(32768, 16.0, 42);
+  const auto in_csr = fg::graph::coo_to_in_csr(coo);
+  const Tensor x = Tensor::randn({in_csr.num_cols, 64}, 43);
+  const fg::core::SpmmOperands ops{&x, nullptr, nullptr};
+
+  const auto time_spmm = [&](Isa isa, LoadBalance lb, int threads) {
+    fg::simd::ScopedIsa pin(isa);
+    CpuSpmmSchedule sched;
+    sched.num_threads = threads;
+    sched.load_balance = lb;
+    return fg::bench::measure_seconds(
+        [&] { (void)fg::core::spmm(in_csr, "copy_u", "sum", sched, ops); });
+  };
+
+  const double scalar_static_1t =
+      time_spmm(Isa::kScalar, LoadBalance::kStaticRows, 1);
+  const double scalar_nnz_1t =
+      time_spmm(Isa::kScalar, LoadBalance::kNnzBalanced, 1);
+  const double simd_static_1t =
+      time_spmm(Isa::kAvx2, LoadBalance::kStaticRows, 1);
+  const double simd_nnz_1t =
+      time_spmm(Isa::kAvx2, LoadBalance::kNnzBalanced, 1);
+
+  const int hw = std::max(1u, std::thread::hardware_concurrency());
+  const double scalar_static_mt =
+      time_spmm(Isa::kScalar, LoadBalance::kStaticRows, hw);
+  const double simd_static_mt =
+      time_spmm(Isa::kAvx2, LoadBalance::kStaticRows, hw);
+  const double simd_nnz_mt =
+      time_spmm(Isa::kAvx2, LoadBalance::kNnzBalanced, hw);
+
+  const auto time_sddmm = [&](Isa isa) {
+    fg::simd::ScopedIsa pin(isa);
+    fg::core::CpuSddmmSchedule sched;
+    return fg::bench::measure_seconds(
+        [&] { (void)fg::core::sddmm(coo, "dot", sched, {&x, nullptr}); });
+  };
+  const double sddmm_scalar = time_sddmm(Isa::kScalar);
+  const double sddmm_simd = time_sddmm(Isa::kAvx2);
+
+  std::FILE* f = std::fopen("BENCH_kernels.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_kernels.json\n");
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"micro_kernels_baseline\",\n");
+  std::fprintf(f,
+               "  \"machine\": {\"hardware_concurrency\": %d, "
+               "\"avx2\": %s, \"active_isa\": \"%s\"},\n",
+               hw, fg::simd::cpu_supports_avx2() ? "true" : "false",
+               fg::simd::isa_name(fg::simd::active_isa()));
+  std::fprintf(f,
+               "  \"graph\": {\"generator\": \"rmat\", \"n\": %d, "
+               "\"avg_degree\": 16, \"nnz\": %lld, \"feature_dim\": 64},\n",
+               static_cast<int>(in_csr.num_rows),
+               static_cast<long long>(in_csr.nnz()));
+  std::fprintf(f, "  \"reps\": %d,\n", fg::support::bench_reps());
+  std::fprintf(f, "  \"mt_threads\": %d,\n", hw);
+  std::fprintf(f, "  \"spmm_copy_u_sum\": {\n");
+  std::fprintf(f, "    \"scalar_static_1t_sec\": %.6f,\n", scalar_static_1t);
+  std::fprintf(f, "    \"scalar_nnz_1t_sec\": %.6f,\n", scalar_nnz_1t);
+  std::fprintf(f, "    \"simd_static_1t_sec\": %.6f,\n", simd_static_1t);
+  std::fprintf(f, "    \"simd_nnz_1t_sec\": %.6f,\n", simd_nnz_1t);
+  std::fprintf(f, "    \"simd_speedup_1t\": %.2f,\n",
+               scalar_static_1t / simd_static_1t);
+  std::fprintf(f, "    \"scalar_static_mt_sec\": %.6f,\n", scalar_static_mt);
+  std::fprintf(f, "    \"simd_static_mt_sec\": %.6f,\n", simd_static_mt);
+  std::fprintf(f, "    \"simd_nnz_mt_sec\": %.6f,\n", simd_nnz_mt);
+  std::fprintf(f, "    \"nnz_vs_static_speedup_mt\": %.2f\n",
+               simd_static_mt / simd_nnz_mt);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"sddmm_dot\": {\n");
+  std::fprintf(f, "    \"scalar_sec\": %.6f,\n", sddmm_scalar);
+  std::fprintf(f, "    \"simd_sec\": %.6f,\n", sddmm_simd);
+  std::fprintf(f, "    \"simd_speedup\": %.2f\n",
+               sddmm_scalar / sddmm_simd);
+  std::fprintf(f, "  }\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf(
+      "\nBENCH_kernels.json: copy_u/sum d=64 rmat — scalar %.4fs, "
+      "simd %.4fs (%.2fx); sddmm dot %.2fx\n",
+      scalar_static_1t, simd_static_1t, scalar_static_1t / simd_static_1t,
+      sddmm_scalar / sddmm_simd);
+}
+
 }  // namespace
 
+// (parts, tile, isa[0=scalar,1=simd], load_balance[0=static,1=nnz],
+//  threads). The static-vs-nnz pair runs at 4 threads — at 1 thread both
+// policies execute the identical sweep and the comparison is vacuous.
 BENCHMARK(BM_SpmmCopyUSum)
-    ->Args({1, 0})
-    ->Args({8, 0})
-    ->Args({1, 32})
-    ->Args({8, 32})
+    ->Args({1, 0, 0, 0, 1})
+    ->Args({1, 0, 1, 0, 1})
+    ->Args({1, 0, 1, 0, 4})
+    ->Args({1, 0, 1, 1, 4})
+    ->Args({8, 0, 1, 0, 1})
+    ->Args({1, 32, 1, 0, 1})
+    ->Args({8, 32, 1, 1, 4})
     ->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_SpmmMlpMax)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_SddmmDot)
-    ->Args({0, 0})
+// (parts, isa)
+BENCHMARK(BM_SpmmMlpMax)
     ->Args({1, 0})
-    ->Args({0, 32})
+    ->Args({1, 1})
+    ->Args({8, 1})
+    ->Unit(benchmark::kMillisecond);
+// (hilbert, reduce_tile, isa)
+BENCHMARK(BM_SddmmDot)
+    ->Args({0, 0, 0})
+    ->Args({0, 0, 1})
+    ->Args({1, 0, 1})
+    ->Args({0, 32, 1})
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_GenericUdfOverhead)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Query-only invocations must not spend seconds re-measuring (and silently
+  // overwriting) the recorded baseline; FEATGRAPH_SKIP_BASELINE=1 skips it
+  // for any run.
+  bool skip_baseline =
+      fg::support::env_long("FEATGRAPH_SKIP_BASELINE", 0) != 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    // Exact spellings only: --benchmark_list_tests=false is a normal run.
+    if (arg == "--benchmark_list_tests" ||
+        arg == "--benchmark_list_tests=true")
+      skip_baseline = true;
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!skip_baseline) record_baseline();
+  return 0;
+}

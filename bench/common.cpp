@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "core/simd.hpp"
+
 namespace featgraph::bench {
 
 double measure_seconds(const std::function<void()>& fn) {
@@ -10,9 +12,11 @@ double measure_seconds(const std::function<void()>& fn) {
 
 void print_banner(const std::string& experiment, const std::string& what) {
   std::printf("\n=== %s — %s ===\n", experiment.c_str(), what.c_str());
-  std::printf("(FEATGRAPH_SCALE=%.3g, FEATGRAPH_BENCH_REPS=%d; see "
-              "EXPERIMENTS.md for paper-vs-measured discussion)\n\n",
-              support::bench_scale(), support::bench_reps());
+  std::printf("(FEATGRAPH_SCALE=%.3g, FEATGRAPH_BENCH_REPS=%d, "
+              "simd=%s; see EXPERIMENTS.md for paper-vs-measured "
+              "discussion)\n\n",
+              support::bench_scale(), support::bench_reps(),
+              simd::isa_name(simd::active_isa()));
 }
 
 double dataset_scale(double extra_shrink) {

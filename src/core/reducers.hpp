@@ -6,9 +6,16 @@
 
 #include <limits>
 
+#include "core/simd.hpp"
+
 namespace featgraph::core {
 
+// Each reducer's `kAccum` names the SIMD span-accumulation kind the bulk UDF
+// protocol folds with (udf.hpp); `combine` remains the scalar semantics the
+// span primitives must match element-for-element.
+
 struct SumReducer {
+  static constexpr simd::Accum kAccum = simd::Accum::kSum;
   static constexpr float identity() { return 0.0f; }
   static float combine(float a, float b) { return a + b; }
   /// Value written for rows with no in-edges after aggregation.
@@ -17,6 +24,7 @@ struct SumReducer {
 };
 
 struct MaxReducer {
+  static constexpr simd::Accum kAccum = simd::Accum::kMax;
   static constexpr float identity() {
     return -std::numeric_limits<float>::infinity();
   }
@@ -26,6 +34,7 @@ struct MaxReducer {
 };
 
 struct MinReducer {
+  static constexpr simd::Accum kAccum = simd::Accum::kMin;
   static constexpr float identity() {
     return std::numeric_limits<float>::infinity();
   }
@@ -36,6 +45,7 @@ struct MinReducer {
 
 /// Sum followed by division by the row's in-degree.
 struct MeanReducer {
+  static constexpr simd::Accum kAccum = simd::Accum::kSum;
   static constexpr float identity() { return 0.0f; }
   static float combine(float a, float b) { return a + b; }
   static constexpr float empty_value() { return 0.0f; }

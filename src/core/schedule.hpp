@@ -10,10 +10,33 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 namespace featgraph::core {
 
 enum class Target { kCpu, kGpuSim };
+
+/// How destination rows are split across the threads cooperating inside one
+/// partition.
+enum class LoadBalance : int {
+  /// Equal ROW counts per thread: cheapest split, but power-law graphs leave
+  /// every thread idle behind the one that drew the hub rows.
+  kStaticRows = 0,
+  /// Equal NNZ per thread: boundaries found by binary search over the indptr
+  /// prefix sums (parallel/parallel_for.hpp), so per-thread edge work is
+  /// even regardless of the degree distribution.
+  kNnzBalanced = 1,
+};
+
+/// The load-balance values worth searching at a given thread count — the
+/// single source of truth both tuners draw their axis from. At one thread
+/// the two policies run the identical sweep, so only the default is listed;
+/// element 0 always matches CpuSpmmSchedule's default (the smart tuner's
+/// first seed point relies on that).
+inline std::vector<LoadBalance> load_balance_axis(int num_threads) {
+  if (num_threads <= 1) return {LoadBalance::kNnzBalanced};
+  return {LoadBalance::kNnzBalanced, LoadBalance::kStaticRows};
+}
 
 /// CPU generalized-SpMM schedule.
 struct CpuSpmmSchedule {
@@ -24,6 +47,10 @@ struct CpuSpmmSchedule {
   /// Worker threads; threads cooperate on one partition at a time
   /// (Sec. IV-A) so the LLC holds a single partition's working set.
   int num_threads = 1;
+  /// Template half: row-split policy inside a partition. Results are
+  /// identical under either policy (per-row work is untouched); the tuner
+  /// searches both because the winner depends on degree skew.
+  LoadBalance load_balance = LoadBalance::kNnzBalanced;
 
   static CpuSpmmSchedule single_thread_default() { return {}; }
 };

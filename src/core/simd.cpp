@@ -1,0 +1,482 @@
+// Span primitive backends: portable scalar + AVX2/FMA intrinsics.
+//
+// This translation unit is compiled with -ffp-contract=off (see
+// CMakeLists.txt): the compiler must not fuse the mul+add in axpy /
+// accum_binop into FMA on one backend but not the other, or the bit-for-bit
+// scalar/AVX2 contract of simd.hpp breaks. `dot` uses explicit FMA
+// intrinsics, which contraction settings leave untouched.
+#include "core/simd.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+
+#include "support/env.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define FG_X86 1
+#include <immintrin.h>
+#else
+#define FG_X86 0
+#endif
+
+#if FG_X86 && (defined(__GNUC__) || defined(__clang__))
+#define FG_HAVE_AVX2_BACKEND 1
+// Per-function target attribute: lets one TU hold AVX2 code while the rest
+// of the library stays at the baseline ISA (no global -mavx2, so the binary
+// still runs on non-AVX2 machines through the scalar table).
+#define FG_AVX2_FN __attribute__((target("avx2,fma")))
+#else
+#define FG_HAVE_AVX2_BACKEND 0
+#endif
+
+// The scalar backend is the measured baseline for the SIMD speedup claims;
+// keep it genuinely scalar instead of letting the compiler auto-vectorize
+// it into an unnamed third backend. GCC takes a function attribute; clang
+// ignores that attribute, so its loops carry a vectorize(disable) pragma.
+#if defined(__clang__)
+#define FG_SCALAR_FN
+#define FG_SCALAR_LOOP \
+  _Pragma("clang loop vectorize(disable) interleave(disable)")
+#elif defined(__GNUC__)
+#define FG_SCALAR_FN __attribute__((optimize("no-tree-vectorize")))
+#define FG_SCALAR_LOOP
+#else
+#define FG_SCALAR_FN
+#define FG_SCALAR_LOOP
+#endif
+
+namespace featgraph::simd {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar backend
+// ---------------------------------------------------------------------------
+
+namespace scalar {
+
+inline float c_sum(float a, float b) { return a + b; }
+inline float c_max(float a, float b) { return a > b ? a : b; }
+inline float c_min(float a, float b) { return a < b ? a : b; }
+
+inline float o_add(float a, float b) { return a + b; }
+inline float o_sub(float a, float b) { return a - b; }
+inline float o_mul(float a, float b) { return a * b; }
+inline float o_div(float a, float b) { return a / b; }
+
+FG_SCALAR_FN void fill(float* out, float v, std::int64_t n) {
+  FG_SCALAR_LOOP
+  for (std::int64_t j = 0; j < n; ++j) out[j] = v;
+}
+
+FG_SCALAR_FN void scale(float* out, float s, std::int64_t n) {
+  FG_SCALAR_LOOP
+  for (std::int64_t j = 0; j < n; ++j) out[j] *= s;
+}
+
+FG_SCALAR_FN void relu(float* out, std::int64_t n) {
+  FG_SCALAR_LOOP
+  for (std::int64_t j = 0; j < n; ++j) out[j] = out[j] > 0.0f ? out[j] : 0.0f;
+}
+
+FG_SCALAR_FN void axpy(float* out, const float* x, float s, std::int64_t n) {
+  FG_SCALAR_LOOP
+  for (std::int64_t j = 0; j < n; ++j) out[j] += x[j] * s;
+}
+
+FG_SCALAR_FN float dot(const float* a, const float* b, std::int64_t n) {
+  float acc = 0.0f;
+  FG_SCALAR_LOOP
+  for (std::int64_t j = 0; j < n; ++j) acc += a[j] * b[j];
+  return acc;
+}
+
+#define FG_SCALAR_ACCUM(NAME, COMBINE)                                 \
+  FG_SCALAR_FN void NAME(float* out, const float* x, std::int64_t n) { \
+    FG_SCALAR_LOOP                                                     \
+    for (std::int64_t j = 0; j < n; ++j) out[j] = COMBINE(out[j], x[j]); \
+  }
+
+FG_SCALAR_ACCUM(accum_sum, c_sum)
+FG_SCALAR_ACCUM(accum_max, c_max)
+FG_SCALAR_ACCUM(accum_min, c_min)
+#undef FG_SCALAR_ACCUM
+
+#define FG_SCALAR_ACCUM_BINOP(NAME, COMBINE, OP)                    \
+  FG_SCALAR_FN void NAME(float* out, const float* a, const float* b, \
+                         std::int64_t n) {                          \
+    FG_SCALAR_LOOP                                                  \
+    for (std::int64_t j = 0; j < n; ++j)                            \
+      out[j] = COMBINE(out[j], OP(a[j], b[j]));                     \
+  }
+
+FG_SCALAR_ACCUM_BINOP(accum_sum_add, c_sum, o_add)
+FG_SCALAR_ACCUM_BINOP(accum_sum_sub, c_sum, o_sub)
+FG_SCALAR_ACCUM_BINOP(accum_sum_mul, c_sum, o_mul)
+FG_SCALAR_ACCUM_BINOP(accum_sum_div, c_sum, o_div)
+FG_SCALAR_ACCUM_BINOP(accum_max_add, c_max, o_add)
+FG_SCALAR_ACCUM_BINOP(accum_max_sub, c_max, o_sub)
+FG_SCALAR_ACCUM_BINOP(accum_max_mul, c_max, o_mul)
+FG_SCALAR_ACCUM_BINOP(accum_max_div, c_max, o_div)
+FG_SCALAR_ACCUM_BINOP(accum_min_add, c_min, o_add)
+FG_SCALAR_ACCUM_BINOP(accum_min_sub, c_min, o_sub)
+FG_SCALAR_ACCUM_BINOP(accum_min_mul, c_min, o_mul)
+FG_SCALAR_ACCUM_BINOP(accum_min_div, c_min, o_div)
+#undef FG_SCALAR_ACCUM_BINOP
+
+#define FG_SCALAR_ACCUM_BINOP_S(NAME, COMBINE, OP)                     \
+  FG_SCALAR_FN void NAME(float* out, const float* a, float s,          \
+                         std::int64_t n) {                             \
+    FG_SCALAR_LOOP                                                     \
+    for (std::int64_t j = 0; j < n; ++j) out[j] = COMBINE(out[j], OP(a[j], s)); \
+  }
+
+FG_SCALAR_ACCUM_BINOP_S(accum_sum_add_s, c_sum, o_add)
+FG_SCALAR_ACCUM_BINOP_S(accum_sum_sub_s, c_sum, o_sub)
+FG_SCALAR_ACCUM_BINOP_S(accum_sum_mul_s, c_sum, o_mul)
+FG_SCALAR_ACCUM_BINOP_S(accum_sum_div_s, c_sum, o_div)
+FG_SCALAR_ACCUM_BINOP_S(accum_max_add_s, c_max, o_add)
+FG_SCALAR_ACCUM_BINOP_S(accum_max_sub_s, c_max, o_sub)
+FG_SCALAR_ACCUM_BINOP_S(accum_max_mul_s, c_max, o_mul)
+FG_SCALAR_ACCUM_BINOP_S(accum_max_div_s, c_max, o_div)
+FG_SCALAR_ACCUM_BINOP_S(accum_min_add_s, c_min, o_add)
+FG_SCALAR_ACCUM_BINOP_S(accum_min_sub_s, c_min, o_sub)
+FG_SCALAR_ACCUM_BINOP_S(accum_min_mul_s, c_min, o_mul)
+FG_SCALAR_ACCUM_BINOP_S(accum_min_div_s, c_min, o_div)
+#undef FG_SCALAR_ACCUM_BINOP_S
+
+}  // namespace scalar
+
+SpanOps make_scalar_ops() {
+  SpanOps t;
+  t.fill = scalar::fill;
+  t.scale = scalar::scale;
+  t.relu = scalar::relu;
+  t.axpy = scalar::axpy;
+  t.dot = scalar::dot;
+  t.accum[0] = scalar::accum_sum;
+  t.accum[1] = scalar::accum_max;
+  t.accum[2] = scalar::accum_min;
+  void (*const bin[kNumAccum][kNumBinOp])(float*, const float*, const float*,
+                                          std::int64_t) = {
+      {scalar::accum_sum_add, scalar::accum_sum_sub, scalar::accum_sum_mul,
+       scalar::accum_sum_div},
+      {scalar::accum_max_add, scalar::accum_max_sub, scalar::accum_max_mul,
+       scalar::accum_max_div},
+      {scalar::accum_min_add, scalar::accum_min_sub, scalar::accum_min_mul,
+       scalar::accum_min_div}};
+  void (*const bin_s[kNumAccum][kNumBinOp])(float*, const float*, float,
+                                            std::int64_t) = {
+      {scalar::accum_sum_add_s, scalar::accum_sum_sub_s,
+       scalar::accum_sum_mul_s, scalar::accum_sum_div_s},
+      {scalar::accum_max_add_s, scalar::accum_max_sub_s,
+       scalar::accum_max_mul_s, scalar::accum_max_div_s},
+      {scalar::accum_min_add_s, scalar::accum_min_sub_s,
+       scalar::accum_min_mul_s, scalar::accum_min_div_s}};
+  for (int r = 0; r < kNumAccum; ++r) {
+    for (int o = 0; o < kNumBinOp; ++o) {
+      t.accum_binop[r][o] = bin[r][o];
+      t.accum_binop_scalar[r][o] = bin_s[r][o];
+    }
+  }
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// AVX2/FMA backend
+// ---------------------------------------------------------------------------
+
+#if FG_HAVE_AVX2_BACKEND
+
+namespace avx2 {
+
+// _mm256_max_ps(a, b) computes a > b ? a : b (returns b on NaN/±0 ties),
+// exactly the scalar reducer combines above — NaN behavior included.
+
+FG_AVX2_FN void fill(float* out, float v, std::int64_t n) {
+  const __m256 vv = _mm256_set1_ps(v);
+  std::int64_t j = 0;
+  for (; j + 8 <= n; j += 8) _mm256_storeu_ps(out + j, vv);
+  for (; j < n; ++j) out[j] = v;
+}
+
+FG_AVX2_FN void scale(float* out, float s, std::int64_t n) {
+  const __m256 vs = _mm256_set1_ps(s);
+  std::int64_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    _mm256_storeu_ps(out + j, _mm256_mul_ps(_mm256_loadu_ps(out + j), vs));
+  }
+  for (; j < n; ++j) out[j] *= s;
+}
+
+FG_AVX2_FN void relu(float* out, std::int64_t n) {
+  const __m256 zero = _mm256_setzero_ps();
+  std::int64_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    _mm256_storeu_ps(out + j, _mm256_max_ps(_mm256_loadu_ps(out + j), zero));
+  }
+  for (; j < n; ++j) out[j] = out[j] > 0.0f ? out[j] : 0.0f;
+}
+
+FG_AVX2_FN void axpy(float* out, const float* x, float s, std::int64_t n) {
+  // mul + add (not fmadd): keeps per-element rounding identical to the
+  // scalar backend (see the header's rounding contract).
+  const __m256 vs = _mm256_set1_ps(s);
+  std::int64_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m256 prod = _mm256_mul_ps(_mm256_loadu_ps(x + j), vs);
+    _mm256_storeu_ps(out + j, _mm256_add_ps(_mm256_loadu_ps(out + j), prod));
+  }
+  for (; j < n; ++j) out[j] += x[j] * s;
+}
+
+FG_AVX2_FN float dot(const float* a, const float* b, std::int64_t n) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  __m256 acc2 = _mm256_setzero_ps();
+  __m256 acc3 = _mm256_setzero_ps();
+  std::int64_t j = 0;
+  for (; j + 32 <= n; j += 32) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + j),
+                           _mm256_loadu_ps(b + j), acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + j + 8),
+                           _mm256_loadu_ps(b + j + 8), acc1);
+    acc2 = _mm256_fmadd_ps(_mm256_loadu_ps(a + j + 16),
+                           _mm256_loadu_ps(b + j + 16), acc2);
+    acc3 = _mm256_fmadd_ps(_mm256_loadu_ps(a + j + 24),
+                           _mm256_loadu_ps(b + j + 24), acc3);
+  }
+  for (; j + 8 <= n; j += 8) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + j),
+                           _mm256_loadu_ps(b + j), acc0);
+  }
+  acc0 = _mm256_add_ps(_mm256_add_ps(acc0, acc1), _mm256_add_ps(acc2, acc3));
+  __m128 lo = _mm256_castps256_ps128(acc0);
+  __m128 hi = _mm256_extractf128_ps(acc0, 1);
+  lo = _mm_add_ps(lo, hi);
+  lo = _mm_add_ps(lo, _mm_movehl_ps(lo, lo));
+  lo = _mm_add_ss(lo, _mm_shuffle_ps(lo, lo, 1));
+  float acc = _mm_cvtss_f32(lo);
+  for (; j < n; ++j) acc += a[j] * b[j];
+  return acc;
+}
+
+#define FG_AVX2_ACCUM(NAME, VCOMBINE, SCOMBINE)                           \
+  FG_AVX2_FN void NAME(float* out, const float* x, std::int64_t n) {      \
+    std::int64_t j = 0;                                                   \
+    for (; j + 16 <= n; j += 16) {                                        \
+      _mm256_storeu_ps(out + j, VCOMBINE(_mm256_loadu_ps(out + j),        \
+                                         _mm256_loadu_ps(x + j)));        \
+      _mm256_storeu_ps(out + j + 8,                                       \
+                       VCOMBINE(_mm256_loadu_ps(out + j + 8),             \
+                                _mm256_loadu_ps(x + j + 8)));             \
+    }                                                                     \
+    for (; j + 8 <= n; j += 8) {                                          \
+      _mm256_storeu_ps(out + j, VCOMBINE(_mm256_loadu_ps(out + j),        \
+                                         _mm256_loadu_ps(x + j)));        \
+    }                                                                     \
+    for (; j < n; ++j) out[j] = SCOMBINE(out[j], x[j]);                   \
+  }
+
+FG_AVX2_ACCUM(accum_sum, _mm256_add_ps, scalar::c_sum)
+FG_AVX2_ACCUM(accum_max, _mm256_max_ps, scalar::c_max)
+FG_AVX2_ACCUM(accum_min, _mm256_min_ps, scalar::c_min)
+#undef FG_AVX2_ACCUM
+
+#define FG_AVX2_ACCUM_BINOP(NAME, VCOMBINE, VOP, SCOMBINE, SOP)           \
+  FG_AVX2_FN void NAME(float* out, const float* a, const float* b,        \
+                       std::int64_t n) {                                  \
+    std::int64_t j = 0;                                                   \
+    for (; j + 8 <= n; j += 8) {                                          \
+      const __m256 msg = VOP(_mm256_loadu_ps(a + j), _mm256_loadu_ps(b + j)); \
+      _mm256_storeu_ps(out + j, VCOMBINE(_mm256_loadu_ps(out + j), msg)); \
+    }                                                                     \
+    for (; j < n; ++j) out[j] = SCOMBINE(out[j], SOP(a[j], b[j]));        \
+  }
+
+FG_AVX2_ACCUM_BINOP(accum_sum_add, _mm256_add_ps, _mm256_add_ps, scalar::c_sum, scalar::o_add)
+FG_AVX2_ACCUM_BINOP(accum_sum_sub, _mm256_add_ps, _mm256_sub_ps, scalar::c_sum, scalar::o_sub)
+FG_AVX2_ACCUM_BINOP(accum_sum_mul, _mm256_add_ps, _mm256_mul_ps, scalar::c_sum, scalar::o_mul)
+FG_AVX2_ACCUM_BINOP(accum_sum_div, _mm256_add_ps, _mm256_div_ps, scalar::c_sum, scalar::o_div)
+FG_AVX2_ACCUM_BINOP(accum_max_add, _mm256_max_ps, _mm256_add_ps, scalar::c_max, scalar::o_add)
+FG_AVX2_ACCUM_BINOP(accum_max_sub, _mm256_max_ps, _mm256_sub_ps, scalar::c_max, scalar::o_sub)
+FG_AVX2_ACCUM_BINOP(accum_max_mul, _mm256_max_ps, _mm256_mul_ps, scalar::c_max, scalar::o_mul)
+FG_AVX2_ACCUM_BINOP(accum_max_div, _mm256_max_ps, _mm256_div_ps, scalar::c_max, scalar::o_div)
+FG_AVX2_ACCUM_BINOP(accum_min_add, _mm256_min_ps, _mm256_add_ps, scalar::c_min, scalar::o_add)
+FG_AVX2_ACCUM_BINOP(accum_min_sub, _mm256_min_ps, _mm256_sub_ps, scalar::c_min, scalar::o_sub)
+FG_AVX2_ACCUM_BINOP(accum_min_mul, _mm256_min_ps, _mm256_mul_ps, scalar::c_min, scalar::o_mul)
+FG_AVX2_ACCUM_BINOP(accum_min_div, _mm256_min_ps, _mm256_div_ps, scalar::c_min, scalar::o_div)
+#undef FG_AVX2_ACCUM_BINOP
+
+#define FG_AVX2_ACCUM_BINOP_S(NAME, VCOMBINE, VOP, SCOMBINE, SOP)         \
+  FG_AVX2_FN void NAME(float* out, const float* a, float s,               \
+                       std::int64_t n) {                                  \
+    const __m256 vs = _mm256_set1_ps(s);                                  \
+    std::int64_t j = 0;                                                   \
+    for (; j + 8 <= n; j += 8) {                                          \
+      const __m256 msg = VOP(_mm256_loadu_ps(a + j), vs);                 \
+      _mm256_storeu_ps(out + j, VCOMBINE(_mm256_loadu_ps(out + j), msg)); \
+    }                                                                     \
+    for (; j < n; ++j) out[j] = SCOMBINE(out[j], SOP(a[j], s));           \
+  }
+
+FG_AVX2_ACCUM_BINOP_S(accum_sum_add_s, _mm256_add_ps, _mm256_add_ps, scalar::c_sum, scalar::o_add)
+FG_AVX2_ACCUM_BINOP_S(accum_sum_sub_s, _mm256_add_ps, _mm256_sub_ps, scalar::c_sum, scalar::o_sub)
+FG_AVX2_ACCUM_BINOP_S(accum_sum_mul_s, _mm256_add_ps, _mm256_mul_ps, scalar::c_sum, scalar::o_mul)
+FG_AVX2_ACCUM_BINOP_S(accum_sum_div_s, _mm256_add_ps, _mm256_div_ps, scalar::c_sum, scalar::o_div)
+FG_AVX2_ACCUM_BINOP_S(accum_max_add_s, _mm256_max_ps, _mm256_add_ps, scalar::c_max, scalar::o_add)
+FG_AVX2_ACCUM_BINOP_S(accum_max_sub_s, _mm256_max_ps, _mm256_sub_ps, scalar::c_max, scalar::o_sub)
+FG_AVX2_ACCUM_BINOP_S(accum_max_mul_s, _mm256_max_ps, _mm256_mul_ps, scalar::c_max, scalar::o_mul)
+FG_AVX2_ACCUM_BINOP_S(accum_max_div_s, _mm256_max_ps, _mm256_div_ps, scalar::c_max, scalar::o_div)
+FG_AVX2_ACCUM_BINOP_S(accum_min_add_s, _mm256_min_ps, _mm256_add_ps, scalar::c_min, scalar::o_add)
+FG_AVX2_ACCUM_BINOP_S(accum_min_sub_s, _mm256_min_ps, _mm256_sub_ps, scalar::c_min, scalar::o_sub)
+FG_AVX2_ACCUM_BINOP_S(accum_min_mul_s, _mm256_min_ps, _mm256_mul_ps, scalar::c_min, scalar::o_mul)
+FG_AVX2_ACCUM_BINOP_S(accum_min_div_s, _mm256_min_ps, _mm256_div_ps, scalar::c_min, scalar::o_div)
+#undef FG_AVX2_ACCUM_BINOP_S
+
+}  // namespace avx2
+
+SpanOps make_avx2_ops() {
+  SpanOps t;
+  t.fill = avx2::fill;
+  t.scale = avx2::scale;
+  t.relu = avx2::relu;
+  t.axpy = avx2::axpy;
+  t.dot = avx2::dot;
+  t.accum[0] = avx2::accum_sum;
+  t.accum[1] = avx2::accum_max;
+  t.accum[2] = avx2::accum_min;
+  void (*const bin[kNumAccum][kNumBinOp])(float*, const float*, const float*,
+                                          std::int64_t) = {
+      {avx2::accum_sum_add, avx2::accum_sum_sub, avx2::accum_sum_mul,
+       avx2::accum_sum_div},
+      {avx2::accum_max_add, avx2::accum_max_sub, avx2::accum_max_mul,
+       avx2::accum_max_div},
+      {avx2::accum_min_add, avx2::accum_min_sub, avx2::accum_min_mul,
+       avx2::accum_min_div}};
+  void (*const bin_s[kNumAccum][kNumBinOp])(float*, const float*, float,
+                                            std::int64_t) = {
+      {avx2::accum_sum_add_s, avx2::accum_sum_sub_s, avx2::accum_sum_mul_s,
+       avx2::accum_sum_div_s},
+      {avx2::accum_max_add_s, avx2::accum_max_sub_s, avx2::accum_max_mul_s,
+       avx2::accum_max_div_s},
+      {avx2::accum_min_add_s, avx2::accum_min_sub_s, avx2::accum_min_mul_s,
+       avx2::accum_min_div_s}};
+  for (int r = 0; r < kNumAccum; ++r) {
+    for (int o = 0; o < kNumBinOp; ++o) {
+      t.accum_binop[r][o] = bin[r][o];
+      t.accum_binop_scalar[r][o] = bin_s[r][o];
+    }
+  }
+  return t;
+}
+
+#endif  // FG_HAVE_AVX2_BACKEND
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+std::atomic<int> g_forced_isa{-1};  // -1 = no override
+
+// Active table pointer, re-resolved only when the override changes: the
+// span_ops() wrappers run once per edge visit inside the kernels, so the
+// hot path must be one relaxed load, not the detection/env/static-guard
+// chain.
+std::atomic<const SpanOps*> g_active_ops{nullptr};
+
+Isa env_or_detected_isa() {
+  static const Isa isa = [] {
+    const std::string pref =
+        support::env_string("FEATGRAPH_SIMD", "auto");
+    if (pref == "scalar") return Isa::kScalar;
+    if (pref != "auto" && pref != "avx2") {
+      // A typo'd value ("Scalar", "off", ...) silently running the vector
+      // backend is the opposite of the user's intent — warn once.
+      std::fprintf(stderr,
+                   "featgraph: unknown FEATGRAPH_SIMD=\"%s\" "
+                   "(expected scalar|avx2|auto), using auto\n",
+                   pref.c_str());
+    }
+    // "avx2" and "auto" both degrade to scalar without hardware support.
+    return cpu_supports_avx2() ? Isa::kAvx2 : Isa::kScalar;
+  }();
+  return isa;
+}
+
+}  // namespace
+
+bool cpu_supports_avx2() {
+#if FG_HAVE_AVX2_BACKEND
+  static const bool ok =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  return ok;
+#else
+  return false;
+#endif
+}
+
+const SpanOps& span_ops(Isa isa) {
+  static const SpanOps scalar_table = make_scalar_ops();
+#if FG_HAVE_AVX2_BACKEND
+  if (isa == Isa::kAvx2 && cpu_supports_avx2()) {
+    static const SpanOps avx2_table = make_avx2_ops();
+    return avx2_table;
+  }
+#else
+  (void)isa;
+#endif
+  return scalar_table;
+}
+
+const SpanOps& span_ops() {
+  // Acquire pairs with the release publications below: a thread that only
+  // sees the pointer (and never ran the table's static initialization
+  // itself) must also see the table's contents.
+  const SpanOps* t = g_active_ops.load(std::memory_order_acquire);
+  if (t == nullptr) {
+    t = &span_ops(active_isa());
+    // CAS, not a plain store: a concurrent force_isa() pin must not be
+    // clobbered by this first-call initialization losing the race.
+    const SpanOps* expected = nullptr;
+    if (!g_active_ops.compare_exchange_strong(expected, t,
+                                              std::memory_order_release,
+                                              std::memory_order_acquire)) {
+      t = expected;
+    }
+  }
+  return *t;
+}
+
+Isa active_isa() {
+  const int forced = g_forced_isa.load(std::memory_order_relaxed);
+  if (forced >= 0) {
+    const Isa isa = static_cast<Isa>(forced);
+    return isa == Isa::kAvx2 && !cpu_supports_avx2() ? Isa::kScalar : isa;
+  }
+  return env_or_detected_isa();
+}
+
+const char* isa_name(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+void force_isa(Isa isa) { set_forced_isa_state(static_cast<int>(isa)); }
+
+void clear_forced_isa() { set_forced_isa_state(-1); }
+
+int forced_isa_state() { return g_forced_isa.load(std::memory_order_relaxed); }
+
+void set_forced_isa_state(int state) {
+  g_forced_isa.store(state, std::memory_order_relaxed);
+  g_active_ops.store(&span_ops(active_isa()), std::memory_order_release);
+}
+
+}  // namespace featgraph::simd

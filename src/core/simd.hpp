@@ -1,0 +1,134 @@
+// Bulk-span SIMD engine for the CPU kernel templates (paper Sec. IV-A).
+//
+// FeatGraph's FDS binds the feature axis to the vector units: the sparse
+// template walks edges, and for every edge visit the innermost loop sweeps a
+// contiguous feature span. This header exposes that inner loop as a small
+// set of span primitives — "fold this message span into the output row under
+// reducer R" — implemented twice, as portable scalar code and as AVX2/FMA
+// intrinsics, and selected once at runtime via CPU detection (a function
+// pointer table, the classic runtime-dispatch idiom).
+//
+// Rounding contract: for every accumulation primitive the scalar and AVX2
+// implementations perform the SAME IEEE operations per element in the SAME
+// order along the feature axis (vector lanes never cross features, and no
+// FMA contraction is used on accumulation paths), so the two backends are
+// bit-for-bit identical. Only `dot` — a cross-feature reduction — reassociates
+// and uses FMA, trading exact reproducibility for throughput (SDDMM results
+// are tolerance-checked, not bit-compared).
+//
+// Selection order: force_isa() override (tests/benches) > FEATGRAPH_SIMD env
+// var ("scalar" | "avx2" | "auto") > runtime CPU detection.
+#pragma once
+
+#include <cstdint>
+
+namespace featgraph::simd {
+
+/// Instruction-set levels the dispatcher can select.
+enum class Isa : int { kScalar = 0, kAvx2 = 1 };
+
+/// Reduction kinds the SpMM templates accumulate with. Mean reduces as kSum
+/// (the degree division happens in postprocessing).
+enum class Accum : int { kSum = 0, kMax = 1, kMin = 2 };
+inline constexpr int kNumAccum = 3;
+
+/// Elementwise binary message ops (the u_op_v / u_op_e builtin family).
+enum class BinOp : int { kAdd = 0, kSub = 1, kMul = 2, kDiv = 3 };
+inline constexpr int kNumBinOp = 4;
+
+/// One backend's span primitives. All spans are contiguous float ranges of
+/// length n; `out` is the destination row slice the reducer folds into.
+struct SpanOps {
+  /// out[j] = v
+  void (*fill)(float* out, float v, std::int64_t n);
+  /// out[j] *= s   (mean normalization)
+  void (*scale)(float* out, float s, std::int64_t n);
+  /// out[j] = max(out[j], 0)   (MLP aggregation's activation)
+  void (*relu)(float* out, std::int64_t n);
+  /// out[j] += x[j] * s   (axpy; the MLP k-loop body)
+  void (*axpy)(float* out, const float* x, float s, std::int64_t n);
+  /// sum_j a[j] * b[j]   (SDDMM dot-product partial; reassociated + FMA)
+  float (*dot)(const float* a, const float* b, std::int64_t n);
+  /// out[j] = R(out[j], x[j])
+  void (*accum[kNumAccum])(float* out, const float* x, std::int64_t n);
+  /// out[j] = R(out[j], a[j] op b[j])
+  void (*accum_binop[kNumAccum][kNumBinOp])(float* out, const float* a,
+                                            const float* b, std::int64_t n);
+  /// out[j] = R(out[j], a[j] op s)   (scalar edge-weight broadcast)
+  void (*accum_binop_scalar[kNumAccum][kNumBinOp])(float* out, const float* a,
+                                                   float s, std::int64_t n);
+};
+
+/// True when the CPU (and compiler) support the AVX2+FMA backend.
+bool cpu_supports_avx2();
+
+/// The primitive table for an explicit backend (kAvx2 falls back to the
+/// scalar table when unsupported — callers can always index either level).
+const SpanOps& span_ops(Isa isa);
+
+/// The active backend's table (override > env > detection).
+const SpanOps& span_ops();
+
+/// The backend span_ops() currently resolves to.
+Isa active_isa();
+
+const char* isa_name(Isa isa);
+
+/// Pins the active backend; used by parity tests and the scalar-vs-SIMD
+/// benches. Pinning kAvx2 on hardware without AVX2 is ignored (stays scalar).
+void force_isa(Isa isa);
+
+/// Returns to env/detection-based selection.
+void clear_forced_isa();
+
+/// Raw override state for save/restore (-1 = no override, else the Isa
+/// value). ScopedIsa plumbing; prefer force_isa/clear_forced_isa directly.
+int forced_isa_state();
+void set_forced_isa_state(int state);
+
+/// RAII pin for tests/benches: force on construction, restore the PREVIOUS
+/// override (including "none") on destruction, so pins nest correctly.
+class ScopedIsa {
+ public:
+  explicit ScopedIsa(Isa isa) : prev_(forced_isa_state()) { force_isa(isa); }
+  ~ScopedIsa() { set_forced_isa_state(prev_); }
+  ScopedIsa(const ScopedIsa&) = delete;
+  ScopedIsa& operator=(const ScopedIsa&) = delete;
+
+ private:
+  int prev_;
+};
+
+// ---------------------------------------------------------------------------
+// Convenience wrappers over the active table (one dispatch per span call;
+// spans are whole feature tiles, so dispatch cost is amortized away).
+// ---------------------------------------------------------------------------
+
+inline void fill(float* out, float v, std::int64_t n) {
+  span_ops().fill(out, v, n);
+}
+inline void scale(float* out, float s, std::int64_t n) {
+  span_ops().scale(out, s, n);
+}
+inline void relu(float* out, std::int64_t n) { span_ops().relu(out, n); }
+inline void axpy(float* out, const float* x, float s, std::int64_t n) {
+  span_ops().axpy(out, x, s, n);
+}
+inline float dot(const float* a, const float* b, std::int64_t n) {
+  return span_ops().dot(a, b, n);
+}
+inline void accum(Accum r, float* out, const float* x, std::int64_t n) {
+  span_ops().accum[static_cast<int>(r)](out, x, n);
+}
+inline void accum_binop(Accum r, BinOp op, float* out, const float* a,
+                        const float* b, std::int64_t n) {
+  span_ops().accum_binop[static_cast<int>(r)][static_cast<int>(op)](out, a, b,
+                                                                    n);
+}
+inline void accum_binop_scalar(Accum r, BinOp op, float* out, const float* a,
+                               float s, std::int64_t n) {
+  span_ops().accum_binop_scalar[static_cast<int>(r)][static_cast<int>(op)](
+      out, a, s, n);
+}
+
+}  // namespace featgraph::simd

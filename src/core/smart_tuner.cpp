@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <map>
+#include <tuple>
 
 #include "support/check.hpp"
 #include "support/rng.hpp"
@@ -12,8 +13,9 @@ namespace featgraph::core {
 
 namespace {
 
-/// Canonical key for memoizing measured points.
-using Point = std::pair<int, std::int64_t>;  // (num_partitions, feat_tile)
+/// Canonical key for memoizing measured points:
+/// (num_partitions, feat_tile, load_balance index).
+using Point = std::tuple<int, std::int64_t, int>;
 
 std::vector<std::int64_t> tile_axis(std::int64_t d_out, std::int64_t min_tile) {
   std::vector<std::int64_t> axis = {0};  // 0 = untiled (full width)
@@ -35,22 +37,24 @@ SmartTuneResult smart_tune_spmm(std::int64_t d_out, int num_threads,
   FG_CHECK(options.max_trials >= 1);
   const auto tiles = tile_axis(d_out, options.min_tile);
   const auto parts = partition_axis(options.max_partitions);
+  const auto balances = load_balance_axis(num_threads);
 
   std::map<Point, double> measured;
   SmartTuneResult result;
   result.best_seconds = std::numeric_limits<double>::infinity();
 
-  auto eval = [&](int pi, int ti) -> double {
+  auto eval = [&](int pi, int ti, int li) -> double {
     const Point key{parts[static_cast<std::size_t>(pi)],
-                    tiles[static_cast<std::size_t>(ti)]};
+                    tiles[static_cast<std::size_t>(ti)], li};
     auto it = measured.find(key);
     if (it != measured.end()) return it->second;
     if (result.trials_used >= options.max_trials)
       return std::numeric_limits<double>::infinity();
     CpuSpmmSchedule s;
-    s.num_partitions = key.first;
-    s.feat_tile = key.second;
+    s.num_partitions = std::get<0>(key);
+    s.feat_tile = std::get<1>(key);
     s.num_threads = num_threads;
+    s.load_balance = balances[static_cast<std::size_t>(li)];
     const double secs = measure(s);
     ++result.trials_used;
     measured.emplace(key, secs);
@@ -65,34 +69,43 @@ SmartTuneResult smart_tune_spmm(std::int64_t d_out, int num_threads,
   for (int seed_idx = 0;
        seed_idx < options.num_seeds && result.trials_used < options.max_trials;
        ++seed_idx) {
-    // Seed point: first seed is the untuned default (1 partition, untiled),
-    // later seeds are random — the "random restart" half of the strategy.
-    int pi = 0, ti = 0;
+    // Seed point: first seed is the untuned default (1 partition, untiled,
+    // nnz-balanced), later seeds are random — the "random restart" half of
+    // the strategy.
+    int pi = 0, ti = 0, li = 0;
     if (seed_idx > 0) {
       pi = static_cast<int>(rng.uniform(parts.size()));
       ti = static_cast<int>(rng.uniform(tiles.size()));
+      li = static_cast<int>(rng.uniform(balances.size()));
     }
-    double current = eval(pi, ti);
+    double current = eval(pi, ti, li);
 
-    // Greedy neighbor descent on the lattice.
+    // Greedy neighbor descent on the lattice; the load-balance axis is a
+    // two-point lattice, so its only move is the flip.
     for (;;) {
-      int best_pi = pi, best_ti = ti;
+      int best_pi = pi, best_ti = ti, best_li = li;
       double best = current;
-      const int candidates[4][2] = {
-          {pi - 1, ti}, {pi + 1, ti}, {pi, ti - 1}, {pi, ti + 1}};
+      const int candidates[5][3] = {{pi - 1, ti, li},
+                                    {pi + 1, ti, li},
+                                    {pi, ti - 1, li},
+                                    {pi, ti + 1, li},
+                                    {pi, ti, 1 - li}};
       for (const auto& c : candidates) {
         if (c[0] < 0 || c[0] >= static_cast<int>(parts.size())) continue;
         if (c[1] < 0 || c[1] >= static_cast<int>(tiles.size())) continue;
-        const double secs = eval(c[0], c[1]);
+        if (c[2] < 0 || c[2] >= static_cast<int>(balances.size())) continue;
+        const double secs = eval(c[0], c[1], c[2]);
         if (secs < best) {
           best = secs;
           best_pi = c[0];
           best_ti = c[1];
+          best_li = c[2];
         }
       }
-      if (best_pi == pi && best_ti == ti) break;  // local optimum
+      if (best_pi == pi && best_ti == ti && best_li == li) break;
       pi = best_pi;
       ti = best_ti;
+      li = best_li;
       current = best;
       if (result.trials_used >= options.max_trials) break;
     }

@@ -3,13 +3,14 @@
 // [OpenTuner, AutoTVM] for faster design space exploration" (Sec. IV-A).
 //
 // This tuner replaces exhaustive grid search with random-restart hill
-// climbing over the (num_partitions, feat_tile) lattice: evaluate a few
-// seed points, then repeatedly step to the best untried neighbor (x2 / /2
-// moves along each axis) until no neighbor improves, respecting a hard
-// trial budget. On the spaces FeatGraph cares about the runtime cost
-// surface is close to unimodal along each axis (Fig. 14), which hill
-// climbing exploits — typically reaching the grid-search winner with a
-// third of the measurements (see bench_ablation_tuner).
+// climbing over the (num_partitions, feat_tile, load_balance) lattice:
+// evaluate a few seed points, then repeatedly step to the best untried
+// neighbor (x2 / /2 moves along the numeric axes, a flip on the row-split
+// policy) until no neighbor improves, respecting a hard trial budget. On
+// the spaces FeatGraph cares about the runtime cost surface is close to
+// unimodal along each axis (Fig. 14), which hill climbing exploits —
+// typically reaching the grid-search winner with a third of the
+// measurements (see bench_ablation_tuner).
 #pragma once
 
 #include <cstdint>

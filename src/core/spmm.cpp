@@ -62,12 +62,12 @@ Tensor spmm(const graph::Csr& adj, std::string_view msg_op,
     FG_CHECK(x.rows() == adj.num_cols);
     const std::int64_t d = x.row_size();
     if (msg_op == "u_add_v")
-      return run_spmm(adj, UOpV<OpAdd>{x.data(), d, {}}, reduce_op, d, fds);
+      return run_spmm(adj, UOpV<OpAdd>{x.data(), d}, reduce_op, d, fds);
     if (msg_op == "u_sub_v")
-      return run_spmm(adj, UOpV<OpSub>{x.data(), d, {}}, reduce_op, d, fds);
+      return run_spmm(adj, UOpV<OpSub>{x.data(), d}, reduce_op, d, fds);
     if (msg_op == "u_mul_v")
-      return run_spmm(adj, UOpV<OpMul>{x.data(), d, {}}, reduce_op, d, fds);
-    return run_spmm(adj, UOpV<OpDiv>{x.data(), d, {}}, reduce_op, d, fds);
+      return run_spmm(adj, UOpV<OpMul>{x.data(), d}, reduce_op, d, fds);
+    return run_spmm(adj, UOpV<OpDiv>{x.data(), d}, reduce_op, d, fds);
   }
   if (msg_op == "u_add_e" || msg_op == "u_mul_e") {
     const Tensor& x = require(operands.src_feat, "u_op_e requires src_feat");
@@ -78,9 +78,9 @@ Tensor spmm(const graph::Csr& adj, std::string_view msg_op,
     FG_CHECK_MSG(d_edge == 1 || d_edge == d,
                  "edge feature must be scalar or match src feature width");
     if (msg_op == "u_add_e")
-      return run_spmm(adj, UOpE<OpAdd>{x.data(), e.data(), d, d_edge, {}},
+      return run_spmm(adj, UOpE<OpAdd>{x.data(), e.data(), d, d_edge},
                       reduce_op, d, fds);
-    return run_spmm(adj, UOpE<OpMul>{x.data(), e.data(), d, d_edge, {}},
+    return run_spmm(adj, UOpE<OpMul>{x.data(), e.data(), d, d_edge},
                     reduce_op, d, fds);
   }
   if (msg_op == "mlp") {
@@ -99,20 +99,22 @@ Tensor spmm(const graph::Csr& adj, std::string_view msg_op,
 
 namespace {
 
-/// Adapts a blackbox std::function UDF to the fused-kernel protocol by
-/// materializing the message into a per-thread scratch buffer.
+/// Adapts a blackbox std::function UDF to the fused bulk-span protocol by
+/// materializing the message into a per-thread scratch buffer, then folding
+/// the requested span with the SIMD accumulator.
 struct GenericMsgAdapter {
   static constexpr bool kUsesEdgeId = true;  // blackbox: may read anything
   const GenericMsgFn* fn;
   std::int64_t d_out;
 
-  template <class Acc>
-  void operator()(graph::vid_t u, graph::eid_t e, graph::vid_t v,
-                  std::int64_t j0, std::int64_t j1, Acc&& acc) const {
+  template <class Reducer>
+  void apply(graph::vid_t u, graph::eid_t e, graph::vid_t v, float* out_row,
+             std::int64_t j0, std::int64_t j1) const {
     thread_local std::vector<float> buf;
-    if (static_cast<std::int64_t>(buf.size()) < d_out) buf.resize(d_out);
+    if (static_cast<std::int64_t>(buf.size()) < d_out)
+      buf.resize(static_cast<std::size_t>(d_out));
     (*fn)(u, e, v, buf.data());
-    for (std::int64_t j = j0; j < j1; ++j) acc(j, buf[j]);
+    simd::accum(Reducer::kAccum, out_row + j0, buf.data() + j0, j1 - j0);
   }
 };
 

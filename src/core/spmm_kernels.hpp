@@ -5,11 +5,14 @@
 // The coarse-grained template owns graph traversal: feature tiles outermost
 // (Fig. 6b), then 1D source partitions processed one at a time with all
 // threads cooperating inside the partition (Sec. IV-A), then destination
-// rows split across threads (race-free: each thread owns its rows). The
-// fine-grained UDF is inlined into the innermost loop through the `Acc`
-// callback, so messages are folded into the output without ever being
-// materialized — this fusion is FeatGraph's key advantage over
-// deep-learning-framework backends.
+// rows split across threads (race-free: each thread owns its rows; the
+// schedule's load_balance knob picks row-count or nnz-balanced boundaries).
+// The fine-grained UDF folds one edge's whole message span into the output
+// row per call (the bulk-span protocol of udf.hpp), so the innermost feature
+// loop is a dense contiguous sweep on the vector units — messages are never
+// materialized, and the fusion of message computation with the reducer
+// combine is FeatGraph's key advantage over deep-learning-framework
+// backends.
 #pragma once
 
 #include <algorithm>
@@ -17,6 +20,7 @@
 
 #include "core/reducers.hpp"
 #include "core/schedule.hpp"
+#include "core/simd.hpp"
 #include "graph/csr.hpp"
 #include "graph/partition.hpp"
 #include "parallel/parallel_for.hpp"
@@ -37,21 +41,19 @@ void spmm_rows(const std::int64_t* indptr, const graph::vid_t* indices,
                bool init) {
   for (std::int64_t v = row_begin; v < row_end; ++v) {
     float* out_row = out + v * d_out;
-    if (init) {
-      for (std::int64_t j = j0; j < j1; ++j) out_row[j] = Reducer::identity();
-    }
-    const auto acc = [out_row](std::int64_t j, float val) {
-      out_row[j] = Reducer::combine(out_row[j], val);
-    };
+    if (init) simd::fill(out_row + j0, Reducer::identity(), j1 - j0);
     for (std::int64_t i = indptr[v]; i < indptr[v + 1]; ++i) {
       // UDFs that never read the edge id skip the edge_ids load entirely:
       // 8 B less adjacency traffic per edge visit, which matters for tiled
       // schedules that re-traverse the graph once per feature tile.
       if constexpr (MsgFn::kUsesEdgeId) {
-        msg(indices[i], edge_ids[i], static_cast<graph::vid_t>(v), j0, j1,
-            acc);
+        msg.template apply<Reducer>(indices[i], edge_ids[i],
+                                    static_cast<graph::vid_t>(v), out_row, j0,
+                                    j1);
       } else {
-        msg(indices[i], 0, static_cast<graph::vid_t>(v), j0, j1, acc);
+        msg.template apply<Reducer>(indices[i], 0,
+                                    static_cast<graph::vid_t>(v), out_row, j0,
+                                    j1);
       }
     }
   }
@@ -68,11 +70,9 @@ void spmm_postprocess(const std::int64_t* row_degree, std::int64_t num_rows,
           float* out_row = out + v * d_out;
           const std::int64_t deg = row_degree[v];
           if (deg == 0) {
-            for (std::int64_t j = 0; j < d_out; ++j)
-              out_row[j] = Reducer::empty_value();
+            simd::fill(out_row, Reducer::empty_value(), d_out);
           } else if (Reducer::needs_degree_normalize()) {
-            const float inv = 1.0f / static_cast<float>(deg);
-            for (std::int64_t j = 0; j < d_out; ++j) out_row[j] *= inv;
+            simd::scale(out_row, 1.0f / static_cast<float>(deg), d_out);
           }
         }
       });
@@ -82,7 +82,7 @@ void spmm_postprocess(const std::int64_t* row_degree, std::int64_t num_rows,
 
 /// Generalized SpMM over a destination-major CSR. `parts` may be null (no
 /// partitioning) or a 1D source partitioning of the same CSR. The schedule's
-/// feature tile and thread count apply in both cases.
+/// feature tile, thread count, and load-balance policy apply in both cases.
 template <class MsgFn, class Reducer>
 void generalized_spmm(const graph::Csr& adj,
                       const graph::SrcPartitionedCsr* parts, const MsgFn& msg,
@@ -93,37 +93,50 @@ void generalized_spmm(const graph::Csr& adj,
   const std::int64_t tile =
       sched.feat_tile > 0 ? std::min(sched.feat_tile, d_out) : d_out;
 
+  // One edge segment, all threads cooperating; the load_balance knob picks
+  // whether thread boundaries equalize rows or nnz. Note nnz balance is
+  // computed per segment — a partition's skew, not the whole graph's,
+  // decides its boundaries.
+  const auto sweep = [&](const std::int64_t* indptr,
+                         const graph::vid_t* indices,
+                         const graph::eid_t* edge_ids, std::int64_t j0,
+                         std::int64_t j1, bool init) {
+    const auto body = [&](std::int64_t r0, std::int64_t r1) {
+      detail::spmm_rows<MsgFn, Reducer>(indptr, indices, edge_ids, r0, r1,
+                                        msg, out, d_out, j0, j1, init);
+    };
+    if (sched.load_balance == LoadBalance::kNnzBalanced) {
+      parallel::parallel_for_nnz_ranges(indptr, 0, n, sched.num_threads,
+                                        body);
+    } else {
+      parallel::parallel_for_ranges(0, n, sched.num_threads, body);
+    }
+  };
+
   for (std::int64_t j0 = 0; j0 < d_out; j0 += tile) {
     const std::int64_t j1 = std::min(j0 + tile, d_out);
     if (parts == nullptr || parts->parts.size() <= 1) {
-      parallel::parallel_for_ranges(
-          0, n, sched.num_threads, [&](std::int64_t r0, std::int64_t r1) {
-            detail::spmm_rows<MsgFn, Reducer>(
-                adj.indptr.data(), adj.indices.data(), adj.edge_ids.data(), r0,
-                r1, msg, out, d_out, j0, j1, /*init=*/true);
-          });
+      sweep(adj.indptr.data(), adj.indices.data(), adj.edge_ids.data(), j0,
+            j1, /*init=*/true);
     } else {
       FG_CHECK(parts->num_rows == adj.num_rows);
       bool first = true;
       for (const auto& seg : parts->parts) {
         // Threads cooperate inside ONE partition; the partition loop itself
         // is sequential (Sec. IV-A: avoids LLC contention).
-        parallel::parallel_for_ranges(
-            0, n, sched.num_threads, [&](std::int64_t r0, std::int64_t r1) {
-              detail::spmm_rows<MsgFn, Reducer>(
-                  seg.indptr.data(), seg.indices.data(), seg.edge_ids.data(),
-                  r0, r1, msg, out, d_out, j0, j1, first);
-            });
+        sweep(seg.indptr.data(), seg.indices.data(), seg.edge_ids.data(), j0,
+              j1, first);
         first = false;
       }
     }
   }
 
-  // Degrees come from the unpartitioned CSR (segments only see a slice).
-  std::vector<std::int64_t> degree(static_cast<std::size_t>(n));
-  for (std::int64_t v = 0; v < n; ++v)
-    degree[static_cast<std::size_t>(v)] = adj.indptr[v + 1] - adj.indptr[v];
-  detail::spmm_postprocess<Reducer>(degree.data(), n, out, d_out,
+  // An nnz-balanced sweep with empty rows can leave boundary gaps only if
+  // boundaries were non-tiling — nnz_split_point guarantees they tile, so
+  // every row was initialized above. Degrees come from the unpartitioned
+  // CSR's cached degree vector (segments only see a slice; recomputing here
+  // serially per call was measurable on large graphs).
+  detail::spmm_postprocess<Reducer>(adj.degrees().data(), n, out, d_out,
                                     sched.num_threads);
 }
 

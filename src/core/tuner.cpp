@@ -13,16 +13,20 @@ namespace featgraph::core {
 std::vector<CpuSpmmSchedule> default_spmm_candidates(std::int64_t d_out,
                                                      int num_threads) {
   std::vector<CpuSpmmSchedule> grid;
+  const std::vector<LoadBalance> balances = load_balance_axis(num_threads);
   for (int parts : {1, 2, 4, 8, 16, 32}) {
     for (std::int64_t tile : {std::int64_t{0}, std::int64_t{16},
                               std::int64_t{32}, std::int64_t{64},
                               std::int64_t{128}}) {
       if (tile > d_out) continue;
-      CpuSpmmSchedule s;
-      s.num_partitions = parts;
-      s.feat_tile = tile;
-      s.num_threads = num_threads;
-      grid.push_back(s);
+      for (LoadBalance lb : balances) {
+        CpuSpmmSchedule s;
+        s.num_partitions = parts;
+        s.feat_tile = tile;
+        s.num_threads = num_threads;
+        s.load_balance = lb;
+        grid.push_back(s);
+      }
     }
   }
   return grid;
@@ -95,6 +99,7 @@ CpuSpmmSchedule heuristic_spmm_schedule(const graph::Csr& adj,
                                         std::int64_t d_feat, int num_threads) {
   CpuSpmmSchedule s;
   s.num_threads = num_threads;
+  s.load_balance = LoadBalance::kNnzBalanced;  // never worse on skewed graphs
   s.feat_tile = std::min<std::int64_t>(d_feat, 64);
   const double tile_bytes = static_cast<double>(s.feat_tile) * sizeof(float);
   const double src_bytes = static_cast<double>(adj.num_cols) * tile_bytes;

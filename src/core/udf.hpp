@@ -10,12 +10,21 @@
 // same decoupling (the functor knows nothing about traversal or
 // partitioning; the template knows nothing about the feature computation).
 //
-// The functor protocol for SpMM message functions:
-//   template <class Acc>
-//   void operator()(vid u, eid e, vid v, i64 j0, i64 j1, Acc&& acc) const
-// computes message elements j in [j0, j1) and calls acc(j, value) — the
-// template supplies `acc` to fold values straight into the output row, so
-// messages are never materialized.
+// The functor protocol for SpMM message functions is BULK-SPAN: one call
+// folds the whole feature span [j0, j1) of one edge's message into the
+// destination row under the reducer, instead of surrendering each element to
+// a per-element callback. This is the paper's FDS story made concrete — the
+// feature axis is bound to the vector units (core/simd.hpp span primitives,
+// AVX2 with scalar fallback) while the template owns traversal:
+//
+//   template <class Reducer>
+//   void apply(vid u, eid e, vid v, float* out_row,
+//              i64 j0, i64 j1) const
+//   // out_row[j] = Reducer::combine(out_row[j], msg_j)   for j in [j0, j1)
+//
+// Messages are still never materialized (span primitives fuse the message
+// computation with the reducer combine); the reducer is a template parameter
+// so the fused (msg, reduce) pair compiles to a single vector loop.
 //
 // The protocol for SDDMM edge functions:
 //   float partial(vid u, eid e, vid v, i64 h, i64 k0, i64 k1) const
@@ -31,7 +40,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
+#include "core/simd.hpp"
 #include "graph/csr.hpp"
 #include "support/check.hpp"
 
@@ -51,11 +62,11 @@ struct CopyU {
   static constexpr bool kUsesEdgeId = false;
   const float* x;
   std::int64_t d;
-  template <class Acc>
-  void operator()(vid_t u, eid_t, vid_t, std::int64_t j0, std::int64_t j1,
-                  Acc&& acc) const {
+  template <class Reducer>
+  void apply(vid_t u, eid_t, vid_t, float* out_row, std::int64_t j0,
+             std::int64_t j1) const {
     const float* xu = x + static_cast<std::int64_t>(u) * d;
-    for (std::int64_t j = j0; j < j1; ++j) acc(j, xu[j]);
+    simd::accum(Reducer::kAccum, out_row + j0, xu + j0, j1 - j0);
   }
 };
 
@@ -64,11 +75,11 @@ struct CopyE {
   static constexpr bool kUsesEdgeId = true;
   const float* edge;
   std::int64_t d;
-  template <class Acc>
-  void operator()(vid_t, eid_t e, vid_t, std::int64_t j0, std::int64_t j1,
-                  Acc&& acc) const {
+  template <class Reducer>
+  void apply(vid_t, eid_t e, vid_t, float* out_row, std::int64_t j0,
+             std::int64_t j1) const {
     const float* ee = edge + e * d;
-    for (std::int64_t j = j0; j < j1; ++j) acc(j, ee[j]);
+    simd::accum(Reducer::kAccum, out_row + j0, ee + j0, j1 - j0);
   }
 };
 
@@ -78,13 +89,13 @@ struct UOpV {
   static constexpr bool kUsesEdgeId = false;
   const float* x;
   std::int64_t d;
-  BinOp op;
-  template <class Acc>
-  void operator()(vid_t u, eid_t, vid_t v, std::int64_t j0, std::int64_t j1,
-                  Acc&& acc) const {
+  template <class Reducer>
+  void apply(vid_t u, eid_t, vid_t v, float* out_row, std::int64_t j0,
+             std::int64_t j1) const {
     const float* xu = x + static_cast<std::int64_t>(u) * d;
     const float* xv = x + static_cast<std::int64_t>(v) * d;
-    for (std::int64_t j = j0; j < j1; ++j) acc(j, op(xu[j], xv[j]));
+    simd::accum_binop(Reducer::kAccum, BinOp::kBinOp, out_row + j0, xu + j0,
+                      xv + j0, j1 - j0);
   }
 };
 
@@ -97,31 +108,36 @@ struct UOpE {
   const float* edge;
   std::int64_t d;
   std::int64_t d_edge;  // 1 (broadcast scalar) or d
-  BinOp op;
-  template <class Acc>
-  void operator()(vid_t u, eid_t e, vid_t, std::int64_t j0, std::int64_t j1,
-                  Acc&& acc) const {
+  template <class Reducer>
+  void apply(vid_t u, eid_t e, vid_t, float* out_row, std::int64_t j0,
+             std::int64_t j1) const {
     const float* xu = x + static_cast<std::int64_t>(u) * d;
     if (d_edge == 1) {
-      const float ew = edge[e];
-      for (std::int64_t j = j0; j < j1; ++j) acc(j, op(xu[j], ew));
+      simd::accum_binop_scalar(Reducer::kAccum, BinOp::kBinOp, out_row + j0,
+                               xu + j0, edge[e], j1 - j0);
     } else {
       const float* ee = edge + e * d;
-      for (std::int64_t j = j0; j < j1; ++j) acc(j, op(xu[j], ee[j]));
+      simd::accum_binop(Reducer::kAccum, BinOp::kBinOp, out_row + j0, xu + j0,
+                        ee + j0, j1 - j0);
     }
   }
 };
 
+// Elementwise op tags; `kBinOp` routes to the matching SIMD span primitive.
 struct OpAdd {
+  static constexpr simd::BinOp kBinOp = simd::BinOp::kAdd;
   float operator()(float a, float b) const { return a + b; }
 };
 struct OpSub {
+  static constexpr simd::BinOp kBinOp = simd::BinOp::kSub;
   float operator()(float a, float b) const { return a - b; }
 };
 struct OpMul {
+  static constexpr simd::BinOp kBinOp = simd::BinOp::kMul;
   float operator()(float a, float b) const { return a * b; }
 };
 struct OpDiv {
+  static constexpr simd::BinOp kBinOp = simd::BinOp::kDiv;
   float operator()(float a, float b) const { return a / b; }
 };
 
@@ -131,25 +147,36 @@ inline constexpr std::int64_t kMaxMlpInputDim = 128;
 ///   msg_j = ReLU( sum_k (x_u[k] + x_v[k]) * W[k, j] )
 /// with x in R^{n x d1}, W in R^{d1 x d2}. The d2 axis is the message
 /// dimension the FDS tiles/parallelizes; the k axis is its reduce axis.
+///
+/// The bulk form walks k outermost and sweeps the j span with axpy — the
+/// rank-1-update layout that keeps W row accesses contiguous and the j loop
+/// on the vector units. ReLU forces one materialized span (the activation
+/// must see the finished dot product before the reducer folds it), staged in
+/// a per-thread scratch buffer.
 struct MlpMsg {
   static constexpr bool kUsesEdgeId = false;
   const float* x;
   std::int64_t d1;
   const float* w;  // row-major d1 x d2
   std::int64_t d2;
-  template <class Acc>
-  void operator()(vid_t u, eid_t, vid_t v, std::int64_t j0, std::int64_t j1,
-                  Acc&& acc) const {
+  template <class Reducer>
+  void apply(vid_t u, eid_t, vid_t v, float* out_row, std::int64_t j0,
+             std::int64_t j1) const {
     FG_DCHECK(d1 <= kMaxMlpInputDim);
     const float* xu = x + static_cast<std::int64_t>(u) * d1;
     const float* xv = x + static_cast<std::int64_t>(v) * d1;
     float s[kMaxMlpInputDim];
     for (std::int64_t k = 0; k < d1; ++k) s[k] = xu[k] + xv[k];
-    for (std::int64_t j = j0; j < j1; ++j) {
-      float dot = 0.0f;
-      for (std::int64_t k = 0; k < d1; ++k) dot += s[k] * w[k * d2 + j];
-      acc(j, dot > 0.0f ? dot : 0.0f);
-    }
+    const std::int64_t n = j1 - j0;
+    thread_local std::vector<float> scratch;
+    if (static_cast<std::int64_t>(scratch.size()) < n)
+      scratch.resize(static_cast<std::size_t>(n));
+    float* msg = scratch.data();
+    simd::fill(msg, 0.0f, n);
+    for (std::int64_t k = 0; k < d1; ++k)
+      simd::axpy(msg, w + k * d2 + j0, s[k], n);
+    simd::relu(msg, n);
+    simd::accum(Reducer::kAccum, out_row + j0, msg, n);
   }
 };
 
@@ -176,9 +203,7 @@ struct DotUV {
                 std::int64_t k1) const {
     const float* au = a + static_cast<std::int64_t>(u) * d;
     const float* bv = b + static_cast<std::int64_t>(v) * d;
-    float acc = 0.0f;
-    for (std::int64_t k = k0; k < k1; ++k) acc += au[k] * bv[k];
-    return acc;
+    return simd::dot(au + k0, bv + k0, k1 - k0);
   }
 };
 
@@ -197,9 +222,7 @@ struct MultiHeadDotUV {
         a + (static_cast<std::int64_t>(u) * heads + h) * head_dim;
     const float* bv =
         b + (static_cast<std::int64_t>(v) * heads + h) * head_dim;
-    float acc = 0.0f;
-    for (std::int64_t k = k0; k < k1; ++k) acc += au[k] * bv[k];
-    return acc;
+    return simd::dot(au + k0, bv + k0, k1 - k0);
   }
 };
 

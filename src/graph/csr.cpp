@@ -11,6 +11,54 @@ std::uint64_t next_structure_uid() {
   return counter.fetch_add(1, std::memory_order_relaxed);
 }
 
+Csr::Csr(const Csr& other)
+    : num_rows(other.num_rows),
+      num_cols(other.num_cols),
+      indptr(other.indptr),
+      indices(other.indices),
+      edge_ids(other.edge_ids),
+      uid(other.uid),
+      degree_cache_(std::atomic_load_explicit(&other.degree_cache_,
+                                              std::memory_order_acquire)) {}
+
+Csr& Csr::operator=(const Csr& other) {
+  if (this == &other) return *this;
+  num_rows = other.num_rows;
+  num_cols = other.num_cols;
+  indptr = other.indptr;
+  indices = other.indices;
+  edge_ids = other.edge_ids;
+  uid = other.uid;
+  std::atomic_store_explicit(
+      &degree_cache_,
+      std::atomic_load_explicit(&other.degree_cache_,
+                                std::memory_order_acquire),
+      std::memory_order_release);
+  return *this;
+}
+
+const std::vector<std::int64_t>& Csr::degrees() const {
+  auto cached = std::atomic_load_explicit(&degree_cache_,
+                                          std::memory_order_acquire);
+  if (cached == nullptr) {
+    auto built = std::make_shared<std::vector<std::int64_t>>(
+        static_cast<std::size_t>(num_rows));
+    for (vid_t v = 0; v < num_rows; ++v)
+      (*built)[static_cast<std::size_t>(v)] = degree(v);
+    std::shared_ptr<const std::vector<std::int64_t>> expected;
+    // First writer wins; a losing racer adopts the published vector so all
+    // callers see one stable address.
+    if (std::atomic_compare_exchange_strong_explicit(
+            &degree_cache_, &expected,
+            std::shared_ptr<const std::vector<std::int64_t>>(built),
+            std::memory_order_acq_rel, std::memory_order_acquire)) {
+      return *built;
+    }
+    return *expected;
+  }
+  return *cached;
+}
+
 namespace {
 
 /// Counting sort of edges by key (either src or dst), preserving COO order

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace featgraph::graph {
@@ -48,6 +49,28 @@ struct Csr {
     return indptr[static_cast<std::size_t>(row) + 1] -
            indptr[static_cast<std::size_t>(row)];
   }
+
+  /// The full per-row degree vector, materialized once per structure and
+  /// cached (SpMM postprocessing reads it on every call; recomputing it
+  /// serially each time was a measurable per-call tax). Thread-safe: two
+  /// racing callers may both build the vector, one result wins, both are
+  /// identical. Copies of the Csr share the cache (structures are immutable
+  /// once built — the same contract the uid relies on).
+  const std::vector<std::int64_t>& degrees() const;
+
+  Csr() = default;
+  /// Copying must read the source's cache atomically: a copy may race with
+  /// a concurrent first degrees() call publishing into the source.
+  Csr(const Csr& other);
+  Csr& operator=(const Csr& other);
+  /// Moving implies exclusive ownership of the source (moving a structure
+  /// other threads are reading would gut its arrays regardless of the
+  /// cache), so the default member-wise move is safe.
+  Csr(Csr&&) noexcept = default;
+  Csr& operator=(Csr&&) noexcept = default;
+
+ private:
+  mutable std::shared_ptr<const std::vector<std::int64_t>> degree_cache_;
 };
 
 /// Destination-major CSR: row = dst, column = src ("pull" direction, the

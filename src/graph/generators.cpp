@@ -107,4 +107,44 @@ Coo gen_community(vid_t n, double avg_degree, int num_communities, double p_in,
   return coo;
 }
 
+Coo gen_rmat(vid_t n, double avg_degree, std::uint64_t seed) {
+  // 2^30 bound: the next doubling would overflow the signed 32-bit vid_t.
+  FG_CHECK(n > 0 && n <= (vid_t{1} << 30) && avg_degree >= 0.0);
+  support::Rng rng(seed);
+  vid_t size = 1;
+  int levels = 0;
+  while (size < n) {
+    size <<= 1;
+    ++levels;
+  }
+  const eid_t m = static_cast<eid_t>(static_cast<double>(size) * avg_degree);
+  Coo coo;
+  coo.num_src = size;
+  coo.num_dst = size;
+  coo.src.resize(static_cast<std::size_t>(m));
+  coo.dst.resize(static_cast<std::size_t>(m));
+  // Graph500 quadrant probabilities; cumulative thresholds for one draw.
+  constexpr double kA = 0.57, kB = 0.19, kC = 0.19;
+  for (eid_t e = 0; e < m; ++e) {
+    vid_t u = 0, v = 0;
+    for (int level = 0; level < levels; ++level) {
+      const double r = rng.uniform_real();
+      const vid_t bit = static_cast<vid_t>(1) << (levels - 1 - level);
+      if (r < kA) {
+        // top-left: neither bit set
+      } else if (r < kA + kB) {
+        v |= bit;
+      } else if (r < kA + kB + kC) {
+        u |= bit;
+      } else {
+        u |= bit;
+        v |= bit;
+      }
+    }
+    coo.src[static_cast<std::size_t>(e)] = u;
+    coo.dst[static_cast<std::size_t>(e)] = v;
+  }
+  return coo;
+}
+
 }  // namespace featgraph::graph

@@ -38,4 +38,12 @@ Coo gen_lognormal(vid_t n, double avg_degree, double sigma,
 Coo gen_community(vid_t n, double avg_degree, int num_communities,
                   double p_in, std::uint64_t seed);
 
+/// R-MAT (Chakrabarti et al.): recursive quadrant descent with probabilities
+/// (a, b, c, d) = (0.57, 0.19, 0.19, 0.05), the Graph500 defaults. Produces
+/// the power-law degree skew GNN benchmarks stress load balancing with.
+/// `n` is rounded up to the next power of two; the returned graph has that
+/// rounded vertex count and `rounded_n * avg_degree` edges — size feature
+/// tensors from the returned Coo, not the requested n.
+Coo gen_rmat(vid_t n, double avg_degree, std::uint64_t seed);
+
 }  // namespace featgraph::graph

@@ -1,13 +1,20 @@
 // Data-parallel loop helpers built on the thread pool.
 //
-// Two scheduling modes mirror the paper:
+// Three scheduling modes mirror the paper:
 //  * parallel_for        — static range split, one contiguous block per lane;
+//  * parallel_for_nnz_ranges — contiguous row blocks whose BOUNDARIES balance
+//    nnz instead of row counts (binary search over the CSR indptr prefix
+//    sums). On power-law graphs a static row split strands most threads
+//    behind the one holding the hub rows — the single-machine GNN
+//    load-imbalance pathology; nnz balancing removes it at zero bookkeeping
+//    cost because indptr already is the degree prefix sum.
 //  * cooperative_chunks  — all threads collectively drain one chunk list via
 //    an atomic cursor. FeatGraph uses this to make threads work on ONE graph
 //    partition at a time (Sec. IV-A), which keeps the aggregate working set
 //    bounded by a single partition and avoids LLC contention.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -54,6 +61,52 @@ void parallel_for_ranges(std::int64_t begin, std::int64_t end, int num_threads,
     const std::int64_t chunk = (n + lanes - 1) / lanes;
     const std::int64_t lo = begin + tid * chunk;
     const std::int64_t hi = (lo + chunk < end) ? lo + chunk : end;
+    if (lo < hi) fn(lo, hi);
+  };
+  ThreadPool::global().launch(num_threads, lane);
+}
+
+/// Row index where lane boundary `k` of `lanes` falls when splitting rows
+/// [begin, end) so each lane gets ~equal nnz. `indptr` is the CSR row-pointer
+/// array (a prefix sum of row degrees); boundary k is the first row whose
+/// cumulative nnz reaches k/lanes of the total. Boundaries are monotone and
+/// boundary(0) == begin, boundary(lanes) == end, so consecutive boundaries
+/// tile the interval exactly (trailing empty rows land in the last lane). A
+/// single row is never split: a row heavier than total/lanes yields empty
+/// neighbor lanes instead.
+inline std::int64_t nnz_split_point(const std::int64_t* indptr,
+                                    std::int64_t begin, std::int64_t end,
+                                    int k, int lanes) {
+  FG_CHECK(begin <= end && lanes >= 1 && k >= 0 && k <= lanes);
+  if (k == 0) return begin;
+  if (k == lanes) return end;
+  const std::int64_t base = indptr[begin];
+  const std::int64_t total = indptr[end] - base;
+  const std::int64_t target = base + (total * k) / lanes;
+  // First row r with indptr[r] >= target: [begin, r) has just met the
+  // k/lanes quota (for r - 1 it was still below), so r is the smallest
+  // valid boundary.
+  const std::int64_t* lo =
+      std::lower_bound(indptr + begin, indptr + end, target);
+  return lo - indptr;
+}
+
+/// Like parallel_for_ranges, but lane boundaries equalize the nnz each lane
+/// owns rather than its row count. Rows stay contiguous per lane (race-free:
+/// each thread still owns its destination rows).
+template <class Fn>
+void parallel_for_nnz_ranges(const std::int64_t* indptr, std::int64_t begin,
+                             std::int64_t end, int num_threads, Fn&& fn) {
+  FG_CHECK(begin <= end);
+  if (begin == end) return;
+  if (num_threads <= 1) {
+    fn(begin, end);
+    return;
+  }
+  std::function<void(int, int)> lane = [&](int tid, int lanes) {
+    const std::int64_t lo = nnz_split_point(indptr, begin, end, tid, lanes);
+    const std::int64_t hi =
+        nnz_split_point(indptr, begin, end, tid + 1, lanes);
     if (lo < hi) fn(lo, hi);
   };
   ThreadPool::global().launch(num_threads, lane);

@@ -86,6 +86,112 @@ TEST(ParallelForRanges, RangesPartitionTheInterval) {
   EXPECT_EQ(covered, 103);
 }
 
+// --- nnz-balanced range splitting ---------------------------------------
+
+namespace {
+
+/// indptr for a row-degree list.
+std::vector<std::int64_t> indptr_of(const std::vector<std::int64_t>& degs) {
+  std::vector<std::int64_t> p(degs.size() + 1, 0);
+  for (std::size_t i = 0; i < degs.size(); ++i) p[i + 1] = p[i] + degs[i];
+  return p;
+}
+
+}  // namespace
+
+TEST(NnzSplit, BoundariesTileTheInterval) {
+  const auto indptr = indptr_of({3, 0, 7, 1, 0, 0, 12, 2, 0, 5});
+  const std::int64_t n = 10;
+  for (int lanes : {1, 2, 3, 4, 8, 16}) {
+    std::int64_t prev = 0;
+    EXPECT_EQ(fg::parallel::nnz_split_point(indptr.data(), 0, n, 0, lanes), 0);
+    for (int k = 1; k <= lanes; ++k) {
+      const std::int64_t b =
+          fg::parallel::nnz_split_point(indptr.data(), 0, n, k, lanes);
+      EXPECT_GE(b, prev) << "lanes=" << lanes << " k=" << k;
+      EXPECT_LE(b, n);
+      prev = b;
+    }
+    EXPECT_EQ(prev, n) << "last boundary must be end (lanes=" << lanes << ")";
+  }
+}
+
+TEST(NnzSplit, RangesCoverEveryRowExactlyOnce) {
+  const auto indptr = indptr_of({0, 50, 1, 1, 0, 1, 1, 1, 0, 0, 45});
+  for (int threads : {1, 2, 4, 8}) {
+    std::mutex m;
+    std::vector<std::pair<std::int64_t, std::int64_t>> ranges;
+    fg::parallel::parallel_for_nnz_ranges(
+        indptr.data(), 0, 11, threads,
+        [&](std::int64_t lo, std::int64_t hi) {
+          std::lock_guard<std::mutex> lock(m);
+          ranges.emplace_back(lo, hi);
+        });
+    std::sort(ranges.begin(), ranges.end());
+    std::int64_t expected_next = 0;
+    for (auto [lo, hi] : ranges) {
+      EXPECT_GE(lo, expected_next);
+      EXPECT_LT(lo, hi);
+      // Gaps are impossible: boundaries are monotone and tile [0, 11).
+      EXPECT_EQ(lo, expected_next);
+      expected_next = hi;
+    }
+    EXPECT_EQ(expected_next, 11);
+  }
+}
+
+TEST(NnzSplit, BalancesSkewedDegreesWithinOneRow) {
+  // One hub of 1000 edges among 999 degree-1 rows: a static row split gives
+  // lane 0 over half the edges; the nnz split must keep every lane within
+  // total/lanes + max_row_degree.
+  std::vector<std::int64_t> degs(1000, 1);
+  degs[0] = 1000;
+  const auto indptr = indptr_of(degs);
+  const std::int64_t total = indptr.back();
+  for (int lanes : {2, 4, 8}) {
+    const std::int64_t cap = total / lanes + 1000;
+    for (int k = 0; k < lanes; ++k) {
+      const std::int64_t lo =
+          fg::parallel::nnz_split_point(indptr.data(), 0, 1000, k, lanes);
+      const std::int64_t hi =
+          fg::parallel::nnz_split_point(indptr.data(), 0, 1000, k + 1, lanes);
+      EXPECT_LE(indptr[static_cast<std::size_t>(hi)] -
+                    indptr[static_cast<std::size_t>(lo)],
+                cap)
+          << "lanes=" << lanes << " k=" << k;
+    }
+  }
+}
+
+TEST(NnzSplit, AllEmptyRowsGoToOneLane) {
+  const auto indptr = indptr_of({0, 0, 0, 0, 0});
+  int calls = 0;
+  std::int64_t lo_seen = -1, hi_seen = -1;
+  std::mutex m;
+  fg::parallel::parallel_for_nnz_ranges(indptr.data(), 0, 5, 4,
+                                        [&](std::int64_t lo, std::int64_t hi) {
+                                          std::lock_guard<std::mutex> lock(m);
+                                          ++calls;
+                                          lo_seen = lo;
+                                          hi_seen = hi;
+                                        });
+  // Zero-nnz prefix sums put every interior boundary at row 0; only the
+  // final lane [0, 5) is non-empty.
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(lo_seen, 0);
+  EXPECT_EQ(hi_seen, 5);
+}
+
+TEST(NnzSplit, EmptyIntervalIsNoop) {
+  const auto indptr = indptr_of({4, 4});
+  int calls = 0;
+  fg::parallel::parallel_for_nnz_ranges(indptr.data(), 1, 1, 4,
+                                        [&](std::int64_t, std::int64_t) {
+                                          ++calls;
+                                        });
+  EXPECT_EQ(calls, 0);
+}
+
 TEST(CooperativeChunks, EveryChunkProcessedOnce) {
   for (int threads : {1, 2, 4}) {
     std::vector<std::atomic<int>> hits(37);

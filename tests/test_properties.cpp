@@ -2,7 +2,10 @@
 // hold for every graph and schedule, checked over randomized instances.
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "core/sddmm.hpp"
+#include "core/simd.hpp"
 #include "core/spmm.hpp"
 #include "graph/generators.hpp"
 #include "tensor/ops.hpp"
@@ -85,6 +88,48 @@ TEST_P(PropertyTest, UAddVEqualsCopyUPlusDegreeScaledDst) {
     const auto deg = static_cast<float>(in_.degree(v));
     for (std::int64_t j = 0; j < 12; ++j)
       EXPECT_NEAR(lhs.at(v, j), ax.at(v, j) + deg * x_.at(v, j), 1e-3f);
+  }
+}
+
+TEST_P(PropertyTest, ScheduleAndBackendNeverChangeResults) {
+  // The paper's central correctness property extended to the new knobs: for
+  // any schedule (partitions x tile x threads x load_balance) and either
+  // SIMD backend, results are bit-for-bit identical — schedules move work,
+  // never arithmetic.
+  const fg::core::SpmmOperands ops{&x_, nullptr, nullptr};
+  CpuSpmmSchedule ref_sched;
+  ref_sched.load_balance = fg::core::LoadBalance::kStaticRows;
+  Tensor ref;
+  {
+    fg::simd::ScopedIsa pin(fg::simd::Isa::kScalar);
+    ref = fg::core::spmm(in_, "copy_u", "sum", ref_sched, ops);
+  }
+  const auto isas = fg::simd::cpu_supports_avx2()
+                        ? std::vector<fg::simd::Isa>{fg::simd::Isa::kScalar,
+                                                     fg::simd::Isa::kAvx2}
+                        : std::vector<fg::simd::Isa>{fg::simd::Isa::kScalar};
+  for (auto isa : isas) {
+    fg::simd::ScopedIsa pin(isa);
+    for (int parts : {1, 4}) {
+      for (auto lb : {fg::core::LoadBalance::kStaticRows,
+                      fg::core::LoadBalance::kNnzBalanced}) {
+        CpuSpmmSchedule sched;
+        sched.num_partitions = parts;
+        sched.feat_tile = 5;
+        sched.num_threads = 3;
+        sched.load_balance = lb;
+        const Tensor got = fg::core::spmm(in_, "copy_u", "sum", sched, ops);
+        // Partitioning reorders the per-row edge visits, which reassociates
+        // the sum; unpartitioned schedules must stay bit-exact, partitioned
+        // ones within float tolerance.
+        if (parts == 1) {
+          EXPECT_EQ(fg::tensor::max_abs_diff(got, ref), 0.0f)
+              << fg::simd::isa_name(isa) << " lb=" << static_cast<int>(lb);
+        } else {
+          EXPECT_LT(fg::tensor::max_abs_diff(got, ref), 1e-3f);
+        }
+      }
+    }
   }
 }
 

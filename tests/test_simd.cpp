@@ -1,0 +1,178 @@
+// Unit tests for the SIMD span engine (core/simd.hpp): the scalar and AVX2
+// backends must be bit-for-bit identical on every accumulation primitive,
+// for every span length (including the non-multiple-of-8 tails the vector
+// loop peels off), per the header's rounding contract.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "core/simd.hpp"
+#include "support/rng.hpp"
+
+namespace fg = featgraph;
+using fg::simd::Accum;
+using fg::simd::BinOp;
+using fg::simd::Isa;
+using fg::simd::SpanOps;
+
+namespace {
+
+// Spans straddling every tail case of the 16/8/1 vector loop structure.
+const std::int64_t kLens[] = {0, 1, 3, 7, 8, 9, 15, 16, 17, 31, 33, 64, 100};
+
+std::vector<float> random_span(std::int64_t n, std::uint64_t seed) {
+  fg::support::Rng rng(seed);
+  std::vector<float> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = static_cast<float>(rng.normal());
+  return v;
+}
+
+bool bit_equal(const std::vector<float>& a, const std::vector<float>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0);
+}
+
+}  // namespace
+
+TEST(Simd, ActiveIsaRespectsForce) {
+  fg::simd::force_isa(Isa::kScalar);
+  EXPECT_EQ(fg::simd::active_isa(), Isa::kScalar);
+  fg::simd::clear_forced_isa();
+  if (fg::simd::cpu_supports_avx2()) {
+    fg::simd::ScopedIsa pin(Isa::kAvx2);
+    EXPECT_EQ(fg::simd::active_isa(), Isa::kAvx2);
+  }
+}
+
+TEST(Simd, ScopedIsaRestoresOuterPinWhenNested) {
+  if (!fg::simd::cpu_supports_avx2()) GTEST_SKIP() << "no AVX2";
+  fg::simd::ScopedIsa outer(Isa::kScalar);
+  {
+    fg::simd::ScopedIsa inner(Isa::kAvx2);
+    EXPECT_EQ(fg::simd::active_isa(), Isa::kAvx2);
+  }
+  // The inner pin's destruction must restore the OUTER pin, not drop to
+  // env/auto detection (which would silently be AVX2 here).
+  EXPECT_EQ(fg::simd::active_isa(), Isa::kScalar);
+}
+
+TEST(Simd, Avx2TableFallsBackWithoutSupport) {
+  // Indexing the kAvx2 table is always safe; without hardware support it
+  // aliases the scalar table.
+  const SpanOps& t = fg::simd::span_ops(Isa::kAvx2);
+  const SpanOps& s = fg::simd::span_ops(Isa::kScalar);
+  if (!fg::simd::cpu_supports_avx2()) {
+    EXPECT_EQ(t.fill, s.fill);
+  } else {
+    EXPECT_NE(t.fill, s.fill);
+  }
+}
+
+TEST(Simd, FillScaleReluAxpyParity) {
+  if (!fg::simd::cpu_supports_avx2()) GTEST_SKIP() << "no AVX2";
+  const SpanOps& sc = fg::simd::span_ops(Isa::kScalar);
+  const SpanOps& vx = fg::simd::span_ops(Isa::kAvx2);
+  for (std::int64_t n : kLens) {
+    auto base = random_span(n, 7 + static_cast<std::uint64_t>(n));
+    auto x = random_span(n, 11 + static_cast<std::uint64_t>(n));
+
+    auto a = base, b = base;
+    sc.fill(a.data(), 0.25f, n);
+    vx.fill(b.data(), 0.25f, n);
+    EXPECT_TRUE(bit_equal(a, b)) << "fill n=" << n;
+
+    a = base, b = base;
+    sc.scale(a.data(), -1.75f, n);
+    vx.scale(b.data(), -1.75f, n);
+    EXPECT_TRUE(bit_equal(a, b)) << "scale n=" << n;
+
+    a = base, b = base;
+    sc.relu(a.data(), n);
+    vx.relu(b.data(), n);
+    EXPECT_TRUE(bit_equal(a, b)) << "relu n=" << n;
+
+    a = base, b = base;
+    sc.axpy(a.data(), x.data(), 0.6f, n);
+    vx.axpy(b.data(), x.data(), 0.6f, n);
+    EXPECT_TRUE(bit_equal(a, b)) << "axpy n=" << n;
+  }
+}
+
+TEST(Simd, AccumParityAllReducers) {
+  if (!fg::simd::cpu_supports_avx2()) GTEST_SKIP() << "no AVX2";
+  const SpanOps& sc = fg::simd::span_ops(Isa::kScalar);
+  const SpanOps& vx = fg::simd::span_ops(Isa::kAvx2);
+  for (int r = 0; r < fg::simd::kNumAccum; ++r) {
+    for (std::int64_t n : kLens) {
+      auto base = random_span(n, 100 + static_cast<std::uint64_t>(n));
+      auto x = random_span(n, 200 + static_cast<std::uint64_t>(n));
+      auto a = base, b = base;
+      sc.accum[r](a.data(), x.data(), n);
+      vx.accum[r](b.data(), x.data(), n);
+      EXPECT_TRUE(bit_equal(a, b)) << "accum r=" << r << " n=" << n;
+    }
+  }
+}
+
+TEST(Simd, AccumBinOpParityAllCombos) {
+  if (!fg::simd::cpu_supports_avx2()) GTEST_SKIP() << "no AVX2";
+  const SpanOps& sc = fg::simd::span_ops(Isa::kScalar);
+  const SpanOps& vx = fg::simd::span_ops(Isa::kAvx2);
+  for (int r = 0; r < fg::simd::kNumAccum; ++r) {
+    for (int o = 0; o < fg::simd::kNumBinOp; ++o) {
+      for (std::int64_t n : kLens) {
+        auto base = random_span(n, 300 + static_cast<std::uint64_t>(n));
+        auto x = random_span(n, 400 + static_cast<std::uint64_t>(n));
+        auto y = random_span(n, 500 + static_cast<std::uint64_t>(n));
+        auto a = base, b = base;
+        sc.accum_binop[r][o](a.data(), x.data(), y.data(), n);
+        vx.accum_binop[r][o](b.data(), x.data(), y.data(), n);
+        EXPECT_TRUE(bit_equal(a, b))
+            << "binop r=" << r << " o=" << o << " n=" << n;
+
+        a = base, b = base;
+        sc.accum_binop_scalar[r][o](a.data(), x.data(), 1.3f, n);
+        vx.accum_binop_scalar[r][o](b.data(), x.data(), 1.3f, n);
+        EXPECT_TRUE(bit_equal(a, b))
+            << "binop_s r=" << r << " o=" << o << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(Simd, MaxMinMatchScalarOnTies) {
+  // ±0 ties and NaN propagation must match the scalar `a > b ? a : b` form
+  // (the _mm256_max_ps operand-order contract the backend relies on).
+  if (!fg::simd::cpu_supports_avx2()) GTEST_SKIP() << "no AVX2";
+  const SpanOps& sc = fg::simd::span_ops(Isa::kScalar);
+  const SpanOps& vx = fg::simd::span_ops(Isa::kAvx2);
+  const std::int64_t n = 9;
+  const float nan = std::nanf("");
+  std::vector<float> base = {0.0f, -0.0f, 1.0f, nan, -1.0f, 2.0f, nan, 0.0f,
+                             -0.0f};
+  std::vector<float> x = {-0.0f, 0.0f, nan, 1.0f, nan, -2.0f, nan, 0.5f,
+                          -0.5f};
+  for (int r = 1; r <= 2; ++r) {  // kMax, kMin
+    auto a = base, b = base;
+    sc.accum[r](a.data(), x.data(), n);
+    vx.accum[r](b.data(), x.data(), n);
+    EXPECT_TRUE(bit_equal(a, b)) << "r=" << r;
+  }
+}
+
+TEST(Simd, DotMatchesScalarWithinTolerance) {
+  // dot reassociates and uses FMA — approximate equality only.
+  const SpanOps& sc = fg::simd::span_ops(Isa::kScalar);
+  const SpanOps& active = fg::simd::span_ops();
+  for (std::int64_t n : kLens) {
+    auto a = random_span(n, 600 + static_cast<std::uint64_t>(n));
+    auto b = random_span(n, 700 + static_cast<std::uint64_t>(n));
+    const float want = sc.dot(a.data(), b.data(), n);
+    const float got = active.dot(a.data(), b.data(), n);
+    EXPECT_NEAR(got, want, 1e-4f + 1e-5f * static_cast<float>(n))
+        << "dot n=" << n;
+  }
+}

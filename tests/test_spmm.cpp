@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <string>
 
 #include "core/partition_cache.hpp"
+#include "core/simd.hpp"
 #include "core/spmm.hpp"
 #include "graph/generators.hpp"
 #include "reference.hpp"
@@ -242,16 +244,132 @@ TEST(Spmm, ScheduleInvarianceOnSkewedGraph) {
       fg::core::spmm(in, "copy_u", "sum", {}, {&x, nullptr, nullptr});
   for (int parts : {2, 8, 32}) {
     for (std::int64_t tile : {std::int64_t{0}, std::int64_t{7}}) {
-      CpuSpmmSchedule sched;
-      sched.num_partitions = parts;
-      sched.feat_tile = tile;
-      sched.num_threads = 2;
-      const Tensor got =
-          fg::core::spmm(in, "copy_u", "sum", sched, {&x, nullptr, nullptr});
-      EXPECT_LT(fg::tensor::max_abs_diff(got, base), 1e-4f)
-          << parts << "/" << tile;
+      for (auto lb : {fg::core::LoadBalance::kStaticRows,
+                      fg::core::LoadBalance::kNnzBalanced}) {
+        CpuSpmmSchedule sched;
+        sched.num_partitions = parts;
+        sched.feat_tile = tile;
+        sched.num_threads = 2;
+        sched.load_balance = lb;
+        const Tensor got =
+            fg::core::spmm(in, "copy_u", "sum", sched, {&x, nullptr, nullptr});
+        EXPECT_LT(fg::tensor::max_abs_diff(got, base), 1e-4f)
+            << parts << "/" << tile << "/" << static_cast<int>(lb);
+      }
     }
   }
+}
+
+namespace {
+
+bool bit_equal(const Tensor& a, const Tensor& b) {
+  return a.numel() == b.numel() &&
+         std::memcmp(a.data(), b.data(),
+                     static_cast<std::size_t>(a.numel()) * sizeof(float)) == 0;
+}
+
+}  // namespace
+
+// The SIMD engine's central contract: the AVX2 backend produces bit-for-bit
+// the output of the scalar backend for every (msg_op, reduce_op) pair —
+// exact equality for sum/mean (per-element add order is preserved along the
+// feature axis) and for max/min (maxps/minps match the scalar ternary) — on
+// feature widths that are NOT multiples of the 8-lane vector width, with
+// empty rows present, under both row-split policies.
+class SimdParitySweep : public ::testing::TestWithParam<SpmmCase> {};
+
+TEST_P(SimdParitySweep, ScalarAndSimdBackendsBitEqual) {
+  if (!fg::simd::cpu_supports_avx2()) GTEST_SKIP() << "no AVX2 hardware";
+  const auto p = GetParam();
+  // d=13 exercises the vector tail; at avg degree 4 a few percent of the
+  // 230 rows draw no in-edges, so the empty-row fill path runs too.
+  Fixture f(230, 4.0, 13, 11, /*seed=*/4200);
+  CpuSpmmSchedule sched;
+  sched.num_partitions = p.partitions;
+  sched.feat_tile = p.tile;
+  sched.num_threads = p.threads;
+
+  Tensor scalar_out, simd_out;
+  {
+    fg::simd::ScopedIsa pin(fg::simd::Isa::kScalar);
+    sched.load_balance = fg::core::LoadBalance::kStaticRows;
+    scalar_out = fg::core::spmm(f.in_csr, p.msg_op, p.reduce_op, sched,
+                                operands_for(p.msg_op, f));
+  }
+  {
+    fg::simd::ScopedIsa pin(fg::simd::Isa::kAvx2);
+    sched.load_balance = fg::core::LoadBalance::kNnzBalanced;
+    simd_out = fg::core::spmm(f.in_csr, p.msg_op, p.reduce_op, sched,
+                              operands_for(p.msg_op, f));
+  }
+  EXPECT_TRUE(bit_equal(scalar_out, simd_out))
+      << p.msg_op << "/" << p.reduce_op << " parts=" << p.partitions
+      << " tile=" << p.tile << " threads=" << p.threads;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, SimdParitySweep,
+                         ::testing::ValuesIn(make_sweep()));
+
+TEST(Spmm, EmptyRowsBitEqualAcrossBackends) {
+  if (!fg::simd::cpu_supports_avx2()) GTEST_SKIP() << "no AVX2 hardware";
+  // Isolated vertices 3..9: postprocess must write identical empty-row
+  // values through either backend's fill.
+  Coo coo;
+  coo.num_src = coo.num_dst = 10;
+  coo.src = {0, 1};
+  coo.dst = {1, 2};
+  const Csr in = fg::graph::coo_to_in_csr(coo);
+  Tensor x = Tensor::randn({10, 9}, 77);  // odd width again
+  for (const char* red : {"sum", "max", "min", "mean"}) {
+    Tensor a, b;
+    {
+      fg::simd::ScopedIsa pin(fg::simd::Isa::kScalar);
+      a = fg::core::spmm(in, "copy_u", red, {}, {&x, nullptr, nullptr});
+    }
+    {
+      fg::simd::ScopedIsa pin(fg::simd::Isa::kAvx2);
+      b = fg::core::spmm(in, "copy_u", red, {}, {&x, nullptr, nullptr});
+    }
+    EXPECT_TRUE(bit_equal(a, b)) << red;
+  }
+}
+
+TEST(Spmm, NnzBalancedMatchesStaticOnPowerLawGraph) {
+  // The load_balance knob must never change results, only thread boundaries
+  // — checked on the degree distribution it exists for.
+  const Coo coo = fg::graph::gen_lognormal(400, 8.0, 1.5, 4300);
+  const Csr in = fg::graph::coo_to_in_csr(coo);
+  Tensor x = Tensor::randn({in.num_cols, 13}, 4301);
+  for (const char* op : {"copy_u", "u_mul_v"}) {
+    for (const char* red : {"sum", "max", "mean"}) {
+      for (int threads : {1, 2, 4, 7}) {
+        CpuSpmmSchedule stat, nnz;
+        stat.num_threads = nnz.num_threads = threads;
+        stat.load_balance = fg::core::LoadBalance::kStaticRows;
+        nnz.load_balance = fg::core::LoadBalance::kNnzBalanced;
+        const Tensor a =
+            fg::core::spmm(in, op, red, stat, {&x, nullptr, nullptr});
+        const Tensor b =
+            fg::core::spmm(in, op, red, nnz, {&x, nullptr, nullptr});
+        EXPECT_TRUE(bit_equal(a, b))
+            << op << "/" << red << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(Spmm, DegreeCacheIsStableAndCorrect) {
+  const Coo coo = fg::graph::gen_uniform(150, 5.0, 4400);
+  const Csr in = fg::graph::coo_to_in_csr(coo);
+  const auto& degs = in.degrees();
+  ASSERT_EQ(degs.size(), static_cast<std::size_t>(in.num_rows));
+  for (fg::graph::vid_t v = 0; v < in.num_rows; ++v)
+    EXPECT_EQ(degs[static_cast<std::size_t>(v)], in.degree(v));
+  // Second call returns the same cached vector, not a recomputation.
+  EXPECT_EQ(&in.degrees(), &degs);
+  // Copies share the cache (immutable-structure contract).
+  const Csr copy = in;
+  EXPECT_EQ(&copy.degrees(), &degs);
 }
 
 TEST(Spmm, GenericUdfMatchesBuiltin) {

@@ -18,20 +18,31 @@ struct Fixture {
 
 }  // namespace
 
-TEST(Tuner, DefaultGridCoversPartitionAndTileAxes) {
+TEST(Tuner, DefaultGridCoversPartitionTileAndBalanceAxes) {
   const auto grid = fg::core::default_spmm_candidates(128, 2);
   EXPECT_GE(grid.size(), 20u);
   bool has_unpartitioned = false, has_partitioned = false;
   bool has_untiled = false, has_tiled = false;
+  bool has_static = false, has_nnz = false;
   for (const auto& s : grid) {
     has_unpartitioned |= s.num_partitions == 1;
     has_partitioned |= s.num_partitions > 1;
     has_untiled |= s.feat_tile == 0;
     has_tiled |= s.feat_tile > 0;
+    has_static |= s.load_balance == fg::core::LoadBalance::kStaticRows;
+    has_nnz |= s.load_balance == fg::core::LoadBalance::kNnzBalanced;
     EXPECT_EQ(s.num_threads, 2);
     EXPECT_LE(s.feat_tile, 128);
   }
   EXPECT_TRUE(has_unpartitioned && has_partitioned && has_untiled && has_tiled);
+  EXPECT_TRUE(has_static && has_nnz);
+}
+
+TEST(Tuner, SingleThreadGridSkipsRedundantBalanceAxis) {
+  // At one thread both row-split policies run the identical sweep; the grid
+  // should not double itself for nothing.
+  for (const auto& s : fg::core::default_spmm_candidates(128, 1))
+    EXPECT_EQ(s.load_balance, fg::core::LoadBalance::kNnzBalanced);
 }
 
 TEST(Tuner, GridRespectsSmallFeatureLengths) {
