@@ -1,15 +1,16 @@
 // Google-benchmark micro suite over kernel variants: SpMM and SDDMM under
 // different schedules (unpartitioned / partitioned / tiled / Hilbert), SIMD
-// backends (scalar / AVX2) and row-split policies (static / nnz-balanced).
-// Complements the paper-table binaries with statistically robust per-kernel
-// timings.
+// backends (scalar / AVX2 / AVX-512) and row-split policies (static /
+// nnz-balanced). Complements the paper-table binaries with statistically
+// robust per-kernel timings.
 //
 // After the registered benchmarks run, main() records the canonical
-// micro-kernel baseline — copy_u/sum SpMM at d=64 on an R-MAT graph, scalar
-// vs SIMD and static vs nnz-balanced — to BENCH_kernels.json in the working
-// directory, so successive PRs accumulate a perf trajectory. Pass
-// --benchmark_filter='^$' to skip the google-benchmark suite and only
-// refresh the baseline file.
+// micro-kernel baseline — copy_u/sum SpMM on an R-MAT graph at d=64 and at
+// d=100 (not a multiple of the vector width: the masked-tail workload),
+// scalar vs avx2 vs avx512 and static vs nnz-balanced — to
+// BENCH_kernels.json in the working directory, so successive PRs accumulate
+// a perf trajectory. Pass --benchmark_filter='^$' to skip the
+// google-benchmark suite and only refresh the baseline file.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -43,7 +44,9 @@ struct MicroFixture {
   }
 };
 
-Isa isa_arg(std::int64_t v) { return v == 0 ? Isa::kScalar : Isa::kAvx2; }
+Isa isa_arg(std::int64_t v) {
+  return v == 0 ? Isa::kScalar : v == 1 ? Isa::kAvx2 : Isa::kAvx512;
+}
 LoadBalance lb_arg(std::int64_t v) {
   return v == 0 ? LoadBalance::kStaticRows : LoadBalance::kNnzBalanced;
 }
@@ -111,46 +114,77 @@ void BM_GenericUdfOverhead(benchmark::State& state) {
 // ---------------------------------------------------------------------------
 
 void record_baseline() {
-  // The acceptance workload: copy_u/sum SpMM, d=64, R-MAT skew.
+  // The acceptance workloads: copy_u/sum SpMM on R-MAT skew at d=64 (the
+  // historical trajectory row) and at d=100 (not a multiple of 16 — the
+  // masked-tail row where AVX-512 removes the scalar tail loop outright).
   const auto coo = fg::graph::gen_rmat(32768, 16.0, 42);
   const auto in_csr = fg::graph::coo_to_in_csr(coo);
-  const Tensor x = Tensor::randn({in_csr.num_cols, 64}, 43);
-  const fg::core::SpmmOperands ops{&x, nullptr, nullptr};
+  const Tensor x64 = Tensor::randn({in_csr.num_cols, 64}, 43);
+  const Tensor x100 = Tensor::randn({in_csr.num_cols, 100}, 44);
 
-  const auto time_spmm = [&](Isa isa, LoadBalance lb, int threads) {
+  const auto time_spmm = [&](const Tensor& x, Isa isa, LoadBalance lb,
+                             int threads) {
     fg::simd::ScopedIsa pin(isa);
     CpuSpmmSchedule sched;
     sched.num_threads = threads;
     sched.load_balance = lb;
+    const fg::core::SpmmOperands ops{&x, nullptr, nullptr};
     return fg::bench::measure_seconds(
         [&] { (void)fg::core::spmm(in_csr, "copy_u", "sum", sched, ops); });
   };
 
   const double scalar_static_1t =
-      time_spmm(Isa::kScalar, LoadBalance::kStaticRows, 1);
+      time_spmm(x64, Isa::kScalar, LoadBalance::kStaticRows, 1);
   const double scalar_nnz_1t =
-      time_spmm(Isa::kScalar, LoadBalance::kNnzBalanced, 1);
+      time_spmm(x64, Isa::kScalar, LoadBalance::kNnzBalanced, 1);
   const double simd_static_1t =
-      time_spmm(Isa::kAvx2, LoadBalance::kStaticRows, 1);
+      time_spmm(x64, Isa::kAvx2, LoadBalance::kStaticRows, 1);
   const double simd_nnz_1t =
-      time_spmm(Isa::kAvx2, LoadBalance::kNnzBalanced, 1);
+      time_spmm(x64, Isa::kAvx2, LoadBalance::kNnzBalanced, 1);
+  const bool has512 = fg::simd::cpu_supports_avx512();
+  const double avx512_static_1t =
+      has512 ? time_spmm(x64, Isa::kAvx512, LoadBalance::kStaticRows, 1) : 0.0;
+  const double avx512_nnz_1t =
+      has512 ? time_spmm(x64, Isa::kAvx512, LoadBalance::kNnzBalanced, 1) : 0.0;
 
   const int hw = std::max(1u, std::thread::hardware_concurrency());
   const double scalar_static_mt =
-      time_spmm(Isa::kScalar, LoadBalance::kStaticRows, hw);
+      time_spmm(x64, Isa::kScalar, LoadBalance::kStaticRows, hw);
   const double simd_static_mt =
-      time_spmm(Isa::kAvx2, LoadBalance::kStaticRows, hw);
+      time_spmm(x64, Isa::kAvx2, LoadBalance::kStaticRows, hw);
   const double simd_nnz_mt =
-      time_spmm(Isa::kAvx2, LoadBalance::kNnzBalanced, hw);
+      time_spmm(x64, Isa::kAvx2, LoadBalance::kNnzBalanced, hw);
+  const double avx512_nnz_mt =
+      has512 ? time_spmm(x64, Isa::kAvx512, LoadBalance::kNnzBalanced, hw)
+             : 0.0;
+
+  // Masked-tail row (d=100): 6 full 16-lane vectors + a 4-lane tail that
+  // AVX2 runs as a scalar peel and AVX-512 as one masked op.
+  const double d100_avx2 =
+      time_spmm(x100, Isa::kAvx2, LoadBalance::kStaticRows, 1);
+  const double d100_avx512 =
+      has512 ? time_spmm(x100, Isa::kAvx512, LoadBalance::kStaticRows, 1) : 0.0;
+
+  const auto time_mlp = [&](Isa isa) {
+    fg::simd::ScopedIsa pin(isa);
+    static const Tensor x8 = Tensor::randn({in_csr.num_cols, 8}, 45);
+    static const Tensor w = Tensor::randn({8, 64}, 46);
+    return fg::bench::measure_seconds([&] {
+      (void)fg::core::spmm(in_csr, "mlp", "max", {}, {&x8, nullptr, &w});
+    });
+  };
+  const double mlp_avx2 = time_mlp(Isa::kAvx2);
+  const double mlp_avx512 = has512 ? time_mlp(Isa::kAvx512) : 0.0;
 
   const auto time_sddmm = [&](Isa isa) {
     fg::simd::ScopedIsa pin(isa);
     fg::core::CpuSddmmSchedule sched;
     return fg::bench::measure_seconds(
-        [&] { (void)fg::core::sddmm(coo, "dot", sched, {&x, nullptr}); });
+        [&] { (void)fg::core::sddmm(coo, "dot", sched, {&x64, nullptr}); });
   };
   const double sddmm_scalar = time_sddmm(Isa::kScalar);
   const double sddmm_simd = time_sddmm(Isa::kAvx2);
+  const double sddmm_avx512 = has512 ? time_sddmm(Isa::kAvx512) : 0.0;
 
   std::FILE* f = std::fopen("BENCH_kernels.json", "w");
   if (f == nullptr) {
@@ -161,8 +195,9 @@ void record_baseline() {
   std::fprintf(f, "  \"bench\": \"micro_kernels_baseline\",\n");
   std::fprintf(f,
                "  \"machine\": {\"hardware_concurrency\": %d, "
-               "\"avx2\": %s, \"active_isa\": \"%s\"},\n",
+               "\"avx2\": %s, \"avx512\": %s, \"active_isa\": \"%s\"},\n",
                hw, fg::simd::cpu_supports_avx2() ? "true" : "false",
+               has512 ? "true" : "false",
                fg::simd::isa_name(fg::simd::active_isa()));
   std::fprintf(f,
                "  \"graph\": {\"generator\": \"rmat\", \"n\": %d, "
@@ -176,53 +211,80 @@ void record_baseline() {
   std::fprintf(f, "    \"scalar_nnz_1t_sec\": %.6f,\n", scalar_nnz_1t);
   std::fprintf(f, "    \"simd_static_1t_sec\": %.6f,\n", simd_static_1t);
   std::fprintf(f, "    \"simd_nnz_1t_sec\": %.6f,\n", simd_nnz_1t);
+  std::fprintf(f, "    \"avx512_static_1t_sec\": %.6f,\n", avx512_static_1t);
+  std::fprintf(f, "    \"avx512_nnz_1t_sec\": %.6f,\n", avx512_nnz_1t);
   std::fprintf(f, "    \"simd_speedup_1t\": %.2f,\n",
                scalar_static_1t / simd_static_1t);
+  std::fprintf(f, "    \"avx512_vs_avx2_1t\": %.2f,\n",
+               has512 ? simd_static_1t / avx512_static_1t : 0.0);
   std::fprintf(f, "    \"scalar_static_mt_sec\": %.6f,\n", scalar_static_mt);
   std::fprintf(f, "    \"simd_static_mt_sec\": %.6f,\n", simd_static_mt);
   std::fprintf(f, "    \"simd_nnz_mt_sec\": %.6f,\n", simd_nnz_mt);
+  std::fprintf(f, "    \"avx512_nnz_mt_sec\": %.6f,\n", avx512_nnz_mt);
   std::fprintf(f, "    \"nnz_vs_static_speedup_mt\": %.2f\n",
                simd_static_mt / simd_nnz_mt);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"spmm_copy_u_sum_d100_masked_tail\": {\n");
+  std::fprintf(f, "    \"avx2_1t_sec\": %.6f,\n", d100_avx2);
+  std::fprintf(f, "    \"avx512_1t_sec\": %.6f,\n", d100_avx512);
+  std::fprintf(f, "    \"avx512_vs_avx2\": %.2f\n",
+               has512 ? d100_avx2 / d100_avx512 : 0.0);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"spmm_mlp_max\": {\n");
+  std::fprintf(f, "    \"avx2_sec\": %.6f,\n", mlp_avx2);
+  std::fprintf(f, "    \"avx512_sec\": %.6f,\n", mlp_avx512);
+  std::fprintf(f, "    \"avx512_vs_avx2\": %.2f\n",
+               has512 ? mlp_avx2 / mlp_avx512 : 0.0);
   std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"sddmm_dot\": {\n");
   std::fprintf(f, "    \"scalar_sec\": %.6f,\n", sddmm_scalar);
   std::fprintf(f, "    \"simd_sec\": %.6f,\n", sddmm_simd);
-  std::fprintf(f, "    \"simd_speedup\": %.2f\n",
-               sddmm_scalar / sddmm_simd);
+  std::fprintf(f, "    \"avx512_sec\": %.6f,\n", sddmm_avx512);
+  std::fprintf(f, "    \"simd_speedup\": %.2f,\n", sddmm_scalar / sddmm_simd);
+  std::fprintf(f, "    \"avx512_vs_avx2\": %.2f\n",
+               has512 ? sddmm_simd / sddmm_avx512 : 0.0);
   std::fprintf(f, "  }\n");
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf(
       "\nBENCH_kernels.json: copy_u/sum d=64 rmat — scalar %.4fs, "
-      "simd %.4fs (%.2fx); sddmm dot %.2fx\n",
+      "avx2 %.4fs (%.2fx), avx512 %.4fs; d=100 tail avx512/avx2 %.2fx; "
+      "sddmm dot %.2fx\n",
       scalar_static_1t, simd_static_1t, scalar_static_1t / simd_static_1t,
+      avx512_static_1t, has512 ? d100_avx2 / d100_avx512 : 0.0,
       sddmm_scalar / sddmm_simd);
 }
 
 }  // namespace
 
-// (parts, tile, isa[0=scalar,1=simd], load_balance[0=static,1=nnz],
+// (parts, tile, isa[0=scalar,1=avx2,2=avx512], load_balance[0=static,1=nnz],
 //  threads). The static-vs-nnz pair runs at 4 threads — at 1 thread both
 // policies execute the identical sweep and the comparison is vacuous.
+// avx512 rows degrade to avx2 (one step) on hardware without it.
 BENCHMARK(BM_SpmmCopyUSum)
     ->Args({1, 0, 0, 0, 1})
     ->Args({1, 0, 1, 0, 1})
+    ->Args({1, 0, 2, 0, 1})
     ->Args({1, 0, 1, 0, 4})
     ->Args({1, 0, 1, 1, 4})
+    ->Args({1, 0, 2, 1, 4})
     ->Args({8, 0, 1, 0, 1})
     ->Args({1, 32, 1, 0, 1})
+    ->Args({1, 32, 2, 0, 1})
     ->Args({8, 32, 1, 1, 4})
     ->Unit(benchmark::kMillisecond);
 // (parts, isa)
 BENCHMARK(BM_SpmmMlpMax)
     ->Args({1, 0})
     ->Args({1, 1})
+    ->Args({1, 2})
     ->Args({8, 1})
     ->Unit(benchmark::kMillisecond);
 // (hilbert, reduce_tile, isa)
 BENCHMARK(BM_SddmmDot)
     ->Args({0, 0, 0})
     ->Args({0, 0, 1})
+    ->Args({0, 0, 2})
     ->Args({1, 0, 1})
     ->Args({0, 32, 1})
     ->Unit(benchmark::kMillisecond);

@@ -80,6 +80,12 @@ struct GpuSpmmSchedule {
   /// touches. Larger tiles see more reuse per staged row but need more
   /// shared memory (the paper's read-efficiency vs merge-cost trade-off).
   int hybrid_rows_per_tile = 32;
+  /// How destination rows are assigned to staging tiles/blocks: kStaticRows
+  /// cuts uniform hybrid_rows_per_tile chunks; kNnzBalanced reuses the CPU
+  /// kernels' nnz_split_point so every tile owns ~equal edge work (same tile
+  /// COUNT, boundaries moved — power-law graphs otherwise leave most blocks
+  /// idle behind the one holding the hub rows).
+  LoadBalance row_assignment = LoadBalance::kNnzBalanced;
 };
 
 /// GPU (simulated) generalized-SDDMM schedule.

@@ -83,8 +83,9 @@ struct GenericEdgeAdapter {
   std::int64_t d_out;
   std::int64_t num_out() const { return d_out; }
   std::int64_t reduce_len() const { return 1; }
-  float partial(graph::vid_t u, graph::eid_t e, graph::vid_t v,
-                std::int64_t h, std::int64_t, std::int64_t) const {
+  float partial(const simd::SpanOps&, graph::vid_t u, graph::eid_t e,
+                graph::vid_t v, std::int64_t h, std::int64_t,
+                std::int64_t) const {
     thread_local std::vector<float> buf;
     if (static_cast<std::int64_t>(buf.size()) < d_out) buf.resize(d_out);
     // The template calls partial once per output element; recomputing the

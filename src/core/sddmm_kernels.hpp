@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/schedule.hpp"
+#include "core/simd.hpp"
 #include "graph/csr.hpp"
 #include "parallel/parallel_for.hpp"
 #include "support/check.hpp"
@@ -41,6 +42,8 @@ void generalized_sddmm(const graph::Coo& coo,
   const graph::vid_t* src = coo.src.data();
   const graph::vid_t* dst = coo.dst.data();
   const graph::eid_t* perm = order != nullptr ? order->data() : nullptr;
+  // Span dispatch resolved once per launch (see spmm_kernels.hpp).
+  const simd::SpanOps& span = simd::span_ops();
 
   if (tiled) {
     // Partial sums accumulate across reduce-axis tiles; zero-init first.
@@ -56,7 +59,7 @@ void generalized_sddmm(const graph::Coo& coo,
             const graph::vid_t v = dst[e];
             float* out_e = out + e * n_out;
             for (std::int64_t h = 0; h < n_out; ++h) {
-              const float p = fn.partial(u, e, v, h, k0, k1);
+              const float p = fn.partial(span, u, e, v, h, k0, k1);
               if (tiled) {
                 out_e[h] += p;
               } else {

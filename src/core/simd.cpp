@@ -1,10 +1,15 @@
-// Span primitive backends: portable scalar + AVX2/FMA intrinsics.
+// Span primitive backends: portable scalar + AVX2/FMA + AVX-512 intrinsics.
 //
 // This translation unit is compiled with -ffp-contract=off (see
 // CMakeLists.txt): the compiler must not fuse the mul+add in axpy /
 // accum_binop into FMA on one backend but not the other, or the bit-for-bit
-// scalar/AVX2 contract of simd.hpp breaks. `dot` uses explicit FMA
+// cross-backend contract of simd.hpp breaks. `dot` uses explicit FMA
 // intrinsics, which contraction settings leave untouched.
+//
+// The AVX-512 backend has NO scalar tail loops: the last n % 16 elements of
+// a span are covered by one masked vector op (zero-filling `maskz` loads,
+// write-suppressing `mask` stores), per the masked-tail contract documented
+// in simd.hpp.
 #include "core/simd.hpp"
 
 #include <atomic>
@@ -26,8 +31,13 @@
 // of the library stays at the baseline ISA (no global -mavx2, so the binary
 // still runs on non-AVX2 machines through the scalar table).
 #define FG_AVX2_FN __attribute__((target("avx2,fma")))
+// AVX-512 rides the same per-function-target mechanism: only the functions
+// below carry the avx512 attribute, the rest of the binary stays baseline.
+#define FG_HAVE_AVX512_BACKEND 1
+#define FG_AVX512_FN __attribute__((target("avx512f,avx512dq")))
 #else
 #define FG_HAVE_AVX2_BACKEND 0
+#define FG_HAVE_AVX512_BACKEND 0
 #endif
 
 // The scalar backend is the measured baseline for the SIMD speedup claims;
@@ -375,6 +385,258 @@ SpanOps make_avx2_ops() {
 #endif  // FG_HAVE_AVX2_BACKEND
 
 // ---------------------------------------------------------------------------
+// AVX-512 backend (masked tails — no scalar tail loops)
+// ---------------------------------------------------------------------------
+
+#if FG_HAVE_AVX512_BACKEND
+
+namespace avx512 {
+
+// Lane mask covering the last `rem` (1..15) elements of a span. Masked-off
+// lanes read zeros (maskz loads) and their results are never stored, so the
+// live lanes execute exactly the one IEEE op the scalar loop would.
+inline __mmask16 tail_mask(std::int64_t rem) {
+  return static_cast<__mmask16>((1u << rem) - 1u);
+}
+
+// _mm512_max_ps/_mm512_min_ps keep the SSE operand-order contract (return
+// the second operand on NaN / ±0 ties), matching the scalar `a > b ? a : b`
+// reducer combines — NaN behavior included.
+
+FG_AVX512_FN void fill(float* out, float v, std::int64_t n) {
+  const __m512 vv = _mm512_set1_ps(v);
+  std::int64_t j = 0;
+  for (; j + 16 <= n; j += 16) _mm512_storeu_ps(out + j, vv);
+  if (j < n) _mm512_mask_storeu_ps(out + j, tail_mask(n - j), vv);
+}
+
+FG_AVX512_FN void scale(float* out, float s, std::int64_t n) {
+  const __m512 vs = _mm512_set1_ps(s);
+  std::int64_t j = 0;
+  for (; j + 16 <= n; j += 16) {
+    _mm512_storeu_ps(out + j, _mm512_mul_ps(_mm512_loadu_ps(out + j), vs));
+  }
+  if (j < n) {
+    const __mmask16 m = tail_mask(n - j);
+    const __m512 o = _mm512_maskz_loadu_ps(m, out + j);
+    _mm512_mask_storeu_ps(out + j, m, _mm512_maskz_mul_ps(m, o, vs));
+  }
+}
+
+FG_AVX512_FN void relu(float* out, std::int64_t n) {
+  const __m512 zero = _mm512_setzero_ps();
+  std::int64_t j = 0;
+  for (; j + 16 <= n; j += 16) {
+    _mm512_storeu_ps(out + j, _mm512_max_ps(_mm512_loadu_ps(out + j), zero));
+  }
+  if (j < n) {
+    const __mmask16 m = tail_mask(n - j);
+    const __m512 o = _mm512_maskz_loadu_ps(m, out + j);
+    _mm512_mask_storeu_ps(out + j, m, _mm512_maskz_max_ps(m, o, zero));
+  }
+}
+
+FG_AVX512_FN void axpy(float* out, const float* x, float s, std::int64_t n) {
+  // mul + add (not fmadd): keeps per-element rounding identical to the
+  // scalar backend (see the header's rounding contract).
+  const __m512 vs = _mm512_set1_ps(s);
+  std::int64_t j = 0;
+  for (; j + 16 <= n; j += 16) {
+    const __m512 prod = _mm512_mul_ps(_mm512_loadu_ps(x + j), vs);
+    _mm512_storeu_ps(out + j, _mm512_add_ps(_mm512_loadu_ps(out + j), prod));
+  }
+  if (j < n) {
+    const __mmask16 m = tail_mask(n - j);
+    const __m512 prod =
+        _mm512_maskz_mul_ps(m, _mm512_maskz_loadu_ps(m, x + j), vs);
+    const __m512 o = _mm512_maskz_loadu_ps(m, out + j);
+    _mm512_mask_storeu_ps(out + j, m, _mm512_maskz_add_ps(m, o, prod));
+  }
+}
+
+FG_AVX512_FN float dot(const float* a, const float* b, std::int64_t n) {
+  __m512 acc0 = _mm512_setzero_ps();
+  __m512 acc1 = _mm512_setzero_ps();
+  __m512 acc2 = _mm512_setzero_ps();
+  __m512 acc3 = _mm512_setzero_ps();
+  std::int64_t j = 0;
+  for (; j + 64 <= n; j += 64) {
+    acc0 = _mm512_fmadd_ps(_mm512_loadu_ps(a + j),
+                           _mm512_loadu_ps(b + j), acc0);
+    acc1 = _mm512_fmadd_ps(_mm512_loadu_ps(a + j + 16),
+                           _mm512_loadu_ps(b + j + 16), acc1);
+    acc2 = _mm512_fmadd_ps(_mm512_loadu_ps(a + j + 32),
+                           _mm512_loadu_ps(b + j + 32), acc2);
+    acc3 = _mm512_fmadd_ps(_mm512_loadu_ps(a + j + 48),
+                           _mm512_loadu_ps(b + j + 48), acc3);
+  }
+  for (; j + 16 <= n; j += 16) {
+    acc0 = _mm512_fmadd_ps(_mm512_loadu_ps(a + j),
+                           _mm512_loadu_ps(b + j), acc0);
+  }
+  if (j < n) {
+    // mask3 form: active lanes run a*b+acc, masked lanes pass acc through —
+    // one fmadd instead of a scalar tail loop, and EVEX masking suppresses
+    // any FP flag a masked-off lane would have raised.
+    const __mmask16 m = tail_mask(n - j);
+    acc0 = _mm512_mask3_fmadd_ps(_mm512_maskz_loadu_ps(m, a + j),
+                                 _mm512_maskz_loadu_ps(m, b + j), acc0, m);
+  }
+  acc0 = _mm512_add_ps(_mm512_add_ps(acc0, acc1), _mm512_add_ps(acc2, acc3));
+  // Horizontal reduce spelled out (the _mm512_reduce_add_ps pseudo-op
+  // expands through _mm256_undefined_pd and trips GCC's -Wuninitialized).
+  __m256 half = _mm256_add_ps(_mm512_castps512_ps256(acc0),
+                              _mm512_extractf32x8_ps(acc0, 1));
+  __m128 lo = _mm256_castps256_ps128(half);
+  lo = _mm_add_ps(lo, _mm256_extractf128_ps(half, 1));
+  lo = _mm_add_ps(lo, _mm_movehl_ps(lo, lo));
+  lo = _mm_add_ss(lo, _mm_shuffle_ps(lo, lo, 1));
+  return _mm_cvtss_f32(lo);
+}
+
+// Tail ops use the maskz combine form (MZCOMBINE): active lanes compute the
+// identical IEEE op, masked-off lanes are zeroed with their FP exceptions
+// suppressed (EVEX masking) — the scalar/AVX2 backends never touch those
+// elements, so neither may the AVX-512 tail, flags included.
+#define FG_AVX512_ACCUM(NAME, VCOMBINE, MZCOMBINE)                           \
+  FG_AVX512_FN void NAME(float* out, const float* x, std::int64_t n) {       \
+    std::int64_t j = 0;                                                      \
+    for (; j + 32 <= n; j += 32) {                                           \
+      _mm512_storeu_ps(out + j, VCOMBINE(_mm512_loadu_ps(out + j),           \
+                                         _mm512_loadu_ps(x + j)));           \
+      _mm512_storeu_ps(out + j + 16,                                         \
+                       VCOMBINE(_mm512_loadu_ps(out + j + 16),               \
+                                _mm512_loadu_ps(x + j + 16)));               \
+    }                                                                        \
+    for (; j + 16 <= n; j += 16) {                                           \
+      _mm512_storeu_ps(out + j, VCOMBINE(_mm512_loadu_ps(out + j),           \
+                                         _mm512_loadu_ps(x + j)));           \
+    }                                                                        \
+    if (j < n) {                                                             \
+      const __mmask16 m = tail_mask(n - j);                                  \
+      _mm512_mask_storeu_ps(out + j, m,                                      \
+                            MZCOMBINE(m, _mm512_maskz_loadu_ps(m, out + j),  \
+                                      _mm512_maskz_loadu_ps(m, x + j)));     \
+    }                                                                        \
+  }
+
+FG_AVX512_ACCUM(accum_sum, _mm512_add_ps, _mm512_maskz_add_ps)
+FG_AVX512_ACCUM(accum_max, _mm512_max_ps, _mm512_maskz_max_ps)
+FG_AVX512_ACCUM(accum_min, _mm512_min_ps, _mm512_maskz_min_ps)
+#undef FG_AVX512_ACCUM
+
+// The tail's message op ALSO runs in maskz form: a full-width div would
+// evaluate 0/0 on masked-off (zero-filled) lanes and raise FE_INVALID that
+// no other backend raises; EVEX masking suppresses it.
+#define FG_AVX512_ACCUM_BINOP(NAME, VCOMBINE, MZCOMBINE, VOP, MZOP)          \
+  FG_AVX512_FN void NAME(float* out, const float* a, const float* b,         \
+                         std::int64_t n) {                                   \
+    std::int64_t j = 0;                                                      \
+    for (; j + 16 <= n; j += 16) {                                           \
+      const __m512 msg = VOP(_mm512_loadu_ps(a + j), _mm512_loadu_ps(b + j)); \
+      _mm512_storeu_ps(out + j, VCOMBINE(_mm512_loadu_ps(out + j), msg));    \
+    }                                                                        \
+    if (j < n) {                                                             \
+      const __mmask16 m = tail_mask(n - j);                                  \
+      const __m512 msg = MZOP(m, _mm512_maskz_loadu_ps(m, a + j),            \
+                              _mm512_maskz_loadu_ps(m, b + j));              \
+      _mm512_mask_storeu_ps(out + j, m,                                      \
+                            MZCOMBINE(m, _mm512_maskz_loadu_ps(m, out + j),  \
+                                      msg));                                 \
+    }                                                                        \
+  }
+
+#define FG_AVX512_BINOP_TABLE(EMIT)                                          \
+  EMIT(accum_sum_add, _mm512_add_ps, _mm512_maskz_add_ps, _mm512_add_ps,     \
+       _mm512_maskz_add_ps)                                                  \
+  EMIT(accum_sum_sub, _mm512_add_ps, _mm512_maskz_add_ps, _mm512_sub_ps,     \
+       _mm512_maskz_sub_ps)                                                  \
+  EMIT(accum_sum_mul, _mm512_add_ps, _mm512_maskz_add_ps, _mm512_mul_ps,     \
+       _mm512_maskz_mul_ps)                                                  \
+  EMIT(accum_sum_div, _mm512_add_ps, _mm512_maskz_add_ps, _mm512_div_ps,     \
+       _mm512_maskz_div_ps)                                                  \
+  EMIT(accum_max_add, _mm512_max_ps, _mm512_maskz_max_ps, _mm512_add_ps,     \
+       _mm512_maskz_add_ps)                                                  \
+  EMIT(accum_max_sub, _mm512_max_ps, _mm512_maskz_max_ps, _mm512_sub_ps,     \
+       _mm512_maskz_sub_ps)                                                  \
+  EMIT(accum_max_mul, _mm512_max_ps, _mm512_maskz_max_ps, _mm512_mul_ps,     \
+       _mm512_maskz_mul_ps)                                                  \
+  EMIT(accum_max_div, _mm512_max_ps, _mm512_maskz_max_ps, _mm512_div_ps,     \
+       _mm512_maskz_div_ps)                                                  \
+  EMIT(accum_min_add, _mm512_min_ps, _mm512_maskz_min_ps, _mm512_add_ps,     \
+       _mm512_maskz_add_ps)                                                  \
+  EMIT(accum_min_sub, _mm512_min_ps, _mm512_maskz_min_ps, _mm512_sub_ps,     \
+       _mm512_maskz_sub_ps)                                                  \
+  EMIT(accum_min_mul, _mm512_min_ps, _mm512_maskz_min_ps, _mm512_mul_ps,     \
+       _mm512_maskz_mul_ps)                                                  \
+  EMIT(accum_min_div, _mm512_min_ps, _mm512_maskz_min_ps, _mm512_div_ps,     \
+       _mm512_maskz_div_ps)
+
+FG_AVX512_BINOP_TABLE(FG_AVX512_ACCUM_BINOP)
+#undef FG_AVX512_ACCUM_BINOP
+
+#define FG_AVX512_ACCUM_BINOP_S(NAME, VCOMBINE, MZCOMBINE, VOP, MZOP)       \
+  FG_AVX512_FN void NAME##_s(float* out, const float* a, float s,            \
+                             std::int64_t n) {                               \
+    const __m512 vs = _mm512_set1_ps(s);                                     \
+    std::int64_t j = 0;                                                      \
+    for (; j + 16 <= n; j += 16) {                                           \
+      const __m512 msg = VOP(_mm512_loadu_ps(a + j), vs);                    \
+      _mm512_storeu_ps(out + j, VCOMBINE(_mm512_loadu_ps(out + j), msg));    \
+    }                                                                        \
+    if (j < n) {                                                             \
+      const __mmask16 m = tail_mask(n - j);                                  \
+      const __m512 msg = MZOP(m, _mm512_maskz_loadu_ps(m, a + j), vs);       \
+      _mm512_mask_storeu_ps(out + j, m,                                      \
+                            MZCOMBINE(m, _mm512_maskz_loadu_ps(m, out + j),  \
+                                      msg));                                 \
+    }                                                                        \
+  }
+
+FG_AVX512_BINOP_TABLE(FG_AVX512_ACCUM_BINOP_S)
+#undef FG_AVX512_ACCUM_BINOP_S
+#undef FG_AVX512_BINOP_TABLE
+
+}  // namespace avx512
+
+SpanOps make_avx512_ops() {
+  SpanOps t;
+  t.fill = avx512::fill;
+  t.scale = avx512::scale;
+  t.relu = avx512::relu;
+  t.axpy = avx512::axpy;
+  t.dot = avx512::dot;
+  t.accum[0] = avx512::accum_sum;
+  t.accum[1] = avx512::accum_max;
+  t.accum[2] = avx512::accum_min;
+  void (*const bin[kNumAccum][kNumBinOp])(float*, const float*, const float*,
+                                          std::int64_t) = {
+      {avx512::accum_sum_add, avx512::accum_sum_sub, avx512::accum_sum_mul,
+       avx512::accum_sum_div},
+      {avx512::accum_max_add, avx512::accum_max_sub, avx512::accum_max_mul,
+       avx512::accum_max_div},
+      {avx512::accum_min_add, avx512::accum_min_sub, avx512::accum_min_mul,
+       avx512::accum_min_div}};
+  void (*const bin_s[kNumAccum][kNumBinOp])(float*, const float*, float,
+                                            std::int64_t) = {
+      {avx512::accum_sum_add_s, avx512::accum_sum_sub_s,
+       avx512::accum_sum_mul_s, avx512::accum_sum_div_s},
+      {avx512::accum_max_add_s, avx512::accum_max_sub_s,
+       avx512::accum_max_mul_s, avx512::accum_max_div_s},
+      {avx512::accum_min_add_s, avx512::accum_min_sub_s,
+       avx512::accum_min_mul_s, avx512::accum_min_div_s}};
+  for (int r = 0; r < kNumAccum; ++r) {
+    for (int o = 0; o < kNumBinOp; ++o) {
+      t.accum_binop[r][o] = bin[r][o];
+      t.accum_binop_scalar[r][o] = bin_s[r][o];
+    }
+  }
+  return t;
+}
+
+#endif  // FG_HAVE_AVX512_BACKEND
+
+// ---------------------------------------------------------------------------
 // Dispatch
 // ---------------------------------------------------------------------------
 
@@ -391,16 +653,18 @@ Isa env_or_detected_isa() {
     const std::string pref =
         support::env_string("FEATGRAPH_SIMD", "auto");
     if (pref == "scalar") return Isa::kScalar;
-    if (pref != "auto" && pref != "avx2") {
+    if (pref == "avx2") return effective_isa(Isa::kAvx2);
+    if (pref == "avx512") return effective_isa(Isa::kAvx512);
+    if (pref != "auto") {
       // A typo'd value ("Scalar", "off", ...) silently running the vector
       // backend is the opposite of the user's intent — warn once.
       std::fprintf(stderr,
                    "featgraph: unknown FEATGRAPH_SIMD=\"%s\" "
-                   "(expected scalar|avx2|auto), using auto\n",
+                   "(expected scalar|avx2|avx512|auto), using auto\n",
                    pref.c_str());
     }
-    // "avx2" and "auto" both degrade to scalar without hardware support.
-    return cpu_supports_avx2() ? Isa::kAvx2 : Isa::kScalar;
+    // "auto": the strongest level the CPU runs, walking the ladder down.
+    return effective_isa(Isa::kAvx512);
   }();
   return isa;
 }
@@ -417,10 +681,55 @@ bool cpu_supports_avx2() {
 #endif
 }
 
+bool cpu_supports_avx512() {
+#if FG_HAVE_AVX512_BACKEND
+  static const bool ok = __builtin_cpu_supports("avx512f") &&
+                         __builtin_cpu_supports("avx512dq");
+  return ok;
+#else
+  return false;
+#endif
+}
+
+bool isa_supported(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return true;
+    case Isa::kAvx2:
+      return cpu_supports_avx2();
+    case Isa::kAvx512:
+      return cpu_supports_avx512();
+  }
+  return false;
+}
+
+std::vector<Isa> supported_isas() {
+  std::vector<Isa> isas;
+  for (int i = 0; i < kNumIsa; ++i) {
+    if (isa_supported(static_cast<Isa>(i))) isas.push_back(static_cast<Isa>(i));
+  }
+  return isas;
+}
+
+Isa effective_isa(Isa isa) {
+  // One rung at a time: an avx512 request on an AVX2-only machine still
+  // gets the vector backend, not the scalar floor.
+  if (isa == Isa::kAvx512 && !cpu_supports_avx512()) isa = Isa::kAvx2;
+  if (isa == Isa::kAvx2 && !cpu_supports_avx2()) isa = Isa::kScalar;
+  return isa;
+}
+
 const SpanOps& span_ops(Isa isa) {
   static const SpanOps scalar_table = make_scalar_ops();
+  isa = effective_isa(isa);
+#if FG_HAVE_AVX512_BACKEND
+  if (isa == Isa::kAvx512) {
+    static const SpanOps avx512_table = make_avx512_ops();
+    return avx512_table;
+  }
+#endif
 #if FG_HAVE_AVX2_BACKEND
-  if (isa == Isa::kAvx2 && cpu_supports_avx2()) {
+  if (isa == Isa::kAvx2) {
     static const SpanOps avx2_table = make_avx2_ops();
     return avx2_table;
   }
@@ -451,10 +760,7 @@ const SpanOps& span_ops() {
 
 Isa active_isa() {
   const int forced = g_forced_isa.load(std::memory_order_relaxed);
-  if (forced >= 0) {
-    const Isa isa = static_cast<Isa>(forced);
-    return isa == Isa::kAvx2 && !cpu_supports_avx2() ? Isa::kScalar : isa;
-  }
+  if (forced >= 0) return effective_isa(static_cast<Isa>(forced));
   return env_or_detected_isa();
 }
 
@@ -464,6 +770,8 @@ const char* isa_name(Isa isa) {
       return "scalar";
     case Isa::kAvx2:
       return "avx2";
+    case Isa::kAvx512:
+      return "avx512";
   }
   return "unknown";
 }

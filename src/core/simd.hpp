@@ -4,28 +4,44 @@
 // template walks edges, and for every edge visit the innermost loop sweeps a
 // contiguous feature span. This header exposes that inner loop as a small
 // set of span primitives — "fold this message span into the output row under
-// reducer R" — implemented twice, as portable scalar code and as AVX2/FMA
-// intrinsics, and selected once at runtime via CPU detection (a function
-// pointer table, the classic runtime-dispatch idiom).
+// reducer R" — implemented three times, as portable scalar code, AVX2/FMA
+// intrinsics, and AVX-512 intrinsics, and selected once at runtime via CPU
+// detection (a function pointer table, the classic runtime-dispatch idiom).
 //
-// Rounding contract: for every accumulation primitive the scalar and AVX2
-// implementations perform the SAME IEEE operations per element in the SAME
-// order along the feature axis (vector lanes never cross features, and no
-// FMA contraction is used on accumulation paths), so the two backends are
-// bit-for-bit identical. Only `dot` — a cross-feature reduction — reassociates
-// and uses FMA, trading exact reproducibility for throughput (SDDMM results
-// are tolerance-checked, not bit-compared).
+// Rounding contract: for every accumulation primitive all backends perform
+// the SAME IEEE operations per element in the SAME order along the feature
+// axis (vector lanes never cross features, and no FMA contraction is used on
+// accumulation paths), so every backend is bit-for-bit identical to scalar.
+// Only `dot` — a cross-feature reduction — reassociates and uses FMA, trading
+// exact reproducibility for throughput (SDDMM results are tolerance-checked,
+// not bit-compared).
+//
+// Masked tails (AVX-512): where the scalar and AVX2 backends peel the last
+// n % width elements into a scalar loop, the AVX-512 backend covers them
+// with ONE masked vector operation (`_mm512_mask[z]_*` with a (1 << rem) - 1
+// lane mask). This does not weaken the contract: a masked lane either runs
+// the identical single IEEE operation the scalar loop would run, or is
+// switched off entirely — masked-off lanes are never loaded into the
+// destination, and inputs for them are zero-filled (`maskz`) loads whose
+// garbage results the masked store discards. No horizontal operation ever
+// crosses a feature boundary, so accumulation paths stay bit-for-bit with
+// scalar even on tail spans.
 //
 // Selection order: force_isa() override (tests/benches) > FEATGRAPH_SIMD env
-// var ("scalar" | "avx2" | "auto") > runtime CPU detection.
+// var ("scalar" | "avx2" | "avx512" | "auto") > runtime CPU detection.
+// Requesting a level the CPU lacks degrades ONE step (avx512 -> avx2 ->
+// scalar), never straight to scalar.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 namespace featgraph::simd {
 
-/// Instruction-set levels the dispatcher can select.
-enum class Isa : int { kScalar = 0, kAvx2 = 1 };
+/// Instruction-set levels the dispatcher can select, ordered weakest to
+/// strongest (fallback walks DOWN this ladder one step at a time).
+enum class Isa : int { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+inline constexpr int kNumIsa = 3;
 
 /// Reduction kinds the SpMM templates accumulate with. Mean reduces as kSum
 /// (the degree division happens in postprocessing).
@@ -62,8 +78,25 @@ struct SpanOps {
 /// True when the CPU (and compiler) support the AVX2+FMA backend.
 bool cpu_supports_avx2();
 
-/// The primitive table for an explicit backend (kAvx2 falls back to the
-/// scalar table when unsupported — callers can always index either level).
+/// True when the CPU (and compiler) support the AVX-512 (F+DQ) backend.
+bool cpu_supports_avx512();
+
+/// True when `isa`'s backend is compiled in AND the CPU can run it. The
+/// parity tests iterate all kNumIsa levels through this filter, so a fourth
+/// level joins the test matrix by extending the enum.
+bool isa_supported(Isa isa);
+
+/// Every supported level, weakest first (kScalar always included) — the
+/// single source of the backend axis tests and benches sweep.
+std::vector<Isa> supported_isas();
+
+/// `isa` degraded one step at a time until supported
+/// (avx512 -> avx2 -> scalar) — the level span_ops(isa) actually returns.
+Isa effective_isa(Isa isa);
+
+/// The primitive table for an explicit backend. Unsupported levels fall
+/// back one step at a time (kAvx512 -> kAvx2 -> kScalar), so callers can
+/// always index any level.
 const SpanOps& span_ops(Isa isa);
 
 /// The active backend's table (override > env > detection).
@@ -75,7 +108,8 @@ Isa active_isa();
 const char* isa_name(Isa isa);
 
 /// Pins the active backend; used by parity tests and the scalar-vs-SIMD
-/// benches. Pinning kAvx2 on hardware without AVX2 is ignored (stays scalar).
+/// benches. Pinning a level the hardware lacks degrades one step
+/// (avx512 -> avx2 -> scalar), mirroring span_ops(Isa).
 void force_isa(Isa isa);
 
 /// Returns to env/detection-based selection.
@@ -100,35 +134,46 @@ class ScopedIsa {
 };
 
 // ---------------------------------------------------------------------------
-// Convenience wrappers over the active table (one dispatch per span call;
-// spans are whole feature tiles, so dispatch cost is amortized away).
+// Convenience wrappers over a RESOLVED table. The kernel templates call
+// span_ops() ONCE per launch and thread the reference through the bulk-UDF
+// protocol, so the per-span cost is a direct table load — no atomic load, no
+// re-dispatch (the hoisting the ROADMAP called for).
 // ---------------------------------------------------------------------------
 
-inline void fill(float* out, float v, std::int64_t n) {
-  span_ops().fill(out, v, n);
+inline void fill(const SpanOps& ops, float* out, float v, std::int64_t n) {
+  ops.fill(out, v, n);
 }
-inline void scale(float* out, float s, std::int64_t n) {
-  span_ops().scale(out, s, n);
+inline void scale(const SpanOps& ops, float* out, float s, std::int64_t n) {
+  ops.scale(out, s, n);
 }
-inline void relu(float* out, std::int64_t n) { span_ops().relu(out, n); }
-inline void axpy(float* out, const float* x, float s, std::int64_t n) {
-  span_ops().axpy(out, x, s, n);
+inline void relu(const SpanOps& ops, float* out, std::int64_t n) {
+  ops.relu(out, n);
 }
-inline float dot(const float* a, const float* b, std::int64_t n) {
-  return span_ops().dot(a, b, n);
+inline void axpy(const SpanOps& ops, float* out, const float* x, float s,
+                 std::int64_t n) {
+  ops.axpy(out, x, s, n);
 }
-inline void accum(Accum r, float* out, const float* x, std::int64_t n) {
-  span_ops().accum[static_cast<int>(r)](out, x, n);
+inline float dot(const SpanOps& ops, const float* a, const float* b,
+                 std::int64_t n) {
+  return ops.dot(a, b, n);
 }
-inline void accum_binop(Accum r, BinOp op, float* out, const float* a,
-                        const float* b, std::int64_t n) {
-  span_ops().accum_binop[static_cast<int>(r)][static_cast<int>(op)](out, a, b,
+inline void accum(const SpanOps& ops, Accum r, float* out, const float* x,
+                  std::int64_t n) {
+  ops.accum[static_cast<int>(r)](out, x, n);
+}
+inline void accum_binop(const SpanOps& ops, Accum r, BinOp op, float* out,
+                        const float* a, const float* b, std::int64_t n) {
+  ops.accum_binop[static_cast<int>(r)][static_cast<int>(op)](out, a, b, n);
+}
+inline void accum_binop_scalar(const SpanOps& ops, Accum r, BinOp op,
+                               float* out, const float* a, float s,
+                               std::int64_t n) {
+  ops.accum_binop_scalar[static_cast<int>(r)][static_cast<int>(op)](out, a, s,
                                                                     n);
 }
-inline void accum_binop_scalar(Accum r, BinOp op, float* out, const float* a,
-                               float s, std::int64_t n) {
-  span_ops().accum_binop_scalar[static_cast<int>(r)][static_cast<int>(op)](
-      out, a, s, n);
-}
+
+// (No active-table convenience forms: a one-off span outside a kernel
+// launch calls span_ops() itself, keeping the per-span re-dispatch pattern
+// impossible to reintroduce by accident.)
 
 }  // namespace featgraph::simd

@@ -108,13 +108,14 @@ struct GenericMsgAdapter {
   std::int64_t d_out;
 
   template <class Reducer>
-  void apply(graph::vid_t u, graph::eid_t e, graph::vid_t v, float* out_row,
-             std::int64_t j0, std::int64_t j1) const {
+  void apply(const simd::SpanOps& ops, graph::vid_t u, graph::eid_t e,
+             graph::vid_t v, float* out_row, std::int64_t j0,
+             std::int64_t j1) const {
     thread_local std::vector<float> buf;
     if (static_cast<std::int64_t>(buf.size()) < d_out)
       buf.resize(static_cast<std::size_t>(d_out));
     (*fn)(u, e, v, buf.data());
-    simd::accum(Reducer::kAccum, out_row + j0, buf.data() + j0, j1 - j0);
+    simd::accum(ops, Reducer::kAccum, out_row + j0, buf.data() + j0, j1 - j0);
   }
 };
 

@@ -34,24 +34,24 @@ namespace detail {
 /// segment. `init` resets the tile to the reducer identity first (done on
 /// the first partition of each feature tile).
 template <class MsgFn, class Reducer>
-void spmm_rows(const std::int64_t* indptr, const graph::vid_t* indices,
-               const graph::eid_t* edge_ids, std::int64_t row_begin,
-               std::int64_t row_end, const MsgFn& msg, float* out,
-               std::int64_t d_out, std::int64_t j0, std::int64_t j1,
-               bool init) {
+void spmm_rows(const simd::SpanOps& ops, const std::int64_t* indptr,
+               const graph::vid_t* indices, const graph::eid_t* edge_ids,
+               std::int64_t row_begin, std::int64_t row_end, const MsgFn& msg,
+               float* out, std::int64_t d_out, std::int64_t j0,
+               std::int64_t j1, bool init) {
   for (std::int64_t v = row_begin; v < row_end; ++v) {
     float* out_row = out + v * d_out;
-    if (init) simd::fill(out_row + j0, Reducer::identity(), j1 - j0);
+    if (init) simd::fill(ops, out_row + j0, Reducer::identity(), j1 - j0);
     for (std::int64_t i = indptr[v]; i < indptr[v + 1]; ++i) {
       // UDFs that never read the edge id skip the edge_ids load entirely:
       // 8 B less adjacency traffic per edge visit, which matters for tiled
       // schedules that re-traverse the graph once per feature tile.
       if constexpr (MsgFn::kUsesEdgeId) {
-        msg.template apply<Reducer>(indices[i], edge_ids[i],
+        msg.template apply<Reducer>(ops, indices[i], edge_ids[i],
                                     static_cast<graph::vid_t>(v), out_row, j0,
                                     j1);
       } else {
-        msg.template apply<Reducer>(indices[i], 0,
+        msg.template apply<Reducer>(ops, indices[i], 0,
                                     static_cast<graph::vid_t>(v), out_row, j0,
                                     j1);
       }
@@ -62,17 +62,18 @@ void spmm_rows(const std::int64_t* indptr, const graph::vid_t* indices,
 /// Replaces untouched identities on empty rows and applies mean
 /// normalization. `row_degree[v]` is the total in-degree of v.
 template <class Reducer>
-void spmm_postprocess(const std::int64_t* row_degree, std::int64_t num_rows,
-                      float* out, std::int64_t d_out, int num_threads) {
+void spmm_postprocess(const simd::SpanOps& ops, const std::int64_t* row_degree,
+                      std::int64_t num_rows, float* out, std::int64_t d_out,
+                      int num_threads) {
   parallel::parallel_for_ranges(
       0, num_rows, num_threads, [&](std::int64_t r0, std::int64_t r1) {
         for (std::int64_t v = r0; v < r1; ++v) {
           float* out_row = out + v * d_out;
           const std::int64_t deg = row_degree[v];
           if (deg == 0) {
-            simd::fill(out_row, Reducer::empty_value(), d_out);
+            simd::fill(ops, out_row, Reducer::empty_value(), d_out);
           } else if (Reducer::needs_degree_normalize()) {
-            simd::scale(out_row, 1.0f / static_cast<float>(deg), d_out);
+            simd::scale(ops, out_row, 1.0f / static_cast<float>(deg), d_out);
           }
         }
       });
@@ -93,6 +94,13 @@ void generalized_spmm(const graph::Csr& adj,
   const std::int64_t tile =
       sched.feat_tile > 0 ? std::min(sched.feat_tile, d_out) : d_out;
 
+  // Dispatch hoisted out of the inner loops: resolve the span-primitive
+  // table ONCE per kernel launch and thread the reference through the
+  // bulk-UDF protocol — per-span calls are a direct table load instead of a
+  // relaxed atomic load + re-dispatch. Tests that pin an ISA mid-run
+  // (ScopedIsa) still see a consistent backend for the whole launch.
+  const simd::SpanOps& span = simd::span_ops();
+
   // One edge segment, all threads cooperating; the load_balance knob picks
   // whether thread boundaries equalize rows or nnz. Note nnz balance is
   // computed per segment — a partition's skew, not the whole graph's,
@@ -102,8 +110,8 @@ void generalized_spmm(const graph::Csr& adj,
                          const graph::eid_t* edge_ids, std::int64_t j0,
                          std::int64_t j1, bool init) {
     const auto body = [&](std::int64_t r0, std::int64_t r1) {
-      detail::spmm_rows<MsgFn, Reducer>(indptr, indices, edge_ids, r0, r1,
-                                        msg, out, d_out, j0, j1, init);
+      detail::spmm_rows<MsgFn, Reducer>(span, indptr, indices, edge_ids, r0,
+                                        r1, msg, out, d_out, j0, j1, init);
     };
     if (sched.load_balance == LoadBalance::kNnzBalanced) {
       parallel::parallel_for_nnz_ranges(indptr, 0, n, sched.num_threads,
@@ -136,7 +144,7 @@ void generalized_spmm(const graph::Csr& adj,
   // every row was initialized above. Degrees come from the unpartitioned
   // CSR's cached degree vector (segments only see a slice; recomputing here
   // serially per call was measurable on large graphs).
-  detail::spmm_postprocess<Reducer>(adj.degrees().data(), n, out, d_out,
+  detail::spmm_postprocess<Reducer>(span, adj.degrees().data(), n, out, d_out,
                                     sched.num_threads);
 }
 

@@ -15,19 +15,25 @@
 // destination row under the reducer, instead of surrendering each element to
 // a per-element callback. This is the paper's FDS story made concrete — the
 // feature axis is bound to the vector units (core/simd.hpp span primitives,
-// AVX2 with scalar fallback) while the template owns traversal:
+// AVX-512/AVX2 with scalar fallback) while the template owns traversal:
 //
 //   template <class Reducer>
-//   void apply(vid u, eid e, vid v, float* out_row,
-//              i64 j0, i64 j1) const
+//   void apply(const simd::SpanOps& ops, vid u, eid e, vid v,
+//              float* out_row, i64 j0, i64 j1) const
 //   // out_row[j] = Reducer::combine(out_row[j], msg_j)   for j in [j0, j1)
+//
+// `ops` is the span-primitive table the kernel template resolved ONCE at
+// launch (simd::span_ops()): per-edge calls index the table directly instead
+// of re-running the atomic-load dispatch on every span — the hoisting that
+// matters once feature tiles are narrow.
 //
 // Messages are still never materialized (span primitives fuse the message
 // computation with the reducer combine); the reducer is a template parameter
 // so the fused (msg, reduce) pair compiles to a single vector loop.
 //
 // The protocol for SDDMM edge functions:
-//   float partial(vid u, eid e, vid v, i64 h, i64 k0, i64 k1) const
+//   float partial(const simd::SpanOps& ops, vid u, eid e, vid v,
+//                 i64 h, i64 k0, i64 k1) const
 // returns the partial reduction of output element h over the reduce-axis
 // tile [k0, k1); the template sums partials across tiles (this is what the
 // FDS's reduce-axis tiling manipulates).
@@ -63,10 +69,10 @@ struct CopyU {
   const float* x;
   std::int64_t d;
   template <class Reducer>
-  void apply(vid_t u, eid_t, vid_t, float* out_row, std::int64_t j0,
-             std::int64_t j1) const {
+  void apply(const simd::SpanOps& ops, vid_t u, eid_t, vid_t, float* out_row,
+             std::int64_t j0, std::int64_t j1) const {
     const float* xu = x + static_cast<std::int64_t>(u) * d;
-    simd::accum(Reducer::kAccum, out_row + j0, xu + j0, j1 - j0);
+    simd::accum(ops, Reducer::kAccum, out_row + j0, xu + j0, j1 - j0);
   }
 };
 
@@ -76,10 +82,10 @@ struct CopyE {
   const float* edge;
   std::int64_t d;
   template <class Reducer>
-  void apply(vid_t, eid_t e, vid_t, float* out_row, std::int64_t j0,
-             std::int64_t j1) const {
+  void apply(const simd::SpanOps& ops, vid_t, eid_t e, vid_t, float* out_row,
+             std::int64_t j0, std::int64_t j1) const {
     const float* ee = edge + e * d;
-    simd::accum(Reducer::kAccum, out_row + j0, ee + j0, j1 - j0);
+    simd::accum(ops, Reducer::kAccum, out_row + j0, ee + j0, j1 - j0);
   }
 };
 
@@ -90,12 +96,12 @@ struct UOpV {
   const float* x;
   std::int64_t d;
   template <class Reducer>
-  void apply(vid_t u, eid_t, vid_t v, float* out_row, std::int64_t j0,
-             std::int64_t j1) const {
+  void apply(const simd::SpanOps& ops, vid_t u, eid_t, vid_t v,
+             float* out_row, std::int64_t j0, std::int64_t j1) const {
     const float* xu = x + static_cast<std::int64_t>(u) * d;
     const float* xv = x + static_cast<std::int64_t>(v) * d;
-    simd::accum_binop(Reducer::kAccum, BinOp::kBinOp, out_row + j0, xu + j0,
-                      xv + j0, j1 - j0);
+    simd::accum_binop(ops, Reducer::kAccum, BinOp::kBinOp, out_row + j0,
+                      xu + j0, xv + j0, j1 - j0);
   }
 };
 
@@ -109,16 +115,16 @@ struct UOpE {
   std::int64_t d;
   std::int64_t d_edge;  // 1 (broadcast scalar) or d
   template <class Reducer>
-  void apply(vid_t u, eid_t e, vid_t, float* out_row, std::int64_t j0,
-             std::int64_t j1) const {
+  void apply(const simd::SpanOps& ops, vid_t u, eid_t e, vid_t,
+             float* out_row, std::int64_t j0, std::int64_t j1) const {
     const float* xu = x + static_cast<std::int64_t>(u) * d;
     if (d_edge == 1) {
-      simd::accum_binop_scalar(Reducer::kAccum, BinOp::kBinOp, out_row + j0,
-                               xu + j0, edge[e], j1 - j0);
+      simd::accum_binop_scalar(ops, Reducer::kAccum, BinOp::kBinOp,
+                               out_row + j0, xu + j0, edge[e], j1 - j0);
     } else {
       const float* ee = edge + e * d;
-      simd::accum_binop(Reducer::kAccum, BinOp::kBinOp, out_row + j0, xu + j0,
-                        ee + j0, j1 - j0);
+      simd::accum_binop(ops, Reducer::kAccum, BinOp::kBinOp, out_row + j0,
+                        xu + j0, ee + j0, j1 - j0);
     }
   }
 };
@@ -160,8 +166,8 @@ struct MlpMsg {
   const float* w;  // row-major d1 x d2
   std::int64_t d2;
   template <class Reducer>
-  void apply(vid_t u, eid_t, vid_t v, float* out_row, std::int64_t j0,
-             std::int64_t j1) const {
+  void apply(const simd::SpanOps& ops, vid_t u, eid_t, vid_t v,
+             float* out_row, std::int64_t j0, std::int64_t j1) const {
     FG_DCHECK(d1 <= kMaxMlpInputDim);
     const float* xu = x + static_cast<std::int64_t>(u) * d1;
     const float* xv = x + static_cast<std::int64_t>(v) * d1;
@@ -172,11 +178,11 @@ struct MlpMsg {
     if (static_cast<std::int64_t>(scratch.size()) < n)
       scratch.resize(static_cast<std::size_t>(n));
     float* msg = scratch.data();
-    simd::fill(msg, 0.0f, n);
+    simd::fill(ops, msg, 0.0f, n);
     for (std::int64_t k = 0; k < d1; ++k)
-      simd::axpy(msg, w + k * d2 + j0, s[k], n);
-    simd::relu(msg, n);
-    simd::accum(Reducer::kAccum, out_row + j0, msg, n);
+      simd::axpy(ops, msg, w + k * d2 + j0, s[k], n);
+    simd::relu(ops, msg, n);
+    simd::accum(ops, Reducer::kAccum, out_row + j0, msg, n);
   }
 };
 
@@ -199,11 +205,11 @@ struct DotUV {
   std::int64_t d;
   std::int64_t num_out() const { return 1; }
   std::int64_t reduce_len() const { return d; }
-  float partial(vid_t u, eid_t, vid_t v, std::int64_t, std::int64_t k0,
-                std::int64_t k1) const {
+  float partial(const simd::SpanOps& ops, vid_t u, eid_t, vid_t v,
+                std::int64_t, std::int64_t k0, std::int64_t k1) const {
     const float* au = a + static_cast<std::int64_t>(u) * d;
     const float* bv = b + static_cast<std::int64_t>(v) * d;
-    return simd::dot(au + k0, bv + k0, k1 - k0);
+    return simd::dot(ops, au + k0, bv + k0, k1 - k0);
   }
 };
 
@@ -216,13 +222,13 @@ struct MultiHeadDotUV {
   std::int64_t head_dim;
   std::int64_t num_out() const { return heads; }
   std::int64_t reduce_len() const { return head_dim; }
-  float partial(vid_t u, eid_t, vid_t v, std::int64_t h, std::int64_t k0,
-                std::int64_t k1) const {
+  float partial(const simd::SpanOps& ops, vid_t u, eid_t, vid_t v,
+                std::int64_t h, std::int64_t k0, std::int64_t k1) const {
     const float* au =
         a + (static_cast<std::int64_t>(u) * heads + h) * head_dim;
     const float* bv =
         b + (static_cast<std::int64_t>(v) * heads + h) * head_dim;
-    return simd::dot(au + k0, bv + k0, k1 - k0);
+    return simd::dot(ops, au + k0, bv + k0, k1 - k0);
   }
 };
 
@@ -236,8 +242,8 @@ struct UOpVEdge {
   BinOp op;
   std::int64_t num_out() const { return d; }
   std::int64_t reduce_len() const { return 1; }
-  float partial(vid_t u, eid_t, vid_t v, std::int64_t j, std::int64_t,
-                std::int64_t) const {
+  float partial(const simd::SpanOps&, vid_t u, eid_t, vid_t v,
+                std::int64_t j, std::int64_t, std::int64_t) const {
     return op(a[static_cast<std::int64_t>(u) * d + j],
               b[static_cast<std::int64_t>(v) * d + j]);
   }

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "graph/reorder.hpp"
+#include "parallel/parallel_for.hpp"
 #include "support/check.hpp"
 
 namespace featgraph::gpusim {
@@ -28,23 +29,22 @@ struct HybridCounters {
   int max_column_partitions = 1;   // sweeps needed to fit smem per block
 };
 
-/// One pass over the real graph structure: per staging tile (contiguous row
-/// chunk the kernel grid-strides over), count first-touch vs repeat
-/// accesses to high-degree source rows.
+/// One pass over the real graph structure: per staging tile (row chunk the
+/// kernel grid-strides over, boundaries from gpu_row_tile_boundaries), count
+/// first-touch vs repeat accesses to high-degree source rows.
 HybridCounters count_hybrid(const graph::Csr& adj,
                             const graph::HybridSplit& split, std::int64_t d,
-                            std::int64_t rows_per_tile,
+                            const std::vector<std::int64_t>& tiles,
                             std::int64_t smem_bytes_per_block) {
   HybridCounters hc;
   const double row_bytes = static_cast<double>(d) * 4.0;
   std::vector<std::int64_t> last_block(
       static_cast<std::size_t>(adj.num_cols), -1);
   const std::int64_t num_blocks =
-      (adj.num_rows + rows_per_tile - 1) / rows_per_tile;
+      static_cast<std::int64_t>(tiles.size()) - 1;
   for (std::int64_t b = 0; b < num_blocks; ++b) {
-    const std::int64_t r0 = b * rows_per_tile;
-    const std::int64_t r1 = std::min<std::int64_t>(r0 + rows_per_tile,
-                                                   adj.num_rows);
+    const std::int64_t r0 = tiles[static_cast<std::size_t>(b)];
+    const std::int64_t r1 = tiles[static_cast<std::size_t>(b) + 1];
     std::int64_t unique_high = 0;
     for (std::int64_t v = r0; v < r1; ++v) {
       for (std::int64_t i = adj.indptr[v]; i < adj.indptr[v + 1]; ++i) {
@@ -73,6 +73,25 @@ HybridCounters count_hybrid(const graph::Csr& adj,
 }
 
 }  // namespace
+
+std::vector<std::int64_t> gpu_row_tile_boundaries(
+    const graph::Csr& adj, std::int64_t rows_per_tile,
+    core::LoadBalance row_assignment) {
+  const std::int64_t n = adj.num_rows;
+  rows_per_tile = std::max<std::int64_t>(1, rows_per_tile);
+  const std::int64_t num_tiles =
+      std::max<std::int64_t>(1, (n + rows_per_tile - 1) / rows_per_tile);
+  std::vector<std::int64_t> tiles(static_cast<std::size_t>(num_tiles) + 1);
+  for (std::int64_t t = 0; t <= num_tiles; ++t) {
+    tiles[static_cast<std::size_t>(t)] =
+        row_assignment == core::LoadBalance::kNnzBalanced
+            ? parallel::nnz_split_point(adj.indptr.data(), 0, n,
+                                        static_cast<int>(t),
+                                        static_cast<int>(num_tiles))
+            : std::min<std::int64_t>(t * rows_per_tile, n);
+  }
+  return tiles;
+}
 
 GpuKernelResult spmm_gpu(const graph::Csr& adj, std::string_view msg_op,
                          std::string_view reduce_op,
@@ -126,7 +145,8 @@ GpuKernelResult spmm_gpu(const graph::Csr& adj, std::string_view msg_op,
     const auto split = graph::split_by_degree(adj, threshold);
     const HybridCounters hc =
         count_hybrid(adj, split, d,
-                     std::max(1, sched.hybrid_rows_per_tile),
+                     gpu_row_tile_boundaries(adj, sched.hybrid_rows_per_tile,
+                                             sched.row_assignment),
                      spec.smem_bytes_per_block);
     s.add_load_bytes(hc.staged_bytes + hc.unstaged_bytes);
     s.smem_bytes += hc.smem_traffic_bytes;

@@ -42,4 +42,14 @@ GpuKernelResult spmm_gpu(const graph::Csr& adj, std::string_view msg_op,
                          const core::SpmmOperands& operands,
                          const DeviceSpec& spec = {});
 
+/// Staging-tile boundaries the hybrid kernel grid-strides over: tile t owns
+/// rows [b[t], b[t+1]). The tile COUNT is always ceil(num_rows /
+/// rows_per_tile); kStaticRows cuts uniform chunks, kNnzBalanced places the
+/// same number of boundaries with parallel::nnz_split_point so each tile
+/// owns ~equal nnz (the CPU kernels' balancing reused for the GPU row
+/// assignment). Exposed for the balance-quality tests.
+std::vector<std::int64_t> gpu_row_tile_boundaries(
+    const graph::Csr& adj, std::int64_t rows_per_tile,
+    core::LoadBalance row_assignment);
+
 }  // namespace featgraph::gpusim

@@ -197,6 +197,78 @@ TEST(GpuSddmm, SerialOccupancyModelIsMonotone) {
   EXPECT_GE(fg::gpusim::serial_dot_occupancy(100000), 0.45);
 }
 
+// --- GPU row assignment (nnz_split_point reuse) ----------------------------
+
+namespace {
+
+/// Max and min per-tile nnz under the given boundaries.
+std::pair<std::int64_t, std::int64_t> tile_nnz_spread(
+    const Csr& adj, const std::vector<std::int64_t>& tiles) {
+  std::int64_t hi = 0, lo = adj.nnz();
+  for (std::size_t t = 0; t + 1 < tiles.size(); ++t) {
+    const std::int64_t nnz = adj.indptr[static_cast<std::size_t>(tiles[t + 1])] -
+                             adj.indptr[static_cast<std::size_t>(tiles[t])];
+    hi = std::max(hi, nnz);
+    lo = std::min(lo, nnz);
+  }
+  return {hi, lo};
+}
+
+}  // namespace
+
+TEST(GpuSpmm, RowTileBoundariesTileTheRowRange) {
+  const Coo coo = fg::graph::gen_rmat(777, 9.0, 31);
+  const Csr in = fg::graph::coo_to_in_csr(coo);
+  for (const auto lb : {fg::core::LoadBalance::kStaticRows,
+                        fg::core::LoadBalance::kNnzBalanced}) {
+    const auto tiles = fg::gpusim::gpu_row_tile_boundaries(in, 32, lb);
+    // Same tile COUNT for both policies, boundaries monotone, exact cover.
+    // (R-MAT rounds the vertex count up to a power of two.)
+    EXPECT_EQ(static_cast<std::int64_t>(tiles.size()),
+              (in.num_rows + 31) / 32 + 1);
+    EXPECT_EQ(tiles.front(), 0);
+    EXPECT_EQ(tiles.back(), in.num_rows);
+    for (std::size_t t = 0; t + 1 < tiles.size(); ++t)
+      EXPECT_LE(tiles[t], tiles[t + 1]);
+  }
+}
+
+TEST(GpuSpmm, NnzBalancedRowAssignmentEvensTileWork) {
+  // The ROADMAP item: GPU-sim staging tiles reuse the CPU kernels'
+  // nnz_split_point. On a skewed R-MAT graph, uniform row chunks leave the
+  // hub tile holding a large nnz multiple of the lightest tile; nnz-balanced
+  // boundaries must strictly shrink that spread.
+  const Coo coo = fg::graph::gen_rmat(2000, 12.0, 33);
+  const Csr in = fg::graph::coo_to_in_csr(coo);
+  const auto static_tiles = fg::gpusim::gpu_row_tile_boundaries(
+      in, 64, fg::core::LoadBalance::kStaticRows);
+  const auto nnz_tiles = fg::gpusim::gpu_row_tile_boundaries(
+      in, 64, fg::core::LoadBalance::kNnzBalanced);
+  const auto [static_hi, static_lo] = tile_nnz_spread(in, static_tiles);
+  const auto [nnz_hi, nnz_lo] = tile_nnz_spread(in, nnz_tiles);
+  // Heaviest tile strictly lighter, heavy/light ratio strictly tighter.
+  EXPECT_LT(nnz_hi, static_hi);
+  EXPECT_LT(static_cast<double>(nnz_hi) / std::max<std::int64_t>(1, nnz_lo),
+            static_cast<double>(static_hi) /
+                std::max<std::int64_t>(1, static_lo));
+}
+
+TEST(GpuSpmm, HybridOutputUnchangedByRowAssignment) {
+  // Row assignment moves simulated traffic, never arithmetic.
+  const Coo skewed = fg::graph::gen_two_class(60, 500, 600, 5, 5);
+  const Csr in = fg::graph::coo_to_in_csr(skewed);
+  Tensor x = Tensor::randn({660, 64}, 44);
+  GpuSpmmSchedule a, b;
+  a.hybrid_partition = b.hybrid_partition = true;
+  a.row_assignment = fg::core::LoadBalance::kStaticRows;
+  b.row_assignment = fg::core::LoadBalance::kNnzBalanced;
+  const auto ra =
+      fg::gpusim::spmm_gpu(in, "copy_u", "sum", a, {&x, nullptr, nullptr});
+  const auto rb =
+      fg::gpusim::spmm_gpu(in, "copy_u", "sum", b, {&x, nullptr, nullptr});
+  EXPECT_EQ(fg::tensor::max_abs_diff(ra.out, rb.out), 0.0f);
+}
+
 // --- baselines on gpusim ---------------------------------------------------
 
 TEST(GunrockSim, SpmmOutputCorrectButAtomicBound) {

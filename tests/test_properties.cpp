@@ -104,10 +104,9 @@ TEST_P(PropertyTest, ScheduleAndBackendNeverChangeResults) {
     fg::simd::ScopedIsa pin(fg::simd::Isa::kScalar);
     ref = fg::core::spmm(in_, "copy_u", "sum", ref_sched, ops);
   }
-  const auto isas = fg::simd::cpu_supports_avx2()
-                        ? std::vector<fg::simd::Isa>{fg::simd::Isa::kScalar,
-                                                     fg::simd::Isa::kAvx2}
-                        : std::vector<fg::simd::Isa>{fg::simd::Isa::kScalar};
+  // Every compiled-and-supported backend joins the sweep (scalar always,
+  // avx2/avx512 when the CPU has them).
+  const auto isas = fg::simd::supported_isas();
   for (auto isa : isas) {
     fg::simd::ScopedIsa pin(isa);
     for (int parts : {1, 4}) {
