@@ -94,6 +94,29 @@ void BM_SddmmDot(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * f.coo.num_edges());
 }
 
+void BM_FusedAttention(benchmark::State& state) {
+  // The fused SDDMM -> edge-softmax -> SpMM pipeline vs its composed form
+  // (arg 0: 0 = composed chain, 1 = fused kernel), per ISA (arg 1).
+  auto& f = MicroFixture::get();
+  fg::simd::ScopedIsa pin(isa_arg(state.range(1)));
+  const bool fused = state.range(0) != 0;
+  for (auto _ : state) {
+    if (fused) {
+      fg::core::AttentionOperands ops;
+      ops.src_feat = &f.x;
+      auto r = fg::core::attention(f.in_csr, "copy_u", {}, ops);
+      benchmark::DoNotOptimize(r.out.data());
+    } else {
+      auto logits = fg::core::sddmm(f.coo, "dot", {}, {&f.x, nullptr});
+      auto alpha = fg::core::edge_softmax(f.in_csr, logits, 1);
+      auto out = fg::core::spmm(f.in_csr, "u_mul_e", "sum", {},
+                                {&f.x, &alpha, nullptr});
+      benchmark::DoNotOptimize(out.data());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * f.in_csr.nnz());
+}
+
 void BM_GenericUdfOverhead(benchmark::State& state) {
   // Blackbox std::function UDF vs the fused builtin: quantifies what the
   // paper gains by opening the UDF to the scheduler.
@@ -186,6 +209,45 @@ void record_baseline() {
   const double sddmm_simd = time_sddmm(Isa::kAvx2);
   const double sddmm_avx512 = has512 ? time_sddmm(Isa::kAvx512) : 0.0;
 
+  // Fused GAT attention (one per-row SDDMM -> softmax -> SpMM pass) vs the
+  // composed three-launch chain, both at d=64 on the R-MAT graph — the
+  // acceptance row for the fused attention engine.
+  const auto time_fused_attn = [&](Isa isa) {
+    fg::simd::ScopedIsa pin(isa);
+    fg::core::AttentionOperands ops;
+    ops.src_feat = &x64;
+    return fg::bench::measure_seconds([&] {
+      (void)fg::core::attention(in_csr, "copy_u", {}, ops);
+    });
+  };
+  const auto time_composed_attn = [&](Isa isa) {
+    fg::simd::ScopedIsa pin(isa);
+    return fg::bench::measure_seconds([&] {
+      auto logits = fg::core::sddmm(coo, "dot", {}, {&x64, nullptr});
+      auto alpha = fg::core::edge_softmax(in_csr, logits, 1);
+      (void)fg::core::spmm(in_csr, "u_mul_e", "sum", {},
+                           {&x64, &alpha, nullptr});
+    });
+  };
+  const double attn_fused_scalar = time_fused_attn(Isa::kScalar);
+  const double attn_composed_scalar = time_composed_attn(Isa::kScalar);
+  const double attn_fused_avx2 = time_fused_attn(Isa::kAvx2);
+  const double attn_composed_avx2 = time_composed_attn(Isa::kAvx2);
+  const double attn_fused_avx512 =
+      has512 ? time_fused_attn(Isa::kAvx512) : 0.0;
+  const double attn_composed_avx512 =
+      has512 ? time_composed_attn(Isa::kAvx512) : 0.0;
+
+  // Narrow-feature row (d=8 < one 512-bit vector): every AVX-512 span is a
+  // single masked op vs AVX2's one full 256-bit vector — the ROADMAP's
+  // "does a 256-bit path win for very narrow features" question, recorded.
+  const Tensor x8n = Tensor::randn({in_csr.num_cols, 8}, 47);
+  const double d8_scalar =
+      time_spmm(x8n, Isa::kScalar, LoadBalance::kStaticRows, 1);
+  const double d8_avx2 = time_spmm(x8n, Isa::kAvx2, LoadBalance::kStaticRows, 1);
+  const double d8_avx512 =
+      has512 ? time_spmm(x8n, Isa::kAvx512, LoadBalance::kStaticRows, 1) : 0.0;
+
   std::FILE* f = std::fopen("BENCH_kernels.json", "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write BENCH_kernels.json\n");
@@ -243,16 +305,40 @@ void record_baseline() {
   std::fprintf(f, "    \"simd_speedup\": %.2f,\n", sddmm_scalar / sddmm_simd);
   std::fprintf(f, "    \"avx512_vs_avx2\": %.2f\n",
                has512 ? sddmm_simd / sddmm_avx512 : 0.0);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"attention_fused_gat_d64\": {\n");
+  std::fprintf(f, "    \"composed_scalar_sec\": %.6f,\n", attn_composed_scalar);
+  std::fprintf(f, "    \"fused_scalar_sec\": %.6f,\n", attn_fused_scalar);
+  std::fprintf(f, "    \"composed_avx2_sec\": %.6f,\n", attn_composed_avx2);
+  std::fprintf(f, "    \"fused_avx2_sec\": %.6f,\n", attn_fused_avx2);
+  std::fprintf(f, "    \"composed_avx512_sec\": %.6f,\n", attn_composed_avx512);
+  std::fprintf(f, "    \"fused_avx512_sec\": %.6f,\n", attn_fused_avx512);
+  std::fprintf(f, "    \"fused_speedup_scalar\": %.2f,\n",
+               attn_composed_scalar / attn_fused_scalar);
+  std::fprintf(f, "    \"fused_speedup_avx2\": %.2f,\n",
+               attn_composed_avx2 / attn_fused_avx2);
+  std::fprintf(f, "    \"fused_speedup_avx512\": %.2f\n",
+               has512 ? attn_composed_avx512 / attn_fused_avx512 : 0.0);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"spmm_copy_u_sum_d8_narrow\": {\n");
+  std::fprintf(f, "    \"scalar_1t_sec\": %.6f,\n", d8_scalar);
+  std::fprintf(f, "    \"avx2_1t_sec\": %.6f,\n", d8_avx2);
+  std::fprintf(f, "    \"avx512_1t_sec\": %.6f,\n", d8_avx512);
+  std::fprintf(f, "    \"avx512_vs_avx2\": %.2f\n",
+               has512 ? d8_avx2 / d8_avx512 : 0.0);
   std::fprintf(f, "  }\n");
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf(
       "\nBENCH_kernels.json: copy_u/sum d=64 rmat — scalar %.4fs, "
       "avx2 %.4fs (%.2fx), avx512 %.4fs; d=100 tail avx512/avx2 %.2fx; "
-      "sddmm dot %.2fx\n",
+      "sddmm dot %.2fx; fused GAT attention vs composed %.2fx (avx512 "
+      "%.2fx); d=8 narrow avx512/avx2 %.2fx\n",
       scalar_static_1t, simd_static_1t, scalar_static_1t / simd_static_1t,
       avx512_static_1t, has512 ? d100_avx2 / d100_avx512 : 0.0,
-      sddmm_scalar / sddmm_simd);
+      sddmm_scalar / sddmm_simd, attn_composed_avx2 / attn_fused_avx2,
+      has512 ? attn_composed_avx512 / attn_fused_avx512 : 0.0,
+      has512 ? d8_avx2 / d8_avx512 : 0.0);
 }
 
 }  // namespace
@@ -287,6 +373,13 @@ BENCHMARK(BM_SddmmDot)
     ->Args({0, 0, 2})
     ->Args({1, 0, 1})
     ->Args({0, 32, 1})
+    ->Unit(benchmark::kMillisecond);
+// (fused[0=composed,1=fused], isa)
+BENCHMARK(BM_FusedAttention)
+    ->Args({0, 1})
+    ->Args({1, 1})
+    ->Args({0, 2})
+    ->Args({1, 2})
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_GenericUdfOverhead)->Unit(benchmark::kMillisecond);
 

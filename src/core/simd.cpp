@@ -13,7 +13,9 @@
 #include "core/simd.hpp"
 
 #include <atomic>
+#include <cmath>
 #include <cstdio>
+#include <limits>
 #include <string>
 
 #include "support/env.hpp"
@@ -156,6 +158,50 @@ FG_SCALAR_ACCUM_BINOP_S(accum_min_mul_s, c_min, o_mul)
 FG_SCALAR_ACCUM_BINOP_S(accum_min_div_s, c_min, o_div)
 #undef FG_SCALAR_ACCUM_BINOP_S
 
+FG_SCALAR_FN float hmax(const float* x, std::int64_t n) {
+  float m = -std::numeric_limits<float>::infinity();
+  FG_SCALAR_LOOP
+  for (std::int64_t j = 0; j < n; ++j) m = x[j] > m ? x[j] : m;
+  return m;
+}
+
+FG_SCALAR_FN float exp_scale(float* io, float shift, std::int64_t n) {
+  float sum = 0.0f;
+  FG_SCALAR_LOOP
+  for (std::int64_t j = 0; j < n; ++j) {
+    const float e = std::exp(io[j] + shift);
+    io[j] = e;
+    sum += e;
+  }
+  return sum;
+}
+
+#define FG_SCALAR_WAXPY_BINOP(NAME, OP)                              \
+  FG_SCALAR_FN void NAME(float* out, const float* a, const float* b, \
+                         float s, std::int64_t n) {                  \
+    FG_SCALAR_LOOP                                                   \
+    for (std::int64_t j = 0; j < n; ++j) out[j] += OP(a[j], b[j]) * s; \
+  }
+
+FG_SCALAR_WAXPY_BINOP(waxpy_add, o_add)
+FG_SCALAR_WAXPY_BINOP(waxpy_sub, o_sub)
+FG_SCALAR_WAXPY_BINOP(waxpy_mul, o_mul)
+FG_SCALAR_WAXPY_BINOP(waxpy_div, o_div)
+#undef FG_SCALAR_WAXPY_BINOP
+
+#define FG_SCALAR_WAXPY_BINOP_S(NAME, OP)                               \
+  FG_SCALAR_FN void NAME(float* out, const float* a, float c, float s,  \
+                         std::int64_t n) {                              \
+    FG_SCALAR_LOOP                                                      \
+    for (std::int64_t j = 0; j < n; ++j) out[j] += OP(a[j], c) * s;     \
+  }
+
+FG_SCALAR_WAXPY_BINOP_S(waxpy_add_s, o_add)
+FG_SCALAR_WAXPY_BINOP_S(waxpy_sub_s, o_sub)
+FG_SCALAR_WAXPY_BINOP_S(waxpy_mul_s, o_mul)
+FG_SCALAR_WAXPY_BINOP_S(waxpy_div_s, o_div)
+#undef FG_SCALAR_WAXPY_BINOP_S
+
 }  // namespace scalar
 
 SpanOps make_scalar_ops() {
@@ -190,6 +236,16 @@ SpanOps make_scalar_ops() {
       t.accum_binop_scalar[r][o] = bin_s[r][o];
     }
   }
+  t.hmax = scalar::hmax;
+  t.exp_scale = scalar::exp_scale;
+  t.waxpy_binop[0] = scalar::waxpy_add;
+  t.waxpy_binop[1] = scalar::waxpy_sub;
+  t.waxpy_binop[2] = scalar::waxpy_mul;
+  t.waxpy_binop[3] = scalar::waxpy_div;
+  t.waxpy_binop_scalar[0] = scalar::waxpy_add_s;
+  t.waxpy_binop_scalar[1] = scalar::waxpy_sub_s;
+  t.waxpy_binop_scalar[2] = scalar::waxpy_mul_s;
+  t.waxpy_binop_scalar[3] = scalar::waxpy_div_s;
   return t;
 }
 
@@ -345,6 +401,121 @@ FG_AVX2_ACCUM_BINOP_S(accum_min_mul_s, _mm256_min_ps, _mm256_mul_ps, scalar::c_m
 FG_AVX2_ACCUM_BINOP_S(accum_min_div_s, _mm256_min_ps, _mm256_div_ps, scalar::c_min, scalar::o_div)
 #undef FG_AVX2_ACCUM_BINOP_S
 
+FG_AVX2_FN float hmax(const float* x, std::int64_t n) {
+  float m = -std::numeric_limits<float>::infinity();
+  std::int64_t j = 0;
+  if (n >= 8) {
+    __m256 vm = _mm256_loadu_ps(x);
+    for (j = 8; j + 8 <= n; j += 8)
+      vm = _mm256_max_ps(vm, _mm256_loadu_ps(x + j));
+    __m128 lo = _mm_max_ps(_mm256_castps256_ps128(vm),
+                           _mm256_extractf128_ps(vm, 1));
+    lo = _mm_max_ps(lo, _mm_movehl_ps(lo, lo));
+    lo = _mm_max_ss(lo, _mm_shuffle_ps(lo, lo, 1));
+    m = _mm_cvtss_f32(lo);
+  }
+  for (; j < n; ++j) m = x[j] > m ? x[j] : m;
+  return m;
+}
+
+// Cephes-derived polynomial exp, the classic avx_mathfun kernel: clamp to
+// the finite-result range, split x = n*ln2 + r with the two-constant
+// Cook-style reduction, evaluate a degree-5 polynomial of r, scale by 2^n
+// via exponent-field arithmetic. ~2 ulp vs libm inside [-87.33, 87.9]; the
+// hi clamp sits at 87.9 (not expf's 88.72 overflow point) so n never
+// reaches 128, where the exponent-field construction would wrap to inf —
+// softmax arguments are <= 0 after the row-max shift, so the narrowed
+// saturation range is unreachable there. The AVX-512 twin below runs the
+// IDENTICAL per-lane operation sequence, so on full vector blocks the two
+// vector backends agree lane-for-lane; span TAILS still differ by ~2 ulp
+// (AVX2's exp_scale peels them into a libm loop, AVX-512 runs the
+// polynomial under a mask), which the tolerance contract absorbs.
+FG_AVX2_FN __m256 exp256(__m256 x) {
+  x = _mm256_min_ps(_mm256_max_ps(x, _mm256_set1_ps(-87.3365478515625f)),
+                    _mm256_set1_ps(87.9f));
+  const __m256i bias = _mm256_set1_epi32(127);
+  const __m256i n = _mm256_cvtps_epi32(
+      _mm256_mul_ps(x, _mm256_set1_ps(1.44269504088896341f)));
+  const __m256 fx = _mm256_cvtepi32_ps(n);  // round-to-nearest of x*log2(e)
+  __m256 r = _mm256_fnmadd_ps(fx, _mm256_set1_ps(0.693359375f), x);
+  r = _mm256_fnmadd_ps(fx, _mm256_set1_ps(-2.12194440e-4f), r);
+  __m256 y = _mm256_set1_ps(1.9875691500e-4f);
+  y = _mm256_fmadd_ps(y, r, _mm256_set1_ps(1.3981999507e-3f));
+  y = _mm256_fmadd_ps(y, r, _mm256_set1_ps(8.3334519073e-3f));
+  y = _mm256_fmadd_ps(y, r, _mm256_set1_ps(4.1665795894e-2f));
+  y = _mm256_fmadd_ps(y, r, _mm256_set1_ps(1.6666665459e-1f));
+  y = _mm256_fmadd_ps(y, r, _mm256_set1_ps(5.0000001201e-1f));
+  y = _mm256_fmadd_ps(y, _mm256_mul_ps(r, r),
+                      _mm256_add_ps(r, _mm256_set1_ps(1.0f)));
+  const __m256i pow2n = _mm256_slli_epi32(_mm256_add_epi32(n, bias), 23);
+  return _mm256_mul_ps(y, _mm256_castsi256_ps(pow2n));
+}
+
+FG_AVX2_FN float exp_scale(float* io, float shift, std::int64_t n) {
+  const __m256 vs = _mm256_set1_ps(shift);
+  __m256 acc = _mm256_setzero_ps();
+  std::int64_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m256 e = exp256(_mm256_add_ps(_mm256_loadu_ps(io + j), vs));
+    _mm256_storeu_ps(io + j, e);
+    acc = _mm256_add_ps(acc, e);
+  }
+  __m128 lo = _mm_add_ps(_mm256_castps256_ps128(acc),
+                         _mm256_extractf128_ps(acc, 1));
+  lo = _mm_add_ps(lo, _mm_movehl_ps(lo, lo));
+  lo = _mm_add_ss(lo, _mm_shuffle_ps(lo, lo, 1));
+  float sum = _mm_cvtss_f32(lo);
+  for (; j < n; ++j) {
+    const float e = std::exp(io[j] + shift);
+    io[j] = e;
+    sum += e;
+  }
+  return sum;
+}
+
+// mul + add (not fmadd) after the message op: keeps per-element rounding
+// identical to the scalar backend (the waxpy exact contract).
+#define FG_AVX2_WAXPY_BINOP(NAME, VOP, SOP)                                 \
+  FG_AVX2_FN void NAME(float* out, const float* a, const float* b, float s, \
+                       std::int64_t n) {                                    \
+    const __m256 vs = _mm256_set1_ps(s);                                    \
+    std::int64_t j = 0;                                                     \
+    for (; j + 8 <= n; j += 8) {                                            \
+      const __m256 msg =                                                    \
+          _mm256_mul_ps(VOP(_mm256_loadu_ps(a + j), _mm256_loadu_ps(b + j)), \
+                        vs);                                                \
+      _mm256_storeu_ps(out + j, _mm256_add_ps(_mm256_loadu_ps(out + j),     \
+                                              msg));                        \
+    }                                                                       \
+    for (; j < n; ++j) out[j] += SOP(a[j], b[j]) * s;                       \
+  }
+
+FG_AVX2_WAXPY_BINOP(waxpy_add, _mm256_add_ps, scalar::o_add)
+FG_AVX2_WAXPY_BINOP(waxpy_sub, _mm256_sub_ps, scalar::o_sub)
+FG_AVX2_WAXPY_BINOP(waxpy_mul, _mm256_mul_ps, scalar::o_mul)
+FG_AVX2_WAXPY_BINOP(waxpy_div, _mm256_div_ps, scalar::o_div)
+#undef FG_AVX2_WAXPY_BINOP
+
+#define FG_AVX2_WAXPY_BINOP_S(NAME, VOP, SOP)                               \
+  FG_AVX2_FN void NAME(float* out, const float* a, float c, float s,        \
+                       std::int64_t n) {                                    \
+    const __m256 vc = _mm256_set1_ps(c);                                    \
+    const __m256 vs = _mm256_set1_ps(s);                                    \
+    std::int64_t j = 0;                                                     \
+    for (; j + 8 <= n; j += 8) {                                            \
+      const __m256 msg = _mm256_mul_ps(VOP(_mm256_loadu_ps(a + j), vc), vs); \
+      _mm256_storeu_ps(out + j, _mm256_add_ps(_mm256_loadu_ps(out + j),     \
+                                              msg));                        \
+    }                                                                       \
+    for (; j < n; ++j) out[j] += SOP(a[j], c) * s;                          \
+  }
+
+FG_AVX2_WAXPY_BINOP_S(waxpy_add_s, _mm256_add_ps, scalar::o_add)
+FG_AVX2_WAXPY_BINOP_S(waxpy_sub_s, _mm256_sub_ps, scalar::o_sub)
+FG_AVX2_WAXPY_BINOP_S(waxpy_mul_s, _mm256_mul_ps, scalar::o_mul)
+FG_AVX2_WAXPY_BINOP_S(waxpy_div_s, _mm256_div_ps, scalar::o_div)
+#undef FG_AVX2_WAXPY_BINOP_S
+
 }  // namespace avx2
 
 SpanOps make_avx2_ops() {
@@ -379,6 +550,16 @@ SpanOps make_avx2_ops() {
       t.accum_binop_scalar[r][o] = bin_s[r][o];
     }
   }
+  t.hmax = avx2::hmax;
+  t.exp_scale = avx2::exp_scale;
+  t.waxpy_binop[0] = avx2::waxpy_add;
+  t.waxpy_binop[1] = avx2::waxpy_sub;
+  t.waxpy_binop[2] = avx2::waxpy_mul;
+  t.waxpy_binop[3] = avx2::waxpy_div;
+  t.waxpy_binop_scalar[0] = avx2::waxpy_add_s;
+  t.waxpy_binop_scalar[1] = avx2::waxpy_sub_s;
+  t.waxpy_binop_scalar[2] = avx2::waxpy_mul_s;
+  t.waxpy_binop_scalar[3] = avx2::waxpy_div_s;
   return t;
 }
 
@@ -597,6 +778,123 @@ FG_AVX512_BINOP_TABLE(FG_AVX512_ACCUM_BINOP_S)
 #undef FG_AVX512_ACCUM_BINOP_S
 #undef FG_AVX512_BINOP_TABLE
 
+FG_AVX512_FN float hmax(const float* x, std::int64_t n) {
+  if (n <= 0) return -std::numeric_limits<float>::infinity();
+  __m512 vm = _mm512_set1_ps(-std::numeric_limits<float>::infinity());
+  std::int64_t j = 0;
+  for (; j + 16 <= n; j += 16)
+    vm = _mm512_max_ps(vm, _mm512_loadu_ps(x + j));
+  if (j < n) {
+    const __mmask16 m = tail_mask(n - j);
+    // mask (not maskz) max: dead lanes keep the running -inf identity.
+    vm = _mm512_mask_max_ps(vm, m, vm, _mm512_maskz_loadu_ps(m, x + j));
+  }
+  return _mm512_reduce_max_ps(vm);
+}
+
+// The 512-bit twin of avx2::exp256 — same constants (including the 87.9
+// overflow-safe hi clamp), same per-lane op sequence, so both vector
+// backends produce identical lane results.
+FG_AVX512_FN __m512 exp512(__m512 x) {
+  x = _mm512_min_ps(_mm512_max_ps(x, _mm512_set1_ps(-87.3365478515625f)),
+                    _mm512_set1_ps(87.9f));
+  const __m512i bias = _mm512_set1_epi32(127);
+  const __m512i n = _mm512_cvtps_epi32(
+      _mm512_mul_ps(x, _mm512_set1_ps(1.44269504088896341f)));
+  const __m512 fx = _mm512_cvtepi32_ps(n);
+  __m512 r = _mm512_fnmadd_ps(fx, _mm512_set1_ps(0.693359375f), x);
+  r = _mm512_fnmadd_ps(fx, _mm512_set1_ps(-2.12194440e-4f), r);
+  __m512 y = _mm512_set1_ps(1.9875691500e-4f);
+  y = _mm512_fmadd_ps(y, r, _mm512_set1_ps(1.3981999507e-3f));
+  y = _mm512_fmadd_ps(y, r, _mm512_set1_ps(8.3334519073e-3f));
+  y = _mm512_fmadd_ps(y, r, _mm512_set1_ps(4.1665795894e-2f));
+  y = _mm512_fmadd_ps(y, r, _mm512_set1_ps(1.6666665459e-1f));
+  y = _mm512_fmadd_ps(y, r, _mm512_set1_ps(5.0000001201e-1f));
+  y = _mm512_fmadd_ps(y, _mm512_mul_ps(r, r),
+                      _mm512_add_ps(r, _mm512_set1_ps(1.0f)));
+  const __m512i pow2n = _mm512_slli_epi32(_mm512_add_epi32(n, bias), 23);
+  return _mm512_mul_ps(y, _mm512_castsi512_ps(pow2n));
+}
+
+FG_AVX512_FN float exp_scale(float* io, float shift, std::int64_t n) {
+  const __m512 vs = _mm512_set1_ps(shift);
+  __m512 acc = _mm512_setzero_ps();
+  std::int64_t j = 0;
+  for (; j + 16 <= n; j += 16) {
+    const __m512 e = exp512(_mm512_add_ps(_mm512_loadu_ps(io + j), vs));
+    _mm512_storeu_ps(io + j, e);
+    acc = _mm512_add_ps(acc, e);
+  }
+  if (j < n) {
+    // Dead lanes run exp on zero-filled inputs — finite and flag-free (the
+    // poly is mul/add of clamped finite values) — and are excluded from both
+    // the store and the accumulator by the masked forms.
+    const __mmask16 m = tail_mask(n - j);
+    const __m512 e = exp512(
+        _mm512_maskz_add_ps(m, _mm512_maskz_loadu_ps(m, io + j), vs));
+    _mm512_mask_storeu_ps(io + j, m, e);
+    acc = _mm512_mask_add_ps(acc, m, acc, e);
+  }
+  return _mm512_reduce_add_ps(acc);
+}
+
+#define FG_AVX512_WAXPY_BINOP(NAME, VOP, MZOP)                               \
+  FG_AVX512_FN void NAME(float* out, const float* a, const float* b,         \
+                         float s, std::int64_t n) {                          \
+    const __m512 vs = _mm512_set1_ps(s);                                     \
+    std::int64_t j = 0;                                                      \
+    for (; j + 16 <= n; j += 16) {                                           \
+      const __m512 msg = _mm512_mul_ps(                                      \
+          VOP(_mm512_loadu_ps(a + j), _mm512_loadu_ps(b + j)), vs);          \
+      _mm512_storeu_ps(out + j,                                              \
+                       _mm512_add_ps(_mm512_loadu_ps(out + j), msg));        \
+    }                                                                        \
+    if (j < n) {                                                             \
+      const __mmask16 m = tail_mask(n - j);                                  \
+      const __m512 msg = _mm512_maskz_mul_ps(                                \
+          m,                                                                 \
+          MZOP(m, _mm512_maskz_loadu_ps(m, a + j),                           \
+               _mm512_maskz_loadu_ps(m, b + j)),                             \
+          vs);                                                               \
+      _mm512_mask_storeu_ps(                                                 \
+          out + j, m,                                                        \
+          _mm512_maskz_add_ps(m, _mm512_maskz_loadu_ps(m, out + j), msg));   \
+    }                                                                        \
+  }
+
+FG_AVX512_WAXPY_BINOP(waxpy_add, _mm512_add_ps, _mm512_maskz_add_ps)
+FG_AVX512_WAXPY_BINOP(waxpy_sub, _mm512_sub_ps, _mm512_maskz_sub_ps)
+FG_AVX512_WAXPY_BINOP(waxpy_mul, _mm512_mul_ps, _mm512_maskz_mul_ps)
+FG_AVX512_WAXPY_BINOP(waxpy_div, _mm512_div_ps, _mm512_maskz_div_ps)
+#undef FG_AVX512_WAXPY_BINOP
+
+#define FG_AVX512_WAXPY_BINOP_S(NAME, VOP, MZOP)                             \
+  FG_AVX512_FN void NAME(float* out, const float* a, float c, float s,       \
+                         std::int64_t n) {                                   \
+    const __m512 vc = _mm512_set1_ps(c);                                     \
+    const __m512 vs = _mm512_set1_ps(s);                                     \
+    std::int64_t j = 0;                                                      \
+    for (; j + 16 <= n; j += 16) {                                           \
+      const __m512 msg = _mm512_mul_ps(VOP(_mm512_loadu_ps(a + j), vc), vs); \
+      _mm512_storeu_ps(out + j,                                              \
+                       _mm512_add_ps(_mm512_loadu_ps(out + j), msg));        \
+    }                                                                        \
+    if (j < n) {                                                             \
+      const __mmask16 m = tail_mask(n - j);                                  \
+      const __m512 msg = _mm512_maskz_mul_ps(                                \
+          m, MZOP(m, _mm512_maskz_loadu_ps(m, a + j), vc), vs);              \
+      _mm512_mask_storeu_ps(                                                 \
+          out + j, m,                                                        \
+          _mm512_maskz_add_ps(m, _mm512_maskz_loadu_ps(m, out + j), msg));   \
+    }                                                                        \
+  }
+
+FG_AVX512_WAXPY_BINOP_S(waxpy_add_s, _mm512_add_ps, _mm512_maskz_add_ps)
+FG_AVX512_WAXPY_BINOP_S(waxpy_sub_s, _mm512_sub_ps, _mm512_maskz_sub_ps)
+FG_AVX512_WAXPY_BINOP_S(waxpy_mul_s, _mm512_mul_ps, _mm512_maskz_mul_ps)
+FG_AVX512_WAXPY_BINOP_S(waxpy_div_s, _mm512_div_ps, _mm512_maskz_div_ps)
+#undef FG_AVX512_WAXPY_BINOP_S
+
 }  // namespace avx512
 
 SpanOps make_avx512_ops() {
@@ -631,6 +929,16 @@ SpanOps make_avx512_ops() {
       t.accum_binop_scalar[r][o] = bin_s[r][o];
     }
   }
+  t.hmax = avx512::hmax;
+  t.exp_scale = avx512::exp_scale;
+  t.waxpy_binop[0] = avx512::waxpy_add;
+  t.waxpy_binop[1] = avx512::waxpy_sub;
+  t.waxpy_binop[2] = avx512::waxpy_mul;
+  t.waxpy_binop[3] = avx512::waxpy_div;
+  t.waxpy_binop_scalar[0] = avx512::waxpy_add_s;
+  t.waxpy_binop_scalar[1] = avx512::waxpy_sub_s;
+  t.waxpy_binop_scalar[2] = avx512::waxpy_mul_s;
+  t.waxpy_binop_scalar[3] = avx512::waxpy_div_s;
   return t;
 }
 

@@ -73,6 +73,26 @@ struct SpanOps {
   /// out[j] = R(out[j], a[j] op s)   (scalar edge-weight broadcast)
   void (*accum_binop_scalar[kNumAccum][kNumBinOp])(float* out, const float* a,
                                                    float s, std::int64_t n);
+
+  // --- attention primitives (fused SDDMM -> softmax -> SpMM engine) --------
+
+  /// max_j x[j]; -inf for n == 0 (the softmax row max). Max is associative,
+  /// so vector-lane reduction matches the sequential scalar fold bit-for-bit
+  /// for NaN-free inputs (the only inputs the softmax contract admits); ±0
+  /// ties may differ in sign only.
+  float (*hmax)(const float* x, std::int64_t n);
+  /// io[j] = exp(io[j] + shift); returns the sum of the NEW values (the
+  /// softmax denominator). Approximate like `dot`: the vector backends run a
+  /// polynomial exp (~2 ulp vs libm) and reassociate the sum, so this
+  /// primitive is tolerance-checked, never bit-compared, across backends.
+  float (*exp_scale)(float* io, float shift, std::int64_t n);
+  /// out[j] += s * (a[j] op b[j])   (attention-weighted u_op_v accumulate).
+  /// Exact contract: three IEEE ops per element (op, mul, add), no FMA.
+  void (*waxpy_binop[kNumBinOp])(float* out, const float* a, const float* b,
+                                 float s, std::int64_t n);
+  /// out[j] += s * (a[j] op c)   (attention-weighted u_op_e scalar form).
+  void (*waxpy_binop_scalar[kNumBinOp])(float* out, const float* a, float c,
+                                        float s, std::int64_t n);
 };
 
 /// True when the CPU (and compiler) support the AVX2+FMA backend.
@@ -170,6 +190,23 @@ inline void accum_binop_scalar(const SpanOps& ops, Accum r, BinOp op,
                                std::int64_t n) {
   ops.accum_binop_scalar[static_cast<int>(r)][static_cast<int>(op)](out, a, s,
                                                                     n);
+}
+inline float hmax(const SpanOps& ops, const float* x, std::int64_t n) {
+  return ops.hmax(x, n);
+}
+inline float exp_scale(const SpanOps& ops, float* io, float shift,
+                       std::int64_t n) {
+  return ops.exp_scale(io, shift, n);
+}
+inline void waxpy_binop(const SpanOps& ops, BinOp op, float* out,
+                        const float* a, const float* b, float s,
+                        std::int64_t n) {
+  ops.waxpy_binop[static_cast<int>(op)](out, a, b, s, n);
+}
+inline void waxpy_binop_scalar(const SpanOps& ops, BinOp op, float* out,
+                               const float* a, float c, float s,
+                               std::int64_t n) {
+  ops.waxpy_binop_scalar[static_cast<int>(op)](out, a, c, s, n);
 }
 
 // (No active-table convenience forms: a one-off span outside a kernel

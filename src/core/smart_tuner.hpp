@@ -35,7 +35,10 @@ struct SmartTuneResult {
   int trials_used = 0;
 };
 
-/// Measurement callback: returns the runtime of a candidate schedule.
+/// Measurement callback: returns the runtime of a candidate schedule. The
+/// tuner is kernel-agnostic through this hook: SpMM launches and fused
+/// attention launches (core/tuner.hpp's attention_measure_fn) tune over the
+/// identical (num_partitions, feat_tile, load_balance) lattice.
 using MeasureFn = std::function<double(const CpuSpmmSchedule&)>;
 
 /// Hill-climbs the schedule space within `options.max_trials` measurements.

@@ -95,6 +95,72 @@ CpuSpmmSchedule tuned_spmm_schedule(const graph::Csr& adj,
   return tuned.best;
 }
 
+SpmmTuneResult tune_attention(const graph::Csr& adj, std::string_view msg_op,
+                              const AttentionOperands& operands,
+                              std::vector<CpuSpmmSchedule> candidates,
+                              int timing_reps) {
+  FG_CHECK(!candidates.empty());
+  SpmmTuneResult result;
+  result.best_seconds = std::numeric_limits<double>::infinity();
+  for (const auto& cand : candidates) {
+    const double secs = support::time_mean_seconds(
+        [&] { (void)attention(adj, msg_op, cand, operands); }, timing_reps);
+    result.trials.push_back({cand, secs});
+    if (secs < result.best_seconds) {
+      result.best_seconds = secs;
+      result.best = cand;
+    }
+  }
+  return result;
+}
+
+CpuSpmmSchedule tuned_attention_schedule(const graph::Csr& adj,
+                                         std::string_view msg_op,
+                                         const AttentionOperands& operands,
+                                         int num_threads) {
+  // d_out resolution mirrors attention()'s msg-op dispatch: mlp aggregates
+  // to the weight's output width, copy_e to the edge feature width, and the
+  // u-op family to the source feature width.
+  std::int64_t d = 0;
+  if (operands.weight != nullptr && operands.weight->defined()) {
+    d = operands.weight->shape(1);
+  } else if (msg_op == "copy_e") {
+    FG_CHECK_MSG(operands.edge_feat != nullptr && operands.edge_feat->defined() &&
+                     adj.nnz() > 0,
+                 "copy_e attention tuning requires edge_feat");
+    d = operands.edge_feat->numel() / adj.nnz();
+  } else {
+    FG_CHECK_MSG(operands.src_feat != nullptr && operands.src_feat->defined(),
+                 "attention tuning requires src_feat for this msg_op");
+    d = operands.src_feat->row_size();
+  }
+  const TuneKey key{adj.uid, "attn:" + std::string(msg_op), "sum", d,
+                    num_threads};
+  {
+    std::lock_guard<std::mutex> lock(g_tune_mutex);
+    auto it = g_tune_cache.find(key);
+    if (it != g_tune_cache.end()) return it->second;
+  }
+  std::vector<CpuSpmmSchedule> candidates =
+      default_spmm_candidates(d, num_threads);
+  for (auto& c : candidates) c.num_threads = num_threads;
+  SpmmTuneResult tuned =
+      tune_attention(adj, msg_op, operands, std::move(candidates));
+  std::lock_guard<std::mutex> lock(g_tune_mutex);
+  g_tune_cache.emplace(key, tuned.best);
+  return tuned.best;
+}
+
+std::function<double(const CpuSpmmSchedule&)> attention_measure_fn(
+    const graph::Csr& adj, std::string_view msg_op,
+    const AttentionOperands& operands, int timing_reps) {
+  return [&adj, msg_op = std::string(msg_op), operands,
+          timing_reps](const CpuSpmmSchedule& sched) {
+    return support::time_mean_seconds(
+        [&] { (void)attention(adj, msg_op, sched, operands); }, timing_reps);
+  };
+}
+
 CpuSpmmSchedule heuristic_spmm_schedule(const graph::Csr& adj,
                                         std::int64_t d_feat, int num_threads) {
   CpuSpmmSchedule s;

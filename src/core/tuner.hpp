@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "core/attention.hpp"
 #include "core/schedule.hpp"
 #include "core/spmm.hpp"
 #include "graph/csr.hpp"
@@ -53,5 +54,36 @@ CpuSpmmSchedule tuned_spmm_schedule(const graph::Csr& adj,
 /// features fit in roughly half of a 25 MB LLC, feature tile 64.
 CpuSpmmSchedule heuristic_spmm_schedule(const graph::Csr& adj,
                                         std::int64_t d_feat, int num_threads);
+
+// --- fused attention axis ---------------------------------------------------
+// The fused attention kernel (core/attention.hpp) honors the same
+// CpuSpmmSchedule, so it tunes over the same candidate grid; the smart tuner
+// (core/smart_tuner.hpp) covers it too through its MeasureFn — wrap an
+// attention launch in the callback, as attention_measure_fn does.
+
+/// Times every candidate on the fused attention kernel and returns the
+/// winner plus the full trial log (same shape as tune_spmm).
+SpmmTuneResult tune_attention(const graph::Csr& adj, std::string_view msg_op,
+                              const AttentionOperands& operands,
+                              std::vector<CpuSpmmSchedule> candidates,
+                              int timing_reps = 1);
+
+/// Cached best attention schedule for (adj, msg_op, d_out, threads); tunes
+/// with the default SpMM grid on first call. Shares the SpMM tune cache
+/// under an "attn:"-prefixed kernel key.
+CpuSpmmSchedule tuned_attention_schedule(const graph::Csr& adj,
+                                         std::string_view msg_op,
+                                         const AttentionOperands& operands,
+                                         int num_threads);
+
+/// Adapter for the smart tuner: a MeasureFn-compatible callback timing one
+/// fused attention launch per candidate schedule. The callback holds a
+/// REFERENCE to `adj` and a copy of `operands` (a struct of tensor
+/// pointers): both the adjacency and every tensor the operands point at
+/// must outlive the returned function — pass named objects, never
+/// temporaries.
+std::function<double(const CpuSpmmSchedule&)> attention_measure_fn(
+    const graph::Csr& adj, std::string_view msg_op,
+    const AttentionOperands& operands, int timing_reps = 1);
 
 }  // namespace featgraph::core

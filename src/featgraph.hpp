@@ -5,6 +5,7 @@
 //
 //   graph::Graph / datasets      graph substrate & evaluation datasets
 //   core::spmm / core::sddmm     generalized sparse templates + builtin UDFs
+//   core::attention              fused SDDMM -> edge-softmax -> SpMM kernel
 //   core::CpuSpmmSchedule etc.   two-level schedules (template half + FDS)
 //   core::tune_spmm              grid-search schedule tuner
 //   gpusim::*                    GPU execution-model simulator kernels
@@ -12,6 +13,7 @@
 //   minidgl::*                   miniature GNN framework (GCN/GraphSage/GAT)
 #pragma once
 
+#include "core/attention.hpp"
 #include "core/schedule.hpp"
 #include "core/sddmm.hpp"
 #include "core/spmm.hpp"

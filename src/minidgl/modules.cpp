@@ -98,13 +98,21 @@ Var GatLayer::forward(ExecContext& ctx, const graph::Graph& g,
   Var sum;
   for (const auto& head : heads_) {
     Var z = head.forward(ctx, x);
-    // Scaled dot-product attention logits (Sec. II-A / Fig. 4a) — scaling
-    // by 1/sqrt(d) keeps the softmax in a trainable range.
-    Var logits =
-        scale(ctx, sddmm_dot(ctx, g, z),
-              1.0f / std::sqrt(static_cast<float>(z->value().row_size())));
-    Var alpha = edge_softmax(ctx, g, logits);
-    Var h = spmm_u_mul_e(ctx, g, z, alpha);
+    // Scaled dot-product attention (Sec. II-A / Fig. 4a) — scaling by
+    // 1/sqrt(d) keeps the softmax in a trainable range.
+    const float s =
+        1.0f / std::sqrt(static_cast<float>(z->value().row_size()));
+    Var h;
+    if (ctx.backend == SparseBackend::kFused && ctx.device == Device::kCpu) {
+      // One fused SDDMM -> edge-softmax -> SpMM pass per destination row.
+      h = gat_attention(ctx, g, z, s);
+    } else {
+      // Composed chain: the materialize baseline (Table VI) and the gpusim
+      // device, whose kernels are not fused yet (see ROADMAP).
+      Var logits = scale(ctx, sddmm_dot(ctx, g, z), s);
+      Var alpha = edge_softmax(ctx, g, logits);
+      h = spmm_u_mul_e(ctx, g, z, alpha);
+    }
     sum = sum == nullptr ? h : add(ctx, sum, h);
   }
   Var h = heads_.size() == 1

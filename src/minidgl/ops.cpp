@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "core/attention.hpp"
 #include "core/sddmm.hpp"
 #include "core/spmm.hpp"
 #include "core/tuner.hpp"
@@ -535,25 +536,11 @@ Var sddmm_dot(ExecContext& ctx, const graph::Graph& g, const Var& x) {
 
 Var edge_softmax(ExecContext& ctx, const graph::Graph& g, const Var& logits) {
   FG_CHECK(logits->value().numel() == g.num_edges());
-  const graph::Csr& in = g.in_csr();
-  Tensor value({g.num_edges()});
-  // Segment softmax over each destination's in-edges (shared by both
-  // backends; three sweeps over the edges).
-  for (vid_t v = 0; v < in.num_rows; ++v) {
-    const std::int64_t lo = in.indptr[v], hi = in.indptr[v + 1];
-    if (lo == hi) continue;
-    float mx = -std::numeric_limits<float>::infinity();
-    for (std::int64_t i = lo; i < hi; ++i)
-      mx = std::max(mx, logits->value().at(in.edge_ids[static_cast<std::size_t>(i)]));
-    float denom = 0.0f;
-    for (std::int64_t i = lo; i < hi; ++i)
-      denom += std::exp(
-          logits->value().at(in.edge_ids[static_cast<std::size_t>(i)]) - mx);
-    for (std::int64_t i = lo; i < hi; ++i) {
-      const eid_t e = in.edge_ids[static_cast<std::size_t>(i)];
-      value.at(e) = std::exp(logits->value().at(e) - mx) / denom;
-    }
-  }
+  // Fused threaded segment softmax (core/attention.hpp) — same values as
+  // the former scalar triple sweep, shared by both sparse backends (the
+  // materialize/fused split concerns |E| x d messages, not |E| scalars).
+  Tensor value =
+      core::edge_softmax(g.in_csr(), logits->value(), ctx.num_threads);
   charge_dense(ctx, 3.0 * static_cast<double>(g.num_edges()),
                6.0 * static_cast<double>(g.num_edges()) * 4.0);
 
@@ -564,26 +551,61 @@ Var edge_softmax(ExecContext& ctx, const graph::Graph& g, const Var& logits) {
       std::move(value), {logits},
       [logits, alpha = std::move(alpha), c, gp](Node& node) {
         // dlogit_e = alpha_e * (dalpha_e - sum_{e' in segment} alpha_e'
-        // dalpha_e'), per destination segment.
-        const graph::Csr& in2 = gp->in_csr();
-        Tensor d(alpha.shape());
-        for (vid_t v = 0; v < in2.num_rows; ++v) {
-          const std::int64_t lo = in2.indptr[v], hi = in2.indptr[v + 1];
-          float dot = 0.0f;
-          for (std::int64_t i = lo; i < hi; ++i) {
-            const eid_t e = in2.edge_ids[static_cast<std::size_t>(i)];
-            dot += alpha.at(e) * node.grad().at(e);
-          }
-          for (std::int64_t i = lo; i < hi; ++i) {
-            const eid_t e = in2.edge_ids[static_cast<std::size_t>(i)];
-            d.at(e) = alpha.at(e) * (node.grad().at(e) - dot);
-          }
-        }
+        // dalpha_e'), per destination segment — the fused softmax backward.
+        Tensor d = core::edge_softmax_backward(gp->in_csr(), alpha,
+                                               node.grad(), c->num_threads);
         charge_dense(*c, 3.0 * static_cast<double>(gp->num_edges()),
                      6.0 * static_cast<double>(gp->num_edges()) * 4.0);
         logits->accumulate_grad(d);
       },
       "edge_softmax");
+}
+
+Var gat_attention(ExecContext& ctx, const graph::Graph& g, const Var& z,
+                  float logit_scale) {
+  FG_CHECK_MSG(
+      ctx.backend == SparseBackend::kFused && ctx.device == Device::kCpu,
+      "gat_attention is the fused CPU kernel; other contexts run the "
+      "composed chain");
+  const std::int64_t d = z->value().row_size();
+  core::AttentionOperands operands;
+  operands.src_feat = &z->value();  // query/key default to src_feat
+  operands.logit_scale = logit_scale;
+  const core::CpuSpmmSchedule sched =
+      core::heuristic_spmm_schedule(g.in_csr(), d, ctx.num_threads);
+  core::AttentionResult res =
+      core::attention(g.in_csr(), "copy_u", sched, operands);
+  auto alpha = std::make_shared<Tensor>(std::move(res.alpha));
+
+  ExecContext* c = &ctx;
+  const graph::Graph* gp = &g;
+  return make_op(
+      std::move(res.out), {z},
+      [z, alpha, c, gp, d, logit_scale](Node& node) {
+        if (!z->requires_grad()) return;
+        // Chain rule over the fused pipeline, every term a fused sparse
+        // kernel (Sec. II-A duality; nothing |E| x d is materialized):
+        //   dz[u] += sum_out-edges alpha_e * dOut[v]       (u_mul_e SpMM)
+        z->accumulate_grad(run_spmm(*c, gp->out_csr(), "u_mul_e", "sum",
+                                    {&node.grad(), alpha.get(), nullptr}, d));
+        //   dalpha_e = <z_u, dOut_v>                       (SDDMM dot)
+        Tensor dalpha =
+            run_sddmm_dot(*c, gp->coo(), z->value(), node.grad());
+        //   dlogit = softmax backward, then the logit scale
+        Tensor dlogit = core::edge_softmax_backward(
+            gp->in_csr(), *alpha, dalpha, c->num_threads);
+        if (logit_scale != 1.0f) {
+          for (std::int64_t i = 0; i < dlogit.numel(); ++i)
+            dlogit.at(i) *= logit_scale;
+        }
+        //   logits = scale * <z_u, z_v>: dz[u] += dl_e z_v over out-edges,
+        //   dz[v] += dl_e z_u over in-edges (two u_mul_e SpMMs).
+        z->accumulate_grad(run_spmm(*c, gp->out_csr(), "u_mul_e", "sum",
+                                    {&z->value(), &dlogit, nullptr}, d));
+        z->accumulate_grad(run_spmm(*c, gp->in_csr(), "u_mul_e", "sum",
+                                    {&z->value(), &dlogit, nullptr}, d));
+      },
+      "gat_attention");
 }
 
 Tensor symmetric_norm_weights(const graph::Graph& g) {

@@ -76,7 +76,21 @@ Var spmm_u_mul_e(ExecContext& ctx, const graph::Graph& g, const Var& x,
 Var sddmm_dot(ExecContext& ctx, const graph::Graph& g, const Var& x);
 
 /// alpha = softmax of edge scalars over each destination's in-edges.
+/// Forward and backward run the fused core kernels (core/attention.hpp):
+/// threaded segment sweeps on the span engine, replacing the former
+/// single-threaded scalar triple sweep.
 Var edge_softmax(ExecContext& ctx, const graph::Graph& g, const Var& logits);
+
+/// The whole GAT attention pipeline as ONE op on the fused attention kernel:
+///   logit_e = <z_u, z_v> * logit_scale; alpha = edge_softmax(logits);
+///   out[v]  = sum alpha_e * z_u
+/// Forward is a single fused pass per destination row (no |E| x d tensor and
+/// no intermediate logits/alpha Vars); backward routes through the
+/// SpMM/SDDMM duality (u_mul_e SpMMs + an SDDMM dot + the fused softmax
+/// backward). CPU + kFused only — the composed chain remains the
+/// kMaterialize / gpusim path.
+Var gat_attention(ExecContext& ctx, const graph::Graph& g, const Var& z,
+                  float logit_scale);
 
 /// Edge weights w_e = 1 / sqrt(deg_out(u) * deg_in(v)) — the symmetric GCN
 /// normalization A_hat = D^-1/2 A D^-1/2 (Kipf & Welling); combine with

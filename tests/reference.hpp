@@ -3,6 +3,7 @@
 // Equations (1) and (2) with no tiling, partitioning or threading.
 #pragma once
 
+#include <cmath>
 #include <functional>
 #include <limits>
 #include <vector>
@@ -53,6 +54,50 @@ inline Tensor reference_spmm(const graph::Csr& adj, const RefMsgFn& msg,
         reduce_op == "mean" ? 1.0f / static_cast<float>(hi - lo) : 1.0f;
     for (std::int64_t j = 0; j < d_out; ++j)
       out.at(v, j) = acc[static_cast<std::size_t>(j)] * scale;
+  }
+  return out;
+}
+
+using RefLogitFn = std::function<float(vid_t u, eid_t e, vid_t v)>;
+
+/// Composed-op attention oracle: per destination row, naive logits ->
+/// numerically-stable segment softmax (std::exp, sequential max/sum, the
+/// same per-element division the kernels use) -> alpha-weighted aggregation
+/// in CSR row order. On the scalar backend with one partition the fused
+/// kernel performs these exact IEEE operations in this exact order, so that
+/// cell of the differential matrix is bit-for-bit.
+inline Tensor reference_attention(const graph::Csr& adj, const RefMsgFn& msg,
+                                  const RefLogitFn& logit, std::int64_t d_out,
+                                  Tensor* alpha_out = nullptr) {
+  Tensor out = Tensor::zeros({adj.num_rows, d_out});
+  if (alpha_out != nullptr) *alpha_out = Tensor::zeros({adj.nnz()});
+  std::vector<float> buf(static_cast<std::size_t>(d_out));
+  for (vid_t v = 0; v < adj.num_rows; ++v) {
+    const std::int64_t lo = adj.indptr[static_cast<std::size_t>(v)];
+    const std::int64_t hi = adj.indptr[static_cast<std::size_t>(v) + 1];
+    if (lo == hi) continue;
+    std::vector<float> l(static_cast<std::size_t>(hi - lo));
+    for (std::int64_t i = lo; i < hi; ++i)
+      l[static_cast<std::size_t>(i - lo)] =
+          logit(adj.indices[static_cast<std::size_t>(i)],
+                adj.edge_ids[static_cast<std::size_t>(i)], v);
+    float mx = -std::numeric_limits<float>::infinity();
+    for (const float li : l) mx = li > mx ? li : mx;
+    float denom = 0.0f;
+    for (float& li : l) {
+      li = std::exp(li + -mx);
+      denom += li;
+    }
+    for (float& li : l) li /= denom;
+    for (std::int64_t i = lo; i < hi; ++i) {
+      const auto iu = static_cast<std::size_t>(i);
+      if (alpha_out != nullptr)
+        alpha_out->at(adj.edge_ids[iu]) = l[static_cast<std::size_t>(i - lo)];
+      msg(adj.indices[iu], adj.edge_ids[iu], v, buf);
+      const float a = l[static_cast<std::size_t>(i - lo)];
+      for (std::int64_t j = 0; j < d_out; ++j)
+        out.at(v, j) += buf[static_cast<std::size_t>(j)] * a;
+    }
   }
   return out;
 }

@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "core/attention.hpp"
 #include "core/sddmm.hpp"
 #include "core/simd.hpp"
 #include "core/spmm.hpp"
@@ -176,6 +177,73 @@ TEST_P(PropertyTest, SpmmGradIsSddmmPattern) {
     const double fd = (loss(wp) - loss(wm)) / (2 * eps);
     EXPECT_NEAR(fd, sddmm_grad.at(e), 5e-2 + 0.02 * std::abs(fd))
         << "edge " << e;
+  }
+}
+
+TEST_P(PropertyTest, AttentionAlphaSumsToOnePerDestination) {
+  // The defining softmax invariant, over random skewed graphs and every
+  // supported backend: each destination's in-edge weights are a probability
+  // distribution (empty rows contribute no weights at all).
+  fg::core::AttentionOperands ops;
+  ops.src_feat = &x_;
+  for (const auto isa : fg::simd::supported_isas()) {
+    fg::simd::ScopedIsa pin(isa);
+    const fg::core::AttentionResult r =
+        fg::core::attention(in_, "copy_u", {}, ops);
+    for (fg::graph::vid_t v = 0; v < in_.num_rows; ++v) {
+      if (in_.degree(v) == 0) continue;
+      float sum = 0.0f;
+      for (std::int64_t i = in_.indptr[v]; i < in_.indptr[v + 1]; ++i)
+        sum += r.alpha.at(in_.edge_ids[static_cast<std::size_t>(i)]);
+      EXPECT_NEAR(sum, 1.0f, 1e-4f)
+          << fg::simd::isa_name(isa) << " row " << v;
+    }
+  }
+}
+
+TEST_P(PropertyTest, AttentionOutputIsAConvexCombinationOfMessages) {
+  // alpha in [0,1] summing to 1 per row makes each output element a convex
+  // combination of its in-neighbors' features: min_u x_u[j] <= out[v][j] <=
+  // max_u x_u[j] — i.e. the copy_u/min and copy_u/max SpMMs bound attention.
+  fg::core::AttentionOperands ops;
+  ops.src_feat = &x_;
+  const fg::core::AttentionResult r =
+      fg::core::attention(in_, "copy_u", {}, ops);
+  const fg::core::SpmmOperands sops{&x_, nullptr, nullptr};
+  Tensor mx = fg::core::spmm(in_, "copy_u", "max", {}, sops);
+  Tensor mn = fg::core::spmm(in_, "copy_u", "min", {}, sops);
+  for (fg::graph::vid_t v = 0; v < in_.num_rows; ++v) {
+    if (in_.degree(v) == 0) continue;
+    for (std::int64_t j = 0; j < 12; ++j) {
+      EXPECT_GE(r.out.at(v, j), mn.at(v, j) - 1e-4f);
+      EXPECT_LE(r.out.at(v, j), mx.at(v, j) + 1e-4f);
+    }
+  }
+}
+
+TEST_P(PropertyTest, AttentionScheduleNeverChangesAlpha) {
+  // The schedule axes move aggregation work only; the softmax half of the
+  // fused kernel is schedule-invariant bit-for-bit (test_attention.cpp pins
+  // the full matrix; this re-checks on every random-seed instance).
+  fg::core::AttentionOperands ops;
+  ops.src_feat = &x_;
+  Tensor ref;
+  for (int parts : {1, 4}) {
+    for (auto lb : {fg::core::LoadBalance::kStaticRows,
+                    fg::core::LoadBalance::kNnzBalanced}) {
+      CpuSpmmSchedule sched;
+      sched.num_partitions = parts;
+      sched.num_threads = 3;
+      sched.load_balance = lb;
+      const fg::core::AttentionResult r =
+          fg::core::attention(in_, "copy_u", sched, ops);
+      if (!ref.defined()) {
+        ref = r.alpha.clone();
+      } else {
+        EXPECT_EQ(fg::tensor::max_abs_diff(r.alpha, ref), 0.0f)
+            << "parts=" << parts << " lb=" << static_cast<int>(lb);
+      }
+    }
   }
 }
 

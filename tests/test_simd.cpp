@@ -162,6 +162,58 @@ TEST_P(IsaParity, MaxMinMatchOnTiesAndNaN) {
   }
 }
 
+TEST_P(IsaParity, WaxpyBinOpBitEqualAllOps) {
+  // The attention-weighted accumulates share axpy's exact contract: three
+  // IEEE ops per element (op, mul, add), no FMA — bit-for-bit everywhere,
+  // masked tails included.
+  for (int o = 0; o < fg::simd::kNumBinOp; ++o) {
+    for (std::int64_t n : kLens) {
+      auto base = random_span(n, 800 + static_cast<std::uint64_t>(n));
+      auto x = random_span(n, 900 + static_cast<std::uint64_t>(n));
+      auto y = random_span(n, 1000 + static_cast<std::uint64_t>(n));
+      auto a = base, b = base;
+      lhs_->waxpy_binop[o](a.data(), x.data(), y.data(), 0.7f, n);
+      rhs_->waxpy_binop[o](b.data(), x.data(), y.data(), 0.7f, n);
+      EXPECT_TRUE(bit_equal(a, b)) << "waxpy o=" << o << " n=" << n;
+
+      a = base, b = base;
+      lhs_->waxpy_binop_scalar[o](a.data(), x.data(), 1.3f, 0.7f, n);
+      rhs_->waxpy_binop_scalar[o](b.data(), x.data(), 1.3f, 0.7f, n);
+      EXPECT_TRUE(bit_equal(a, b)) << "waxpy_s o=" << o << " n=" << n;
+    }
+  }
+}
+
+TEST_P(IsaParity, HmaxMatchesExactly) {
+  // Max reassociates exactly for NaN-free inputs (the softmax contract), so
+  // lane-tree and sequential folds agree on the value, n = 0 (-inf identity)
+  // included.
+  for (std::int64_t n : kLens) {
+    auto x = random_span(n, 1100 + static_cast<std::uint64_t>(n));
+    EXPECT_EQ(lhs_->hmax(x.data(), n), rhs_->hmax(x.data(), n))
+        << "hmax n=" << n;
+  }
+}
+
+TEST_P(IsaParity, ExpScaleMatchesWithinTolerance) {
+  // Like dot, exp_scale is the documented approximate primitive: the vector
+  // backends run a ~2 ulp polynomial exp and reassociate the denominator
+  // sum, so cross-backend agreement is relative-tolerance, not bitwise.
+  for (std::int64_t n : kLens) {
+    auto base = random_span(n, 1200 + static_cast<std::uint64_t>(n));
+    auto a = base, b = base;
+    const float sa = lhs_->exp_scale(a.data(), -0.3f, n);
+    const float sb = rhs_->exp_scale(b.data(), -0.3f, n);
+    for (std::int64_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(a[static_cast<std::size_t>(j)],
+                  b[static_cast<std::size_t>(j)],
+                  1e-6f + 1e-6f * std::fabs(b[static_cast<std::size_t>(j)]))
+          << "exp_scale n=" << n << " j=" << j;
+    }
+    EXPECT_NEAR(sa, sb, 1e-6f + 1e-5f * std::fabs(sb)) << "sum n=" << n;
+  }
+}
+
 TEST_P(IsaParity, DotMatchesWithinTolerance) {
   // dot reassociates and uses FMA — approximate equality only.
   for (std::int64_t n : kLens) {
@@ -275,6 +327,13 @@ TEST(Simd, TailLanesRaiseNoSpuriousFpFlags) {
     ops.relu(out.data(), n);
     ops.axpy(out.data(), x.data(), 1.5f, n);
     (void)ops.dot(x.data(), y.data(), n);
+    for (int o = 0; o < fg::simd::kNumBinOp; ++o) {
+      ops.waxpy_binop[o](out.data(), x.data(), y.data(), 0.5f, n);
+      ops.waxpy_binop_scalar[o](out.data(), x.data(), 2.0f, 0.5f, n);
+    }
+    (void)ops.hmax(x.data(), n);
+    auto ex = x;
+    (void)ops.exp_scale(ex.data(), -1.0f, n);
     EXPECT_EQ(std::fetestexcept(FE_INVALID | FE_DIVBYZERO), 0)
         << fg::simd::isa_name(isa);
   }

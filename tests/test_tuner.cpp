@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "core/smart_tuner.hpp"
 #include "core/tuner.hpp"
 #include "graph/generators.hpp"
 
@@ -90,6 +91,50 @@ TEST(Tuner, HeuristicPartitionsGrowWithGraphSize) {
   wide.indptr.assign(11, 0);
   const auto big = fg::core::heuristic_spmm_schedule(wide, 512, 1);
   EXPECT_GT(big.num_partitions, 1);
+}
+
+TEST(Tuner, AttentionAxisTunesOverTheSameGrid) {
+  // The fused attention kernel joins the grid tuner: every trial runs the
+  // real kernel, the winner is the fastest trial, and the cached schedule is
+  // stable across queries (keyed separately from the plain SpMM entries).
+  Fixture f;
+  fg::core::AttentionOperands ops;
+  ops.src_feat = &f.x;
+  std::vector<CpuSpmmSchedule> cands;
+  for (int parts : {1, 4}) {
+    CpuSpmmSchedule s;
+    s.num_partitions = parts;
+    cands.push_back(s);
+  }
+  const auto result = fg::core::tune_attention(f.in_csr, "copy_u", ops, cands);
+  ASSERT_EQ(result.trials.size(), 2u);
+  EXPECT_DOUBLE_EQ(
+      result.best_seconds,
+      std::min(result.trials[0].seconds, result.trials[1].seconds));
+  EXPECT_GT(result.best_seconds, 0.0);
+
+  const auto s1 = fg::core::tuned_attention_schedule(f.in_csr, "copy_u", ops, 1);
+  const auto s2 = fg::core::tuned_attention_schedule(f.in_csr, "copy_u", ops, 1);
+  EXPECT_EQ(s1.num_partitions, s2.num_partitions);
+  EXPECT_EQ(s1.feat_tile, s2.feat_tile);
+  EXPECT_EQ(s1.num_threads, 1);
+}
+
+TEST(Tuner, SmartTunerClimbsTheAttentionAxis) {
+  // The budgeted hill climber is kernel-agnostic through MeasureFn;
+  // attention_measure_fn plugs the fused kernel in. The search must respect
+  // its budget and return a measured (finite, positive) winner.
+  Fixture f;
+  fg::core::AttentionOperands ops;
+  ops.src_feat = &f.x;
+  const auto measure = fg::core::attention_measure_fn(f.in_csr, "copy_u", ops);
+  fg::core::SmartTuneOptions opts;
+  opts.max_trials = 6;
+  const auto result = fg::core::smart_tune_spmm(f.x.row_size(), 1, measure, opts);
+  EXPECT_LE(result.trials_used, 6);
+  EXPECT_GE(result.trials_used, 1);
+  EXPECT_GT(result.best_seconds, 0.0);
+  EXPECT_GE(result.best.num_partitions, 1);
 }
 
 TEST(Tuner, TransfersAcrossFeatureLengthByCacheKey) {
