@@ -19,6 +19,7 @@
 
 #include "featgraph.hpp"
 #include "common.hpp"
+#include "gpusim/attention_gpu.hpp"
 
 namespace fg = featgraph;
 using fg::core::CpuSpmmSchedule;
@@ -238,9 +239,28 @@ void record_baseline() {
   const double attn_composed_avx512 =
       has512 ? time_composed_attn(Isa::kAvx512) : 0.0;
 
-  // Narrow-feature row (d=8 < one 512-bit vector): every AVX-512 span is a
-  // single masked op vs AVX2's one full 256-bit vector — the ROADMAP's
-  // "does a 256-bit path win for very narrow features" question, recorded.
+  // Fused gpusim attention vs the composed sddmm_gpu -> softmax -> spmm_gpu
+  // chain — SIMULATED V100 seconds (deterministic, one evaluation) on the
+  // same R-MAT graph at d=64 (the trajectory row) and d=8 (narrow features,
+  // where the three launch overheads weigh relatively more).
+  const auto gpu_attn = [&](const Tensor& x, bool fused) {
+    fg::core::AttentionOperands aops;
+    aops.src_feat = &x;
+    fg::core::GpuSpmmSchedule sched;
+    return fused
+               ? fg::gpusim::attention_gpu(in_csr, "copy_u", sched, aops)
+               : fg::gpusim::attention_gpu_composed(in_csr, "copy_u", sched,
+                                                    aops);
+  };
+  const Tensor x8g = Tensor::randn({in_csr.num_cols, 8}, 48);
+  const auto gpu_fused_d64 = gpu_attn(x64, true);
+  const auto gpu_composed_d64 = gpu_attn(x64, false);
+  const auto gpu_fused_d8 = gpu_attn(x8g, true);
+  const auto gpu_composed_d8 = gpu_attn(x8g, false);
+
+  // Narrow-feature row (d=8 < one 512-bit vector): the AVX-512 table routes
+  // these spans to the AVX2 backend (the recorded 0.41x regression's fix),
+  // so the row now pins avx512 >= avx2.
   const Tensor x8n = Tensor::randn({in_csr.num_cols, 8}, 47);
   const double d8_scalar =
       time_spmm(x8n, Isa::kScalar, LoadBalance::kStaticRows, 1);
@@ -326,6 +346,26 @@ void record_baseline() {
   std::fprintf(f, "    \"avx512_1t_sec\": %.6f,\n", d8_avx512);
   std::fprintf(f, "    \"avx512_vs_avx2\": %.2f\n",
                has512 ? d8_avx2 / d8_avx512 : 0.0);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"attention_gpusim_fused\": {\n");
+  std::fprintf(f, "    \"composed_d64_sim_sec\": %.6e,\n",
+               gpu_composed_d64.cost.total_s);
+  std::fprintf(f, "    \"fused_d64_sim_sec\": %.6e,\n",
+               gpu_fused_d64.cost.total_s);
+  std::fprintf(f, "    \"fused_speedup_d64\": %.2f,\n",
+               gpu_composed_d64.cost.total_s / gpu_fused_d64.cost.total_s);
+  std::fprintf(f, "    \"composed_d8_sim_sec\": %.6e,\n",
+               gpu_composed_d8.cost.total_s);
+  std::fprintf(f, "    \"fused_d8_sim_sec\": %.6e,\n",
+               gpu_fused_d8.cost.total_s);
+  std::fprintf(f, "    \"fused_speedup_d8\": %.2f,\n",
+               gpu_composed_d8.cost.total_s / gpu_fused_d8.cost.total_s);
+  std::fprintf(f, "    \"fused_load_transactions_d64\": %.0f,\n",
+               gpu_fused_d64.stats.global_load_transactions);
+  std::fprintf(f, "    \"composed_load_transactions_d64\": %.0f,\n",
+               gpu_composed_d64.stats.global_load_transactions);
+  std::fprintf(f, "    \"fused_launches\": 1,\n");
+  std::fprintf(f, "    \"composed_launches\": 3\n");
   std::fprintf(f, "  }\n");
   std::fprintf(f, "}\n");
   std::fclose(f);
@@ -333,12 +373,15 @@ void record_baseline() {
       "\nBENCH_kernels.json: copy_u/sum d=64 rmat — scalar %.4fs, "
       "avx2 %.4fs (%.2fx), avx512 %.4fs; d=100 tail avx512/avx2 %.2fx; "
       "sddmm dot %.2fx; fused GAT attention vs composed %.2fx (avx512 "
-      "%.2fx); d=8 narrow avx512/avx2 %.2fx\n",
+      "%.2fx); d=8 narrow avx512/avx2 %.2fx; gpusim fused attention "
+      "%.2fx (d=64) / %.2fx (d=8) over the composed chain\n",
       scalar_static_1t, simd_static_1t, scalar_static_1t / simd_static_1t,
       avx512_static_1t, has512 ? d100_avx2 / d100_avx512 : 0.0,
       sddmm_scalar / sddmm_simd, attn_composed_avx2 / attn_fused_avx2,
       has512 ? attn_composed_avx512 / attn_fused_avx512 : 0.0,
-      has512 ? d8_avx2 / d8_avx512 : 0.0);
+      has512 ? d8_avx2 / d8_avx512 : 0.0,
+      gpu_composed_d64.cost.total_s / gpu_fused_d64.cost.total_s,
+      gpu_composed_d8.cost.total_s / gpu_fused_d8.cost.total_s);
 }
 
 }  // namespace

@@ -232,6 +232,13 @@ void launch(const graph::Csr& adj, const LogitFn& logit, const WMsg& wmsg,
   const std::int64_t n = adj.num_rows;
   if (n == 0) return;
   // Dispatch hoisted once per launch, as in the SpMM/SDDMM templates.
+  // Deliberately NOT width-aware (span_ops_for_width): the same table runs
+  // the degree-length softmax spans, and the composed chain's
+  // edge_softmax resolves span_ops() — a narrow-d launch swapping the
+  // whole table would run AVX2 exp_scale over a >= 16-edge segment where
+  // the composed chain runs AVX-512, breaking the fused == composed
+  // bit-for-bit contract. Narrow aggregation spans ride the intra-table
+  // n < 16 fallback instead.
   const simd::SpanOps& span = simd::span_ops();
   const auto row_sweep = [&](auto&& body) {
     if (sched.load_balance == LoadBalance::kNnzBalanced) {

@@ -86,6 +86,15 @@ struct GpuSpmmSchedule {
   /// COUNT, boundaries moved — power-law graphs otherwise leave most blocks
   /// idle behind the one holding the hub rows).
   LoadBalance row_assignment = LoadBalance::kNnzBalanced;
+  /// Fused-attention FDS (gpusim/attention_gpu.hpp): fraction of the
+  /// per-block shared-memory budget reserved for the segment-softmax
+  /// scratch; the remainder stages high-degree source rows when
+  /// hybrid_partition is on. A destination row whose in-degree overflows
+  /// the scratch spills its logits to global memory (two stores — the
+  /// logit write and the exp rewrite — plus three read passes per spilled
+  /// logit), so the knob trades softmax spills against source-staging
+  /// reuse — both tuners search it.
+  double attention_softmax_smem_frac = 0.5;
 };
 
 /// GPU (simulated) generalized-SDDMM schedule.

@@ -42,8 +42,9 @@ void generalized_sddmm(const graph::Coo& coo,
   const graph::vid_t* src = coo.src.data();
   const graph::vid_t* dst = coo.dst.data();
   const graph::eid_t* perm = order != nullptr ? order->data() : nullptr;
-  // Span dispatch resolved once per launch (see spmm_kernels.hpp).
-  const simd::SpanOps& span = simd::span_ops();
+  // Span dispatch resolved once per launch, width-aware (see
+  // spmm_kernels.hpp): a narrow reduce axis resolves the AVX2 table.
+  const simd::SpanOps& span = simd::span_ops_for_width(tile);
 
   if (tiled) {
     // Partial sums accumulate across reduce-axis tiles; zero-init first.

@@ -573,6 +573,19 @@ SpanOps make_avx2_ops() {
 
 namespace avx512 {
 
+// Narrow-span reroute (the BENCH_kernels.json d=8 regression): a span with
+// n < 16 never fills one 512-bit vector, so the "masked tail" IS the whole
+// op — mask materialization + maskz loads made it ~2.4x slower than one
+// full 256-bit AVX2 vector. Every primitive therefore routes n < 16 to its
+// AVX2 twin (the one-step intra-table fallback the ROADMAP called for).
+// Bit-exactness is unaffected: the accumulation primitives are bit-for-bit
+// identical across backends by contract, and for n < 16 the rerouted
+// dot/exp_scale/hmax now run literally the AVX2 code, so those become
+// bit-identical to AVX2 on narrow spans too (they remain tolerance-class
+// versus scalar).
+#define FG_AVX512_NARROW(call) \
+  if (n < 16) return avx2::call;
+
 // Lane mask covering the last `rem` (1..15) elements of a span. Masked-off
 // lanes read zeros (maskz loads) and their results are never stored, so the
 // live lanes execute exactly the one IEEE op the scalar loop would.
@@ -585,6 +598,7 @@ inline __mmask16 tail_mask(std::int64_t rem) {
 // reducer combines — NaN behavior included.
 
 FG_AVX512_FN void fill(float* out, float v, std::int64_t n) {
+  FG_AVX512_NARROW(fill(out, v, n))
   const __m512 vv = _mm512_set1_ps(v);
   std::int64_t j = 0;
   for (; j + 16 <= n; j += 16) _mm512_storeu_ps(out + j, vv);
@@ -592,6 +606,7 @@ FG_AVX512_FN void fill(float* out, float v, std::int64_t n) {
 }
 
 FG_AVX512_FN void scale(float* out, float s, std::int64_t n) {
+  FG_AVX512_NARROW(scale(out, s, n))
   const __m512 vs = _mm512_set1_ps(s);
   std::int64_t j = 0;
   for (; j + 16 <= n; j += 16) {
@@ -605,6 +620,7 @@ FG_AVX512_FN void scale(float* out, float s, std::int64_t n) {
 }
 
 FG_AVX512_FN void relu(float* out, std::int64_t n) {
+  FG_AVX512_NARROW(relu(out, n))
   const __m512 zero = _mm512_setzero_ps();
   std::int64_t j = 0;
   for (; j + 16 <= n; j += 16) {
@@ -618,6 +634,7 @@ FG_AVX512_FN void relu(float* out, std::int64_t n) {
 }
 
 FG_AVX512_FN void axpy(float* out, const float* x, float s, std::int64_t n) {
+  FG_AVX512_NARROW(axpy(out, x, s, n))
   // mul + add (not fmadd): keeps per-element rounding identical to the
   // scalar backend (see the header's rounding contract).
   const __m512 vs = _mm512_set1_ps(s);
@@ -636,6 +653,7 @@ FG_AVX512_FN void axpy(float* out, const float* x, float s, std::int64_t n) {
 }
 
 FG_AVX512_FN float dot(const float* a, const float* b, std::int64_t n) {
+  FG_AVX512_NARROW(dot(a, b, n))
   __m512 acc0 = _mm512_setzero_ps();
   __m512 acc1 = _mm512_setzero_ps();
   __m512 acc2 = _mm512_setzero_ps();
@@ -681,6 +699,7 @@ FG_AVX512_FN float dot(const float* a, const float* b, std::int64_t n) {
 // elements, so neither may the AVX-512 tail, flags included.
 #define FG_AVX512_ACCUM(NAME, VCOMBINE, MZCOMBINE)                           \
   FG_AVX512_FN void NAME(float* out, const float* x, std::int64_t n) {       \
+    FG_AVX512_NARROW(NAME(out, x, n))                                        \
     std::int64_t j = 0;                                                      \
     for (; j + 32 <= n; j += 32) {                                           \
       _mm512_storeu_ps(out + j, VCOMBINE(_mm512_loadu_ps(out + j),           \
@@ -712,6 +731,7 @@ FG_AVX512_ACCUM(accum_min, _mm512_min_ps, _mm512_maskz_min_ps)
 #define FG_AVX512_ACCUM_BINOP(NAME, VCOMBINE, MZCOMBINE, VOP, MZOP)          \
   FG_AVX512_FN void NAME(float* out, const float* a, const float* b,         \
                          std::int64_t n) {                                   \
+    FG_AVX512_NARROW(NAME(out, a, b, n))                                     \
     std::int64_t j = 0;                                                      \
     for (; j + 16 <= n; j += 16) {                                           \
       const __m512 msg = VOP(_mm512_loadu_ps(a + j), _mm512_loadu_ps(b + j)); \
@@ -759,6 +779,7 @@ FG_AVX512_BINOP_TABLE(FG_AVX512_ACCUM_BINOP)
 #define FG_AVX512_ACCUM_BINOP_S(NAME, VCOMBINE, MZCOMBINE, VOP, MZOP)       \
   FG_AVX512_FN void NAME##_s(float* out, const float* a, float s,            \
                              std::int64_t n) {                               \
+    FG_AVX512_NARROW(NAME##_s(out, a, s, n))                                 \
     const __m512 vs = _mm512_set1_ps(s);                                     \
     std::int64_t j = 0;                                                      \
     for (; j + 16 <= n; j += 16) {                                           \
@@ -779,6 +800,7 @@ FG_AVX512_BINOP_TABLE(FG_AVX512_ACCUM_BINOP_S)
 #undef FG_AVX512_BINOP_TABLE
 
 FG_AVX512_FN float hmax(const float* x, std::int64_t n) {
+  FG_AVX512_NARROW(hmax(x, n))
   if (n <= 0) return -std::numeric_limits<float>::infinity();
   __m512 vm = _mm512_set1_ps(-std::numeric_limits<float>::infinity());
   std::int64_t j = 0;
@@ -817,6 +839,7 @@ FG_AVX512_FN __m512 exp512(__m512 x) {
 }
 
 FG_AVX512_FN float exp_scale(float* io, float shift, std::int64_t n) {
+  FG_AVX512_NARROW(exp_scale(io, shift, n))
   const __m512 vs = _mm512_set1_ps(shift);
   __m512 acc = _mm512_setzero_ps();
   std::int64_t j = 0;
@@ -841,6 +864,7 @@ FG_AVX512_FN float exp_scale(float* io, float shift, std::int64_t n) {
 #define FG_AVX512_WAXPY_BINOP(NAME, VOP, MZOP)                               \
   FG_AVX512_FN void NAME(float* out, const float* a, const float* b,         \
                          float s, std::int64_t n) {                          \
+    FG_AVX512_NARROW(NAME(out, a, b, s, n))                                  \
     const __m512 vs = _mm512_set1_ps(s);                                     \
     std::int64_t j = 0;                                                      \
     for (; j + 16 <= n; j += 16) {                                           \
@@ -871,6 +895,7 @@ FG_AVX512_WAXPY_BINOP(waxpy_div, _mm512_div_ps, _mm512_maskz_div_ps)
 #define FG_AVX512_WAXPY_BINOP_S(NAME, VOP, MZOP)                             \
   FG_AVX512_FN void NAME(float* out, const float* a, float c, float s,       \
                          std::int64_t n) {                                   \
+    FG_AVX512_NARROW(NAME(out, a, c, s, n))                                  \
     const __m512 vc = _mm512_set1_ps(c);                                     \
     const __m512 vs = _mm512_set1_ps(s);                                     \
     std::int64_t j = 0;                                                      \
@@ -894,6 +919,7 @@ FG_AVX512_WAXPY_BINOP_S(waxpy_sub_s, _mm512_sub_ps, _mm512_maskz_sub_ps)
 FG_AVX512_WAXPY_BINOP_S(waxpy_mul_s, _mm512_mul_ps, _mm512_maskz_mul_ps)
 FG_AVX512_WAXPY_BINOP_S(waxpy_div_s, _mm512_div_ps, _mm512_maskz_div_ps)
 #undef FG_AVX512_WAXPY_BINOP_S
+#undef FG_AVX512_NARROW
 
 }  // namespace avx512
 
@@ -1064,6 +1090,17 @@ const SpanOps& span_ops() {
     }
   }
   return *t;
+}
+
+const SpanOps& span_ops_for_width(std::int64_t max_span_width) {
+  const Isa active = effective_isa(active_isa());
+  if (active == Isa::kAvx512 && max_span_width >= 0 && max_span_width < 16) {
+    // Every span of this launch is pure tail: resolve the AVX2 table once
+    // instead of paying the intra-table narrow branch per span. (kAvx2
+    // degrades to scalar through span_ops(Isa) if somehow unsupported.)
+    return span_ops(Isa::kAvx2);
+  }
+  return span_ops();
 }
 
 Isa active_isa() {

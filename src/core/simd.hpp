@@ -27,6 +27,13 @@
 // crosses a feature boundary, so accumulation paths stay bit-for-bit with
 // scalar even on tail spans.
 //
+// Narrow spans (AVX-512): a span with n < 16 is pure tail — one masked
+// 512-bit op loses ~2.4x to one full 256-bit AVX2 vector (the recorded
+// BENCH_kernels.json d=8 regression) — so every AVX-512 primitive routes
+// n < 16 to its AVX2 implementation (one-step intra-table fallback).
+// Accumulation paths are unchanged bitwise (all backends already agree);
+// dot/exp_scale/hmax become exactly the AVX2 results on narrow spans.
+//
 // Selection order: force_isa() override (tests/benches) > FEATGRAPH_SIMD env
 // var ("scalar" | "avx2" | "avx512" | "auto") > runtime CPU detection.
 // Requesting a level the CPU lacks degrades ONE step (avx512 -> avx2 ->
@@ -121,6 +128,17 @@ const SpanOps& span_ops(Isa isa);
 
 /// The active backend's table (override > env > detection).
 const SpanOps& span_ops();
+
+/// The active backend's table for a launch whose widest contiguous span is
+/// `max_span_width` elements. Identical to span_ops() except that an active
+/// AVX-512 table with max_span_width < 16 resolves the AVX2 table outright:
+/// every span of such a launch is pure tail, and while the AVX-512 table's
+/// intra-table narrow fallback already runs the AVX2 code, its per-span
+/// branch is real cost in a d<16 kernel that takes it half a million times.
+/// Hoisting the narrow decision to the launch (the PR-2 dispatch-hoisting
+/// move, one level up) makes the narrow launch literally the AVX2 backend.
+/// Results are unchanged: the fallback and the hoist pick the same code.
+const SpanOps& span_ops_for_width(std::int64_t max_span_width);
 
 /// The backend span_ops() currently resolves to.
 Isa active_isa();

@@ -1,6 +1,7 @@
 #include "core/smart_tuner.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <limits>
 #include <map>
@@ -13,8 +14,7 @@ namespace featgraph::core {
 
 namespace {
 
-/// Canonical key for memoizing measured points:
-/// (num_partitions, feat_tile, load_balance index).
+/// Canonical key for memoizing measured lattice points.
 using Point = std::tuple<int, std::int64_t, int>;
 
 std::vector<std::int64_t> tile_axis(std::int64_t d_out, std::int64_t min_tile) {
@@ -29,6 +29,77 @@ std::vector<int> partition_axis(std::int64_t max_partitions) {
   return axis;
 }
 
+/// The scaffold both tuners share: random-restart greedy descent over a
+/// 3-axis lattice — two numeric axes stepped +-1, one two-point policy axis
+/// flipped — with memoized measurements and a hard trial budget.
+/// `measure_at(i, j, k)` runs ONE measurement and returns its seconds (the
+/// caller's closure does its own best-schedule bookkeeping); `seed0` is the
+/// deterministic first seed point, later seeds are uniform random. Returns
+/// the number of measurements spent.
+template <class MeasureAt>
+int lattice_climb(const std::array<int, 3>& sizes,
+                  const std::array<int, 3>& seed0,
+                  const SmartTuneOptions& options, const MeasureAt& measure_at) {
+  std::map<Point, double> measured;
+  int trials_used = 0;
+
+  auto eval = [&](int i, int j, int k) -> double {
+    const Point key{i, j, k};
+    auto it = measured.find(key);
+    if (it != measured.end()) return it->second;
+    if (trials_used >= options.max_trials)
+      return std::numeric_limits<double>::infinity();
+    const double secs = measure_at(i, j, k);
+    ++trials_used;
+    measured.emplace(key, secs);
+    return secs;
+  };
+
+  support::Rng rng(options.seed);
+  for (int seed_idx = 0;
+       seed_idx < options.num_seeds && trials_used < options.max_trials;
+       ++seed_idx) {
+    int i = seed0[0], j = seed0[1], k = seed0[2];
+    if (seed_idx > 0) {
+      i = static_cast<int>(rng.uniform(static_cast<std::uint64_t>(sizes[0])));
+      j = static_cast<int>(rng.uniform(static_cast<std::uint64_t>(sizes[1])));
+      k = static_cast<int>(rng.uniform(static_cast<std::uint64_t>(sizes[2])));
+    }
+    double current = eval(i, j, k);
+
+    // Greedy neighbor descent; the policy axis is a two-point lattice, so
+    // its only move is the flip.
+    for (;;) {
+      int best_i = i, best_j = j, best_k = k;
+      double best = current;
+      const int candidates[5][3] = {{i - 1, j, k},
+                                    {i + 1, j, k},
+                                    {i, j - 1, k},
+                                    {i, j + 1, k},
+                                    {i, j, 1 - k}};
+      for (const auto& c : candidates) {
+        if (c[0] < 0 || c[0] >= sizes[0]) continue;
+        if (c[1] < 0 || c[1] >= sizes[1]) continue;
+        if (c[2] < 0 || c[2] >= sizes[2]) continue;
+        const double secs = eval(c[0], c[1], c[2]);
+        if (secs < best) {
+          best = secs;
+          best_i = c[0];
+          best_j = c[1];
+          best_k = c[2];
+        }
+      }
+      if (best_i == i && best_j == j && best_k == k) break;
+      i = best_i;
+      j = best_j;
+      k = best_k;
+      current = best;
+      if (trials_used >= options.max_trials) break;
+    }
+  }
+  return trials_used;
+}
+
 }  // namespace
 
 SmartTuneResult smart_tune_spmm(std::int64_t d_out, int num_threads,
@@ -39,79 +110,65 @@ SmartTuneResult smart_tune_spmm(std::int64_t d_out, int num_threads,
   const auto parts = partition_axis(options.max_partitions);
   const auto balances = load_balance_axis(num_threads);
 
-  std::map<Point, double> measured;
   SmartTuneResult result;
   result.best_seconds = std::numeric_limits<double>::infinity();
 
-  auto eval = [&](int pi, int ti, int li) -> double {
-    const Point key{parts[static_cast<std::size_t>(pi)],
-                    tiles[static_cast<std::size_t>(ti)], li};
-    auto it = measured.find(key);
-    if (it != measured.end()) return it->second;
-    if (result.trials_used >= options.max_trials)
-      return std::numeric_limits<double>::infinity();
-    CpuSpmmSchedule s;
-    s.num_partitions = std::get<0>(key);
-    s.feat_tile = std::get<1>(key);
-    s.num_threads = num_threads;
-    s.load_balance = balances[static_cast<std::size_t>(li)];
-    const double secs = measure(s);
-    ++result.trials_used;
-    measured.emplace(key, secs);
-    if (secs < result.best_seconds) {
-      result.best_seconds = secs;
-      result.best = s;
-    }
-    return secs;
-  };
-
-  support::Rng rng(options.seed);
-  for (int seed_idx = 0;
-       seed_idx < options.num_seeds && result.trials_used < options.max_trials;
-       ++seed_idx) {
-    // Seed point: first seed is the untuned default (1 partition, untiled,
-    // nnz-balanced), later seeds are random — the "random restart" half of
-    // the strategy.
-    int pi = 0, ti = 0, li = 0;
-    if (seed_idx > 0) {
-      pi = static_cast<int>(rng.uniform(parts.size()));
-      ti = static_cast<int>(rng.uniform(tiles.size()));
-      li = static_cast<int>(rng.uniform(balances.size()));
-    }
-    double current = eval(pi, ti, li);
-
-    // Greedy neighbor descent on the lattice; the load-balance axis is a
-    // two-point lattice, so its only move is the flip.
-    for (;;) {
-      int best_pi = pi, best_ti = ti, best_li = li;
-      double best = current;
-      const int candidates[5][3] = {{pi - 1, ti, li},
-                                    {pi + 1, ti, li},
-                                    {pi, ti - 1, li},
-                                    {pi, ti + 1, li},
-                                    {pi, ti, 1 - li}};
-      for (const auto& c : candidates) {
-        if (c[0] < 0 || c[0] >= static_cast<int>(parts.size())) continue;
-        if (c[1] < 0 || c[1] >= static_cast<int>(tiles.size())) continue;
-        if (c[2] < 0 || c[2] >= static_cast<int>(balances.size())) continue;
-        const double secs = eval(c[0], c[1], c[2]);
-        if (secs < best) {
-          best = secs;
-          best_pi = c[0];
-          best_ti = c[1];
-          best_li = c[2];
+  // Seed point: the untuned default (1 partition, untiled, nnz-balanced).
+  result.trials_used = lattice_climb(
+      {static_cast<int>(parts.size()), static_cast<int>(tiles.size()),
+       static_cast<int>(balances.size())},
+      {0, 0, 0}, options, [&](int pi, int ti, int li) {
+        CpuSpmmSchedule s;
+        s.num_partitions = parts[static_cast<std::size_t>(pi)];
+        s.feat_tile = tiles[static_cast<std::size_t>(ti)];
+        s.num_threads = num_threads;
+        s.load_balance = balances[static_cast<std::size_t>(li)];
+        const double secs = measure(s);
+        if (secs < result.best_seconds) {
+          result.best_seconds = secs;
+          result.best = s;
         }
-      }
-      if (best_pi == pi && best_ti == ti && best_li == li) break;
-      pi = best_pi;
-      ti = best_ti;
-      li = best_li;
-      current = best;
-      if (result.trials_used >= options.max_trials) break;
-    }
-  }
+        return secs;
+      });
   FG_CHECK_MSG(std::isfinite(result.best_seconds),
                "smart_tune_spmm needs at least one successful measurement");
+  return result;
+}
+
+GpuSmartTuneResult smart_tune_gpu_attention(const GpuMeasureFn& measure,
+                                            const SmartTuneOptions& options) {
+  FG_CHECK(options.max_trials >= 1);
+  // The lattice: staging-tile size x smem split x tile row assignment.
+  const std::vector<int> tile_axis_v = {8, 16, 32, 64, 128, 256};
+  const std::vector<double> frac_axis = {0.2, 0.35, 0.5, 0.65, 0.8};
+  const std::vector<LoadBalance> assign_axis = {LoadBalance::kNnzBalanced,
+                                                LoadBalance::kStaticRows};
+
+  GpuSmartTuneResult result;
+  result.best_seconds = std::numeric_limits<double>::infinity();
+
+  // Seed point: the schedule defaults (32-row tiles, even split,
+  // nnz-balanced).
+  result.trials_used = lattice_climb(
+      {static_cast<int>(tile_axis_v.size()), static_cast<int>(frac_axis.size()),
+       static_cast<int>(assign_axis.size())},
+      {2, 2, 0}, options, [&](int ti, int fi, int ai) {
+        GpuSpmmSchedule s;
+        s.hybrid_partition = true;
+        s.hybrid_rows_per_tile = tile_axis_v[static_cast<std::size_t>(ti)];
+        s.attention_softmax_smem_frac =
+            frac_axis[static_cast<std::size_t>(fi)];
+        s.row_assignment = assign_axis[static_cast<std::size_t>(ai)];
+        const double secs = measure(s);
+        if (secs < result.best_seconds) {
+          result.best_seconds = secs;
+          result.best = s;
+        }
+        return secs;
+      });
+  FG_CHECK_MSG(
+      std::isfinite(result.best_seconds),
+      "smart_tune_gpu_attention needs at least one successful measurement");
   return result;
 }
 

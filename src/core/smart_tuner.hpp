@@ -48,4 +48,26 @@ SmartTuneResult smart_tune_spmm(std::int64_t d_out, int num_threads,
                                 const MeasureFn& measure,
                                 const SmartTuneOptions& options = {});
 
+// --- gpusim fused-attention lattice -----------------------------------------
+
+/// Measurement callback for the GPU-attention axis: returns the SIMULATED
+/// cost of a candidate gpusim schedule (core/tuner.hpp's
+/// gpu_attention_measure_fn wraps one attention_gpu evaluation).
+using GpuMeasureFn = std::function<double(const GpuSpmmSchedule&)>;
+
+struct GpuSmartTuneResult {
+  GpuSpmmSchedule best;
+  double best_seconds = 0.0;
+  int trials_used = 0;
+};
+
+/// Hill-climbs the fused gpusim-attention lattice — hybrid_rows_per_tile x
+/// attention_softmax_smem_frac x row_assignment, with hybrid source staging
+/// on (the smem split only exists under staging; the plain full-scratch
+/// kernel is the grid tuner's extra candidate) — under the same trial
+/// budget and random-restart strategy as smart_tune_spmm. Deterministic for
+/// a fixed options.seed.
+GpuSmartTuneResult smart_tune_gpu_attention(
+    const GpuMeasureFn& measure, const SmartTuneOptions& options = {});
+
 }  // namespace featgraph::core

@@ -98,8 +98,11 @@ void generalized_spmm(const graph::Csr& adj,
   // table ONCE per kernel launch and thread the reference through the
   // bulk-UDF protocol — per-span calls are a direct table load instead of a
   // relaxed atomic load + re-dispatch. Tests that pin an ISA mid-run
-  // (ScopedIsa) still see a consistent backend for the whole launch.
-  const simd::SpanOps& span = simd::span_ops();
+  // (ScopedIsa) still see a consistent backend for the whole launch. The
+  // width-aware form additionally resolves narrow launches (every span a
+  // 512-bit tail) straight to the AVX2 table — same code the intra-table
+  // fallback would pick, minus its per-span branch.
+  const simd::SpanOps& span = simd::span_ops_for_width(tile);
 
   // One edge segment, all threads cooperating; the load_balance knob picks
   // whether thread boundaries equalize rows or nnz. Note nnz balance is

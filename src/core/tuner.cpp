@@ -6,6 +6,7 @@
 #include <mutex>
 #include <tuple>
 
+#include "gpusim/attention_gpu.hpp"
 #include "support/timer.hpp"
 
 namespace featgraph::core {
@@ -158,6 +159,109 @@ std::function<double(const CpuSpmmSchedule&)> attention_measure_fn(
           timing_reps](const CpuSpmmSchedule& sched) {
     return support::time_mean_seconds(
         [&] { (void)attention(adj, msg_op, sched, operands); }, timing_reps);
+  };
+}
+
+// --- gpusim fused-attention axis --------------------------------------------
+
+std::vector<GpuSpmmSchedule> default_gpu_attention_candidates() {
+  std::vector<GpuSpmmSchedule> grid;
+  {
+    // The plain kernel: no staging, the whole smem budget is softmax
+    // scratch (the best a non-hybrid launch can do).
+    GpuSpmmSchedule s;
+    s.hybrid_partition = false;
+    s.attention_softmax_smem_frac = 1.0;
+    grid.push_back(s);
+  }
+  for (int rpt : {32, 64, 128}) {
+    for (double frac : {0.25, 0.5, 0.75}) {
+      for (LoadBalance ra : {LoadBalance::kNnzBalanced,
+                             LoadBalance::kStaticRows}) {
+        GpuSpmmSchedule s;
+        s.hybrid_partition = true;
+        s.hybrid_rows_per_tile = rpt;
+        s.attention_softmax_smem_frac = frac;
+        s.row_assignment = ra;
+        grid.push_back(s);
+      }
+    }
+  }
+  return grid;
+}
+
+GpuAttentionTuneResult tune_attention_gpu(
+    const graph::Csr& adj, std::string_view msg_op,
+    const AttentionOperands& operands,
+    std::vector<GpuSpmmSchedule> candidates, const gpusim::DeviceSpec& spec) {
+  FG_CHECK(!candidates.empty());
+  GpuAttentionTuneResult result;
+  result.best_seconds = std::numeric_limits<double>::infinity();
+  for (const auto& cand : candidates) {
+    // The objective is the SIMULATED cost — deterministic, so one
+    // evaluation per candidate and no timing reps.
+    const double secs =
+        gpusim::attention_gpu(adj, msg_op, cand, operands, spec).cost.total_s;
+    result.trials.push_back({cand, secs});
+    if (secs < result.best_seconds) {
+      result.best_seconds = secs;
+      result.best = cand;
+    }
+  }
+  return result;
+}
+
+namespace {
+
+/// (graph, kernel, width, smem budget): the smem budget is the DeviceSpec
+/// field the smem-split search is structurally sensitive to — a schedule
+/// tuned for a 96 KB block must not be served to a 48 KB one.
+struct GpuTuneKey {
+  std::uint64_t adj_uid;
+  std::string msg_op;
+  std::int64_t d;
+  std::int64_t smem_bytes_per_block;
+  bool operator<(const GpuTuneKey& o) const {
+    return std::tie(adj_uid, msg_op, d, smem_bytes_per_block) <
+           std::tie(o.adj_uid, o.msg_op, o.d, o.smem_bytes_per_block);
+  }
+};
+
+std::map<GpuTuneKey, GpuSpmmSchedule> g_gpu_attn_cache;
+
+}  // namespace
+
+GpuSpmmSchedule tuned_gpu_attention_schedule(const graph::Csr& adj,
+                                             std::string_view msg_op,
+                                             const AttentionOperands& operands,
+                                             const gpusim::DeviceSpec& spec) {
+  const std::int64_t d =
+      operands.weight != nullptr && operands.weight->defined()
+          ? operands.weight->shape(1)
+          : (operands.src_feat != nullptr && operands.src_feat->defined()
+                 ? operands.src_feat->row_size()
+                 : 0);
+  const GpuTuneKey key{adj.uid, std::string(msg_op), d,
+                       spec.smem_bytes_per_block};
+  {
+    std::lock_guard<std::mutex> lock(g_tune_mutex);
+    auto it = g_gpu_attn_cache.find(key);
+    if (it != g_gpu_attn_cache.end()) return it->second;
+  }
+  GpuAttentionTuneResult tuned = tune_attention_gpu(
+      adj, msg_op, operands, default_gpu_attention_candidates(), spec);
+  std::lock_guard<std::mutex> lock(g_tune_mutex);
+  g_gpu_attn_cache.emplace(key, tuned.best);
+  return tuned.best;
+}
+
+std::function<double(const GpuSpmmSchedule&)> gpu_attention_measure_fn(
+    const graph::Csr& adj, std::string_view msg_op,
+    const AttentionOperands& operands, const gpusim::DeviceSpec& spec) {
+  return [&adj, msg_op = std::string(msg_op), operands,
+          spec](const GpuSpmmSchedule& sched) {
+    return gpusim::attention_gpu(adj, msg_op, sched, operands, spec)
+        .cost.total_s;
   };
 }
 

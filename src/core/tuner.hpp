@@ -15,6 +15,7 @@
 #include "core/attention.hpp"
 #include "core/schedule.hpp"
 #include "core/spmm.hpp"
+#include "gpusim/device.hpp"
 #include "graph/csr.hpp"
 
 namespace featgraph::core {
@@ -85,5 +86,51 @@ CpuSpmmSchedule tuned_attention_schedule(const graph::Csr& adj,
 std::function<double(const CpuSpmmSchedule&)> attention_measure_fn(
     const graph::Csr& adj, std::string_view msg_op,
     const AttentionOperands& operands, int timing_reps = 1);
+
+// --- gpusim fused-attention axis --------------------------------------------
+// The fused GPU attention kernel (gpusim/attention_gpu.hpp) has its own
+// schedule half inside GpuSpmmSchedule: the staging-tile size, the tile row
+// assignment, hybrid source staging, and the shared-memory split between
+// softmax scratch and staged sources. Its objective is the SIMULATED cost
+// (deterministic — no timing reps), searched by the same two tuners as the
+// CPU axes: grid search below, hill climbing via
+// smart_tune_gpu_attention + gpu_attention_measure_fn.
+
+struct GpuAttentionTrial {
+  GpuSpmmSchedule schedule;
+  double seconds = 0.0;  // simulated cost, not wall-clock
+};
+
+struct GpuAttentionTuneResult {
+  GpuSpmmSchedule best;
+  double best_seconds = 0.0;
+  std::vector<GpuAttentionTrial> trials;
+};
+
+/// Candidate grid: the plain full-scratch kernel plus the hybrid-staging
+/// grid over rows-per-tile x smem split x row assignment.
+std::vector<GpuSpmmSchedule> default_gpu_attention_candidates();
+
+/// Evaluates every candidate's simulated cost on the fused gpusim kernel
+/// and returns the winner plus the full trial log.
+GpuAttentionTuneResult tune_attention_gpu(
+    const graph::Csr& adj, std::string_view msg_op,
+    const AttentionOperands& operands,
+    std::vector<GpuSpmmSchedule> candidates,
+    const gpusim::DeviceSpec& spec = {});
+
+/// Cached best gpusim attention schedule for (adj, msg_op, d_out); tunes
+/// with the default candidate grid on first call.
+GpuSpmmSchedule tuned_gpu_attention_schedule(const graph::Csr& adj,
+                                             std::string_view msg_op,
+                                             const AttentionOperands& operands,
+                                             const gpusim::DeviceSpec& spec = {});
+
+/// Adapter for the smart tuner's GPU lattice: a GpuMeasureFn-compatible
+/// callback returning one candidate's simulated fused-attention cost. Same
+/// lifetime rules as attention_measure_fn.
+std::function<double(const GpuSpmmSchedule&)> gpu_attention_measure_fn(
+    const graph::Csr& adj, std::string_view msg_op,
+    const AttentionOperands& operands, const gpusim::DeviceSpec& spec = {});
 
 }  // namespace featgraph::core

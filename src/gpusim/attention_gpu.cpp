@@ -1,0 +1,361 @@
+// Fused gpusim attention — see attention_gpu.hpp for the contract.
+//
+// Structure mirrors spmm_gpu.cpp: functional execution delegates to the CPU
+// fused kernel (bit-identical outputs by construction), while the cost
+// ledger is tallied from the real graph structure in one pass over the
+// staging tiles — first-touch vs repeat staging of high-degree sources,
+// softmax-scratch spills, and the cross-stage feature-row reuse that the
+// composed chain cannot have.
+#include "gpusim/attention_gpu.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/reorder.hpp"
+#include "support/check.hpp"
+
+namespace featgraph::gpusim {
+
+namespace {
+
+/// Generated-code overhead vs hand-tuned vendor kernels — the same
+/// calibration constant the SpMM/SDDMM gpusim kernels use.
+constexpr double kGeneratedKernelOccupancy = 0.91;
+
+/// MLP aggregation's compound per-edge kernel sustains a small fraction of
+/// FMA peak (the spmm_gpu calibration, Table IVb).
+constexpr double kMlpOccupancy = 0.15;
+
+/// Per-edge softmax arithmetic: max compare, exp (~4 flops in the polynomial
+/// ledger), the denominator add, and the normalizing divide.
+constexpr double kSoftmaxFlopsPerEdge = 6.0;
+
+using tensor::Tensor;
+
+/// Byte/flop ledger of one attention launch, resolved from msg_op and the
+/// operand shapes before the tile sweep runs.
+struct AttentionLedger {
+  double src_bytes_per_edge = 0.0;  // q_u (+ x_u when not reused): stageable
+  double edge_bytes_per_edge = 0.0; // edge features / precomputed logits
+  double row_bytes = 0.0;           // k_v (+ x_v when not reused), per row
+  double weight_bytes = 0.0;        // mlp weight matrix, once
+  double logit_flops_per_edge = 0.0;
+  double agg_flops_per_edge = 0.0;
+  bool mlp = false;
+};
+
+AttentionLedger resolve_ledger(std::string_view msg_op,
+                               const core::AttentionOperands& operands,
+                               std::int64_t d_out, std::int64_t nnz) {
+  AttentionLedger l;
+  const Tensor* q =
+      operands.query != nullptr ? operands.query : operands.src_feat;
+  const Tensor* k = operands.key != nullptr ? operands.key : q;
+  const bool dot_logit = operands.edge_logits == nullptr;
+  std::int64_t d_q = 0;
+  if (dot_logit) {
+    FG_CHECK_MSG(q != nullptr, "attention_gpu requires query (or src_feat)");
+    d_q = q->row_size();
+    l.src_bytes_per_edge += static_cast<double>(d_q) * 4.0;  // q_u per edge
+    l.row_bytes += static_cast<double>(d_q) * 4.0;           // k_v per row
+    l.logit_flops_per_edge = 2.0 * static_cast<double>(d_q);
+  } else {
+    l.edge_bytes_per_edge += 4.0;  // one precomputed logit per edge
+    l.logit_flops_per_edge = 1.0;  // the logit_scale multiply
+  }
+
+  const bool needs_u = msg_op != "copy_e";
+  const bool needs_v = msg_op == "u_add_v" || msg_op == "u_sub_v" ||
+                       msg_op == "u_mul_v" || msg_op == "u_div_v" ||
+                       msg_op == "mlp";
+  const bool binop = needs_v || msg_op == "u_add_e" || msg_op == "u_mul_e";
+  const std::int64_t d_msg =
+      msg_op == "mlp" ? operands.src_feat->row_size() : d_out;
+
+  if (needs_u) {
+    // The fusion's signature saving: when the logit query IS the message
+    // source feature (classic GAT: q = k = z), the x_u row loaded for the
+    // dot is REUSED by the aggregation — zero extra bytes. The composed
+    // chain re-reads it in its aggregation launch.
+    if (!(dot_logit && q == operands.src_feat)) {
+      l.src_bytes_per_edge += static_cast<double>(d_msg) * 4.0;
+    }
+  }
+  if (needs_v && !(dot_logit && k == operands.src_feat)) {
+    l.row_bytes += static_cast<double>(d_msg) * 4.0;  // x_v once per row
+  }
+  if (msg_op == "copy_e" || msg_op == "u_add_e" || msg_op == "u_mul_e") {
+    const Tensor& e = *operands.edge_feat;
+    const std::int64_t d_e = nnz > 0 ? e.numel() / nnz : 1;
+    l.edge_bytes_per_edge += static_cast<double>(d_e) * 4.0;
+  }
+
+  l.agg_flops_per_edge = 2.0 * static_cast<double>(d_out);  // alpha mul + add
+  if (binop) l.agg_flops_per_edge += static_cast<double>(d_out);
+  if (msg_op == "mlp") {
+    l.mlp = true;
+    const std::int64_t d1 = operands.src_feat->row_size();
+    l.weight_bytes = static_cast<double>(d1) * d_out * 4.0;
+    l.agg_flops_per_edge +=
+        2.0 * static_cast<double>(d1) * d_out + static_cast<double>(d_out);
+  }
+  return l;
+}
+
+/// Runs the CPU fused kernel for the functional half — two host threads, the
+/// default one-partition schedule, so the result is bit-identical to
+/// core::attention for any thread count (threads move row ownership, never
+/// per-row operation order).
+core::AttentionResult functional(const graph::Csr& adj,
+                                 std::string_view msg_op,
+                                 const core::AttentionOperands& operands) {
+  core::CpuSpmmSchedule cpu;
+  cpu.num_threads = 2;
+  return core::attention(adj, msg_op, cpu, operands);
+}
+
+/// Charges `s` with the adjacency traversal every attention launch pays
+/// exactly once: indptr, indices, and the edge ids alpha scatters through.
+void charge_adjacency(KernelStats& s, std::int64_t n, double nnz) {
+  s.add_load_bytes(static_cast<double>(n) * 8.0 + nnz * 4.0 + nnz * 8.0);
+}
+
+}  // namespace
+
+GpuAttentionResult attention_gpu(const graph::Csr& adj,
+                                 std::string_view msg_op,
+                                 const core::GpuSpmmSchedule& sched,
+                                 const core::AttentionOperands& operands,
+                                 const DeviceSpec& spec) {
+  GpuAttentionResult result;
+  core::AttentionResult host = functional(adj, msg_op, operands);
+  result.out = std::move(host.out);
+  result.alpha = std::move(host.alpha);
+
+  const std::int64_t n = adj.num_rows;
+  const auto nnz = static_cast<double>(adj.nnz());
+  const std::int64_t d_out = result.out.row_size();
+  const AttentionLedger ledger =
+      resolve_ledger(msg_op, operands, d_out, adj.nnz());
+
+  KernelStats& s = result.stats;
+  s.num_blocks = sched.num_blocks;
+  s.threads_per_block = sched.threads_per_block;
+  s.occupancy = ledger.mlp ? kMlpOccupancy : kGeneratedKernelOccupancy;
+
+  charge_adjacency(s, n, nnz);
+  s.add_store_bytes(static_cast<double>(n) * d_out * 4.0 + nnz * 4.0);
+  s.add_load_bytes(nnz * ledger.edge_bytes_per_edge + ledger.weight_bytes);
+  s.flops = nnz * (ledger.logit_flops_per_edge + kSoftmaxFlopsPerEdge +
+                   ledger.agg_flops_per_edge);
+
+  // Shared-memory split: the softmax scratch gets `attention_softmax_smem_frac`
+  // of the block budget, source staging (hybrid only) the rest.
+  const double frac =
+      std::clamp(sched.attention_softmax_smem_frac, 0.0, 1.0);
+  const double softmax_smem =
+      frac * static_cast<double>(spec.smem_bytes_per_block);
+  const double stage_budget =
+      sched.hybrid_partition
+          ? static_cast<double>(spec.smem_bytes_per_block) - softmax_smem
+          : 0.0;
+
+  graph::HybridSplit split;
+  if (sched.hybrid_partition) {
+    split = graph::split_by_degree(
+        adj, graph::degree_threshold_by_quantile(adj, sched.hybrid_quantile));
+  }
+  const std::vector<std::int64_t> tiles = gpu_row_tile_boundaries(
+      adj, sched.hybrid_rows_per_tile, sched.row_assignment);
+  std::vector<std::int64_t> staged_tile;
+  if (sched.hybrid_partition) {
+    staged_tile.assign(static_cast<std::size_t>(adj.num_cols), -1);
+  }
+
+  const std::int64_t num_tiles = static_cast<std::int64_t>(tiles.size()) - 1;
+  for (std::int64_t b = 0; b < num_tiles; ++b) {
+    double stage_left = stage_budget;
+    for (std::int64_t v = tiles[static_cast<std::size_t>(b)];
+         v < tiles[static_cast<std::size_t>(b) + 1]; ++v) {
+      const std::int64_t lo = adj.indptr[static_cast<std::size_t>(v)];
+      const std::int64_t hi = adj.indptr[static_cast<std::size_t>(v) + 1];
+      const auto deg = static_cast<double>(hi - lo);
+      if (hi == lo) continue;  // empty row: out row zeroed, nothing charged
+      s.add_load_bytes(ledger.row_bytes);
+      if (deg * 4.0 <= softmax_smem) {
+        // Scratch-resident segment: logit write, max read, exp read+write,
+        // normalize read — five smem passes.
+        s.smem_bytes += 5.0 * deg * 4.0;
+      } else {
+        // Spilled segment: the logits round-trip global memory instead (one
+        // store + exp rewrite, three read passes).
+        s.add_store_bytes(2.0 * deg * 4.0);
+        s.add_load_bytes(3.0 * deg * 4.0);
+      }
+      if (ledger.src_bytes_per_edge <= 0.0) continue;
+      for (std::int64_t i = lo; i < hi; ++i) {
+        const graph::vid_t u = adj.indices[static_cast<std::size_t>(i)];
+        if (!sched.hybrid_partition ||
+            !split.is_high[static_cast<std::size_t>(u)]) {
+          s.add_load_bytes(ledger.src_bytes_per_edge);
+          continue;
+        }
+        if (staged_tile[static_cast<std::size_t>(u)] == b) {
+          s.smem_bytes += ledger.src_bytes_per_edge;  // smem hit
+        } else if (stage_left >= ledger.src_bytes_per_edge) {
+          // First touch with room: fill from global, store + read smem.
+          staged_tile[static_cast<std::size_t>(u)] = b;
+          stage_left -= ledger.src_bytes_per_edge;
+          s.add_load_bytes(ledger.src_bytes_per_edge);
+          s.smem_bytes += 2.0 * ledger.src_bytes_per_edge;
+        } else {
+          // Staging half full: a fused kernel cannot column-partition (the
+          // softmax needs whole row segments), so the row is re-read from
+          // global on every touch instead.
+          s.add_load_bytes(ledger.src_bytes_per_edge);
+        }
+      }
+    }
+  }
+
+  result.cost = estimate_time(s, spec);
+  return result;
+}
+
+GpuKernelResult edge_softmax_gpu(const graph::Csr& adj,
+                                 const tensor::Tensor& logits,
+                                 const core::GpuSpmmSchedule& sched,
+                                 const DeviceSpec& spec) {
+  GpuKernelResult result;
+  result.out = core::edge_softmax(adj, logits, 2);
+
+  const auto nnz = static_cast<double>(adj.nnz());
+  KernelStats& s = result.stats;
+  s.num_blocks = sched.num_blocks;
+  s.threads_per_block = sched.threads_per_block;
+  s.occupancy = kGeneratedKernelOccupancy;
+  // One adjacency traversal (indptr + edge ids) + three passes over the
+  // |E| logits (max, exp, normalize) + the exp rewrite and alpha store.
+  s.add_load_bytes(static_cast<double>(adj.num_rows) * 8.0 + nnz * 8.0 +
+                   3.0 * nnz * 4.0);
+  s.add_store_bytes(2.0 * nnz * 4.0);
+  s.flops = kSoftmaxFlopsPerEdge * nnz;
+  result.cost = estimate_time(s, spec);
+  return result;
+}
+
+GpuAttentionResult attention_gpu_composed(
+    const graph::Csr& adj, std::string_view msg_op,
+    const core::GpuSpmmSchedule& sched,
+    const core::AttentionOperands& operands, const DeviceSpec& spec) {
+  GpuAttentionResult result;
+  core::AttentionResult host = functional(adj, msg_op, operands);
+  result.out = std::move(host.out);
+  result.alpha = std::move(host.alpha);
+
+  const std::int64_t n = adj.num_rows;
+  const auto nnz = static_cast<double>(adj.nnz());
+  const std::int64_t d_out = result.out.row_size();
+  const AttentionLedger ledger =
+      resolve_ledger(msg_op, operands, d_out, adj.nnz());
+
+  // Count once what the per-row terms need.
+  std::int64_t nonempty = 0;
+  for (std::int64_t v = 0; v < n; ++v) {
+    if (adj.indptr[static_cast<std::size_t>(v) + 1] >
+        adj.indptr[static_cast<std::size_t>(v)])
+      ++nonempty;
+  }
+
+  const bool dot_logit = operands.edge_logits == nullptr;
+  const Tensor* q =
+      operands.query != nullptr ? operands.query : operands.src_feat;
+  const std::int64_t d_q = dot_logit ? q->row_size() : 0;
+
+  CostBreakdown total;
+  KernelStats sum;
+  sum.num_blocks = sched.num_blocks;
+  sum.threads_per_block = sched.threads_per_block;
+
+  const auto accumulate = [&](const KernelStats& k) {
+    const CostBreakdown c = estimate_time(k, spec);
+    total.mem_s += c.mem_s;
+    total.compute_s += c.compute_s;
+    total.atomic_s += c.atomic_s;
+    total.smem_s += c.smem_s;
+    total.launch_s += c.launch_s;
+    total.total_s += c.total_s;
+    sum.global_load_transactions += k.global_load_transactions;
+    sum.global_store_transactions += k.global_store_transactions;
+    sum.global_atomics += k.global_atomics;
+    sum.smem_bytes += k.smem_bytes;
+    sum.flops += k.flops;
+  };
+
+  if (dot_logit) {
+    // Launch 1 — SDDMM dot logits (the sddmm_gpu tree-reduction ledger):
+    // edge endpoints, BOTH endpoint feature rows per edge, logit store.
+    KernelStats k;
+    k.num_blocks = sched.num_blocks;
+    k.threads_per_block = sched.threads_per_block;
+    k.occupancy = kGeneratedKernelOccupancy;
+    k.add_load_bytes(nnz * 8.0 + 2.0 * nnz * static_cast<double>(d_q) * 4.0);
+    k.add_store_bytes(nnz * 4.0);
+    k.flops = nnz * 2.0 * static_cast<double>(d_q);
+    k.smem_bytes = nnz * 4.0 * 5.0;  // log2(warp) tree-combine traffic
+    accumulate(k);
+  }
+
+  {
+    // Launch 2 — standalone segment softmax over the |E| logits.
+    KernelStats k;
+    k.num_blocks = sched.num_blocks;
+    k.threads_per_block = sched.threads_per_block;
+    k.occupancy = kGeneratedKernelOccupancy;
+    k.add_load_bytes(static_cast<double>(n) * 8.0 + nnz * 8.0 +
+                     3.0 * nnz * 4.0 +
+                     (dot_logit ? 0.0 : nnz * 4.0));
+    k.add_store_bytes(2.0 * nnz * 4.0);
+    k.flops = kSoftmaxFlopsPerEdge * nnz;
+    accumulate(k);
+  }
+
+  {
+    // Launch 3 — alpha-weighted aggregation: its own adjacency traversal,
+    // the alpha reload, and EVERY message feature row re-read from global
+    // (the cross-stage reuse the fused kernel gets for free is impossible
+    // across launches).
+    KernelStats k;
+    k.num_blocks = sched.num_blocks;
+    k.threads_per_block = sched.threads_per_block;
+    k.occupancy = ledger.mlp ? kMlpOccupancy : kGeneratedKernelOccupancy;
+    charge_adjacency(k, n, nnz);
+    k.add_load_bytes(nnz * 4.0);  // alpha by edge id
+    // Edge features re-read (the ledger's edge bytes minus the precomputed
+    // logit scalar, which launch 2 consumed), plus the full x_u row per
+    // edge for u-reading ops.
+    double msg_bytes_per_edge =
+        ledger.edge_bytes_per_edge - (dot_logit ? 0.0 : 4.0);
+    const bool needs_u = msg_op != "copy_e";
+    const std::int64_t d_msg =
+        msg_op == "mlp" ? operands.src_feat->row_size() : d_out;
+    if (needs_u) msg_bytes_per_edge += static_cast<double>(d_msg) * 4.0;
+    k.add_load_bytes(nnz * msg_bytes_per_edge + ledger.weight_bytes);
+    const bool needs_v = msg_op == "u_add_v" || msg_op == "u_sub_v" ||
+                         msg_op == "u_mul_v" || msg_op == "u_div_v" ||
+                         msg_op == "mlp";
+    if (needs_v) {
+      k.add_load_bytes(static_cast<double>(nonempty) * d_msg * 4.0);
+    }
+    k.add_store_bytes(static_cast<double>(n) * d_out * 4.0);
+    k.flops = nnz * ledger.agg_flops_per_edge;
+    accumulate(k);
+  }
+
+  sum.occupancy = ledger.mlp ? kMlpOccupancy : kGeneratedKernelOccupancy;
+  result.stats = sum;
+  result.cost = total;
+  return result;
+}
+
+}  // namespace featgraph::gpusim

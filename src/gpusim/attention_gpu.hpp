@@ -1,0 +1,86 @@
+// Fused generalized-attention kernel on the gpusim execution model — the
+// GPU twin of core::attention (the paper's kernel-fusion-across-stages win,
+// Sec. V / Table VI, applied to its hardest workload: GAT attention).
+//
+// The composed chain executes GAT attention as THREE kernels — sddmm_gpu
+// dot logits, a segment-softmax launch, an alpha-weighted spmm_gpu — paying
+// three launch overheads, three adjacency traversals, and re-reading every
+// source feature row it already read for the logits. The fused kernel runs
+// the whole pipeline in ONE grid-stride sweep over the staging tiles of
+// gpu_row_tile_boundaries: each block owns a row tile, computes the tile's
+// per-destination SDDMM logits with feature-axis-coalesced loads, softmaxes
+// each row's logit segment in shared-memory scratch, and folds
+// alpha_e * MSG(u, e, v) into the output row — reusing the source rows
+// staged/loaded for the logit dot for the aggregation, with zero atomics
+// (rows are block-owned) and exactly one launch overhead.
+//
+// Shared memory is SPLIT between the softmax scratch and (when
+// hybrid_partition is on) staged high-degree source rows —
+// GpuSpmmSchedule::attention_softmax_smem_frac picks the split. A row whose
+// in-degree overflows the scratch spills its logits to global memory (one
+// store + three re-read passes); a high-degree source that finds the
+// staging half full is simply re-read from global per edge (a fused kernel
+// cannot column-partition: the softmax needs whole row segments). Both
+// failure modes are counted from the real graph structure, so the knob is a
+// genuine trade-off the tuners search.
+//
+// Execution is functional on the host: the output and alpha are produced by
+// the CPU fused kernel and are bit-identical to core::attention on every
+// msg_op; only the cost ledger is simulated.
+#pragma once
+
+#include <string_view>
+
+#include "core/attention.hpp"
+#include "core/schedule.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/spmm_gpu.hpp"
+#include "graph/csr.hpp"
+
+namespace featgraph::gpusim {
+
+struct GpuAttentionResult {
+  tensor::Tensor out;    // num_rows x d_out, bit-identical to core::attention
+  tensor::Tensor alpha;  // |E| softmax weights by edge id (autograd keeps it;
+                         // the |E| x d messages stay unmaterialized)
+  KernelStats stats;
+  CostBreakdown cost;
+
+  double milliseconds() const { return cost.total_s * 1e3; }
+};
+
+/// Runs the fused attention kernel over the destination-major CSR on the
+/// simulated device. `msg_op` is any builtin attention message op
+/// (core/attention.hpp). Honors num_blocks / threads_per_block (grid
+/// utilization), hybrid_partition + hybrid_quantile + hybrid_rows_per_tile +
+/// row_assignment (source staging over the row tiles), and
+/// attention_softmax_smem_frac (smem split, see the header comment).
+GpuAttentionResult attention_gpu(const graph::Csr& adj,
+                                 std::string_view msg_op,
+                                 const core::GpuSpmmSchedule& sched,
+                                 const core::AttentionOperands& operands,
+                                 const DeviceSpec& spec = {});
+
+/// Simulated cost of the COMPOSED chain on the same operands: the sddmm_gpu
+/// dot-logits kernel + the standalone segment-softmax kernel + the
+/// alpha-weighted aggregation kernel — three launches, three adjacency
+/// traversals, no cross-stage reuse (two launches when operands carry
+/// precomputed edge_logits). The functional output is the fused kernel's
+/// (the CPU suite pins fused == composed bit-for-bit at a fixed backend);
+/// only the cost ledger differs. This is the baseline the fused kernel is
+/// benchmarked and acceptance-tested against.
+GpuAttentionResult attention_gpu_composed(
+    const graph::Csr& adj, std::string_view msg_op,
+    const core::GpuSpmmSchedule& sched,
+    const core::AttentionOperands& operands, const DeviceSpec& spec = {});
+
+/// The middle launch of the composed chain as its own kernel: segment
+/// softmax over each destination's in-edges. Functional via
+/// core::edge_softmax; the ledger charges one adjacency traversal, three
+/// passes over the |E| logits, and the alpha store.
+GpuKernelResult edge_softmax_gpu(const graph::Csr& adj,
+                                 const tensor::Tensor& logits,
+                                 const core::GpuSpmmSchedule& sched = {},
+                                 const DeviceSpec& spec = {});
+
+}  // namespace featgraph::gpusim

@@ -79,8 +79,11 @@ std::vector<std::int64_t> gpu_row_tile_boundaries(
     core::LoadBalance row_assignment) {
   const std::int64_t n = adj.num_rows;
   rows_per_tile = std::max<std::int64_t>(1, rows_per_tile);
-  const std::int64_t num_tiles =
-      std::max<std::int64_t>(1, (n + rows_per_tile - 1) / rows_per_tile);
+  // ceil(n / rows_per_tile) tiles, exactly as documented — for n == 0 that
+  // is ZERO tiles and the single boundary {0} (the old max(1, ...) floor
+  // invented a phantom tile whose [0, 0) range every sweep then visited).
+  const std::int64_t num_tiles = (n + rows_per_tile - 1) / rows_per_tile;
+  if (num_tiles == 0) return {0};
   std::vector<std::int64_t> tiles(static_cast<std::size_t>(num_tiles) + 1);
   for (std::int64_t t = 0; t <= num_tiles; ++t) {
     tiles[static_cast<std::size_t>(t)] =

@@ -44,10 +44,12 @@ GpuKernelResult spmm_gpu(const graph::Csr& adj, std::string_view msg_op,
 
 /// Staging-tile boundaries the hybrid kernel grid-strides over: tile t owns
 /// rows [b[t], b[t+1]). The tile COUNT is always ceil(num_rows /
-/// rows_per_tile); kStaticRows cuts uniform chunks, kNnzBalanced places the
-/// same number of boundaries with parallel::nnz_split_point so each tile
-/// owns ~equal nnz (the CPU kernels' balancing reused for the GPU row
-/// assignment). Exposed for the balance-quality tests.
+/// rows_per_tile) — zero tiles (boundaries {0}) for an empty graph — the
+/// boundaries are monotone and cover [0, num_rows] exactly; kStaticRows
+/// cuts uniform chunks, kNnzBalanced places the same number of boundaries
+/// with parallel::nnz_split_point so each tile owns ~equal nnz (the CPU
+/// kernels' balancing reused for the GPU row assignment). Exposed for the
+/// balance-quality tests.
 std::vector<std::int64_t> gpu_row_tile_boundaries(
     const graph::Csr& adj, std::int64_t rows_per_tile,
     core::LoadBalance row_assignment);

@@ -103,12 +103,13 @@ Var GatLayer::forward(ExecContext& ctx, const graph::Graph& g,
     const float s =
         1.0f / std::sqrt(static_cast<float>(z->value().row_size()));
     Var h;
-    if (ctx.backend == SparseBackend::kFused && ctx.device == Device::kCpu) {
-      // One fused SDDMM -> edge-softmax -> SpMM pass per destination row.
+    if (ctx.backend == SparseBackend::kFused) {
+      // One fused SDDMM -> edge-softmax -> SpMM pass per destination row —
+      // the core engine on kCpu, the fused gpusim kernel on kGpuSim (one
+      // simulated launch and traversal instead of three).
       h = gat_attention(ctx, g, z, s);
     } else {
-      // Composed chain: the materialize baseline (Table VI) and the gpusim
-      // device, whose kernels are not fused yet (see ROADMAP).
+      // Composed chain: the materialize baseline (Table VI).
       Var logits = scale(ctx, sddmm_dot(ctx, g, z), s);
       Var alpha = edge_softmax(ctx, g, logits);
       h = spmm_u_mul_e(ctx, g, z, alpha);

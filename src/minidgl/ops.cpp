@@ -8,6 +8,7 @@
 #include "core/sddmm.hpp"
 #include "core/spmm.hpp"
 #include "core/tuner.hpp"
+#include "gpusim/attention_gpu.hpp"
 #include "gpusim/sddmm_gpu.hpp"
 #include "gpusim/spmm_gpu.hpp"
 #include "parallel/parallel_for.hpp"
@@ -563,24 +564,40 @@ Var edge_softmax(ExecContext& ctx, const graph::Graph& g, const Var& logits) {
 
 Var gat_attention(ExecContext& ctx, const graph::Graph& g, const Var& z,
                   float logit_scale) {
-  FG_CHECK_MSG(
-      ctx.backend == SparseBackend::kFused && ctx.device == Device::kCpu,
-      "gat_attention is the fused CPU kernel; other contexts run the "
-      "composed chain");
+  FG_CHECK_MSG(ctx.backend == SparseBackend::kFused,
+               "gat_attention is the fused kernel; the materialize backend "
+               "runs the composed chain");
   const std::int64_t d = z->value().row_size();
   core::AttentionOperands operands;
   operands.src_feat = &z->value();  // query/key default to src_feat
   operands.logit_scale = logit_scale;
-  const core::CpuSpmmSchedule sched =
-      core::heuristic_spmm_schedule(g.in_csr(), d, ctx.num_threads);
-  core::AttentionResult res =
-      core::attention(g.in_csr(), "copy_u", sched, operands);
-  auto alpha = std::make_shared<Tensor>(std::move(res.alpha));
+  Tensor value;
+  std::shared_ptr<Tensor> alpha;
+  if (ctx.device == Device::kGpuSim) {
+    // One fused grid-stride kernel on the simulated device: one traversal,
+    // one launch, zero atomics — versus the composed three-launch chain
+    // (gpusim/attention_gpu.hpp). Output stays bit-identical to the CPU
+    // fused kernel; nothing |E| x d is materialized on either device.
+    core::GpuSpmmSchedule sched;
+    sched.num_blocks = std::max<std::int64_t>(1024, g.in_csr().num_rows / 4);
+    auto r = gpusim::attention_gpu(g.in_csr(), "copy_u", sched, operands,
+                                   ctx.gpu);
+    ctx.sim_seconds += r.cost.total_s;
+    value = std::move(r.out);
+    alpha = std::make_shared<Tensor>(std::move(r.alpha));
+  } else {
+    const core::CpuSpmmSchedule sched =
+        core::heuristic_spmm_schedule(g.in_csr(), d, ctx.num_threads);
+    core::AttentionResult res =
+        core::attention(g.in_csr(), "copy_u", sched, operands);
+    value = std::move(res.out);
+    alpha = std::make_shared<Tensor>(std::move(res.alpha));
+  }
 
   ExecContext* c = &ctx;
   const graph::Graph* gp = &g;
   return make_op(
-      std::move(res.out), {z},
+      std::move(value), {z},
       [z, alpha, c, gp, d, logit_scale](Node& node) {
         if (!z->requires_grad()) return;
         // Chain rule over the fused pipeline, every term a fused sparse
@@ -594,6 +611,8 @@ Var gat_attention(ExecContext& ctx, const graph::Graph& g, const Var& z,
         //   dlogit = softmax backward, then the logit scale
         Tensor dlogit = core::edge_softmax_backward(
             gp->in_csr(), *alpha, dalpha, c->num_threads);
+        charge_dense(*c, 3.0 * static_cast<double>(gp->num_edges()),
+                     6.0 * static_cast<double>(gp->num_edges()) * 4.0);
         if (logit_scale != 1.0f) {
           for (std::int64_t i = 0; i < dlogit.numel(); ++i)
             dlogit.at(i) *= logit_scale;

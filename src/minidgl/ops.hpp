@@ -87,8 +87,10 @@ Var edge_softmax(ExecContext& ctx, const graph::Graph& g, const Var& logits);
 /// Forward is a single fused pass per destination row (no |E| x d tensor and
 /// no intermediate logits/alpha Vars); backward routes through the
 /// SpMM/SDDMM duality (u_mul_e SpMMs + an SDDMM dot + the fused softmax
-/// backward). CPU + kFused only — the composed chain remains the
-/// kMaterialize / gpusim path.
+/// backward). kFused on either device: kCpu runs the core engine, kGpuSim
+/// runs the fused gpusim kernel (gpusim/attention_gpu.hpp — one simulated
+/// launch/traversal, bit-identical output, cost accrued in sim_seconds).
+/// The composed chain remains the kMaterialize path.
 Var gat_attention(ExecContext& ctx, const graph::Graph& g, const Var& z,
                   float logit_scale);
 

@@ -333,6 +333,48 @@ TEST(Attention, EdgeCaseRowsEmptySingleEdgeIsolatedAndHub) {
   }
 }
 
+TEST(Attention, ZeroDegreeRowsYieldZerosNeverNaN) {
+  // The empty-segment softmax pin: a destination with no in-edges must
+  // aggregate to EXACTLY zero on every backend — never NaN from an hmax
+  // over an empty segment (-inf row max) or a 0/0 normalization. Exercises
+  // both a mixed graph (one nonempty row among empties) and the all-empty
+  // graph, where the whole output is the zero fill.
+  Coo coo;
+  coo.num_src = coo.num_dst = 6;
+  coo.src = {0, 2, 4};
+  coo.dst = {1, 1, 1};
+  const Csr in = fg::graph::coo_to_in_csr(coo);
+  Coo empty;
+  empty.num_src = empty.num_dst = 6;
+  const Csr ein = fg::graph::coo_to_in_csr(empty);
+  const Tensor x = Tensor::randn({6, 11}, 555);
+  AttentionOperands operands;
+  operands.src_feat = &x;
+  for (const Isa isa : fg::simd::supported_isas()) {
+    fg::simd::ScopedIsa pin(isa);
+    const AttentionResult mixed = fg::core::attention(in, "copy_u", {}, operands);
+    for (std::int64_t i = 0; i < mixed.out.numel(); ++i)
+      ASSERT_FALSE(std::isnan(mixed.out.at(i)))
+          << fg::simd::isa_name(isa) << " flat " << i;
+    for (const fg::graph::vid_t v : {0, 2, 3, 4, 5})
+      for (std::int64_t j = 0; j < 11; ++j)
+        EXPECT_EQ(mixed.out.at(v, j), 0.0f)
+            << fg::simd::isa_name(isa) << " row " << v;
+
+    const AttentionResult all_empty =
+        fg::core::attention(ein, "copy_u", {}, operands);
+    EXPECT_EQ(all_empty.alpha.numel(), 0);
+    for (std::int64_t i = 0; i < all_empty.out.numel(); ++i) {
+      ASSERT_FALSE(std::isnan(all_empty.out.at(i)));
+      EXPECT_EQ(all_empty.out.at(i), 0.0f);
+    }
+    // The standalone fused edge softmax shares the empty-segment contract.
+    const Tensor none = Tensor::zeros({0});
+    const Tensor alpha = fg::core::edge_softmax(ein, none, 2);
+    EXPECT_EQ(alpha.numel(), 0);
+  }
+}
+
 TEST(Attention, AlphaIsInvariantAcrossEverySchedule) {
   // The softmax never depends on the aggregation schedule: alpha must be
   // bit-for-bit identical across load_balance x partitions x feat_tile (at

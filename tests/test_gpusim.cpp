@@ -253,6 +253,43 @@ TEST(GpuSpmm, NnzBalancedRowAssignmentEvensTileWork) {
                 std::max<std::int64_t>(1, static_lo));
 }
 
+TEST(GpuSpmm, RowTileBoundariesEmptyGraphOversizedTilesAndEmptyRows) {
+  // The documented contract at its edges: tile count is EXACTLY
+  // ceil(n / rows_per_tile), boundaries monotone and covering [0, n].
+  for (const auto lb : {fg::core::LoadBalance::kStaticRows,
+                        fg::core::LoadBalance::kNnzBalanced}) {
+    // n == 0: ceil(0 / rpt) = ZERO tiles — the boundary vector is {0}, not
+    // a phantom [0, 0) tile (the pre-fix max(1, ...) floor).
+    Coo none;
+    none.num_src = none.num_dst = 0;
+    const Csr empty = fg::graph::coo_to_in_csr(none);
+    const auto zero_tiles = fg::gpusim::gpu_row_tile_boundaries(empty, 32, lb);
+    ASSERT_EQ(zero_tiles.size(), 1u);
+    EXPECT_EQ(zero_tiles[0], 0);
+
+    // rows_per_tile > n: one tile owning every row.
+    const Coo coo = fg::graph::gen_uniform(5, 3.0, 91);
+    const Csr in = fg::graph::coo_to_in_csr(coo);
+    const auto one_tile = fg::gpusim::gpu_row_tile_boundaries(in, 64, lb);
+    ASSERT_EQ(one_tile.size(), 2u);
+    EXPECT_EQ(one_tile.front(), 0);
+    EXPECT_EQ(one_tile.back(), in.num_rows);
+
+    // kNnzBalanced on an all-empty-row graph (n > 0, nnz == 0): the nnz
+    // binary search has no mass to balance; boundaries must still be
+    // monotone, cover [0, n], and keep the ceil tile count.
+    Coo edgeless;
+    edgeless.num_src = edgeless.num_dst = 10;
+    const Csr hollow = fg::graph::coo_to_in_csr(edgeless);
+    const auto tiles = fg::gpusim::gpu_row_tile_boundaries(hollow, 3, lb);
+    ASSERT_EQ(static_cast<std::int64_t>(tiles.size()), (10 + 2) / 3 + 1);
+    EXPECT_EQ(tiles.front(), 0);
+    EXPECT_EQ(tiles.back(), 10);
+    for (std::size_t t = 0; t + 1 < tiles.size(); ++t)
+      EXPECT_LE(tiles[t], tiles[t + 1]) << "lb=" << static_cast<int>(lb);
+  }
+}
+
 TEST(GpuSpmm, HybridOutputUnchangedByRowAssignment) {
   // Row assignment moves simulated traffic, never arithmetic.
   const Coo skewed = fg::graph::gen_two_class(60, 500, 600, 5, 5);

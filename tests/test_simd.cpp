@@ -16,6 +16,8 @@
 #include <vector>
 
 #include "core/simd.hpp"
+#include "core/spmm.hpp"
+#include "graph/generators.hpp"
 #include "support/rng.hpp"
 
 namespace fg = featgraph;
@@ -228,6 +230,109 @@ TEST_P(IsaParity, DotMatchesWithinTolerance) {
 
 INSTANTIATE_TEST_SUITE_P(AllPairs, IsaParity,
                          ::testing::ValuesIn(all_isa_pairs()), pair_name);
+
+TEST(Simd, NarrowSpansRouteAvx512ToAvx2BitIdentically) {
+  // The narrow-span dispatch fix (BENCH_kernels.json's d=8 regression): a
+  // span with n < 16 never fills a 512-bit vector, so the AVX-512 table
+  // reroutes it to the AVX2 backend. That makes EVERY primitive —
+  // including the tolerance-class dot / exp_scale / hmax, which the parity
+  // matrix only bounds — literally the AVX2 code on narrow spans, so the
+  // two tables must agree BIT-FOR-BIT for every n in [0, 16).
+  if (!fg::simd::isa_supported(Isa::kAvx512)) {
+    GTEST_SKIP() << "hardware lacks AVX-512";
+  }
+  const SpanOps& a512 = fg::simd::span_ops(Isa::kAvx512);
+  const SpanOps& a2 = fg::simd::span_ops(Isa::kAvx2);
+  for (std::int64_t n = 0; n < 16; ++n) {
+    auto base = random_span(n, 1300 + static_cast<std::uint64_t>(n));
+    auto x = random_span(n, 1400 + static_cast<std::uint64_t>(n));
+    auto y = random_span(n, 1500 + static_cast<std::uint64_t>(n));
+
+    auto a = base, b = base;
+    a512.fill(a.data(), 0.5f, n);
+    a2.fill(b.data(), 0.5f, n);
+    EXPECT_TRUE(bit_equal(a, b)) << "fill n=" << n;
+
+    a = base, b = base;
+    a512.scale(a.data(), -2.5f, n);
+    a2.scale(b.data(), -2.5f, n);
+    EXPECT_TRUE(bit_equal(a, b)) << "scale n=" << n;
+
+    a = base, b = base;
+    a512.relu(a.data(), n);
+    a2.relu(b.data(), n);
+    EXPECT_TRUE(bit_equal(a, b)) << "relu n=" << n;
+
+    a = base, b = base;
+    a512.axpy(a.data(), x.data(), 0.7f, n);
+    a2.axpy(b.data(), x.data(), 0.7f, n);
+    EXPECT_TRUE(bit_equal(a, b)) << "axpy n=" << n;
+
+    // The tolerance-class primitives: bitwise on narrow spans post-reroute.
+    const float d512 = a512.dot(x.data(), y.data(), n);
+    const float d2 = a2.dot(x.data(), y.data(), n);
+    EXPECT_EQ(std::memcmp(&d512, &d2, sizeof(float)), 0) << "dot n=" << n;
+    EXPECT_EQ(a512.hmax(x.data(), n), a2.hmax(x.data(), n)) << "hmax n=" << n;
+    a = base, b = base;
+    const float s512 = a512.exp_scale(a.data(), -0.3f, n);
+    const float s2 = a2.exp_scale(b.data(), -0.3f, n);
+    EXPECT_TRUE(bit_equal(a, b)) << "exp_scale n=" << n;
+    EXPECT_EQ(std::memcmp(&s512, &s2, sizeof(float)), 0)
+        << "exp_scale sum n=" << n;
+
+    for (int r = 0; r < fg::simd::kNumAccum; ++r) {
+      a = base, b = base;
+      a512.accum[r](a.data(), x.data(), n);
+      a2.accum[r](b.data(), x.data(), n);
+      EXPECT_TRUE(bit_equal(a, b)) << "accum r=" << r << " n=" << n;
+      for (int o = 0; o < fg::simd::kNumBinOp; ++o) {
+        a = base, b = base;
+        a512.accum_binop[r][o](a.data(), x.data(), y.data(), n);
+        a2.accum_binop[r][o](b.data(), x.data(), y.data(), n);
+        EXPECT_TRUE(bit_equal(a, b)) << "binop r=" << r << " o=" << o;
+        a = base, b = base;
+        a512.accum_binop_scalar[r][o](a.data(), x.data(), 1.3f, n);
+        a2.accum_binop_scalar[r][o](b.data(), x.data(), 1.3f, n);
+        EXPECT_TRUE(bit_equal(a, b)) << "binop_s r=" << r << " o=" << o;
+      }
+    }
+    for (int o = 0; o < fg::simd::kNumBinOp; ++o) {
+      a = base, b = base;
+      a512.waxpy_binop[o](a.data(), x.data(), y.data(), 0.7f, n);
+      a2.waxpy_binop[o](b.data(), x.data(), y.data(), 0.7f, n);
+      EXPECT_TRUE(bit_equal(a, b)) << "waxpy o=" << o << " n=" << n;
+      a = base, b = base;
+      a512.waxpy_binop_scalar[o](a.data(), x.data(), 1.3f, 0.7f, n);
+      a2.waxpy_binop_scalar[o](b.data(), x.data(), 1.3f, 0.7f, n);
+      EXPECT_TRUE(bit_equal(a, b)) << "waxpy_s o=" << o << " n=" << n;
+    }
+  }
+}
+
+TEST(Simd, NarrowFeatureSpmmIsBitIdenticalAcrossReroutedBackends) {
+  // Kernel-level lockdown of the reroute: the d=8 SpMM that exposed the
+  // regression (spmm_copy_u_sum_d8_narrow) must produce bit-identical
+  // results on the AVX-512 table before and after routing — i.e. equal to
+  // the AVX2 backend, which equals scalar by the accumulation contract.
+  if (!fg::simd::isa_supported(Isa::kAvx512)) {
+    GTEST_SKIP() << "hardware lacks AVX-512";
+  }
+  const auto coo = fg::graph::gen_rmat(512, 9.0, 77);
+  const auto in_csr = fg::graph::coo_to_in_csr(coo);
+  const auto x = fg::tensor::Tensor::randn({in_csr.num_cols, 8}, 78);
+  const fg::core::SpmmOperands ops{&x, nullptr, nullptr};
+  fg::tensor::Tensor results[2];
+  int i = 0;
+  for (const Isa isa : {Isa::kAvx2, Isa::kAvx512}) {
+    fg::simd::ScopedIsa pin(isa);
+    results[i++] = fg::core::spmm(in_csr, "copy_u", "sum", {}, ops);
+  }
+  ASSERT_EQ(results[0].numel(), results[1].numel());
+  EXPECT_EQ(std::memcmp(results[0].data(), results[1].data(),
+                        static_cast<std::size_t>(results[0].numel()) *
+                            sizeof(float)),
+            0);
+}
 
 // ---------------------------------------------------------------------------
 // Dispatcher / fallback-chain behavior
