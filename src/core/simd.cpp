@@ -202,6 +202,17 @@ FG_SCALAR_WAXPY_BINOP_S(waxpy_mul_s, o_mul)
 FG_SCALAR_WAXPY_BINOP_S(waxpy_div_s, o_div)
 #undef FG_SCALAR_WAXPY_BINOP_S
 
+FG_SCALAR_FN void gather_rows(float* out, const float* src,
+                              const std::int32_t* idx, std::int64_t m,
+                              std::int64_t d) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* row = src + static_cast<std::int64_t>(idx[i]) * d;
+    float* dst = out + i * d;
+    FG_SCALAR_LOOP
+    for (std::int64_t j = 0; j < d; ++j) dst[j] = row[j];
+  }
+}
+
 }  // namespace scalar
 
 SpanOps make_scalar_ops() {
@@ -246,6 +257,7 @@ SpanOps make_scalar_ops() {
   t.waxpy_binop_scalar[1] = scalar::waxpy_sub_s;
   t.waxpy_binop_scalar[2] = scalar::waxpy_mul_s;
   t.waxpy_binop_scalar[3] = scalar::waxpy_div_s;
+  t.gather_rows = scalar::gather_rows;
   return t;
 }
 
@@ -516,6 +528,21 @@ FG_AVX2_WAXPY_BINOP_S(waxpy_mul_s, _mm256_mul_ps, scalar::o_mul)
 FG_AVX2_WAXPY_BINOP_S(waxpy_div_s, _mm256_div_ps, scalar::o_div)
 #undef FG_AVX2_WAXPY_BINOP_S
 
+FG_AVX2_FN void gather_rows(float* out, const float* src,
+                            const std::int32_t* idx, std::int64_t m,
+                            std::int64_t d) {
+  // Pure copy: 256-bit loads/stores plus a scalar peel — bitwise by nature,
+  // so any lane width satisfies the exact contract.
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* row = src + static_cast<std::int64_t>(idx[i]) * d;
+    float* dst = out + i * d;
+    std::int64_t j = 0;
+    for (; j + 8 <= d; j += 8)
+      _mm256_storeu_ps(dst + j, _mm256_loadu_ps(row + j));
+    for (; j < d; ++j) dst[j] = row[j];
+  }
+}
+
 }  // namespace avx2
 
 SpanOps make_avx2_ops() {
@@ -560,6 +587,7 @@ SpanOps make_avx2_ops() {
   t.waxpy_binop_scalar[1] = avx2::waxpy_sub_s;
   t.waxpy_binop_scalar[2] = avx2::waxpy_mul_s;
   t.waxpy_binop_scalar[3] = avx2::waxpy_div_s;
+  t.gather_rows = avx2::gather_rows;
   return t;
 }
 
@@ -921,6 +949,26 @@ FG_AVX512_WAXPY_BINOP_S(waxpy_div_s, _mm512_div_ps, _mm512_maskz_div_ps)
 #undef FG_AVX512_WAXPY_BINOP_S
 #undef FG_AVX512_NARROW
 
+FG_AVX512_FN void gather_rows(float* out, const float* src,
+                              const std::int32_t* idx, std::int64_t m,
+                              std::int64_t d) {
+  // Narrow reroute on the ROW WIDTH (the span length here is d, not n): a
+  // row narrower than one 512-bit vector gathers faster as one 256-bit
+  // copy, same as every other primitive's n < 16 rule.
+  if (d < 16) return avx2::gather_rows(out, src, idx, m, d);
+  const __mmask16 tail = tail_mask(d % 16 == 0 ? 16 : d % 16);
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* row = src + static_cast<std::int64_t>(idx[i]) * d;
+    float* dst = out + i * d;
+    std::int64_t j = 0;
+    for (; j + 16 <= d; j += 16)
+      _mm512_storeu_ps(dst + j, _mm512_loadu_ps(row + j));
+    if (j < d)
+      _mm512_mask_storeu_ps(dst + j, tail,
+                            _mm512_maskz_loadu_ps(tail, row + j));
+  }
+}
+
 }  // namespace avx512
 
 SpanOps make_avx512_ops() {
@@ -965,6 +1013,7 @@ SpanOps make_avx512_ops() {
   t.waxpy_binop_scalar[1] = avx512::waxpy_sub_s;
   t.waxpy_binop_scalar[2] = avx512::waxpy_mul_s;
   t.waxpy_binop_scalar[3] = avx512::waxpy_div_s;
+  t.gather_rows = avx512::gather_rows;
   return t;
 }
 

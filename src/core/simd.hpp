@@ -100,6 +100,15 @@ struct SpanOps {
   /// out[j] += s * (a[j] op c)   (attention-weighted u_op_e scalar form).
   void (*waxpy_binop_scalar[kNumBinOp])(float* out, const float* a, float c,
                                         float s, std::int64_t n);
+
+  // --- sampling primitives (minibatch block inference, src/sample) ---------
+
+  /// out[i*d + j] = src[idx[i]*d + j] for i in [0, m), j in [0, d): dense
+  /// row gather of `m` feature rows of width `d` into a contiguous block
+  /// tensor (the feature loader's inner loop). A pure copy — exact class,
+  /// bit-for-bit identical across every backend.
+  void (*gather_rows)(float* out, const float* src, const std::int32_t* idx,
+                      std::int64_t m, std::int64_t d);
 };
 
 /// True when the CPU (and compiler) support the AVX2+FMA backend.
@@ -225,6 +234,11 @@ inline void waxpy_binop_scalar(const SpanOps& ops, BinOp op, float* out,
                                const float* a, float c, float s,
                                std::int64_t n) {
   ops.waxpy_binop_scalar[static_cast<int>(op)](out, a, c, s, n);
+}
+inline void gather_rows(const SpanOps& ops, float* out, const float* src,
+                        const std::int32_t* idx, std::int64_t m,
+                        std::int64_t d) {
+  ops.gather_rows(out, src, idx, m, d);
 }
 
 // (No active-table convenience forms: a one-off span outside a kernel

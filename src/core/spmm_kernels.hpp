@@ -144,10 +144,16 @@ void generalized_spmm(const graph::Csr& adj,
 
   // An nnz-balanced sweep with empty rows can leave boundary gaps only if
   // boundaries were non-tiling — nnz_split_point guarantees they tile, so
-  // every row was initialized above. Degrees come from the unpartitioned
-  // CSR's cached degree vector (segments only see a slice; recomputing here
-  // serially per call was measurable on large graphs).
-  detail::spmm_postprocess<Reducer>(span, adj.degrees().data(), n, out, d_out,
+  // every row was initialized above. Unpartitioned launches read the CSR's
+  // cached degree vector; partitioned launches read the partitioning's own
+  // cached reassembly of the per-segment degree slices (seeded for free by
+  // partition_by_source's pass-1 counts) — either way the vector is
+  // materialized once per structure, never per call.
+  const std::int64_t* row_degree =
+      (parts != nullptr && parts->parts.size() > 1)
+          ? parts->row_degrees().data()
+          : adj.degrees().data();
+  detail::spmm_postprocess<Reducer>(span, row_degree, n, out, d_out,
                                     sched.num_threads);
 }
 

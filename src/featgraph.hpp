@@ -11,6 +11,8 @@
 //   gpusim::*                    GPU execution-model simulator kernels
 //   baselines::*                 Ligra-, MKL-, Gunrock-, cuSPARSE-style comparators
 //   minidgl::*                   miniature GNN framework (GCN/GraphSage/GAT)
+//   sample::*                    minibatch neighbor sampling, MFG blocks,
+//                                feature gather, pipelined serving loop
 #pragma once
 
 #include "core/attention.hpp"
@@ -25,5 +27,9 @@
 #include "graph/hilbert.hpp"
 #include "graph/partition.hpp"
 #include "graph/reorder.hpp"
+#include "sample/block.hpp"
+#include "sample/feature_loader.hpp"
+#include "sample/neighbor_sampler.hpp"
+#include "sample/pipeline.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/tensor.hpp"

@@ -1,10 +1,66 @@
 #include "graph/partition.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "support/check.hpp"
 
 namespace featgraph::graph {
+
+const std::vector<std::int64_t>& CsrSegment::degrees() const {
+  auto cached = std::atomic_load_explicit(&degree_cache_,
+                                          std::memory_order_acquire);
+  if (cached == nullptr) {
+    const auto rows = indptr.empty() ? 0 : indptr.size() - 1;
+    auto built = std::make_shared<std::vector<std::int64_t>>(rows);
+    for (std::size_t r = 0; r < rows; ++r)
+      (*built)[r] = indptr[r + 1] - indptr[r];
+    std::shared_ptr<const std::vector<std::int64_t>> expected;
+    // First writer wins; a losing racer adopts the published vector so all
+    // callers see one stable address (the Csr::degrees contract).
+    if (std::atomic_compare_exchange_strong_explicit(
+            &degree_cache_, &expected,
+            std::shared_ptr<const std::vector<std::int64_t>>(built),
+            std::memory_order_acq_rel, std::memory_order_acquire)) {
+      return *built;
+    }
+    return *expected;
+  }
+  return *cached;
+}
+
+void CsrSegment::set_degree_cache(std::vector<std::int64_t> deg) {
+  std::atomic_store_explicit(
+      &degree_cache_,
+      std::shared_ptr<const std::vector<std::int64_t>>(
+          std::make_shared<std::vector<std::int64_t>>(std::move(deg))),
+      std::memory_order_release);
+}
+
+const std::vector<std::int64_t>& SrcPartitionedCsr::row_degrees() const {
+  auto cached = std::atomic_load_explicit(&row_degree_cache_,
+                                          std::memory_order_acquire);
+  if (cached == nullptr) {
+    auto built = std::make_shared<std::vector<std::int64_t>>(
+        static_cast<std::size_t>(num_rows), 0);
+    // Column ranges tile [0, num_cols), so the segment slices sum to the
+    // unpartitioned CSR's degree vector exactly (pinned by
+    // Sample.SegmentDegreeSlicesMatchCsrDegrees).
+    for (const auto& seg : parts) {
+      const auto& slice = seg.degrees();
+      for (std::size_t r = 0; r < slice.size(); ++r) (*built)[r] += slice[r];
+    }
+    std::shared_ptr<const std::vector<std::int64_t>> expected;
+    if (std::atomic_compare_exchange_strong_explicit(
+            &row_degree_cache_, &expected,
+            std::shared_ptr<const std::vector<std::int64_t>>(built),
+            std::memory_order_acq_rel, std::memory_order_acquire)) {
+      return *built;
+    }
+    return *expected;
+  }
+  return *cached;
+}
 
 SrcPartitionedCsr partition_by_source(const Csr& in_csr, int num_parts) {
   FG_CHECK(num_parts >= 1);
@@ -58,6 +114,11 @@ SrcPartitionedCsr partition_by_source(const Csr& in_csr, int num_parts) {
     }
   }
   for (auto& seg : out.parts) {
+    // The pass-1 counts ARE the segment's degree slice; seed the cache from
+    // them before the in-place prefix conversion destroys them, so
+    // degrees() never recomputes what this loop already produced.
+    seg.set_degree_cache(
+        std::vector<std::int64_t>(seg.indptr.begin() + 1, seg.indptr.end()));
     for (vid_t r = 0; r < in_csr.num_rows; ++r)
       seg.indptr[static_cast<std::size_t>(r) + 1] +=
           seg.indptr[static_cast<std::size_t>(r)];

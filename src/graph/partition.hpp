@@ -7,6 +7,7 @@
 // dimension tiling this is the paper's central CPU optimization.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "graph/csr.hpp"
@@ -24,12 +25,37 @@ struct CsrSegment {
   std::vector<eid_t> edge_ids;
 
   eid_t nnz() const { return static_cast<eid_t>(indices.size()); }
+
+  /// Per-row degree SLICE of this segment (the in-degree restricted to
+  /// [col_begin, col_end)), cached the same way `Csr::degrees()` is:
+  /// materialized once per segment, thread-safe (racing builders both
+  /// produce identical vectors, first publication wins), shared across
+  /// copies. partition_by_source seeds the cache for free from its pass-1
+  /// counts, so partitioned launches never recompute it.
+  const std::vector<std::int64_t>& degrees() const;
+
+  /// Cache seeding hook (partition_by_source); publishes `deg` as the
+  /// segment's degree slice.
+  void set_degree_cache(std::vector<std::int64_t> deg);
+
+ private:
+  mutable std::shared_ptr<const std::vector<std::int64_t>> degree_cache_;
 };
 
 struct SrcPartitionedCsr {
   vid_t num_rows = 0;
   vid_t num_cols = 0;
   std::vector<CsrSegment> parts;
+
+  /// Full per-row degrees reassembled from the segment degree slices
+  /// (sum over segments — column ranges tile [0, num_cols)), cached like
+  /// `Csr::degrees()`. Partitioned SpMM postprocessing reads this instead
+  /// of reaching back to the unpartitioned CSR, so a partitioning is
+  /// self-contained for mean normalization and empty-row detection.
+  const std::vector<std::int64_t>& row_degrees() const;
+
+ private:
+  mutable std::shared_ptr<const std::vector<std::int64_t>> row_degree_cache_;
 };
 
 /// Splits the columns of `in_csr` into `num_parts` contiguous segments whose

@@ -63,10 +63,28 @@ SageLayer::SageLayer(std::int64_t in_dim, std::int64_t out_dim,
                "sage aggregator must be mean or max");
 }
 
+Var GcnLayer::forward(ExecContext& ctx, const sample::Block& block,
+                      const Var& x) const {
+  FG_CHECK_MSG(normalization_ == "mean",
+               "block forward supports mean normalization only");
+  Var agg = block_spmm_copy_u(ctx, block, x, "mean");
+  Var h = linear_.forward(ctx, agg);
+  return final_layer_ ? h : relu(ctx, h);
+}
+
 Var SageLayer::forward(ExecContext& ctx, const graph::Graph& g,
                        const Var& x) const {
   Var agg = spmm_copy_u(ctx, g, x, aggregator_);
   Var h = add(ctx, self_.forward(ctx, x), neigh_.forward(ctx, agg));
+  return final_layer_ ? h : relu(ctx, h);
+}
+
+Var SageLayer::forward(ExecContext& ctx, const sample::Block& block,
+                       const Var& x) const {
+  Var agg = block_spmm_copy_u(ctx, block, x, aggregator_);
+  // dst-then-src: the destinations' own features are x's first num_dst rows.
+  Var x_dst = slice_rows(ctx, x, 0, block.num_dst());
+  Var h = add(ctx, self_.forward(ctx, x_dst), neigh_.forward(ctx, agg));
   return final_layer_ ? h : relu(ctx, h);
 }
 
@@ -156,6 +174,24 @@ Var Model::forward(ExecContext& ctx, const graph::Graph& g,
     h = sage2_->forward(ctx, g, sage1_->forward(ctx, g, x));
   } else {
     h = gat2_->forward(ctx, g, gat1_->forward(ctx, g, x));
+  }
+  return log_softmax(ctx, h);
+}
+
+Var Model::forward(ExecContext& ctx, const sample::MinibatchBlocks& mfg,
+                   const Var& x) const {
+  FG_CHECK_MSG(mfg.blocks.size() == 2,
+               "2-layer models need exactly 2 blocks per minibatch");
+  Var h;
+  if (gcn1_) {
+    h = gcn2_->forward(ctx, mfg.blocks[1],
+                       gcn1_->forward(ctx, mfg.blocks[0], x));
+  } else if (sage1_) {
+    h = sage2_->forward(ctx, mfg.blocks[1],
+                        sage1_->forward(ctx, mfg.blocks[0], x));
+  } else {
+    FG_CHECK_MSG(false,
+                 "minibatch block inference supports gcn and sage models");
   }
   return log_softmax(ctx, h);
 }

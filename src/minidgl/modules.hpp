@@ -16,6 +16,7 @@
 
 #include "graph/csr.hpp"
 #include "minidgl/ops.hpp"
+#include "sample/block.hpp"
 
 namespace featgraph::minidgl {
 
@@ -40,6 +41,12 @@ class GcnLayer {
   GcnLayer(std::int64_t in_dim, std::int64_t out_dim, bool final_layer,
            std::uint64_t seed, std::string normalization = "mean");
   Var forward(ExecContext& ctx, const graph::Graph& g, const Var& x) const;
+  /// Minibatch forward over a sampled block: x holds one row per block
+  /// SOURCE node, the result one row per block destination. "mean"
+  /// normalization only (symmetric normalization needs global degrees a
+  /// block does not carry). With a full-fanout block this is bit-identical
+  /// to the full-graph forward restricted to the block's destinations.
+  Var forward(ExecContext& ctx, const sample::Block& block, const Var& x) const;
   std::vector<Var> parameters() const { return linear_.parameters(); }
 
  private:
@@ -58,6 +65,10 @@ class SageLayer {
   SageLayer(std::int64_t in_dim, std::int64_t out_dim, std::string aggregator,
             bool final_layer, std::uint64_t seed);
   Var forward(ExecContext& ctx, const graph::Graph& g, const Var& x) const;
+  /// Minibatch forward over a sampled block. The self term reads the first
+  /// num_dst rows of x — the block's dst-then-src relabeling invariant puts
+  /// the destinations' own features exactly there.
+  Var forward(ExecContext& ctx, const sample::Block& block, const Var& x) const;
   std::vector<Var> parameters() const;
 
  private:
@@ -94,6 +105,15 @@ class Model {
 
   /// Returns per-vertex log-probabilities (n x num_classes).
   Var forward(ExecContext& ctx, const graph::Graph& g, const Var& x) const;
+
+  /// Minibatch forward over the blocks of one sampled batch: layer l runs
+  /// over mfg.blocks[l]; x holds the gathered input features of
+  /// mfg.input_nodes(). Returns log-probabilities for the batch seeds
+  /// (mfg.output_nodes()), row for row. GCN and GraphSage only — GAT's
+  /// attention needs whole in-neighborhoods to softmax over, which sampled
+  /// blocks truncate.
+  Var forward(ExecContext& ctx, const sample::MinibatchBlocks& mfg,
+              const Var& x) const;
   std::vector<Var> parameters() const { return params_; }
   const std::string& kind() const { return kind_; }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 
 #include "core/attention.hpp"
@@ -12,6 +13,8 @@
 #include "gpusim/sddmm_gpu.hpp"
 #include "gpusim/spmm_gpu.hpp"
 #include "parallel/parallel_for.hpp"
+#include "sample/block.hpp"
+#include "sample/pipeline.hpp"
 #include "support/check.hpp"
 #include "tensor/ops.hpp"
 
@@ -44,8 +47,27 @@ Tensor run_spmm(ExecContext& ctx, const graph::Csr& adj,
     ctx.sim_seconds += result.cost.total_s;
     return std::move(result.out);
   }
-  core::CpuSpmmSchedule sched =
-      core::heuristic_spmm_schedule(adj, d_out, ctx.num_threads);
+  core::CpuSpmmSchedule sched;
+  if (ctx.schedule_cache != nullptr) {
+    // Shape-class memo (the minibatch pipeline): the tuner/heuristic runs
+    // once per (log2 rows, log2 nnz, width, threads) class, then the stream
+    // of same-shaped blocks reuses the winner. num_partitions is pinned to
+    // 1 (see ExecContext::schedule_cache) — also what keeps full-fanout
+    // block inference bit-identical to the unpartitioned full-graph path.
+    sched = ctx.schedule_cache->schedule_for(
+        adj.num_rows, adj.nnz(), d_out, ctx.num_threads, [&] {
+          if (ctx.tune_block_schedules) {
+            return core::tune_spmm(adj, msg_op, reduce_op, operands,
+                                   core::default_spmm_candidates(
+                                       d_out, ctx.num_threads))
+                .best;
+          }
+          return core::heuristic_spmm_schedule(adj, d_out, ctx.num_threads);
+        });
+    sched.num_partitions = 1;
+  } else {
+    sched = core::heuristic_spmm_schedule(adj, d_out, ctx.num_threads);
+  }
   return core::spmm(adj, msg_op, reduce_op, sched, operands);
 }
 
@@ -323,6 +345,46 @@ Var nll_loss(ExecContext& ctx, const Var& log_probs,
 
 // --- sparse ops ---------------------------------------------------------
 
+namespace {
+
+/// Fused copy_u/max with argmax tracking over any destination-major CSR —
+/// shared by the full-graph and block paths (the adjacency is the only
+/// difference). The argmax holds source ids in `adj`'s column space, which
+/// is what the gradient scatter needs in both cases.
+Var fused_copy_u_max(ExecContext& ctx, const graph::Csr& adj, const Var& x,
+                     std::string op_name) {
+  const std::int64_t d = x->value().row_size();
+  ExecContext* c = &ctx;
+  auto arg = std::make_shared<std::vector<vid_t>>();
+  Tensor value =
+      core::spmm_copy_u_max_arg(adj, x->value(), arg.get(), ctx.num_threads);
+  if (ctx.device == Device::kGpuSim) {
+    // Same traffic as a fused max-SpMM; charge it.
+    core::GpuSpmmSchedule sched;
+    auto r = gpusim::spmm_gpu(adj, "copy_u", "max", sched,
+                              {&x->value(), nullptr, nullptr}, ctx.gpu);
+    ctx.sim_seconds += r.cost.total_s;
+  }
+  return make_op(
+      std::move(value), {x},
+      [x, arg, c, d](Node& node) {
+        Tensor dx = Tensor::zeros(x->value().shape());
+        const std::int64_t n = node.grad().rows();
+        for (std::int64_t v = 0; v < n; ++v) {
+          const float* gv = node.grad().row(v);
+          for (std::int64_t j = 0; j < d; ++j) {
+            const vid_t u = (*arg)[static_cast<std::size_t>(v * d + j)];
+            if (u >= 0) dx.at(u, j) += gv[j];
+          }
+        }
+        charge_dense(*c, 0.0, node.grad().numel() * 12.0);
+        x->accumulate_grad(dx);
+      },
+      std::move(op_name));
+}
+
+}  // namespace
+
 Var spmm_copy_u(ExecContext& ctx, const graph::Graph& g, const Var& x,
                 const std::string& reduce) {
   FG_CHECK_MSG(reduce == "sum" || reduce == "mean" || reduce == "max",
@@ -335,33 +397,7 @@ Var spmm_copy_u(ExecContext& ctx, const graph::Graph& g, const Var& x,
     // Both backends need the argmax for the gradient; the fused kernel
     // tracks the winning source, the materialize path the winning edge.
     if (ctx.backend == SparseBackend::kFused) {
-      auto arg = std::make_shared<std::vector<vid_t>>();
-      Tensor value =
-          core::spmm_copy_u_max_arg(g.in_csr(), x->value(), arg.get(),
-                                    ctx.num_threads);
-      if (ctx.device == Device::kGpuSim) {
-        // Same traffic as a fused max-SpMM; charge it.
-        core::GpuSpmmSchedule sched;
-        auto r = gpusim::spmm_gpu(g.in_csr(), "copy_u", "max", sched,
-                                  {&x->value(), nullptr, nullptr}, ctx.gpu);
-        ctx.sim_seconds += r.cost.total_s;
-      }
-      return make_op(
-          std::move(value), {x},
-          [x, arg, c, d](Node& node) {
-            Tensor dx = Tensor::zeros(x->value().shape());
-            const std::int64_t n = node.grad().rows();
-            for (std::int64_t v = 0; v < n; ++v) {
-              const float* gv = node.grad().row(v);
-              for (std::int64_t j = 0; j < d; ++j) {
-                const vid_t u = (*arg)[static_cast<std::size_t>(v * d + j)];
-                if (u >= 0) dx.at(u, j) += gv[j];
-              }
-            }
-            charge_dense(*c, 0.0, node.grad().numel() * 12.0);
-            x->accumulate_grad(dx);
-          },
-          "spmm_copy_u_max");
+      return fused_copy_u_max(ctx, g.in_csr(), x, "spmm_copy_u_max");
     }
     // Materialize: gather messages, segment-max with edge arg.
     Tensor msgs = gather_rows(ctx, x->value(), g.coo().src);
@@ -413,6 +449,70 @@ Var spmm_copy_u(ExecContext& ctx, const graph::Graph& g, const Var& x,
         }
       },
       "spmm_copy_u_" + reduce);
+}
+
+Var block_spmm_copy_u(ExecContext& ctx, const sample::Block& block,
+                      const Var& x, const std::string& reduce) {
+  FG_CHECK_MSG(reduce == "sum" || reduce == "mean" || reduce == "max",
+               "block_spmm_copy_u supports sum/mean/max");
+  FG_CHECK_MSG(x->value().rows() == block.num_src(),
+               "x must hold one row per block source node");
+  const std::int64_t d = x->value().row_size();
+  ExecContext* c = &ctx;
+  const graph::Csr& adj = block.adj;
+
+  if (reduce == "max") {
+    // Same fused max-with-argmax kernel the full-graph path runs; the
+    // argmax holds block-LOCAL source ids, exactly what the shared
+    // gradient scatter needs.
+    return fused_copy_u_max(ctx, adj, x, "block_spmm_copy_u_max");
+  }
+
+  // sum / mean: block aggregation always runs the fused kernels (the block
+  // adjacency is a drop-in Csr for generalized_spmm; materialized_bytes
+  // stays 0 — serving never materializes messages).
+  Tensor value = run_spmm(ctx, adj, "copy_u", reduce,
+                          {&x->value(), nullptr, nullptr}, d);
+  const bool is_mean = reduce == "mean";
+  // The tape must not dangle into the caller's Block (batches are destroyed
+  // right after the forward in the serving loop), so backward captures its
+  // own copy of the adjacency — taken only when a gradient can actually
+  // flow; pure inference pays nothing.
+  std::shared_ptr<const graph::Csr> adj_copy =
+      x->requires_grad() ? std::make_shared<graph::Csr>(adj) : nullptr;
+  return make_op(
+      std::move(value), {x},
+      [x, c, d, is_mean, adj_copy](Node& node) {
+        FG_CHECK_MSG(adj_copy != nullptr,
+                     "block_spmm_copy_u backward without requires_grad input");
+        Tensor dout = node.grad();
+        if (is_mean) dout = scale_rows(node.grad(), inverse_in_degrees(*adj_copy));
+        // d(loss)/dx[u] = sum over block out-edges (u->v) of dout[v]: an
+        // SpMM over the transposed block adjacency.
+        const graph::Csr rev = graph::transpose(*adj_copy);
+        x->accumulate_grad(
+            run_spmm(*c, rev, "copy_u", "sum", {&dout, nullptr, nullptr}, d));
+      },
+      "block_spmm_copy_u_" + reduce);
+}
+
+Var slice_rows(ExecContext& ctx, const Var& x, std::int64_t begin,
+               std::int64_t count) {
+  FG_CHECK(begin >= 0 && count >= 0 && begin + count <= x->value().rows());
+  const std::int64_t d = x->value().row_size();
+  Tensor value({count, d});
+  std::memcpy(value.data(), x->value().data() + begin * d,
+              static_cast<std::size_t>(count * d) * sizeof(float));
+  charge_dense(ctx, 0.0, 2.0 * static_cast<double>(count) * d * 4.0);
+  return make_op(
+      std::move(value), {x},
+      [x, begin, count, d](Node& node) {
+        Tensor dx = Tensor::zeros(x->value().shape());
+        std::memcpy(dx.data() + begin * d, node.grad().data(),
+                    static_cast<std::size_t>(count * d) * sizeof(float));
+        x->accumulate_grad(dx);
+      },
+      "slice_rows");
 }
 
 Var spmm_u_mul_e(ExecContext& ctx, const graph::Graph& g, const Var& x,

@@ -23,6 +23,11 @@
 #include "graph/csr.hpp"
 #include "minidgl/autograd.hpp"
 
+namespace featgraph::sample {
+class BlockScheduleCache;
+struct Block;
+}  // namespace featgraph::sample
+
 namespace featgraph::minidgl {
 
 enum class SparseBackend { kFused, kMaterialize };
@@ -33,6 +38,19 @@ struct ExecContext {
   Device device = Device::kCpu;
   int num_threads = 2;
   gpusim::DeviceSpec gpu;
+
+  /// When set, CPU sparse ops resolve their schedule through this
+  /// shape-class memo (sample/pipeline.hpp) instead of re-deriving it per
+  /// launch — the minibatch pipeline's "consult the tuner once per shape
+  /// class" contract. Schedules served from it pin num_partitions == 1:
+  /// blocks are minibatch-sized (no LLC pressure to partition away) and the
+  /// per-uid partition cache would grow without bound over a stream of
+  /// short-lived block adjacencies.
+  sample::BlockScheduleCache* schedule_cache = nullptr;
+  /// With schedule_cache set: consult the grid tuner (tune_spmm over the
+  /// default candidate grid, timed on the first block of each shape class)
+  /// instead of the O(1) heuristic.
+  bool tune_block_schedules = false;
 
   /// Simulated GPU seconds accumulated across ops (kGpuSim only).
   double sim_seconds = 0.0;
@@ -66,6 +84,23 @@ Var nll_loss(ExecContext& ctx, const Var& log_probs,
 /// h[v] = reduce over in-edges of x[u];  reduce in {"sum", "mean", "max"}.
 Var spmm_copy_u(ExecContext& ctx, const graph::Graph& g, const Var& x,
                 const std::string& reduce);
+
+/// Minibatch (MFG) form of spmm_copy_u: aggregates over a sampled block's
+/// local adjacency (sample/block.hpp). `x` holds one row per block SOURCE
+/// node; the result has one row per block destination. Backward routes the
+/// gradient through the transposed block adjacency (built lazily, only when
+/// an input requires grad — inference pays nothing). The block must outlive
+/// the forward call only; the autograd tape keeps its own copy of what
+/// backward needs.
+Var block_spmm_copy_u(ExecContext& ctx, const sample::Block& block,
+                      const Var& x, const std::string& reduce);
+
+/// Rows [begin, begin + count) of x as a new Var; backward scatters the
+/// gradient back into the sliced range. With a block's dst-then-src
+/// invariant, slice_rows(x, 0, block.num_dst()) is the destination
+/// (self-term) feature tensor.
+Var slice_rows(ExecContext& ctx, const Var& x, std::int64_t begin,
+               std::int64_t count);
 
 /// h[v] = sum over in-edges of w_e * x[u]; w is an edge-scalar variable of
 /// shape {|E|} (attention-weighted aggregation).

@@ -1,5 +1,8 @@
 #include "minidgl/train.hpp"
 
+#include <cstring>
+
+#include "sample/neighbor_sampler.hpp"
 #include "support/timer.hpp"
 
 namespace featgraph::minidgl {
@@ -47,6 +50,78 @@ EpochResult Trainer::infer() {
       ctx_.device == Device::kGpuSim ? ctx_.sim_seconds : timer.seconds();
   result.materialized_bytes = ctx_.materialized_bytes;
   return result;
+}
+
+MinibatchInferResult Trainer::infer_minibatch(
+    const MinibatchInferOptions& options,
+    const std::vector<std::int64_t>& rows) {
+  MinibatchInferResult result;
+  ctx_.reset_accounting();
+  support::Timer timer;
+
+  std::vector<graph::vid_t> seeds;
+  seeds.reserve(rows.size());
+  for (const std::int64_t r : rows)
+    seeds.push_back(static_cast<graph::vid_t>(r));
+
+  sample::NeighborSampler sampler(data_->graph.in_csr(), options.sampler);
+  sample::PipelineOptions popts;
+  popts.batch_size = options.batch_size;
+  popts.queue_capacity = options.queue_capacity;
+  popts.pipelined = options.pipelined;
+  popts.gather_threads = ctx_.num_threads;
+
+  const std::int64_t num_classes = data_->num_classes;
+  result.log_probs =
+      tensor::Tensor({static_cast<std::int64_t>(seeds.size()), num_classes});
+
+  // Route the consumer's sparse launches through one shape-class schedule
+  // cache for the whole epoch; restore the context afterwards so full-batch
+  // paths keep their per-launch heuristic.
+  sample::BlockScheduleCache schedule_cache;
+  sample::BlockScheduleCache* prev_cache = ctx_.schedule_cache;
+  const bool prev_tune = ctx_.tune_block_schedules;
+  ctx_.schedule_cache = &schedule_cache;
+  ctx_.tune_block_schedules = options.tune_schedules;
+
+  std::int64_t out_row = 0;
+  result.pipeline = sample::run_pipeline(
+      sampler, data_->features, seeds, popts,
+      [&](sample::PreparedBatch& batch) {
+        Var x = make_leaf(std::move(batch.input_feats), false, "block_feats");
+        Var lp = model_.forward(ctx_, batch.blocks, x);
+        const tensor::Tensor& v = lp->value();
+        std::memcpy(result.log_probs.row(out_row), v.data(),
+                    static_cast<std::size_t>(v.numel()) * sizeof(float));
+        out_row += v.rows();
+      });
+
+  ctx_.schedule_cache = prev_cache;
+  ctx_.tune_block_schedules = prev_tune;
+  result.schedule_cache_hits = schedule_cache.hits();
+  result.schedule_cache_misses = schedule_cache.misses();
+
+  // Seed rows were consumed in order, so log_probs row i belongs to rows[i].
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const float* lp = result.log_probs.row(static_cast<std::int64_t>(i));
+    std::int64_t best = 0;
+    for (std::int64_t cls = 1; cls < num_classes; ++cls)
+      if (lp[cls] > lp[best]) best = cls;
+    if (best == data_->labels[static_cast<std::size_t>(rows[i])]) ++correct;
+  }
+  result.accuracy = rows.empty()
+                        ? 0.0
+                        : static_cast<double>(correct) /
+                              static_cast<double>(rows.size());
+  result.seconds =
+      ctx_.device == Device::kGpuSim ? ctx_.sim_seconds : timer.seconds();
+  return result;
+}
+
+MinibatchInferResult Trainer::infer_minibatch(
+    const MinibatchInferOptions& options) {
+  return infer_minibatch(options, data_->test_rows);
 }
 
 double Trainer::test_accuracy() {

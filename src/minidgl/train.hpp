@@ -8,6 +8,7 @@
 #include "minidgl/data.hpp"
 #include "minidgl/modules.hpp"
 #include "minidgl/optim.hpp"
+#include "sample/pipeline.hpp"
 
 namespace featgraph::minidgl {
 
@@ -20,6 +21,33 @@ struct EpochResult {
   double materialized_bytes = 0.0;
 };
 
+/// Knobs of one minibatch block-inference epoch (the serving loop).
+struct MinibatchInferOptions {
+  /// Per-layer fanouts, input layer first; {-1, -1} = full fanout (exactly
+  /// reproduces full-graph inference, bit for bit).
+  sample::SamplerConfig sampler{{-1, -1}, false, 1};
+  std::int64_t batch_size = 256;
+  int queue_capacity = 2;
+  /// Overlap sampling + gather of batch i+1 with block compute of batch i.
+  bool pipelined = true;
+  /// Grid-tune the first block of each shape class (default: O(1)
+  /// heuristic). Either way the winner is memoized in the shape-class
+  /// schedule cache, so tuning cost amortizes across the batch stream.
+  bool tune_schedules = false;
+};
+
+struct MinibatchInferResult {
+  /// Accuracy over the seed rows this epoch inferred.
+  double accuracy = 0.0;
+  /// Wall-clock seconds on CPU; simulated seconds on kGpuSim.
+  double seconds = 0.0;
+  /// Per-seed log-probabilities, row i for seed rows[i].
+  tensor::Tensor log_probs;
+  sample::PipelineStats pipeline;
+  std::int64_t schedule_cache_hits = 0;
+  std::int64_t schedule_cache_misses = 0;
+};
+
 class Trainer {
  public:
   Trainer(const ClassificationData& data, Model model, ExecContext ctx,
@@ -30,6 +58,14 @@ class Trainer {
 
   /// One inference pass (forward only), reporting test accuracy.
   EpochResult infer();
+
+  /// Minibatch block inference over the seed vertices `rows` (default: the
+  /// test split): neighbor sampling + SIMD feature gather feed the pipelined
+  /// serving loop; each batch runs the model's block forward. GCN and
+  /// GraphSage models only.
+  MinibatchInferResult infer_minibatch(const MinibatchInferOptions& options,
+                                       const std::vector<std::int64_t>& rows);
+  MinibatchInferResult infer_minibatch(const MinibatchInferOptions& options);
 
   /// Test accuracy of the current parameters.
   double test_accuracy();

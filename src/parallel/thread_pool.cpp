@@ -29,25 +29,35 @@ ThreadPool& ThreadPool::global() {
 }
 
 void ThreadPool::launch(int num_threads, const std::function<void(int, int)>& fn) {
+  // Launches are serialized: nested/concurrent launches run inline instead of
+  // deadlocking on the single job slot.
+  if (!launch_if_idle(num_threads, fn)) {
+    for (int tid = 0; tid < num_threads; ++tid) fn(tid, num_threads);
+  }
+}
+
+bool ThreadPool::launch_if_idle(int num_threads,
+                                const std::function<void(int, int)>& fn) {
   FG_CHECK(num_threads >= 1);
   if (num_threads == 1) {
     fn(0, 1);
-    return;
+    return true;
   }
-
   std::unique_lock<std::mutex> lock(mutex_);
-  // Launches are serialized: nested/concurrent launches run inline instead of
-  // deadlocking on the single job slot.
-  if (job_ != nullptr) {
-    lock.unlock();
-    for (int tid = 0; tid < num_threads; ++tid) fn(tid, num_threads);
-    return;
-  }
+  // Decline under the lock — unlike launch()'s inline fallback, the caller
+  // learns its lanes would NOT have run concurrently and takes another path.
+  if (job_ != nullptr) return false;
   job_ = &fn;
   job_lanes_ = num_threads;
   next_lane_ = 0;
   lanes_remaining_ = num_threads;
   ++epoch_;
+  run_claimed_lanes(lock, fn);
+  return true;
+}
+
+void ThreadPool::run_claimed_lanes(std::unique_lock<std::mutex>& lock,
+                                   const std::function<void(int, int)>& fn) {
   lock.unlock();
   work_ready_.notify_all();
 

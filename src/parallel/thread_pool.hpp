@@ -33,11 +33,26 @@ class ThreadPool {
 
   unsigned num_workers() const { return static_cast<unsigned>(workers_.size()); }
 
+  /// Like launch(), but atomically declines instead of running inline when
+  /// a launch is already in flight: returns false WITHOUT executing any
+  /// lane. For callers that need GENUINE lane concurrency — the sampling
+  /// pipeline's producer/consumer pair, where a producer blocking on a
+  /// bounded queue with no consumer lane running would deadlock. The claim
+  /// happens under the job-slot lock, so there is no busy-check/launch race:
+  /// either this call owns the slot (lanes run concurrently, workers are
+  /// idle by the serialization invariant) or the caller takes its fallback.
+  bool launch_if_idle(int num_threads, const std::function<void(int, int)>& fn);
+
   /// Process-wide pool, sized to hardware concurrency, created on first use.
   static ThreadPool& global();
 
  private:
   void worker_loop();
+  /// Runs the claimed job's lanes (caller participates), waits for
+  /// completion, releases the job slot. `lock` must hold mutex_ with the
+  /// job state already published.
+  void run_claimed_lanes(std::unique_lock<std::mutex>& lock,
+                         const std::function<void(int, int)>& fn);
 
   std::vector<std::thread> workers_;
   std::mutex mutex_;

@@ -1,0 +1,59 @@
+#include "sample/block.hpp"
+
+#include <unordered_map>
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace featgraph::sample {
+
+Block make_block(const graph::Csr& g, std::vector<graph::vid_t> dst,
+                 const std::vector<std::vector<std::int64_t>>& picked) {
+  FG_CHECK(picked.size() == dst.size());
+  Block b;
+  b.dst_nodes = std::move(dst);
+  b.src_nodes = b.dst_nodes;  // dst-then-src: destinations lead the sources
+
+  // Relabel map over original ids. Built from dst first (their local ids are
+  // their positions), then extended by first appearance while scanning the
+  // sampled edges in (row, position) order — deterministic for a fixed
+  // sample, independent of hash iteration order (the map is only probed,
+  // never iterated).
+  std::unordered_map<graph::vid_t, graph::vid_t> local;
+  local.reserve(b.src_nodes.size() * 2 + 16);
+  for (std::size_t i = 0; i < b.dst_nodes.size(); ++i) {
+    const bool fresh =
+        local.emplace(b.dst_nodes[i], static_cast<graph::vid_t>(i)).second;
+    FG_CHECK_MSG(fresh, "block destinations must be duplicate-free");
+  }
+
+  std::int64_t total = 0;
+  for (const auto& row : picked) total += static_cast<std::int64_t>(row.size());
+
+  b.adj.num_rows = b.num_dst();
+  b.adj.indptr.reserve(b.dst_nodes.size() + 1);
+  b.adj.indptr.push_back(0);
+  b.adj.indices.reserve(static_cast<std::size_t>(total));
+  b.adj.edge_ids.reserve(static_cast<std::size_t>(total));
+
+  for (std::size_t i = 0; i < b.dst_nodes.size(); ++i) {
+    const graph::vid_t v = b.dst_nodes[i];
+    const std::int64_t lo = g.indptr[static_cast<std::size_t>(v)];
+    const std::int64_t hi = g.indptr[static_cast<std::size_t>(v) + 1];
+    (void)hi;  // only read by the debug bound check below
+    for (const std::int64_t p : picked[i]) {
+      FG_DCHECK(p >= 0 && lo + p < hi);
+      const graph::vid_t u = g.indices[static_cast<std::size_t>(lo + p)];
+      auto [it, fresh] =
+          local.try_emplace(u, static_cast<graph::vid_t>(b.src_nodes.size()));
+      if (fresh) b.src_nodes.push_back(u);
+      b.adj.indices.push_back(it->second);
+      b.adj.edge_ids.push_back(g.edge_ids[static_cast<std::size_t>(lo + p)]);
+    }
+    b.adj.indptr.push_back(static_cast<std::int64_t>(b.adj.indices.size()));
+  }
+  b.adj.num_cols = b.num_src();
+  return b;
+}
+
+}  // namespace featgraph::sample

@@ -1,0 +1,72 @@
+// Message-flow-graph (MFG) blocks — the bipartite adjacencies minibatch GNN
+// systems (DGL, TF-GNN) run layers over instead of the full graph.
+//
+// A Block is the sampled 1-hop neighborhood of a set of DESTINATION vertices,
+// relabeled into a compact local id space:
+//
+//   * dst nodes get local ids [0, num_dst) in seed order;
+//   * src nodes are the dst nodes FIRST (same ids — the "dst-then-src"
+//     invariant: block source row v < num_dst holds the features of
+//     destination v, which is what a SAGE/GCN self term reads), followed by
+//     the newly sampled neighbors in first-appearance order.
+//
+// The block adjacency is a regular destination-major graph::Csr over the
+// local ids (num_rows = num_dst, num_cols = num_src) whose edge_ids keep the
+// ORIGINAL graph edge ids, so it is a drop-in adjacency for generalized_spmm,
+// core::attention, and every edge-feature-indexed kernel in the repo. With a
+// full fanout the per-row neighbor order is exactly the original CSR's row
+// order, which is what makes full-fanout block inference bit-identical to
+// full-graph inference.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace featgraph::sample {
+
+struct Block {
+  /// Destination-major CSR over block-local ids; edge_ids are original graph
+  /// edge ids.
+  graph::Csr adj;
+  /// Local src id -> original vertex id; src_nodes[i] == dst_nodes[i] for
+  /// i < num_dst() (the dst-then-src invariant).
+  std::vector<graph::vid_t> src_nodes;
+  /// Local dst id -> original vertex id.
+  std::vector<graph::vid_t> dst_nodes;
+
+  graph::vid_t num_dst() const {
+    return static_cast<graph::vid_t>(dst_nodes.size());
+  }
+  graph::vid_t num_src() const {
+    return static_cast<graph::vid_t>(src_nodes.size());
+  }
+};
+
+/// The per-layer blocks of one minibatch, input layer first: blocks[l] is
+/// what layer l's aggregation runs over. Chained by construction:
+/// blocks[l].dst_nodes == blocks[l + 1].src_nodes, so the (num_dst x d)
+/// output of layer l is, row for row, the source tensor of layer l + 1.
+struct MinibatchBlocks {
+  std::vector<Block> blocks;
+
+  /// Vertices whose input features must be gathered (layer 0's sources).
+  const std::vector<graph::vid_t>& input_nodes() const {
+    return blocks.front().src_nodes;
+  }
+  /// The minibatch seeds (last layer's destinations).
+  const std::vector<graph::vid_t>& output_nodes() const {
+    return blocks.back().dst_nodes;
+  }
+};
+
+/// Builds one block from per-destination sampled edges. `dst` lists the
+/// destination vertices (must be duplicate-free); `picked[i]` holds the
+/// chosen positions into `g`'s row dst[i] (ascending for CSR-order
+/// preservation; the sampler guarantees this). De-dup and dst-then-src
+/// relabeling happen here.
+Block make_block(const graph::Csr& g, std::vector<graph::vid_t> dst,
+                 const std::vector<std::vector<std::int64_t>>& picked);
+
+}  // namespace featgraph::sample

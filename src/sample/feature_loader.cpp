@@ -1,0 +1,30 @@
+#include "sample/feature_loader.hpp"
+
+#include "core/simd.hpp"
+#include "parallel/parallel_for.hpp"
+#include "support/check.hpp"
+
+namespace featgraph::sample {
+
+tensor::Tensor gather_rows(const tensor::Tensor& features,
+                           const std::vector<graph::vid_t>& rows,
+                           int num_threads) {
+  const std::int64_t d = features.row_size();
+  const auto m = static_cast<std::int64_t>(rows.size());
+  tensor::Tensor out({m, d});
+  if (m == 0 || d == 0) return out;
+  const std::int64_t n = features.rows();
+  for (const graph::vid_t r : rows)
+    FG_CHECK_MSG(r >= 0 && r < n, "gather row out of range");
+  // Dispatch hoisted per launch, width-aware like the kernel templates: a
+  // d < 16 gather resolves the AVX2 table outright.
+  const simd::SpanOps& ops = simd::span_ops_for_width(d);
+  parallel::parallel_for_ranges(
+      0, m, num_threads, [&](std::int64_t r0, std::int64_t r1) {
+        simd::gather_rows(ops, out.data() + r0 * d, features.data(),
+                          rows.data() + r0, r1 - r0, d);
+      });
+  return out;
+}
+
+}  // namespace featgraph::sample

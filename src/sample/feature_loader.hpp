@@ -1,0 +1,25 @@
+// SIMD row-gather of input features into block-local tensors.
+//
+// Minibatch inference reads a scattered subset of the global feature matrix
+// (one row per block input node) into a dense (num_src x d) tensor the
+// kernels can stream. The inner copy is the `gather_rows` span primitive
+// (core/simd.hpp) — exact class, bit-for-bit across scalar/AVX2/AVX-512, so
+// the gathered tensor is bitwise the corresponding rows of the source and
+// block kernels see exactly the bytes full-graph kernels would.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "tensor/tensor.hpp"
+
+namespace featgraph::sample {
+
+/// Returns the (rows.size() x d) tensor whose row i is features.row(rows[i]).
+/// Threaded over the row list when num_threads > 1 (each lane gathers a
+/// contiguous slice — race-free, output rows are disjoint).
+tensor::Tensor gather_rows(const tensor::Tensor& features,
+                           const std::vector<graph::vid_t>& rows,
+                           int num_threads = 1);
+
+}  // namespace featgraph::sample

@@ -1,0 +1,62 @@
+// Seeded, deterministic uniform k-hop neighbor sampling over graph::Csr —
+// the minibatch front end of every serving-scale GNN system (DGL's
+// NeighborSampler, GraphSAGE's fanout sampling).
+//
+// Determinism contract: the sampled blocks are a pure function of
+// (graph, config.seed, batch_index, seeds). Each (batch, hop, destination)
+// triple draws from its OWN splittable RNG stream (support::Rng's
+// (seed, stream) constructor), so results do not depend on how many threads
+// run the pipeline, in which order batches are produced, or what was sampled
+// before — the property Pipeline.DeterministicAcrossPipelineThreads pins.
+//
+// Fanout semantics per destination row of in-degree deg:
+//   * fanout < 0  — full neighborhood, all deg edges in CSR order (no RNG
+//     draw at all, so full-fanout blocks are identical under ANY seed and
+//     reproduce full-graph kernels bit-for-bit);
+//   * without replacement — min(deg, fanout) DISTINCT edges (Floyd's
+//     algorithm), emitted in ascending CSR position order;
+//   * with replacement — exactly fanout draws (deg > 0), ascending order,
+//     duplicates allowed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "sample/block.hpp"
+
+namespace featgraph::sample {
+
+struct SamplerConfig {
+  /// Per-layer fanouts, input layer first (fanouts.size() == number of
+  /// layers == number of blocks). fanout < 0 means full neighborhood.
+  std::vector<std::int64_t> fanouts;
+  /// Sample with replacement (duplicates allowed, exactly `fanout` draws on
+  /// non-empty rows).
+  bool replace = false;
+  /// Base seed of the splittable stream family.
+  std::uint64_t seed = 1;
+};
+
+class NeighborSampler {
+ public:
+  /// `in_csr` must outlive the sampler (it is captured by reference — pass
+  /// the graph's in-CSR, never a temporary).
+  NeighborSampler(const graph::Csr& in_csr, SamplerConfig config);
+
+  /// Samples the message-flow-graph blocks for one minibatch of seed
+  /// (output) vertices. `batch_index` selects the RNG stream family, making
+  /// the call a pure function of its arguments — callers may sample batches
+  /// in any order, concurrently, and reproduce results exactly.
+  MinibatchBlocks sample(const std::vector<graph::vid_t>& seeds,
+                        std::uint64_t batch_index) const;
+
+  const SamplerConfig& config() const { return config_; }
+  const graph::Csr& graph() const { return *csr_; }
+
+ private:
+  const graph::Csr* csr_;
+  SamplerConfig config_;
+};
+
+}  // namespace featgraph::sample

@@ -1,0 +1,224 @@
+#include "sample/pipeline.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <thread>
+#include <utility>
+
+#include "parallel/thread_pool.hpp"
+#include "sample/feature_loader.hpp"
+#include "support/check.hpp"
+#include "support/timer.hpp"
+
+namespace featgraph::sample {
+
+namespace {
+
+/// Bounded FIFO handoff between the producer and consumer lanes (CP.42
+/// style: every wait has a predicate). close() lets the producer signal
+/// end-of-stream once the last batch is pushed.
+class BatchQueue {
+ public:
+  explicit BatchQueue(int capacity) : capacity_(capacity) {
+    FG_CHECK(capacity >= 1);
+  }
+
+  void push(PreparedBatch&& batch) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [&] {
+      return static_cast<int>(queue_.size()) < capacity_;
+    });
+    queue_.push_back(std::move(batch));
+    if (static_cast<int>(queue_.size()) > max_depth_)
+      max_depth_ = static_cast<int>(queue_.size());
+    not_empty_.notify_one();
+  }
+
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+  }
+
+  /// False at end-of-stream (queue drained and closed).
+  bool pop(PreparedBatch& out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) return false;
+    out = std::move(queue_.front());
+    queue_.pop_front();
+    not_full_.notify_one();
+    return true;
+  }
+
+  int max_depth() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return max_depth_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<PreparedBatch> queue_;
+  const int capacity_;
+  int max_depth_ = 0;
+  bool closed_ = false;
+};
+
+PreparedBatch produce_batch(const NeighborSampler& sampler,
+                            const tensor::Tensor& features,
+                            const std::vector<graph::vid_t>& seeds,
+                            std::int64_t index, std::int64_t batch_size,
+                            int gather_threads) {
+  PreparedBatch batch;
+  batch.index = index;
+  const auto lo = static_cast<std::size_t>(index * batch_size);
+  const auto hi = std::min(seeds.size(), lo + static_cast<std::size_t>(batch_size));
+  batch.seeds.assign(seeds.begin() + static_cast<std::ptrdiff_t>(lo),
+                     seeds.begin() + static_cast<std::ptrdiff_t>(hi));
+  batch.blocks =
+      sampler.sample(batch.seeds, static_cast<std::uint64_t>(index));
+  batch.input_feats =
+      gather_rows(features, batch.blocks.input_nodes(), gather_threads);
+  return batch;
+}
+
+}  // namespace
+
+PipelineStats run_pipeline(const NeighborSampler& sampler,
+                           const tensor::Tensor& features,
+                           const std::vector<graph::vid_t>& seeds,
+                           const PipelineOptions& options,
+                           const std::function<void(PreparedBatch&)>& consume) {
+  FG_CHECK(options.batch_size >= 1);
+  PipelineStats stats;
+  const std::int64_t num_batches =
+      (static_cast<std::int64_t>(seeds.size()) + options.batch_size - 1) /
+      options.batch_size;
+  stats.batches = num_batches;
+  if (num_batches == 0) return stats;
+  support::Timer total;
+
+  // The 2-lane overlap needs GENUINE lane concurrency: a producer blocking
+  // on a full queue no consumer lane is draining would deadlock. So the
+  // overlap only runs if launch_if_idle atomically claims the pool's job
+  // slot — claimed means our two lanes really run concurrently (pool
+  // workers are idle by the launch-serialization invariant); declined
+  // (run_pipeline called from inside another launch, or racing one) means
+  // the loop below serves serially instead.
+  if (options.pipelined && num_batches > 1) {
+    BatchQueue queue(options.queue_capacity);
+    double produce_seconds = 0.0;
+    double consume_seconds = 0.0;
+    std::thread::id lane_thread[2];
+    const bool claimed = parallel::ThreadPool::global().launch_if_idle(
+        2, [&](int tid, int) {
+          lane_thread[tid] = std::this_thread::get_id();
+          if (tid == 0) {
+            // Producer: sample + gather batch i while the consumer computes
+            // i-1. Work is timed per batch so queue-blocked time is not
+            // counted.
+            for (std::int64_t i = 0; i < num_batches; ++i) {
+              support::Timer t;
+              PreparedBatch batch =
+                  produce_batch(sampler, features, seeds, i,
+                                options.batch_size, options.gather_threads);
+              produce_seconds += t.seconds();
+              queue.push(std::move(batch));
+            }
+            queue.close();
+          } else {
+            PreparedBatch batch;
+            while (queue.pop(batch)) {
+              support::Timer t;
+              consume(batch);
+              consume_seconds += t.seconds();
+            }
+          }
+        });
+    if (claimed) {
+      stats.produce_seconds = produce_seconds;
+      stats.consume_seconds = consume_seconds;
+      stats.max_queue_depth = queue.max_depth();
+      // Claiming the job slot makes concurrency POSSIBLE; report whether it
+      // actually happened. If the fast producer drained every batch before
+      // a worker woke, the caller ran both lanes back to back — that's a
+      // serial execution and the bench comparison must not call it overlap.
+      stats.overlapped = lane_thread[0] != lane_thread[1];
+      stats.total_seconds = total.seconds();
+      return stats;
+    }
+  }
+
+  for (std::int64_t i = 0; i < num_batches; ++i) {
+    support::Timer t;
+    PreparedBatch batch = produce_batch(sampler, features, seeds, i,
+                                        options.batch_size,
+                                        options.gather_threads);
+    stats.produce_seconds += t.seconds();
+    t.reset();
+    consume(batch);
+    stats.consume_seconds += t.seconds();
+  }
+  stats.total_seconds = total.seconds();
+  return stats;
+}
+
+core::CpuSpmmSchedule BlockScheduleCache::schedule_for(
+    std::int64_t rows, std::int64_t nnz, std::int64_t feat_width,
+    int num_threads, const std::function<core::CpuSpmmSchedule()>& tune) {
+  // Shape-class key: sizes quantized to their floor log2 bucket (blocks of
+  // one batch stream differ by a few rows/edges, not by magnitude), feature
+  // width and thread count exact (few distinct values, and schedules
+  // genuinely depend on them).
+  auto log2_bucket = [](std::int64_t v) -> std::uint64_t {
+    std::uint64_t b = 0;
+    while (v > 1) {
+      v >>= 1;
+      ++b;
+    }
+    return b;
+  };
+  const std::uint64_t key = (log2_bucket(rows) << 48) ^
+                            (log2_bucket(nnz) << 40) ^
+                            (static_cast<std::uint64_t>(feat_width) << 8) ^
+                            static_cast<std::uint64_t>(num_threads);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      ++hits_;
+      return it->second;
+    }
+  }
+  // Tune OUTSIDE the lock: a real tuner callback times kernel launches and
+  // must not serialize against concurrent lookups. Two racers may both tune
+  // the same fresh class; last write wins (both schedules are valid).
+  const core::CpuSpmmSchedule sched = tune();
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++misses_;
+  cache_[key] = sched;
+  return sched;
+}
+
+std::int64_t BlockScheduleCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::int64_t BlockScheduleCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+void BlockScheduleCache::reset_stats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace featgraph::sample

@@ -1,0 +1,123 @@
+// Pipelined minibatch serving loop + block-schedule cache.
+//
+// The serving-scale inference loop every minibatch GNN system runs:
+//
+//        producer lane                    consumer lane
+//   ┌──────────────────────┐   bounded   ┌─────────────────────────┐
+//   │ sample blocks i+1    │    queue    │ block compute of batch i │
+//   │ gather features i+1  ├────────────▶│ (SpMM / SAGE / GCN ...)  │
+//   └──────────────────────┘  (capacity) └─────────────────────────┘
+//
+// Batch i+1's sampling + feature gather overlaps batch i's block compute.
+// Both lanes run as ONE 2-lane launch on the existing thread pool (the
+// caller executes one lane, a pool worker the other). ThreadPool serializes
+// launches — a nested launch runs inline — so the consumer's kernels may
+// freely use parallel_for inside its lane; and the overlap itself only runs
+// when ThreadPool::launch_if_idle atomically claims the job slot. A
+// declined claim (run_pipeline called from inside another launch, or racing
+// a concurrent one — where the two lanes would run sequentially and a full
+// queue could never drain) falls back to the serial path. No
+// check-then-launch window exists: the claim happens under the pool's lock.
+//
+// Determinism: batch i's blocks are a pure function of (graph, seed, i) —
+// see neighbor_sampler.hpp — and the consumer always sees batches in index
+// order, so pipelined and serial runs produce identical results.
+//
+// The BlockScheduleCache amortizes schedule selection across the stream:
+// sampled blocks arrive by the thousands with only a handful of distinct
+// SHAPES (batch size x fanout x feature width), so the tuner/heuristic is
+// consulted once per shape class — (log2 rows, log2 nnz, exact feature
+// width, threads) — instead of once per batch. minidgl's ExecContext
+// carries an optional pointer to one; the sparse ops route their schedule
+// lookup through it when set.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "sample/neighbor_sampler.hpp"
+#include "tensor/tensor.hpp"
+
+namespace featgraph::sample {
+
+/// One produced minibatch, ready for block compute.
+struct PreparedBatch {
+  std::int64_t index = 0;
+  std::vector<graph::vid_t> seeds;
+  MinibatchBlocks blocks;
+  /// Gathered input features: one row per blocks.input_nodes() entry.
+  tensor::Tensor input_feats;
+};
+
+struct PipelineOptions {
+  std::int64_t batch_size = 256;
+  /// Prepared batches buffered ahead of the consumer (>= 1).
+  int queue_capacity = 2;
+  /// Overlap produce(i+1) with consume(i); false = sample-then-compute
+  /// serially (the baseline bench_minibatch prices).
+  bool pipelined = true;
+  /// Threads for the feature gather inside the producer lane. NOTE: while
+  /// the 2-lane overlap is active it holds the pool's single job slot, so
+  /// the gather's nested launch runs inline — effectively one thread. The
+  /// knob only fans out in the serial path (pipelined = false, a declined
+  /// claim, or a single batch). Splitting producer-side work across
+  /// dedicated lanes is future serving work (see ROADMAP).
+  int gather_threads = 1;
+};
+
+struct PipelineStats {
+  std::int64_t batches = 0;
+  /// Deepest the prepared-batch queue ever got (<= queue_capacity).
+  int max_queue_depth = 0;
+  /// Seconds the producer lane spent sampling + gathering.
+  double produce_seconds = 0.0;
+  /// Seconds the consumer lane spent in block compute.
+  double consume_seconds = 0.0;
+  /// Wall-clock of the whole loop; under genuine overlap this approaches
+  /// max(produce, consume) instead of their sum.
+  double total_seconds = 0.0;
+  /// True when the producer and consumer lanes OBSERVABLY ran on distinct
+  /// threads (false = serial fallback, or the claim succeeded but one
+  /// thread ended up executing both lanes back to back — reported honestly
+  /// so pipelined-vs-serial comparisons never mislabel a serial run).
+  bool overlapped = false;
+};
+
+/// Drives minibatches of `seeds` (contiguous chunks of `batch_size`, last
+/// one partial) through sample -> gather -> `consume`, overlapping the next
+/// batch's production with the current batch's consumption when possible.
+/// `consume` runs on batches in strictly increasing index order; the batch
+/// is handed over mutably so the consumer may move tensors out.
+PipelineStats run_pipeline(const NeighborSampler& sampler,
+                           const tensor::Tensor& features,
+                           const std::vector<graph::vid_t>& seeds,
+                           const PipelineOptions& options,
+                           const std::function<void(PreparedBatch&)>& consume);
+
+/// Schedule memo keyed on block SHAPE CLASS: (floor log2 rows, floor log2
+/// nnz, exact feature width, thread count). Thread-safe; `tune` runs only on
+/// the first miss of a class (wrap a heuristic or a real tuner call — the
+/// pipeline's stream of same-shaped blocks then reuses the winner).
+class BlockScheduleCache {
+ public:
+  core::CpuSpmmSchedule schedule_for(
+      std::int64_t rows, std::int64_t nnz, std::int64_t feat_width,
+      int num_threads,
+      const std::function<core::CpuSpmmSchedule()>& tune);
+
+  std::int64_t hits() const;
+  std::int64_t misses() const;
+  void reset_stats();
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, core::CpuSpmmSchedule> cache_;
+  std::int64_t hits_ = 0;
+  std::int64_t misses_ = 0;
+};
+
+}  // namespace featgraph::sample

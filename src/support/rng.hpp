@@ -10,19 +10,32 @@
 
 namespace featgraph::support {
 
+/// SplitMix64 finalizer: a full-avalanche 64-bit mix. Exposed so stream-id
+/// derivation (e.g. the neighbor sampler's per-(batch, hop, vertex) streams)
+/// uses the same mixing the seeding path does.
+inline std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 /// xoshiro256** by Blackman & Vigna: fast, high-quality, 2^256-1 period.
 class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) {
-    // SplitMix64 seeding as recommended by the xoshiro authors.
-    std::uint64_t x = seed;
-    for (auto& word : state_) {
-      x += 0x9e3779b97f4a7c15ULL;
-      std::uint64_t z = x;
-      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-      word = z ^ (z >> 31);
-    }
+    seed_state(seed);
+  }
+
+  /// Splittable stream constructor: a deterministic function of
+  /// (seed, stream) whose streams are statistically independent. The stream
+  /// id is folded through two full SplitMix64 avalanches before perturbing
+  /// the seed, so (seed, stream) pairs never collapse to a shifted copy of
+  /// another seed's sequence the way `seed + stream * gamma` would. Used for
+  /// per-batch / per-vertex sampler streams that must be reproducible
+  /// regardless of how many threads (or in what order) consume them.
+  Rng(std::uint64_t seed, std::uint64_t stream) {
+    seed_state(seed ^ splitmix64(splitmix64(stream) + 0x6a09e667f3bcc909ULL));
   }
 
   std::uint64_t next() {
@@ -62,6 +75,15 @@ class Rng {
   }
 
  private:
+  void seed_state(std::uint64_t seed) {
+    // SplitMix64 seeding as recommended by the xoshiro authors.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      word = splitmix64(x);
+      x += 0x9e3779b97f4a7c15ULL;
+    }
+  }
+
   static std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));
   }

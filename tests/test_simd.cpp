@@ -186,6 +186,37 @@ TEST_P(IsaParity, WaxpyBinOpBitEqualAllOps) {
   }
 }
 
+TEST_P(IsaParity, GatherRowsBitEqual) {
+  // The sampling subsystem's row gather is a pure copy — exact class, so
+  // every backend pair must agree bit-for-bit at every row width (kLens
+  // doubles as the width axis, covering the 16-lane tails and the AVX-512
+  // d < 16 reroute).
+  fg::support::Rng rng(1600);
+  for (std::int64_t d : kLens) {
+    const std::int64_t n_src = 37;
+    const std::int64_t m = 23;
+    auto src = random_span(n_src * d, 1700 + static_cast<std::uint64_t>(d));
+    std::vector<std::int32_t> idx(static_cast<std::size_t>(m));
+    for (auto& i : idx)
+      i = static_cast<std::int32_t>(rng.uniform(static_cast<std::uint64_t>(n_src)));
+    std::vector<float> a(static_cast<std::size_t>(m * d), -1.0f);
+    std::vector<float> b(static_cast<std::size_t>(m * d), -2.0f);
+    lhs_->gather_rows(a.data(), src.data(), idx.data(), m, d);
+    rhs_->gather_rows(b.data(), src.data(), idx.data(), m, d);
+    EXPECT_TRUE(bit_equal(a, b)) << "gather_rows d=" << d;
+    if (d == 0) continue;
+    // And a copy must be bitwise the source rows it names.
+    for (std::int64_t i = 0; i < m; ++i) {
+      EXPECT_EQ(std::memcmp(a.data() + i * d,
+                            src.data() + static_cast<std::int64_t>(idx[
+                                static_cast<std::size_t>(i)]) * d,
+                            static_cast<std::size_t>(d) * sizeof(float)),
+                0)
+          << "gather_rows row " << i << " d=" << d;
+    }
+  }
+}
+
 TEST_P(IsaParity, HmaxMatchesExactly) {
   // Max reassociates exactly for NaN-free inputs (the softmax contract), so
   // lane-tree and sequential folds agree on the value, n = 0 (-inf identity)
