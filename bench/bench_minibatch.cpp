@@ -17,54 +17,6 @@ using fg::minidgl::MinibatchInferOptions;
 using fg::minidgl::Model;
 using fg::minidgl::Trainer;
 
-namespace {
-
-/// Reads the whole file, or "" when absent.
-std::string slurp(const char* path) {
-  std::FILE* f = std::fopen(path, "rb");
-  if (f == nullptr) return {};
-  std::string content;
-  char buf[4096];
-  std::size_t n;
-  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) content.append(buf, n);
-  std::fclose(f);
-  return content;
-}
-
-/// Splices `"key": body` in front of the file's closing brace, replacing a
-/// previous copy of the same key if present. Handles a missing/empty file
-/// (standalone object) and the section being the object's first entry (no
-/// leading comma).
-void splice_section(const char* path, const std::string& key,
-                    const std::string& body) {
-  std::string json = slurp(path);
-  const auto key_pos = json.find("\"" + key + "\"");
-  if (key_pos != std::string::npos) {
-    // Our section is always spliced last: drop it and everything after
-    // (back to the preceding comma, or to just after the opening brace when
-    // it is the only entry), then re-close the object below.
-    const auto cut = json.rfind(",\n", key_pos);
-    json.erase(cut != std::string::npos ? cut : json.find('{') + 1);
-  } else {
-    const auto close = json.rfind('}');
-    json.erase(close != std::string::npos ? close : 0);
-  }
-  while (!json.empty() && (json.back() == '\n' || json.back() == ' '))
-    json.pop_back();
-  // A fresh or single-entry file leaves "" or "{": open the object and skip
-  // the separating comma; otherwise append after the surviving entries.
-  const bool first_entry = json.empty() || json == "{";
-  std::FILE* f = std::fopen(path, "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", path);
-    return;
-  }
-  std::fprintf(f, "%s%s\n  \"%s\": %s\n}\n", first_entry ? "{" : json.c_str(),
-               first_entry ? "" : ",", key.c_str(), body.c_str());
-  std::fclose(f);
-}
-
-}  // namespace
 
 int main() {
   fg::bench::print_banner("minibatch_pipeline",
@@ -158,7 +110,8 @@ int main() {
       serial.sec, piped.sec, serial.sec / piped.sec,
       static_cast<long long>(piped.hits),
       static_cast<long long>(piped.misses), hit_rate);
-  splice_section("BENCH_kernels.json", "minibatch_pipeline", body);
+  fg::bench::splice_json_section("BENCH_kernels.json", "minibatch_pipeline",
+                                 body);
   std::printf("BENCH_kernels.json: minibatch_pipeline section updated\n");
   return 0;
 }

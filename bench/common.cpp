@@ -30,4 +30,64 @@ std::string speedup_str(double baseline_seconds, double system_seconds) {
   return buf;
 }
 
+std::string slurp_file(const char* path) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) return {};
+  std::string content;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) content.append(buf, n);
+  std::fclose(f);
+  return content;
+}
+
+void splice_json_section(const char* path, const std::string& key,
+                         const std::string& body) {
+  std::string json = slurp_file(path);
+  const auto key_pos = json.find("\"" + key + "\"");
+  if (key_pos != std::string::npos) {
+    // Excise ONLY this section — several bench binaries each own a section
+    // of the same file, so truncating from the key to the end would eat
+    // whichever sections happened to be spliced after ours. A section's
+    // value is a balanced {...} object: scan to its matching close brace,
+    // then drop either our trailing comma (mid-object) or the preceding one
+    // (last entry) so exactly one separator joins the neighbours.
+    std::size_t end = json.find('{', key_pos);
+    for (int depth = 0; end < json.size(); ++end) {
+      if (json[end] == '{') ++depth;
+      if (json[end] == '}' && --depth == 0) break;
+    }
+    const std::size_t after = json.find_first_not_of(" \n", end + 1);
+    if (after != std::string::npos && json[after] == ',') {
+      // Mid-object: erase through the comma and the whitespace before the
+      // next key, leaving the next entry where ours began.
+      const std::size_t next = json.find_first_not_of(" \n", after + 1);
+      json.erase(key_pos, (next == std::string::npos ? json.size() : next) -
+                              key_pos);
+    } else {
+      // Last entry: erase back through the separator that preceded us.
+      const auto cut = json.rfind(",\n", key_pos);
+      const std::size_t begin =
+          cut != std::string::npos ? cut : json.find('{') + 1;
+      json.erase(begin, (after == std::string::npos ? json.size() : after) -
+                            begin);
+    }
+  }
+  const auto close = json.rfind('}');
+  json.erase(close != std::string::npos ? close : 0);
+  while (!json.empty() && (json.back() == '\n' || json.back() == ' '))
+    json.pop_back();
+  // A fresh or single-entry file leaves "" or "{": open the object and skip
+  // the separating comma; otherwise append after the surviving entries.
+  const bool first_entry = json.empty() || json == "{";
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "%s%s\n  \"%s\": %s\n}\n", first_entry ? "{" : json.c_str(),
+               first_entry ? "" : ",", key.c_str(), body.c_str());
+  std::fclose(f);
+}
+
 }  // namespace featgraph::bench

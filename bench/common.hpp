@@ -36,4 +36,16 @@ double dataset_scale(double extra_shrink = 1.0);
 /// Formats a ratio like "3.1x".
 std::string speedup_str(double baseline_seconds, double system_seconds);
 
+/// Reads the whole file, or "" when absent.
+std::string slurp_file(const char* path);
+
+/// Splices `"key": body` in front of `path`'s closing brace, replacing a
+/// previous copy of the same key if present — the idiom every bench binary
+/// uses to keep one BENCH_kernels.json trajectory across PRs. Handles a
+/// missing/empty file (standalone object) and the section being the
+/// object's first entry (no leading comma). Assumes sections are always
+/// appended last, as all writers here do.
+void splice_json_section(const char* path, const std::string& key,
+                         const std::string& body);
+
 }  // namespace featgraph::bench

@@ -14,6 +14,7 @@
 
 #include "core/partition_cache.hpp"
 #include "core/reducers.hpp"
+#include "core/schedule_ir.hpp"
 #include "core/spmm_kernels.hpp"
 #include "core/udf.hpp"
 #include "graph/partition.hpp"
@@ -61,6 +62,12 @@ struct EdgeLogit {
 
 struct WCopyU {
   static constexpr bool kUsesEdgeId = true;
+  /// Weighted row-block protocol (Schedule-IR unroll path in the fused
+  /// sweep): the message is a pure weighted gather, so a row's whole edge
+  /// group can fold through simd::waxpy_rows with the output tile pinned in
+  /// vector registers. The weights array is the row's CSR-position-
+  /// contiguous alpha values (the softmax scratch, see fused_rows).
+  static constexpr bool kSupportsWeightedRowBlock = true;
   const float* x;
   std::int64_t d;
   const float* alpha;
@@ -71,7 +78,24 @@ struct WCopyU {
     simd::axpy(ops, out_row + j0, x + static_cast<std::int64_t>(u) * d + j0,
                alpha[e], j1 - j0);
   }
+  /// out_row[j] += w[i] * x[idx[i], j] folded in i order — the same mul/add
+  /// chain cnt apply() calls run.
+  void apply_rows_weighted(const simd::SpanOps& ops, const vid_t* idx,
+                           std::int64_t cnt, const float* w, float* out_row,
+                           std::int64_t j0, std::int64_t j1,
+                           int unroll) const {
+    simd::waxpy_rows(ops, out_row + j0, x + j0, d, idx, w, cnt, j1 - j0,
+                     unroll);
+  }
 };
+
+/// Detects weighted message functors implementing the row-block protocol.
+template <class T, class = void>
+struct HasWeightedRowBlock : std::false_type {};
+template <class T>
+struct HasWeightedRowBlock<T,
+                           std::void_t<decltype(T::kSupportsWeightedRowBlock)>>
+    : std::bool_constant<T::kSupportsWeightedRowBlock> {};
 
 struct WCopyE {
   static constexpr bool kUsesEdgeId = true;
@@ -197,28 +221,48 @@ void softmax_rows(const simd::SpanOps& ops, const graph::Csr& adj,
 
 /// Rows [r0, r1): the fully fused pass — softmax, then the weighted
 /// aggregation folds alpha_e * MSG into the still-hot output row,
-/// feature-tiled innermost.
+/// feature-tiled innermost. Interprets the lowered Schedule-IR plan: row
+/// chunking (a legal no-op here — each row's whole feature sweep already
+/// happens in one visit, so the chunk loop only re-spells the row loop) and
+/// the register-blocked weighted fold for functors with the row-block
+/// protocol. The softmax scratch `buf` keeps row v's divided alphas
+/// CSR-position contiguous at [0, deg) — exactly the weights array the
+/// blocked fold consumes.
 template <class LogitFn, class WMsg>
 void fused_rows(const simd::SpanOps& ops, const graph::Csr& adj,
                 std::int64_t r0, std::int64_t r1, const LogitFn& logit,
                 const WMsg& wmsg, float* out, std::int64_t d_out,
-                std::int64_t tile, float* alpha) {
+                const LoweredSpmmPlan& plan, float* alpha) {
   const std::int64_t* indptr = adj.indptr.data();
   const vid_t* indices = adj.indices.data();
   const eid_t* edge_ids = adj.edge_ids.data();
+  const std::int64_t tile =
+      std::max<std::int64_t>(plan.tile_for(d_out, -1), 1);
+  const std::int64_t chunk =
+      plan.row_chunk > 0 ? plan.row_chunk : std::max<std::int64_t>(r1 - r0, 1);
   thread_local std::vector<float> buf;
-  for (std::int64_t v = r0; v < r1; ++v) {
-    float* out_row = out + v * d_out;
-    simd::fill(ops, out_row, 0.0f, d_out);
-    const std::int64_t lo = indptr[v], hi = indptr[v + 1];
-    if (lo == hi) continue;
-    row_softmax(ops, indptr, indices, edge_ids, v, logit, buf, alpha);
-    for (std::int64_t j0 = 0; j0 < d_out; j0 += tile) {
-      const std::int64_t j1 = std::min(j0 + tile, d_out);
-      for (std::int64_t i = lo; i < hi; ++i)
-        wmsg.template apply<SumReducer>(ops, indices[i], edge_ids[i],
-                                        static_cast<vid_t>(v), out_row, j0,
-                                        j1);
+  for (std::int64_t c0 = r0; c0 < r1; c0 += chunk) {
+    const std::int64_t c1 = std::min(c0 + chunk, r1);
+    for (std::int64_t v = c0; v < c1; ++v) {
+      float* out_row = out + v * d_out;
+      simd::fill(ops, out_row, 0.0f, d_out);
+      const std::int64_t lo = indptr[v], hi = indptr[v + 1];
+      if (lo == hi) continue;
+      row_softmax(ops, indptr, indices, edge_ids, v, logit, buf, alpha);
+      for (std::int64_t j0 = 0; j0 < d_out; j0 += tile) {
+        const std::int64_t j1 = std::min(j0 + tile, d_out);
+        if constexpr (HasWeightedRowBlock<WMsg>::value) {
+          if (plan.register_block) {
+            wmsg.apply_rows_weighted(ops, indices + lo, hi - lo, buf.data(),
+                                     out_row, j0, j1, plan.unroll);
+            continue;
+          }
+        }
+        for (std::int64_t i = lo; i < hi; ++i)
+          wmsg.template apply<SumReducer>(ops, indices[i], edge_ids[i],
+                                          static_cast<vid_t>(v), out_row, j0,
+                                          j1);
+      }
     }
   }
 }
@@ -231,6 +275,10 @@ void launch(const graph::Csr& adj, const LogitFn& logit, const WMsg& wmsg,
             const CpuSpmmSchedule& sched) {
   const std::int64_t n = adj.num_rows;
   if (n == 0) return;
+  // Flat knobs or the attached Schedule-IR program lower once per launch
+  // (the same hoisting as generalized_spmm).
+  const LoweredSpmmPlan plan =
+      lower_spmm_schedule(sched, n, d_out, simd::active_isa());
   // Dispatch hoisted once per launch, as in the SpMM/SDDMM templates.
   // Deliberately NOT width-aware (span_ops_for_width): the same table runs
   // the degree-length softmax spans, and the composed chain's
@@ -241,20 +289,17 @@ void launch(const graph::Csr& adj, const LogitFn& logit, const WMsg& wmsg,
   // n < 16 fallback instead.
   const simd::SpanOps& span = simd::span_ops();
   const auto row_sweep = [&](auto&& body) {
-    if (sched.load_balance == LoadBalance::kNnzBalanced) {
+    if (plan.load_balance == LoadBalance::kNnzBalanced) {
       parallel::parallel_for_nnz_ranges(adj.indptr.data(), 0, n,
-                                        sched.num_threads, body);
+                                        plan.num_threads, body);
     } else {
-      parallel::parallel_for_ranges(0, n, sched.num_threads, body);
+      parallel::parallel_for_ranges(0, n, plan.num_threads, body);
     }
   };
-  const auto* parts = cached_partition(adj, sched.num_partitions);
+  const auto* parts = cached_partition(adj, plan.num_partitions);
   if (parts == nullptr || parts->parts.size() <= 1) {
-    const std::int64_t tile =
-        sched.feat_tile > 0 ? std::min(sched.feat_tile, d_out) : d_out;
     row_sweep([&](std::int64_t r0, std::int64_t r1) {
-      fused_rows(span, adj, r0, r1, logit, wmsg, out, d_out,
-                 std::max<std::int64_t>(tile, 1), alpha);
+      fused_rows(span, adj, r0, r1, logit, wmsg, out, d_out, plan, alpha);
     });
     return;
   }

@@ -10,9 +10,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace featgraph::core {
+
+class ScheduleIr;  // core/schedule_ir.hpp — composable loop-nest programs
 
 enum class Target { kCpu, kGpuSim };
 
@@ -52,6 +55,14 @@ struct CpuSpmmSchedule {
   /// searches both because the winner depends on degree skew.
   LoadBalance load_balance = LoadBalance::kNnzBalanced;
 
+  /// Optional composable loop-nest program (core/schedule_ir.hpp). When set
+  /// and non-empty it is AUTHORITATIVE for every loop-nest decision —
+  /// partitions, tiling, chunking, register blocking, row split — except
+  /// num_threads, which stays a flat knob. When null the flat knobs above
+  /// are the schedule (they lower to the equivalent default program), so
+  /// every pre-IR consumer keeps its exact behavior.
+  std::shared_ptr<const ScheduleIr> ir;
+
   static CpuSpmmSchedule single_thread_default() { return {}; }
 };
 
@@ -62,6 +73,9 @@ struct CpuSddmmSchedule {
   /// Template half: visit edges in Hilbert-curve order (Sec. III-C-1).
   bool hilbert_order = false;
   int num_threads = 1;
+  /// Optional loop-nest program; SDDMM accepts tile (reduce axis) and chunk
+  /// (edge positions) transforms. Null = flat knobs.
+  std::shared_ptr<const ScheduleIr> ir;
 };
 
 /// GPU (simulated) generalized-SpMM schedule.

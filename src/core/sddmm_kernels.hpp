@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/schedule.hpp"
+#include "core/schedule_ir.hpp"
 #include "core/simd.hpp"
 #include "graph/csr.hpp"
 #include "parallel/parallel_for.hpp"
@@ -35,10 +36,17 @@ void generalized_sddmm(const graph::Coo& coo,
   FG_CHECK(order == nullptr ||
            static_cast<graph::eid_t>(order->size()) == m);
 
+  // Flat knobs (or the attached Schedule-IR program) lower once per launch.
+  const LoweredSddmmPlan plan =
+      lower_sddmm_schedule(sched, m, len, simd::active_isa());
   const std::int64_t tile =
-      (sched.reduce_tile > 0 && sched.reduce_tile < len) ? sched.reduce_tile
-                                                         : len;
+      (plan.reduce_tile > 0 && plan.reduce_tile < len) ? plan.reduce_tile
+                                                       : len;
   const bool tiled = tile < len;
+  // Edge-position chunking (IR chunk transform): a pure split of the
+  // per-thread edge loop — same edges, same order, bit-identical — that
+  // bounds the stream of endpoint feature rows touched between revisits.
+  const std::int64_t edge_chunk = plan.edge_chunk;
   const graph::vid_t* src = coo.src.data();
   const graph::vid_t* dst = coo.dst.data();
   const graph::eid_t* perm = order != nullptr ? order->data() : nullptr;
@@ -54,17 +62,22 @@ void generalized_sddmm(const graph::Coo& coo,
     const std::int64_t k1 = std::min(k0 + tile, len);
     parallel::parallel_for_ranges(
         0, m, sched.num_threads, [&](std::int64_t i0, std::int64_t i1) {
-          for (std::int64_t i = i0; i < i1; ++i) {
-            const graph::eid_t e = perm != nullptr ? perm[i] : i;
-            const graph::vid_t u = src[e];
-            const graph::vid_t v = dst[e];
-            float* out_e = out + e * n_out;
-            for (std::int64_t h = 0; h < n_out; ++h) {
-              const float p = fn.partial(span, u, e, v, h, k0, k1);
-              if (tiled) {
-                out_e[h] += p;
-              } else {
-                out_e[h] = p;
+          const std::int64_t step = edge_chunk > 0 ? edge_chunk : i1 - i0;
+          for (std::int64_t c0 = i0; c0 < i1;
+               c0 += std::max<std::int64_t>(step, 1)) {
+            const std::int64_t c1 = std::min(c0 + step, i1);
+            for (std::int64_t i = c0; i < c1; ++i) {
+              const graph::eid_t e = perm != nullptr ? perm[i] : i;
+              const graph::vid_t u = src[e];
+              const graph::vid_t v = dst[e];
+              float* out_e = out + e * n_out;
+              for (std::int64_t h = 0; h < n_out; ++h) {
+                const float p = fn.partial(span, u, e, v, h, k0, k1);
+                if (tiled) {
+                  out_e[h] += p;
+                } else {
+                  out_e[h] = p;
+                }
               }
             }
           }

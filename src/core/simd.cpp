@@ -213,6 +213,44 @@ FG_SCALAR_FN void gather_rows(float* out, const float* src,
   }
 }
 
+// Register-blocked row-group fold (Schedule-IR tile(W).unroll(U) path). The
+// j-outer / i-inner nest keeps out[j]'s running value in a register across
+// the whole row group; per (j) the combine chain visits i in order, which is
+// exactly the fold a per-row accum() sequence produces — bit-identical to
+// the flat path and to every unroll hint.
+#define FG_SCALAR_ACCUM_ROWS(NAME, COMBINE)                                  \
+  FG_SCALAR_FN void NAME(float* out, const float* src, std::int64_t stride,  \
+                         const std::int32_t* idx, std::int64_t cnt,          \
+                         std::int64_t n, int unroll) {                       \
+    (void)unroll;                                                            \
+    for (std::int64_t j = 0; j < n; ++j) {                                   \
+      float acc = out[j];                                                    \
+      FG_SCALAR_LOOP                                                         \
+      for (std::int64_t i = 0; i < cnt; ++i)                                 \
+        acc = COMBINE(acc,                                                   \
+                      src[static_cast<std::int64_t>(idx[i]) * stride + j]);  \
+      out[j] = acc;                                                          \
+    }                                                                        \
+  }
+
+FG_SCALAR_ACCUM_ROWS(accum_rows_sum, c_sum)
+FG_SCALAR_ACCUM_ROWS(accum_rows_max, c_max)
+FG_SCALAR_ACCUM_ROWS(accum_rows_min, c_min)
+#undef FG_SCALAR_ACCUM_ROWS
+
+FG_SCALAR_FN void waxpy_rows(float* out, const float* src, std::int64_t stride,
+                             const std::int32_t* idx, const float* w,
+                             std::int64_t cnt, std::int64_t n, int unroll) {
+  (void)unroll;
+  for (std::int64_t j = 0; j < n; ++j) {
+    float acc = out[j];
+    FG_SCALAR_LOOP
+    for (std::int64_t i = 0; i < cnt; ++i)
+      acc += src[static_cast<std::int64_t>(idx[i]) * stride + j] * w[i];
+    out[j] = acc;
+  }
+}
+
 }  // namespace scalar
 
 SpanOps make_scalar_ops() {
@@ -258,6 +296,10 @@ SpanOps make_scalar_ops() {
   t.waxpy_binop_scalar[2] = scalar::waxpy_mul_s;
   t.waxpy_binop_scalar[3] = scalar::waxpy_div_s;
   t.gather_rows = scalar::gather_rows;
+  t.accum_rows[0] = scalar::accum_rows_sum;
+  t.accum_rows[1] = scalar::accum_rows_max;
+  t.accum_rows[2] = scalar::accum_rows_min;
+  t.waxpy_rows = scalar::waxpy_rows;
   return t;
 }
 
@@ -528,6 +570,110 @@ FG_AVX2_WAXPY_BINOP_S(waxpy_mul_s, _mm256_mul_ps, scalar::o_mul)
 FG_AVX2_WAXPY_BINOP_S(waxpy_div_s, _mm256_div_ps, scalar::o_div)
 #undef FG_AVX2_WAXPY_BINOP_S
 
+// Row-group fold with the output tile held in vector registers: one load +
+// one store of out per feature group for the WHOLE row group, instead of one
+// per gathered row. `unroll` picks how many accumulator vectors stay live
+// (4 / 2 / 1); per (j) the i-fold order is unchanged in every shape, so all
+// unroll values are bit-identical to the flat per-row accum() chain.
+#define FG_AVX2_ACCUM_ROWS(NAME, VCOMBINE, SCOMBINE)                         \
+  FG_AVX2_FN void NAME(float* out, const float* src, std::int64_t stride,    \
+                       const std::int32_t* idx, std::int64_t cnt,            \
+                       std::int64_t n, int unroll) {                         \
+    std::int64_t j = 0;                                                      \
+    if (unroll >= 4) {                                                       \
+      for (; j + 32 <= n; j += 32) {                                         \
+        __m256 a0 = _mm256_loadu_ps(out + j);                                \
+        __m256 a1 = _mm256_loadu_ps(out + j + 8);                            \
+        __m256 a2 = _mm256_loadu_ps(out + j + 16);                           \
+        __m256 a3 = _mm256_loadu_ps(out + j + 24);                           \
+        for (std::int64_t i = 0; i < cnt; ++i) {                             \
+          const float* row =                                                 \
+              src + static_cast<std::int64_t>(idx[i]) * stride;              \
+          a0 = VCOMBINE(a0, _mm256_loadu_ps(row + j));                       \
+          a1 = VCOMBINE(a1, _mm256_loadu_ps(row + j + 8));                   \
+          a2 = VCOMBINE(a2, _mm256_loadu_ps(row + j + 16));                  \
+          a3 = VCOMBINE(a3, _mm256_loadu_ps(row + j + 24));                  \
+        }                                                                    \
+        _mm256_storeu_ps(out + j, a0);                                       \
+        _mm256_storeu_ps(out + j + 8, a1);                                   \
+        _mm256_storeu_ps(out + j + 16, a2);                                  \
+        _mm256_storeu_ps(out + j + 24, a3);                                  \
+      }                                                                      \
+    }                                                                        \
+    if (unroll >= 2) {                                                       \
+      for (; j + 16 <= n; j += 16) {                                         \
+        __m256 a0 = _mm256_loadu_ps(out + j);                                \
+        __m256 a1 = _mm256_loadu_ps(out + j + 8);                            \
+        for (std::int64_t i = 0; i < cnt; ++i) {                             \
+          const float* row =                                                 \
+              src + static_cast<std::int64_t>(idx[i]) * stride;              \
+          a0 = VCOMBINE(a0, _mm256_loadu_ps(row + j));                       \
+          a1 = VCOMBINE(a1, _mm256_loadu_ps(row + j + 8));                   \
+        }                                                                    \
+        _mm256_storeu_ps(out + j, a0);                                       \
+        _mm256_storeu_ps(out + j + 8, a1);                                   \
+      }                                                                      \
+    }                                                                        \
+    for (; j + 8 <= n; j += 8) {                                             \
+      __m256 a0 = _mm256_loadu_ps(out + j);                                  \
+      for (std::int64_t i = 0; i < cnt; ++i)                                 \
+        a0 = VCOMBINE(                                                       \
+            a0, _mm256_loadu_ps(                                             \
+                    src + static_cast<std::int64_t>(idx[i]) * stride + j));  \
+      _mm256_storeu_ps(out + j, a0);                                         \
+    }                                                                        \
+    for (; j < n; ++j) {                                                     \
+      float acc = out[j];                                                    \
+      for (std::int64_t i = 0; i < cnt; ++i)                                 \
+        acc = SCOMBINE(acc,                                                  \
+                       src[static_cast<std::int64_t>(idx[i]) * stride + j]); \
+      out[j] = acc;                                                          \
+    }                                                                        \
+  }
+
+FG_AVX2_ACCUM_ROWS(accum_rows_sum, _mm256_add_ps, scalar::c_sum)
+FG_AVX2_ACCUM_ROWS(accum_rows_max, _mm256_max_ps, scalar::c_max)
+FG_AVX2_ACCUM_ROWS(accum_rows_min, _mm256_min_ps, scalar::c_min)
+#undef FG_AVX2_ACCUM_ROWS
+
+// Weighted row-group fold: mul + add (not fmadd) per (i, j), matching the
+// per-row axpy chain element for element.
+FG_AVX2_FN void waxpy_rows(float* out, const float* src, std::int64_t stride,
+                           const std::int32_t* idx, const float* w,
+                           std::int64_t cnt, std::int64_t n, int unroll) {
+  std::int64_t j = 0;
+  if (unroll >= 2) {
+    for (; j + 16 <= n; j += 16) {
+      __m256 a0 = _mm256_loadu_ps(out + j);
+      __m256 a1 = _mm256_loadu_ps(out + j + 8);
+      for (std::int64_t i = 0; i < cnt; ++i) {
+        const float* row = src + static_cast<std::int64_t>(idx[i]) * stride;
+        const __m256 vw = _mm256_set1_ps(w[i]);
+        a0 = _mm256_add_ps(a0, _mm256_mul_ps(_mm256_loadu_ps(row + j), vw));
+        a1 = _mm256_add_ps(a1,
+                           _mm256_mul_ps(_mm256_loadu_ps(row + j + 8), vw));
+      }
+      _mm256_storeu_ps(out + j, a0);
+      _mm256_storeu_ps(out + j + 8, a1);
+    }
+  }
+  for (; j + 8 <= n; j += 8) {
+    __m256 a0 = _mm256_loadu_ps(out + j);
+    for (std::int64_t i = 0; i < cnt; ++i) {
+      const float* row = src + static_cast<std::int64_t>(idx[i]) * stride;
+      a0 = _mm256_add_ps(
+          a0, _mm256_mul_ps(_mm256_loadu_ps(row + j), _mm256_set1_ps(w[i])));
+    }
+    _mm256_storeu_ps(out + j, a0);
+  }
+  for (; j < n; ++j) {
+    float acc = out[j];
+    for (std::int64_t i = 0; i < cnt; ++i)
+      acc += src[static_cast<std::int64_t>(idx[i]) * stride + j] * w[i];
+    out[j] = acc;
+  }
+}
+
 FG_AVX2_FN void gather_rows(float* out, const float* src,
                             const std::int32_t* idx, std::int64_t m,
                             std::int64_t d) {
@@ -588,6 +734,10 @@ SpanOps make_avx2_ops() {
   t.waxpy_binop_scalar[2] = avx2::waxpy_mul_s;
   t.waxpy_binop_scalar[3] = avx2::waxpy_div_s;
   t.gather_rows = avx2::gather_rows;
+  t.accum_rows[0] = avx2::accum_rows_sum;
+  t.accum_rows[1] = avx2::accum_rows_max;
+  t.accum_rows[2] = avx2::accum_rows_min;
+  t.waxpy_rows = avx2::waxpy_rows;
   return t;
 }
 
@@ -947,6 +1097,119 @@ FG_AVX512_WAXPY_BINOP_S(waxpy_sub_s, _mm512_sub_ps, _mm512_maskz_sub_ps)
 FG_AVX512_WAXPY_BINOP_S(waxpy_mul_s, _mm512_mul_ps, _mm512_maskz_mul_ps)
 FG_AVX512_WAXPY_BINOP_S(waxpy_div_s, _mm512_div_ps, _mm512_maskz_div_ps)
 #undef FG_AVX512_WAXPY_BINOP_S
+
+// Row-group fold, 512-bit flavor of the AVX2 block above: the output tile
+// lives in up to four zmm accumulators across the whole row group, tails are
+// one masked accumulator, and n < 16 reroutes to the AVX2 twin. Per (j) the
+// i-fold order is the flat chain's, for every unroll value and tail shape.
+#define FG_AVX512_ACCUM_ROWS(NAME, VCOMBINE, MZCOMBINE)                      \
+  FG_AVX512_FN void NAME(float* out, const float* src, std::int64_t stride,  \
+                         const std::int32_t* idx, std::int64_t cnt,          \
+                         std::int64_t n, int unroll) {                       \
+    FG_AVX512_NARROW(NAME(out, src, stride, idx, cnt, n, unroll))            \
+    std::int64_t j = 0;                                                      \
+    if (unroll >= 4) {                                                       \
+      for (; j + 64 <= n; j += 64) {                                         \
+        __m512 a0 = _mm512_loadu_ps(out + j);                                \
+        __m512 a1 = _mm512_loadu_ps(out + j + 16);                           \
+        __m512 a2 = _mm512_loadu_ps(out + j + 32);                           \
+        __m512 a3 = _mm512_loadu_ps(out + j + 48);                           \
+        for (std::int64_t i = 0; i < cnt; ++i) {                             \
+          const float* row =                                                 \
+              src + static_cast<std::int64_t>(idx[i]) * stride;              \
+          a0 = VCOMBINE(a0, _mm512_loadu_ps(row + j));                       \
+          a1 = VCOMBINE(a1, _mm512_loadu_ps(row + j + 16));                  \
+          a2 = VCOMBINE(a2, _mm512_loadu_ps(row + j + 32));                  \
+          a3 = VCOMBINE(a3, _mm512_loadu_ps(row + j + 48));                  \
+        }                                                                    \
+        _mm512_storeu_ps(out + j, a0);                                       \
+        _mm512_storeu_ps(out + j + 16, a1);                                  \
+        _mm512_storeu_ps(out + j + 32, a2);                                  \
+        _mm512_storeu_ps(out + j + 48, a3);                                  \
+      }                                                                      \
+    }                                                                        \
+    if (unroll >= 2) {                                                       \
+      for (; j + 32 <= n; j += 32) {                                         \
+        __m512 a0 = _mm512_loadu_ps(out + j);                                \
+        __m512 a1 = _mm512_loadu_ps(out + j + 16);                           \
+        for (std::int64_t i = 0; i < cnt; ++i) {                             \
+          const float* row =                                                 \
+              src + static_cast<std::int64_t>(idx[i]) * stride;              \
+          a0 = VCOMBINE(a0, _mm512_loadu_ps(row + j));                       \
+          a1 = VCOMBINE(a1, _mm512_loadu_ps(row + j + 16));                  \
+        }                                                                    \
+        _mm512_storeu_ps(out + j, a0);                                       \
+        _mm512_storeu_ps(out + j + 16, a1);                                  \
+      }                                                                      \
+    }                                                                        \
+    for (; j + 16 <= n; j += 16) {                                           \
+      __m512 a0 = _mm512_loadu_ps(out + j);                                  \
+      for (std::int64_t i = 0; i < cnt; ++i)                                 \
+        a0 = VCOMBINE(                                                       \
+            a0, _mm512_loadu_ps(                                             \
+                    src + static_cast<std::int64_t>(idx[i]) * stride + j));  \
+      _mm512_storeu_ps(out + j, a0);                                         \
+    }                                                                        \
+    if (j < n) {                                                             \
+      const __mmask16 m = tail_mask(n - j);                                  \
+      __m512 a0 = _mm512_maskz_loadu_ps(m, out + j);                         \
+      for (std::int64_t i = 0; i < cnt; ++i)                                 \
+        a0 = MZCOMBINE(                                                      \
+            m, a0,                                                           \
+            _mm512_maskz_loadu_ps(                                           \
+                m, src + static_cast<std::int64_t>(idx[i]) * stride + j));   \
+      _mm512_mask_storeu_ps(out + j, m, a0);                                 \
+    }                                                                        \
+  }
+
+FG_AVX512_ACCUM_ROWS(accum_rows_sum, _mm512_add_ps, _mm512_maskz_add_ps)
+FG_AVX512_ACCUM_ROWS(accum_rows_max, _mm512_max_ps, _mm512_maskz_max_ps)
+FG_AVX512_ACCUM_ROWS(accum_rows_min, _mm512_min_ps, _mm512_maskz_min_ps)
+#undef FG_AVX512_ACCUM_ROWS
+
+FG_AVX512_FN void waxpy_rows(float* out, const float* src, std::int64_t stride,
+                             const std::int32_t* idx, const float* w,
+                             std::int64_t cnt, std::int64_t n, int unroll) {
+  FG_AVX512_NARROW(waxpy_rows(out, src, stride, idx, w, cnt, n, unroll))
+  std::int64_t j = 0;
+  if (unroll >= 2) {
+    for (; j + 32 <= n; j += 32) {
+      __m512 a0 = _mm512_loadu_ps(out + j);
+      __m512 a1 = _mm512_loadu_ps(out + j + 16);
+      for (std::int64_t i = 0; i < cnt; ++i) {
+        const float* row = src + static_cast<std::int64_t>(idx[i]) * stride;
+        const __m512 vw = _mm512_set1_ps(w[i]);
+        a0 = _mm512_add_ps(a0, _mm512_mul_ps(_mm512_loadu_ps(row + j), vw));
+        a1 = _mm512_add_ps(a1,
+                           _mm512_mul_ps(_mm512_loadu_ps(row + j + 16), vw));
+      }
+      _mm512_storeu_ps(out + j, a0);
+      _mm512_storeu_ps(out + j + 16, a1);
+    }
+  }
+  for (; j + 16 <= n; j += 16) {
+    __m512 a0 = _mm512_loadu_ps(out + j);
+    for (std::int64_t i = 0; i < cnt; ++i) {
+      const float* row = src + static_cast<std::int64_t>(idx[i]) * stride;
+      a0 = _mm512_add_ps(
+          a0, _mm512_mul_ps(_mm512_loadu_ps(row + j), _mm512_set1_ps(w[i])));
+    }
+    _mm512_storeu_ps(out + j, a0);
+  }
+  if (j < n) {
+    const __mmask16 m = tail_mask(n - j);
+    __m512 a0 = _mm512_maskz_loadu_ps(m, out + j);
+    for (std::int64_t i = 0; i < cnt; ++i) {
+      const float* row = src + static_cast<std::int64_t>(idx[i]) * stride;
+      a0 = _mm512_maskz_add_ps(
+          m, a0,
+          _mm512_maskz_mul_ps(m, _mm512_maskz_loadu_ps(m, row + j),
+                              _mm512_set1_ps(w[i])));
+    }
+    _mm512_mask_storeu_ps(out + j, m, a0);
+  }
+}
+
 #undef FG_AVX512_NARROW
 
 FG_AVX512_FN void gather_rows(float* out, const float* src,
@@ -1014,6 +1277,10 @@ SpanOps make_avx512_ops() {
   t.waxpy_binop_scalar[2] = avx512::waxpy_mul_s;
   t.waxpy_binop_scalar[3] = avx512::waxpy_div_s;
   t.gather_rows = avx512::gather_rows;
+  t.accum_rows[0] = avx512::accum_rows_sum;
+  t.accum_rows[1] = avx512::accum_rows_max;
+  t.accum_rows[2] = avx512::accum_rows_min;
+  t.waxpy_rows = avx512::waxpy_rows;
   return t;
 }
 

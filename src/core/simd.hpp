@@ -109,6 +109,28 @@ struct SpanOps {
   /// bit-for-bit identical across every backend.
   void (*gather_rows)(float* out, const float* src, const std::int32_t* idx,
                       std::int64_t m, std::int64_t d);
+
+  // --- register-blocked row-group primitives (Schedule-IR unroll path) -----
+
+  /// out[j] = R(out[j], src[idx[i]*stride + j]) folded over i = 0..cnt-1, in
+  /// i order, for j in [0, n). The entire i-fold for a j keeps its running
+  /// value in a vector register: ONE load and ONE store of out per call
+  /// instead of one per gathered row — the register-blocking win the
+  /// Schedule-IR's tile(W).unroll(U) transform buys. `unroll` is a
+  /// PERFORMANCE HINT (how many accumulator vectors to keep live); results
+  /// are identical for every unroll value. Rounding contract: the per-(j)
+  /// combine chain is the exact sequential fold accum() would produce over
+  /// the same rows in the same order — lanes never cross features, no FMA.
+  void (*accum_rows[kNumAccum])(float* out, const float* src,
+                                std::int64_t stride, const std::int32_t* idx,
+                                std::int64_t cnt, std::int64_t n, int unroll);
+  /// out[j] += w[i] * src[idx[i]*stride + j] folded over i in order (the
+  /// attention-weighted copy_u row group; alpha weights live in w[0..cnt)).
+  /// Two IEEE ops per (i, j): mul then add, no FMA — the same chain a
+  /// per-row axpy() sequence produces.
+  void (*waxpy_rows)(float* out, const float* src, std::int64_t stride,
+                     const std::int32_t* idx, const float* w,
+                     std::int64_t cnt, std::int64_t n, int unroll);
 };
 
 /// True when the CPU (and compiler) support the AVX2+FMA backend.
@@ -239,6 +261,18 @@ inline void gather_rows(const SpanOps& ops, float* out, const float* src,
                         const std::int32_t* idx, std::int64_t m,
                         std::int64_t d) {
   ops.gather_rows(out, src, idx, m, d);
+}
+inline void accum_rows(const SpanOps& ops, Accum r, float* out,
+                       const float* src, std::int64_t stride,
+                       const std::int32_t* idx, std::int64_t cnt,
+                       std::int64_t n, int unroll) {
+  ops.accum_rows[static_cast<int>(r)](out, src, stride, idx, cnt, n, unroll);
+}
+inline void waxpy_rows(const SpanOps& ops, float* out, const float* src,
+                       std::int64_t stride, const std::int32_t* idx,
+                       const float* w, std::int64_t cnt, std::int64_t n,
+                       int unroll) {
+  ops.waxpy_rows(out, src, stride, idx, w, cnt, n, unroll);
 }
 
 // (No active-table convenience forms: a one-off span outside a kernel

@@ -1,12 +1,13 @@
 #include "core/smart_tuner.hpp"
 
 #include <algorithm>
-#include <array>
 #include <cmath>
 #include <limits>
 #include <map>
-#include <tuple>
+#include <memory>
+#include <utility>
 
+#include "core/schedule_ir.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
 
@@ -15,7 +16,7 @@ namespace featgraph::core {
 namespace {
 
 /// Canonical key for memoizing measured lattice points.
-using Point = std::tuple<int, std::int64_t, int>;
+using Point = std::vector<int>;
 
 std::vector<std::int64_t> tile_axis(std::int64_t d_out, std::int64_t min_tile) {
   std::vector<std::int64_t> axis = {0};  // 0 = untiled (full width)
@@ -29,29 +30,29 @@ std::vector<int> partition_axis(std::int64_t max_partitions) {
   return axis;
 }
 
-/// The scaffold both tuners share: random-restart greedy descent over a
-/// 3-axis lattice — two numeric axes stepped +-1, one two-point policy axis
-/// flipped — with memoized measurements and a hard trial budget.
-/// `measure_at(i, j, k)` runs ONE measurement and returns its seconds (the
-/// caller's closure does its own best-schedule bookkeeping); `seed0` is the
-/// deterministic first seed point, later seeds are uniform random. Returns
-/// the number of measurements spent.
+/// The scaffold every smart tuner shares: random-restart greedy descent over
+/// an N-axis lattice — each axis stepped +-1 (a two-point policy axis gets
+/// its flip as the same move) — with memoized measurements and a hard trial
+/// budget. `measure_at(point)` runs ONE measurement and returns its seconds
+/// (the caller's closure does its own best-schedule bookkeeping); `seed0` is
+/// the deterministic first seed point, later seeds are uniform random.
+/// Returns the number of measurements spent.
 template <class MeasureAt>
-int lattice_climb(const std::array<int, 3>& sizes,
-                  const std::array<int, 3>& seed0,
+int lattice_climb(const std::vector<int>& sizes, const Point& seed0,
                   const SmartTuneOptions& options, const MeasureAt& measure_at) {
+  const std::size_t axes = sizes.size();
+  FG_CHECK(seed0.size() == axes);
   std::map<Point, double> measured;
   int trials_used = 0;
 
-  auto eval = [&](int i, int j, int k) -> double {
-    const Point key{i, j, k};
-    auto it = measured.find(key);
+  auto eval = [&](const Point& p) -> double {
+    auto it = measured.find(p);
     if (it != measured.end()) return it->second;
     if (trials_used >= options.max_trials)
       return std::numeric_limits<double>::infinity();
-    const double secs = measure_at(i, j, k);
+    const double secs = measure_at(p);
     ++trials_used;
-    measured.emplace(key, secs);
+    measured.emplace(p, secs);
     return secs;
   };
 
@@ -59,40 +60,32 @@ int lattice_climb(const std::array<int, 3>& sizes,
   for (int seed_idx = 0;
        seed_idx < options.num_seeds && trials_used < options.max_trials;
        ++seed_idx) {
-    int i = seed0[0], j = seed0[1], k = seed0[2];
+    Point p = seed0;
     if (seed_idx > 0) {
-      i = static_cast<int>(rng.uniform(static_cast<std::uint64_t>(sizes[0])));
-      j = static_cast<int>(rng.uniform(static_cast<std::uint64_t>(sizes[1])));
-      k = static_cast<int>(rng.uniform(static_cast<std::uint64_t>(sizes[2])));
+      for (std::size_t a = 0; a < axes; ++a)
+        p[a] = static_cast<int>(
+            rng.uniform(static_cast<std::uint64_t>(sizes[a])));
     }
-    double current = eval(i, j, k);
+    double current = eval(p);
 
-    // Greedy neighbor descent; the policy axis is a two-point lattice, so
-    // its only move is the flip.
+    // Greedy neighbor descent over the 2N axis-aligned moves.
     for (;;) {
-      int best_i = i, best_j = j, best_k = k;
+      Point best_p = p;
       double best = current;
-      const int candidates[5][3] = {{i - 1, j, k},
-                                    {i + 1, j, k},
-                                    {i, j - 1, k},
-                                    {i, j + 1, k},
-                                    {i, j, 1 - k}};
-      for (const auto& c : candidates) {
-        if (c[0] < 0 || c[0] >= sizes[0]) continue;
-        if (c[1] < 0 || c[1] >= sizes[1]) continue;
-        if (c[2] < 0 || c[2] >= sizes[2]) continue;
-        const double secs = eval(c[0], c[1], c[2]);
-        if (secs < best) {
-          best = secs;
-          best_i = c[0];
-          best_j = c[1];
-          best_k = c[2];
+      for (std::size_t a = 0; a < axes; ++a) {
+        for (int step : {-1, +1}) {
+          Point c = p;
+          c[a] += step;
+          if (c[a] < 0 || c[a] >= sizes[a]) continue;
+          const double secs = eval(c);
+          if (secs < best) {
+            best = secs;
+            best_p = std::move(c);
+          }
         }
       }
-      if (best_i == i && best_j == j && best_k == k) break;
-      i = best_i;
-      j = best_j;
-      k = best_k;
+      if (best_p == p) break;
+      p = std::move(best_p);
       current = best;
       if (trials_used >= options.max_trials) break;
     }
@@ -117,12 +110,12 @@ SmartTuneResult smart_tune_spmm(std::int64_t d_out, int num_threads,
   result.trials_used = lattice_climb(
       {static_cast<int>(parts.size()), static_cast<int>(tiles.size()),
        static_cast<int>(balances.size())},
-      {0, 0, 0}, options, [&](int pi, int ti, int li) {
+      {0, 0, 0}, options, [&](const std::vector<int>& p) {
         CpuSpmmSchedule s;
-        s.num_partitions = parts[static_cast<std::size_t>(pi)];
-        s.feat_tile = tiles[static_cast<std::size_t>(ti)];
+        s.num_partitions = parts[static_cast<std::size_t>(p[0])];
+        s.feat_tile = tiles[static_cast<std::size_t>(p[1])];
         s.num_threads = num_threads;
-        s.load_balance = balances[static_cast<std::size_t>(li)];
+        s.load_balance = balances[static_cast<std::size_t>(p[2])];
         const double secs = measure(s);
         if (secs < result.best_seconds) {
           result.best_seconds = secs;
@@ -132,6 +125,68 @@ SmartTuneResult smart_tune_spmm(std::int64_t d_out, int num_threads,
       });
   FG_CHECK_MSG(std::isfinite(result.best_seconds),
                "smart_tune_spmm needs at least one successful measurement");
+  return result;
+}
+
+SmartTuneResult smart_tune_spmm_ir(std::int64_t d_out, std::int64_t num_rows,
+                                   int num_threads, const MeasureFn& measure,
+                                   const SmartTuneOptions& options) {
+  FG_CHECK(options.max_trials >= 1);
+  const simd::Isa isa = simd::active_isa();
+
+  // Every lattice point must be a LEGAL, DISTINCT program (illegal or
+  // duplicate points would burn budget on wasted or repeated measurements),
+  // so tile and unroll fuse into one combo axis: (0, 1) is "untiled" and
+  // unroll only appears under a tile. The widths themselves are pre-filtered
+  // through the validator, so AVX2 and AVX-512 legs climb different axes.
+  std::vector<std::pair<std::int64_t, int>> tile_unroll = {{0, 1}};
+  for (std::int64_t w = options.min_tile; w <= std::min<std::int64_t>(d_out, 128);
+       w *= 2) {
+    if (!validate_spmm_ir(ScheduleIr().tile(w), num_rows, d_out, isa).empty())
+      continue;
+    for (int u : {1, 2, 4}) tile_unroll.push_back({w, u});
+  }
+  const auto parts = partition_axis(options.max_partitions);
+  std::vector<std::int64_t> chunks = {0};
+  for (std::int64_t c : {std::int64_t{256}, std::int64_t{1024},
+                         std::int64_t{4096}}) {
+    if (c <= num_rows) chunks.push_back(c);
+  }
+  const auto balances = load_balance_axis(num_threads);
+
+  SmartTuneResult result;
+  result.best_seconds = std::numeric_limits<double>::infinity();
+
+  // Seed point: all zeros = the EMPTY program, which lowers to the untuned
+  // default schedule bit-for-bit — the first measurement is the baseline.
+  result.trials_used = lattice_climb(
+      {static_cast<int>(parts.size()), static_cast<int>(tile_unroll.size()),
+       static_cast<int>(chunks.size()), static_cast<int>(balances.size())},
+      {0, 0, 0, 0}, options, [&](const std::vector<int>& p) {
+        const int n_parts = parts[static_cast<std::size_t>(p[0])];
+        const auto [w, u] = tile_unroll[static_cast<std::size_t>(p[1])];
+        const std::int64_t chunk = chunks[static_cast<std::size_t>(p[2])];
+        const LoadBalance lb = balances[static_cast<std::size_t>(p[3])];
+        ScheduleIr ir;
+        if (n_parts > 1) ir.partition(n_parts);
+        if (w > 0) {
+          ir.tile(w);
+          if (u > 1) ir.unroll(u);
+        }
+        if (chunk > 0) ir.chunk(chunk);
+        if (lb != LoadBalance::kNnzBalanced) ir.split_nnz(lb);
+        CpuSpmmSchedule s;
+        s.num_threads = num_threads;
+        if (!ir.empty()) s.ir = std::make_shared<const ScheduleIr>(ir);
+        const double secs = measure(s);
+        if (secs < result.best_seconds) {
+          result.best_seconds = secs;
+          result.best = s;
+        }
+        return secs;
+      });
+  FG_CHECK_MSG(std::isfinite(result.best_seconds),
+               "smart_tune_spmm_ir needs at least one successful measurement");
   return result;
 }
 
@@ -152,13 +207,13 @@ GpuSmartTuneResult smart_tune_gpu_attention(const GpuMeasureFn& measure,
   result.trials_used = lattice_climb(
       {static_cast<int>(tile_axis_v.size()), static_cast<int>(frac_axis.size()),
        static_cast<int>(assign_axis.size())},
-      {2, 2, 0}, options, [&](int ti, int fi, int ai) {
+      {2, 2, 0}, options, [&](const std::vector<int>& p) {
         GpuSpmmSchedule s;
         s.hybrid_partition = true;
-        s.hybrid_rows_per_tile = tile_axis_v[static_cast<std::size_t>(ti)];
+        s.hybrid_rows_per_tile = tile_axis_v[static_cast<std::size_t>(p[0])];
         s.attention_softmax_smem_frac =
-            frac_axis[static_cast<std::size_t>(fi)];
-        s.row_assignment = assign_axis[static_cast<std::size_t>(ai)];
+            frac_axis[static_cast<std::size_t>(p[1])];
+        s.row_assignment = assign_axis[static_cast<std::size_t>(p[2])];
         const double secs = measure(s);
         if (secs < result.best_seconds) {
           result.best_seconds = secs;

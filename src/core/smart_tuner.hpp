@@ -3,7 +3,9 @@
 // [OpenTuner, AutoTVM] for faster design space exploration" (Sec. IV-A).
 //
 // This tuner replaces exhaustive grid search with random-restart hill
-// climbing over the (num_partitions, feat_tile, load_balance) lattice:
+// climbing over an N-axis schedule lattice — the flat
+// (num_partitions, feat_tile, load_balance) knobs, or the wider Schedule-IR
+// space with register-blocked tiles and row chunking (smart_tune_spmm_ir):
 // evaluate a few seed points, then repeatedly step to the best untried
 // neighbor (x2 / /2 moves along the numeric axes, a flip on the row-split
 // policy) until no neighbor improves, respecting a hard trial budget. On
@@ -47,6 +49,17 @@ using MeasureFn = std::function<double(const CpuSpmmSchedule&)>;
 SmartTuneResult smart_tune_spmm(std::int64_t d_out, int num_threads,
                                 const MeasureFn& measure,
                                 const SmartTuneOptions& options = {});
+
+/// Hill-climbs the Schedule-IR lattice — (partition count, register-blocked
+/// tile(W).unroll(U) combo, row chunk, nnz-split policy) — under the same
+/// budget and restart strategy. Every lattice point is a legal IR program
+/// for the active backend (tile widths pre-filtered through
+/// validate_spmm_ir); the deterministic first seed is the EMPTY program,
+/// which lowers to the untuned default schedule bit-for-bit. Returned
+/// schedules carry their program in CpuSpmmSchedule::ir.
+SmartTuneResult smart_tune_spmm_ir(std::int64_t d_out, std::int64_t num_rows,
+                                   int num_threads, const MeasureFn& measure,
+                                   const SmartTuneOptions& options = {});
 
 // --- gpusim fused-attention lattice -----------------------------------------
 

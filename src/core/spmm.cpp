@@ -19,7 +19,9 @@ Tensor run_spmm(const graph::Csr& adj, const MsgFn& msg,
                 std::string_view reduce_op, std::int64_t d_out,
                 const CpuSpmmSchedule& fds) {
   Tensor out({adj.num_rows, d_out});
-  const auto* parts = cached_partition(adj, fds.num_partitions);
+  // IR programs carry their partition(P) transform; flat schedules their
+  // knob — schedule_num_partitions resolves whichever is authoritative.
+  const auto* parts = cached_partition(adj, schedule_num_partitions(fds));
   if (reduce_op == "sum") {
     generalized_spmm<MsgFn, SumReducer>(adj, parts, msg, out.data(), d_out, fds);
   } else if (reduce_op == "max") {

@@ -17,9 +17,11 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <type_traits>
 
 #include "core/reducers.hpp"
 #include "core/schedule.hpp"
+#include "core/schedule_ir.hpp"
 #include "core/simd.hpp"
 #include "graph/csr.hpp"
 #include "graph/partition.hpp"
@@ -29,6 +31,17 @@
 namespace featgraph::core {
 
 namespace detail {
+
+/// Detects UDFs that implement the register-blocked row-group protocol
+/// (`kSupportsRowBlock` + `apply_rows`): the Schedule-IR unroll path calls
+/// apply_rows once per (row, tile) instead of apply once per edge. UDFs
+/// without the protocol interpret unroll programs edge-at-a-time — legal,
+/// identical results, no register-blocking win.
+template <class T, class = void>
+struct HasRowBlock : std::false_type {};
+template <class T>
+struct HasRowBlock<T, std::void_t<decltype(T::kSupportsRowBlock)>>
+    : std::bool_constant<T::kSupportsRowBlock> {};
 
 /// Aggregates rows [row_begin, row_end) x features [j0, j1) over one edge
 /// segment. `init` resets the tile to the reducer identity first (done on
@@ -79,6 +92,90 @@ void spmm_postprocess(const simd::SpanOps& ops, const std::int64_t* row_degree,
       });
 }
 
+/// The Schedule-IR interpreting loop nest: chunked rows > feature tiles >
+/// rows > edges, with optional register-blocked row groups. Only launched
+/// when the lowered plan asks for something the flat nest can't express
+/// (row chunking, register blocking, per-partition overrides); the flat
+/// fast path below stays byte-for-byte the pre-IR kernel. Bit-identity: per
+/// (row, element) the fill-then-fold order over edges is exactly the flat
+/// nest's — chunking and tile reordering move whole (row, tile) blocks, and
+/// the blocked apply_rows folds the same per-element chain in the same edge
+/// order (simd.hpp accum_rows contract).
+template <class MsgFn, class Reducer>
+void spmm_interpret(const simd::SpanOps& ops, const graph::Csr& adj,
+                    const graph::SrcPartitionedCsr* parts, const MsgFn& msg,
+                    float* out, std::int64_t d_out,
+                    const LoweredSpmmPlan& plan) {
+  const std::int64_t n = adj.num_rows;
+  // One partition segment's sweep of rows [r0, r1), one thread.
+  const auto segment = [&](const std::int64_t* indptr,
+                           const graph::vid_t* indices,
+                           const graph::eid_t* edge_ids, std::int64_t r0,
+                           std::int64_t r1, bool init, int part) {
+    const std::int64_t tw = plan.tile_for(d_out, part);
+    const std::int64_t chunk = plan.row_chunk > 0 ? plan.row_chunk : r1 - r0;
+    for (std::int64_t c0 = r0; c0 < r1; c0 += std::max<std::int64_t>(chunk, 1)) {
+      const std::int64_t c1 = std::min(c0 + chunk, r1);
+      for (std::int64_t j0 = 0; j0 < d_out; j0 += tw) {
+        const std::int64_t j1 = std::min(j0 + tw, d_out);
+        for (std::int64_t v = c0; v < c1; ++v) {
+          float* out_row = out + v * d_out;
+          if (init)
+            simd::fill(ops, out_row + j0, Reducer::identity(), j1 - j0);
+          const std::int64_t lo = indptr[v];
+          const std::int64_t hi = indptr[v + 1];
+          if constexpr (HasRowBlock<MsgFn>::value) {
+            if (plan.register_block) {
+              msg.template apply_rows<Reducer>(ops, indices + lo, hi - lo,
+                                               out_row, j0, j1, plan.unroll);
+              continue;
+            }
+          }
+          for (std::int64_t i = lo; i < hi; ++i) {
+            if constexpr (MsgFn::kUsesEdgeId) {
+              msg.template apply<Reducer>(ops, indices[i], edge_ids[i],
+                                          static_cast<graph::vid_t>(v),
+                                          out_row, j0, j1);
+            } else {
+              msg.template apply<Reducer>(ops, indices[i], 0,
+                                          static_cast<graph::vid_t>(v),
+                                          out_row, j0, j1);
+            }
+          }
+        }
+      }
+    }
+  };
+  // Threads cooperate inside one partition at a time (same nesting as the
+  // flat path); nnz balance is computed per segment.
+  const auto sweep = [&](const std::int64_t* indptr,
+                         const graph::vid_t* indices,
+                         const graph::eid_t* edge_ids, bool init, int part) {
+    const auto body = [&](std::int64_t r0, std::int64_t r1) {
+      segment(indptr, indices, edge_ids, r0, r1, init, part);
+    };
+    if (plan.load_balance == LoadBalance::kNnzBalanced) {
+      parallel::parallel_for_nnz_ranges(indptr, 0, n, plan.num_threads, body);
+    } else {
+      parallel::parallel_for_ranges(0, n, plan.num_threads, body);
+    }
+  };
+  if (parts == nullptr || parts->parts.size() <= 1) {
+    sweep(adj.indptr.data(), adj.indices.data(), adj.edge_ids.data(),
+          /*init=*/true, /*part=*/-1);
+  } else {
+    FG_CHECK(parts->num_rows == adj.num_rows);
+    bool first = true;
+    int part = 0;
+    for (const auto& seg : parts->parts) {
+      sweep(seg.indptr.data(), seg.indices.data(), seg.edge_ids.data(), first,
+            part);
+      first = false;
+      ++part;
+    }
+  }
+}
+
 }  // namespace detail
 
 /// Generalized SpMM over a destination-major CSR. `parts` may be null (no
@@ -91,8 +188,27 @@ void generalized_spmm(const graph::Csr& adj,
                       const CpuSpmmSchedule& sched) {
   const std::int64_t n = adj.num_rows;
   if (n == 0 || d_out == 0) return;
+
+  // Hoist every loop-nest decision out of the launch: flat knobs (or the
+  // attached Schedule-IR program) lower ONCE into a plain plan struct.
+  const LoweredSpmmPlan plan =
+      lower_spmm_schedule(sched, n, d_out, simd::active_isa());
+
+  if (plan.needs_interpreter()) {
+    const simd::SpanOps& span = simd::span_ops_for_width(plan.max_tile(d_out));
+    detail::spmm_interpret<MsgFn, Reducer>(span, adj, parts, msg, out, d_out,
+                                           plan);
+    const std::int64_t* row_degree =
+        (parts != nullptr && parts->parts.size() > 1)
+            ? parts->row_degrees().data()
+            : adj.degrees().data();
+    detail::spmm_postprocess<Reducer>(span, row_degree, n, out, d_out,
+                                      plan.num_threads);
+    return;
+  }
+
   const std::int64_t tile =
-      sched.feat_tile > 0 ? std::min(sched.feat_tile, d_out) : d_out;
+      plan.feat_tile > 0 ? std::min(plan.feat_tile, d_out) : d_out;
 
   // Dispatch hoisted out of the inner loops: resolve the span-primitive
   // table ONCE per kernel launch and thread the reference through the
@@ -116,11 +232,10 @@ void generalized_spmm(const graph::Csr& adj,
       detail::spmm_rows<MsgFn, Reducer>(span, indptr, indices, edge_ids, r0,
                                         r1, msg, out, d_out, j0, j1, init);
     };
-    if (sched.load_balance == LoadBalance::kNnzBalanced) {
-      parallel::parallel_for_nnz_ranges(indptr, 0, n, sched.num_threads,
-                                        body);
+    if (plan.load_balance == LoadBalance::kNnzBalanced) {
+      parallel::parallel_for_nnz_ranges(indptr, 0, n, plan.num_threads, body);
     } else {
-      parallel::parallel_for_ranges(0, n, sched.num_threads, body);
+      parallel::parallel_for_ranges(0, n, plan.num_threads, body);
     }
   };
 
@@ -154,7 +269,7 @@ void generalized_spmm(const graph::Csr& adj,
           ? parts->row_degrees().data()
           : adj.degrees().data();
   detail::spmm_postprocess<Reducer>(span, row_degree, n, out, d_out,
-                                    sched.num_threads);
+                                    plan.num_threads);
 }
 
 }  // namespace featgraph::core

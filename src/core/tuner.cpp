@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <limits>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <tuple>
 
+#include "core/schedule_ir.hpp"
 #include "gpusim/attention_gpu.hpp"
 #include "support/timer.hpp"
 
@@ -29,6 +31,69 @@ std::vector<CpuSpmmSchedule> default_spmm_candidates(std::int64_t d_out,
         grid.push_back(s);
       }
     }
+  }
+  return grid;
+}
+
+std::vector<CpuSpmmSchedule> default_spmm_ir_candidates(std::int64_t d_out,
+                                                        std::int64_t num_rows,
+                                                        int num_threads) {
+  std::vector<CpuSpmmSchedule> grid;
+  const simd::Isa isa = simd::active_isa();
+  auto push = [&](const ScheduleIr& ir) {
+    // Illegal programs (tile not a lane multiple on this backend, chunk past
+    // the row count, ...) are filtered here, never measured.
+    if (!ir.empty() && !validate_spmm_ir(ir, num_rows, d_out, isa).empty())
+      return;
+    CpuSpmmSchedule s;
+    s.num_threads = num_threads;
+    if (!ir.empty()) s.ir = std::make_shared<const ScheduleIr>(ir);
+    grid.push_back(s);
+  };
+
+  // Candidate #0: the empty program. Lowered, it IS the untuned default
+  // schedule (needs_interpreter() == false), so the tuner's first
+  // measurement reproduces the pre-IR baseline bit-for-bit.
+  push(ScheduleIr{});
+
+  // Register-blocked feature tiles x row chunks. Tile widths are lane
+  // multiples of SOME backend; the validator keeps only the ones legal for
+  // the active one, so AVX2 and AVX-512 legs search different grids.
+  for (std::int64_t w : {std::int64_t{8}, std::int64_t{16}, std::int64_t{32},
+                         std::int64_t{64}}) {
+    if (w > d_out) continue;
+    for (int u : {1, 2, 4}) {
+      for (std::int64_t chunk : {std::int64_t{0}, std::int64_t{1024}}) {
+        ScheduleIr ir;
+        ir.tile(w);
+        if (u > 1) ir.unroll(u);
+        if (chunk > 0) ir.chunk(std::min(chunk, num_rows));
+        push(ir);
+      }
+    }
+  }
+
+  // The template half: source partitioning, plain and register-blocked.
+  std::int64_t w_widest = 0;
+  for (std::int64_t w : {std::int64_t{8}, std::int64_t{16}, std::int64_t{32},
+                         std::int64_t{64}}) {
+    if (w <= d_out &&
+        validate_spmm_ir(ScheduleIr().tile(w), num_rows, d_out, isa).empty())
+      w_widest = w;
+  }
+  for (int parts : {2, 4, 8}) {
+    push(ScheduleIr().partition(parts));
+    if (w_widest > 0)
+      push(ScheduleIr().partition(parts).tile(w_widest).unroll(4));
+  }
+
+  // The nnz-split policy flip, on the strongest blocked shape.
+  for (LoadBalance lb : load_balance_axis(num_threads)) {
+    if (lb == LoadBalance::kNnzBalanced) continue;  // the default policy
+    ScheduleIr ir;
+    ir.split_nnz(lb);
+    if (w_widest > 0) ir.tile(w_widest).unroll(4);
+    push(ir);
   }
   return grid;
 }

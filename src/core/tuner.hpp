@@ -35,6 +35,17 @@ struct SpmmTuneResult {
 std::vector<CpuSpmmSchedule> default_spmm_candidates(std::int64_t d_out,
                                                      int num_threads);
 
+/// Schedule-IR candidate grid. The FIRST candidate is the empty program —
+/// lowered it reproduces the untuned default schedule bit-for-bit, so the
+/// tuner's opening measurement is always the pre-IR baseline. The rest are
+/// legal IR programs (filtered through validate_spmm_ir against the active
+/// backend, so the AVX2 and AVX-512 legs see different tile-width axes):
+/// register-blocked feature tiles tile(W).unroll(U), row chunking chunk(C),
+/// nnz-position splitting and source partitioning.
+std::vector<CpuSpmmSchedule> default_spmm_ir_candidates(std::int64_t d_out,
+                                                        std::int64_t num_rows,
+                                                        int num_threads);
+
 /// Times every candidate on the real kernel and returns the winner plus the
 /// full trial log (benchmarks use the log for the Fig. 14 sensitivity grid).
 SpmmTuneResult tune_spmm(const graph::Csr& adj, std::string_view msg_op,

@@ -66,6 +66,11 @@ struct CopyU {
   /// The template skips loading per-entry edge ids for UDFs that never read
   /// them (saves 8 B of adjacency traffic per edge visit).
   static constexpr bool kUsesEdgeId = false;
+  /// Register-blocked row-group protocol (Schedule-IR unroll path): the
+  /// message is a pure gather of source rows, so a row's whole in-edge
+  /// group can fold through simd::accum_rows with the output tile pinned in
+  /// vector registers.
+  static constexpr bool kSupportsRowBlock = true;
   const float* x;
   std::int64_t d;
   template <class Reducer>
@@ -73,6 +78,15 @@ struct CopyU {
              std::int64_t j0, std::int64_t j1) const {
     const float* xu = x + static_cast<std::int64_t>(u) * d;
     simd::accum(ops, Reducer::kAccum, out_row + j0, xu + j0, j1 - j0);
+  }
+  /// Folds source rows idx[0..cnt) into out_row[j0, j1) in order — the same
+  /// per-element combine chain cnt apply() calls would run.
+  template <class Reducer>
+  void apply_rows(const simd::SpanOps& ops, const vid_t* idx,
+                  std::int64_t cnt, float* out_row, std::int64_t j0,
+                  std::int64_t j1, int unroll) const {
+    simd::accum_rows(ops, Reducer::kAccum, out_row + j0, x + j0, d, idx, cnt,
+                     j1 - j0, unroll);
   }
 };
 

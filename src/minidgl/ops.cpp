@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "core/attention.hpp"
+#include "core/schedule_ir.hpp"
 #include "core/sddmm.hpp"
 #include "core/spmm.hpp"
 #include "core/tuner.hpp"
@@ -50,12 +51,18 @@ Tensor run_spmm(ExecContext& ctx, const graph::Csr& adj,
   core::CpuSpmmSchedule sched;
   if (ctx.schedule_cache != nullptr) {
     // Shape-class memo (the minibatch pipeline): the tuner/heuristic runs
-    // once per (log2 rows, log2 nnz, width, threads) class, then the stream
-    // of same-shaped blocks reuses the winner. num_partitions is pinned to
-    // 1 (see ExecContext::schedule_cache) — also what keeps full-fanout
-    // block inference bit-identical to the unpartitioned full-graph path.
+    // once per (log2 rows, log2 nnz, width, threads, program) class, then
+    // the stream of same-shaped blocks reuses the winner. The context's
+    // Schedule-IR program (or the empty default) hashes into the key so two
+    // programs over one geometry get distinct entries. num_partitions is
+    // pinned to 1 (see ExecContext::schedule_cache) — also what keeps
+    // full-fanout block inference bit-identical to the unpartitioned
+    // full-graph path.
+    core::CpuSpmmSchedule probe;
+    probe.ir = ctx.block_schedule_ir;
     sched = ctx.schedule_cache->schedule_for(
-        adj.num_rows, adj.nnz(), d_out, ctx.num_threads, [&] {
+        adj.num_rows, adj.nnz(), d_out, ctx.num_threads,
+        core::schedule_program_hash(probe), [&] {
           if (ctx.tune_block_schedules) {
             return core::tune_spmm(adj, msg_op, reduce_op, operands,
                                    core::default_spmm_candidates(
@@ -68,6 +75,9 @@ Tensor run_spmm(ExecContext& ctx, const graph::Csr& adj,
   } else {
     sched = core::heuristic_spmm_schedule(adj, d_out, ctx.num_threads);
   }
+  // The context's IR program, when present, overrides the flat knobs above
+  // (lowering treats an attached program as authoritative).
+  if (ctx.block_schedule_ir != nullptr) sched.ir = ctx.block_schedule_ir;
   return core::spmm(adj, msg_op, reduce_op, sched, operands);
 }
 

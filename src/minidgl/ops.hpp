@@ -51,6 +51,14 @@ struct ExecContext {
   /// default candidate grid, timed on the first block of each shape class)
   /// instead of the O(1) heuristic.
   bool tune_block_schedules = false;
+  /// When set, CPU SpMM launches run this Schedule-IR program (attached to
+  /// whatever schedule the cache/heuristic served — the program is
+  /// authoritative for every loop-nest decision except num_threads), and
+  /// its core::schedule_program_hash is folded into the schedule-cache key
+  /// so launches under different programs never alias one shape class. The
+  /// program must stay legal for every block shape it will see (e.g. no
+  /// chunk(C) beyond the smallest block's row count).
+  std::shared_ptr<const core::ScheduleIr> block_schedule_ir;
 
   /// Simulated GPU seconds accumulated across ops (kGpuSim only).
   double sim_seconds = 0.0;

@@ -89,6 +89,14 @@ PreparedBatch produce_batch(const NeighborSampler& sampler,
 
 }  // namespace
 
+bool pipeline_can_overlap(unsigned hardware_concurrency,
+                          unsigned pool_workers) {
+  // One hardware context: the two lanes would time-slice a single core, so
+  // the queue handoff is pure overhead over the serial loop. No pool
+  // worker: nobody can run the second lane.
+  return hardware_concurrency >= 2 && pool_workers >= 1;
+}
+
 PipelineStats run_pipeline(const NeighborSampler& sampler,
                            const tensor::Tensor& features,
                            const std::vector<graph::vid_t>& seeds,
@@ -105,12 +113,17 @@ PipelineStats run_pipeline(const NeighborSampler& sampler,
 
   // The 2-lane overlap needs GENUINE lane concurrency: a producer blocking
   // on a full queue no consumer lane is draining would deadlock. So the
-  // overlap only runs if launch_if_idle atomically claims the pool's job
-  // slot — claimed means our two lanes really run concurrently (pool
-  // workers are idle by the launch-serialization invariant); declined
-  // (run_pipeline called from inside another launch, or racing one) means
-  // the loop below serves serially instead.
-  if (options.pipelined && num_batches > 1) {
+  // overlap only runs if (a) the host can actually run the lanes on
+  // distinct threads — pipeline_can_overlap; a 1-core host degrades to the
+  // serial loop UP FRONT instead of paying the queue handoff for nothing —
+  // and (b) launch_if_idle atomically claims the pool's job slot: claimed
+  // means our two lanes really run concurrently (pool workers are idle by
+  // the launch-serialization invariant); declined (run_pipeline called from
+  // inside another launch, or racing one) means the loop below serves
+  // serially instead.
+  if (options.pipelined && num_batches > 1 &&
+      pipeline_can_overlap(std::thread::hardware_concurrency(),
+                           parallel::ThreadPool::global().num_workers())) {
     BatchQueue queue(options.queue_capacity);
     double produce_seconds = 0.0;
     double consume_seconds = 0.0;
@@ -170,11 +183,14 @@ PipelineStats run_pipeline(const NeighborSampler& sampler,
 
 core::CpuSpmmSchedule BlockScheduleCache::schedule_for(
     std::int64_t rows, std::int64_t nnz, std::int64_t feat_width,
-    int num_threads, const std::function<core::CpuSpmmSchedule()>& tune) {
+    int num_threads, std::uint64_t program_hash,
+    const std::function<core::CpuSpmmSchedule()>& tune) {
   // Shape-class key: sizes quantized to their floor log2 bucket (blocks of
   // one batch stream differ by a few rows/edges, not by magnitude), feature
   // width and thread count exact (few distinct values, and schedules
-  // genuinely depend on them).
+  // genuinely depend on them). The Schedule-IR program hash is folded in
+  // with a golden-ratio mix so two programs over the same geometry never
+  // alias.
   auto log2_bucket = [](std::int64_t v) -> std::uint64_t {
     std::uint64_t b = 0;
     while (v > 1) {
@@ -183,10 +199,11 @@ core::CpuSpmmSchedule BlockScheduleCache::schedule_for(
     }
     return b;
   };
-  const std::uint64_t key = (log2_bucket(rows) << 48) ^
-                            (log2_bucket(nnz) << 40) ^
-                            (static_cast<std::uint64_t>(feat_width) << 8) ^
-                            static_cast<std::uint64_t>(num_threads);
+  std::uint64_t key = (log2_bucket(rows) << 48) ^
+                      (log2_bucket(nnz) << 40) ^
+                      (static_cast<std::uint64_t>(feat_width) << 8) ^
+                      static_cast<std::uint64_t>(num_threads);
+  key ^= program_hash + 0x9e3779b97f4a7c15ull + (key << 6) + (key >> 2);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = cache_.find(key);

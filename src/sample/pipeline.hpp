@@ -87,11 +87,22 @@ struct PipelineStats {
   bool overlapped = false;
 };
 
+/// Whether the 2-lane overlap can possibly run the lanes on DISTINCT
+/// threads: it needs a second hardware context (on a 1-core host the lanes
+/// time-slice one core and the queue handoff is pure overhead — measured
+/// ~0.9x vs serial) and at least one pool worker to execute the second
+/// lane. run_pipeline consults this up front and degrades to the serial
+/// path when false, so `pipelined = true` is always at least as fast as
+/// serial.
+bool pipeline_can_overlap(unsigned hardware_concurrency,
+                          unsigned pool_workers);
+
 /// Drives minibatches of `seeds` (contiguous chunks of `batch_size`, last
 /// one partial) through sample -> gather -> `consume`, overlapping the next
-/// batch's production with the current batch's consumption when possible.
-/// `consume` runs on batches in strictly increasing index order; the batch
-/// is handed over mutably so the consumer may move tensors out.
+/// batch's production with the current batch's consumption when possible
+/// (see pipeline_can_overlap). `consume` runs on batches in strictly
+/// increasing index order; the batch is handed over mutably so the consumer
+/// may move tensors out.
 PipelineStats run_pipeline(const NeighborSampler& sampler,
                            const tensor::Tensor& features,
                            const std::vector<graph::vid_t>& seeds,
@@ -99,14 +110,18 @@ PipelineStats run_pipeline(const NeighborSampler& sampler,
                            const std::function<void(PreparedBatch&)>& consume);
 
 /// Schedule memo keyed on block SHAPE CLASS: (floor log2 rows, floor log2
-/// nnz, exact feature width, thread count). Thread-safe; `tune` runs only on
-/// the first miss of a class (wrap a heuristic or a real tuner call — the
-/// pipeline's stream of same-shaped blocks then reuses the winner).
+/// nnz, exact feature width, thread count, lowered-program hash). The
+/// program hash (core::schedule_program_hash of the Schedule-IR the caller
+/// intends to run — hash of the empty program when none) keeps two launches
+/// in the same geometric class but under DIFFERENT IR programs from
+/// aliasing one cache line. Thread-safe; `tune` runs only on the first miss
+/// of a class (wrap a heuristic or a real tuner call — the pipeline's
+/// stream of same-shaped blocks then reuses the winner).
 class BlockScheduleCache {
  public:
   core::CpuSpmmSchedule schedule_for(
       std::int64_t rows, std::int64_t nnz, std::int64_t feat_width,
-      int num_threads,
+      int num_threads, std::uint64_t program_hash,
       const std::function<core::CpuSpmmSchedule()>& tune);
 
   std::int64_t hits() const;

@@ -11,9 +11,12 @@
 
 #include <cmath>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "core/attention.hpp"
+#include "core/schedule_ir.hpp"
 #include "core/sddmm.hpp"
 #include "core/spmm.hpp"
 #include "graph/generators.hpp"
@@ -168,6 +171,152 @@ TEST(IsaDifferential, SpmmAllUdfsReducersBalancesMatchOracleOnEveryIsa) {
         }
       }
     }
+  }
+}
+
+TEST(IsaDifferential, SpmmLegalIrProgramsBitIdenticalToDefaultOnEveryIsa) {
+  // The Schedule-IR bit-identity contract observed through the full kernel
+  // stack: every ORDER-PRESERVING program — chunking, register-blocked
+  // tiles, nnz-splitting — produces output bit-for-bit identical to the
+  // default schedule on the SAME backend, for every msg op x reducer.
+  // partition(P) regroups each destination row's in-edges by source bucket
+  // (an intentional fold reorder, same as the flat num_partitions knob), so
+  // partitioned programs are pinned against their flat-knob spelling
+  // instead: same code path, bit-identical. (Cross-backend identity is the
+  // previous test; composing both gives program x ISA identity.)
+  const Fixture& f = Fixture::get();
+  const auto isas = fg::simd::supported_isas();
+  using fg::core::ScheduleIr;
+  // d_out = kDim = 19: tile widths 8 and 16 are legal on every backend
+  // (scalar takes any width; AVX2 is 8-lane; AVX-512 reroutes 8 and takes
+  // 16 natively). flat_parts == 1 compares against the default schedule;
+  // flat_parts > 1 compares against {num_partitions, feat_tile} flat knobs.
+  struct Case {
+    ScheduleIr prog;
+    int flat_parts = 1;
+    std::int64_t flat_tile = 0;
+  };
+  const std::vector<Case> cases = {
+      {ScheduleIr().chunk(64)},
+      {ScheduleIr().tile(8)},
+      {ScheduleIr().tile(16).unroll(4)},
+      {ScheduleIr().tile(8).unroll(2).chunk(100)},
+      {ScheduleIr().split_nnz(LoadBalance::kStaticRows).tile(8).unroll(4)},
+      {ScheduleIr().partition(4).tile(16).unroll(4), 4, 16},
+      {ScheduleIr().partition(4).tile(16).override_partition(1, 8), 4, 16},
+  };
+  const char* msg_ops[] = {"copy_u", "copy_e", "u_add_v", "u_sub_v",
+                           "u_mul_v", "u_div_v", "u_add_e", "u_mul_e", "mlp"};
+  const char* reducers[] = {"sum", "max", "min", "mean"};
+  for (const char* op : msg_ops) {
+    const bool scalar_edge =
+        std::string(op) == "u_add_e" || std::string(op) == "u_mul_e";
+    const auto operands = operands_for(op, f, scalar_edge);
+    for (const char* red : reducers) {
+      for (const Isa isa : isas) {
+        fg::simd::ScopedIsa pin(isa);
+        for (const Case& c : cases) {
+          ASSERT_EQ(fg::core::validate_spmm_ir(c.prog, f.in_csr.num_rows,
+                                               kDim, isa),
+                    "")
+              << c.prog.describe();
+          CpuSpmmSchedule baseline;
+          baseline.num_threads = 3;
+          if (c.flat_parts > 1) {
+            baseline.num_partitions = c.flat_parts;
+            baseline.feat_tile = c.flat_tile;
+          }
+          const Tensor want =
+              fg::core::spmm(f.in_csr, op, red, baseline, operands);
+          CpuSpmmSchedule s;
+          s.num_threads = 3;
+          s.ir = std::make_shared<const ScheduleIr>(c.prog);
+          const Tensor got = fg::core::spmm(f.in_csr, op, red, s, operands);
+          EXPECT_TRUE(bit_equal(got, want))
+              << op << "/" << red << " isa=" << fg::simd::isa_name(isa)
+              << " program=" << c.prog.describe();
+        }
+      }
+    }
+  }
+}
+
+TEST(IsaDifferential, AttentionIrProgramsBitIdenticalToDefaultOnEveryIsa) {
+  // Fused attention interprets the same lowered plan (including the
+  // weighted register-blocked path for copy_u); softmax spans are
+  // degree-length regardless of the program, so bit-identity holds.
+  // Order-preserving programs pin against the default schedule; the
+  // partitioned program pins against its flat-knob spelling (partitioning
+  // regroups each row's edge fold by source bucket, exactly like the flat
+  // num_partitions knob).
+  const Fixture& f = Fixture::get();
+  const auto isas = fg::simd::supported_isas();
+  using fg::core::ScheduleIr;
+  fg::core::AttentionOperands ops;
+  ops.src_feat = &f.x;
+  ops.logit_scale = 0.25f;
+  struct Case {
+    ScheduleIr prog;
+    int flat_parts = 1;
+    std::int64_t flat_tile = 0;
+  };
+  const std::vector<Case> cases = {
+      {ScheduleIr().chunk(64)},
+      {ScheduleIr().tile(16).unroll(4)},
+      {ScheduleIr().tile(8).unroll(2).chunk(100)},
+      {ScheduleIr().partition(2).tile(8), 2, 8},
+  };
+  for (const Isa isa : isas) {
+    fg::simd::ScopedIsa pin(isa);
+    for (const Case& c : cases) {
+      CpuSpmmSchedule baseline;
+      baseline.num_threads = 3;
+      if (c.flat_parts > 1) {
+        baseline.num_partitions = c.flat_parts;
+        baseline.feat_tile = c.flat_tile;
+      }
+      const auto want = fg::core::attention(f.in_csr, "copy_u", baseline, ops);
+      CpuSpmmSchedule s;
+      s.num_threads = 3;
+      s.ir = std::make_shared<const ScheduleIr>(c.prog);
+      const auto got = fg::core::attention(f.in_csr, "copy_u", s, ops);
+      EXPECT_TRUE(bit_equal(got.out, want.out))
+          << "out isa=" << fg::simd::isa_name(isa)
+          << " program=" << c.prog.describe();
+      EXPECT_TRUE(bit_equal(got.alpha, want.alpha))
+          << "alpha isa=" << fg::simd::isa_name(isa)
+          << " program=" << c.prog.describe();
+    }
+  }
+}
+
+TEST(IsaDifferential, SddmmIrProgramsBitIdenticalToFlatOnEveryIsa) {
+  // SDDMM programs: chunk(C) is a pure split of the per-thread edge loop
+  // (bit-identical to untiled flat), and tile(W) runs the identical code
+  // path as the flat reduce_tile knob.
+  const Fixture& f = Fixture::get();
+  const auto isas = fg::simd::supported_isas();
+  using fg::core::ScheduleIr;
+  for (const Isa isa : isas) {
+    fg::simd::ScopedIsa pin(isa);
+    CpuSddmmSchedule def;
+    def.num_threads = 3;
+    const Tensor want = fg::core::sddmm(f.coo, "dot", def, {&f.x, nullptr});
+
+    CpuSddmmSchedule chunked = def;
+    chunked.ir = std::make_shared<const ScheduleIr>(ScheduleIr().chunk(128));
+    EXPECT_TRUE(bit_equal(
+        fg::core::sddmm(f.coo, "dot", chunked, {&f.x, nullptr}), want))
+        << "chunk isa=" << fg::simd::isa_name(isa);
+
+    CpuSddmmSchedule flat_tiled = def;
+    flat_tiled.reduce_tile = 8;
+    CpuSddmmSchedule ir_tiled = def;
+    ir_tiled.ir = std::make_shared<const ScheduleIr>(ScheduleIr().tile(8));
+    EXPECT_TRUE(bit_equal(
+        fg::core::sddmm(f.coo, "dot", ir_tiled, {&f.x, nullptr}),
+        fg::core::sddmm(f.coo, "dot", flat_tiled, {&f.x, nullptr})))
+        << "tile isa=" << fg::simd::isa_name(isa);
   }
 }
 

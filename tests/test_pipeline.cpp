@@ -5,7 +5,11 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <memory>
+#include <thread>
 #include <vector>
+
+#include "core/schedule_ir.hpp"
 
 #include "graph/generators.hpp"
 #include "minidgl/train.hpp"
@@ -120,9 +124,16 @@ TEST(Pipeline, DeterministicAcrossPipelineThreads) {
   ASSERT_EQ(a.size(), b.size());
   for (std::size_t i = 0; i < a.size(); ++i)
     EXPECT_TRUE(a[i] == b[i]) << "batch " << i;
-  // And the second run genuinely took the 2-lane path (a worker exists even
-  // on a 1-core host: the caller runs one lane, the pool the other).
-  EXPECT_TRUE(stats.overlapped);
+  // And the second run genuinely took the 2-lane path — unless the host
+  // cannot overlap at all (1 hardware context), where run_pipeline must
+  // degrade to the serial loop up front and report it honestly.
+  if (fg::sample::pipeline_can_overlap(
+          std::thread::hardware_concurrency(),
+          fg::parallel::ThreadPool::global().num_workers())) {
+    EXPECT_TRUE(stats.overlapped);
+  } else {
+    EXPECT_FALSE(stats.overlapped);
+  }
 }
 
 TEST(Pipeline, BoundedQueueRespectsCapacity) {
@@ -137,7 +148,44 @@ TEST(Pipeline, BoundedQueueRespectsCapacity) {
     fg::sample::PipelineStats stats;
     drive(sampler, x, seeds, opts, &stats);
     EXPECT_LE(stats.max_queue_depth, capacity);
-    EXPECT_GE(stats.max_queue_depth, 1);
+    if (fg::sample::pipeline_can_overlap(
+            std::thread::hardware_concurrency(),
+            fg::parallel::ThreadPool::global().num_workers())) {
+      EXPECT_GE(stats.max_queue_depth, 1);
+    } else {
+      // Serial up-front degrade: the queue is never touched.
+      EXPECT_EQ(stats.max_queue_depth, 0);
+    }
+  }
+}
+
+TEST(Pipeline, OverlapPredicateRequiresTwoContextsAndAWorker) {
+  // The 1-core regression pin (BENCH_kernels.json serving section: pipelined
+  // 0.249s vs serial 0.220s on hardware_concurrency == 1): with a single
+  // hardware context the lanes time-slice one core, so run_pipeline must
+  // degrade to serial before paying for the queue handoff.
+  EXPECT_FALSE(fg::sample::pipeline_can_overlap(1, 1));
+  EXPECT_FALSE(fg::sample::pipeline_can_overlap(1, 8));
+  EXPECT_FALSE(fg::sample::pipeline_can_overlap(2, 0));
+  EXPECT_TRUE(fg::sample::pipeline_can_overlap(2, 1));
+  EXPECT_TRUE(fg::sample::pipeline_can_overlap(8, 7));
+
+  // On THIS host the pipelined option must never lose to serial by design:
+  // when the predicate is false the pipelined run IS the serial loop.
+  const Csr csr = rmat_csr(256, 6.0, 3);
+  const Tensor x = Tensor::randn({csr.num_cols, 4}, 6);
+  NeighborSampler sampler(csr, {{2}, false, 5});
+  const auto seeds = all_vertices(csr);
+  PipelineOptions opts;
+  opts.batch_size = 64;
+  opts.pipelined = true;
+  fg::sample::PipelineStats stats;
+  drive(sampler, x, seeds, opts, &stats);
+  if (!fg::sample::pipeline_can_overlap(
+          std::thread::hardware_concurrency(),
+          fg::parallel::ThreadPool::global().num_workers())) {
+    EXPECT_FALSE(stats.overlapped);
+    EXPECT_EQ(stats.max_queue_depth, 0);
   }
 }
 
@@ -171,20 +219,48 @@ TEST(Pipeline, BlockScheduleCacheKeysOnShapeClass) {
     s.feat_tile = 32;
     return s;
   };
-  // Same log2 buckets -> one tune, then hits.
-  EXPECT_EQ(cache.schedule_for(1000, 8000, 64, 2, tune).feat_tile, 32);
-  EXPECT_EQ(cache.schedule_for(1023, 8191, 64, 2, tune).feat_tile, 32);
-  EXPECT_EQ(cache.schedule_for(513, 4100, 64, 2, tune).feat_tile, 32);
+  // Same log2 buckets -> one tune, then hits. Program hash 0 = no IR.
+  EXPECT_EQ(cache.schedule_for(1000, 8000, 64, 2, 0, tune).feat_tile, 32);
+  EXPECT_EQ(cache.schedule_for(1023, 8191, 64, 2, 0, tune).feat_tile, 32);
+  EXPECT_EQ(cache.schedule_for(513, 4100, 64, 2, 0, tune).feat_tile, 32);
   EXPECT_EQ(tunes, 1);
   EXPECT_EQ(cache.hits(), 2);
   EXPECT_EQ(cache.misses(), 1);
   // A different feature width or thread count is a new class.
-  cache.schedule_for(1000, 8000, 32, 2, tune);
-  cache.schedule_for(1000, 8000, 64, 4, tune);
+  cache.schedule_for(1000, 8000, 32, 2, 0, tune);
+  cache.schedule_for(1000, 8000, 64, 4, 0, tune);
   EXPECT_EQ(tunes, 3);
   // A different size magnitude is a new class.
-  cache.schedule_for(100, 400, 64, 2, tune);
+  cache.schedule_for(100, 400, 64, 2, 0, tune);
   EXPECT_EQ(tunes, 4);
+}
+
+TEST(Pipeline, ScheduleCacheSeparatesProgramsWithinOneShapeClass) {
+  // Two different Schedule-IR programs over the SAME (rows, nnz, width,
+  // threads) class must not alias: the program hash is part of the key.
+  BlockScheduleCache cache;
+  int tunes = 0;
+  const auto tune = [&] {
+    ++tunes;
+    return fg::core::CpuSpmmSchedule{};
+  };
+  fg::core::CpuSpmmSchedule flat;  // empty program
+  fg::core::CpuSpmmSchedule blocked;
+  blocked.ir = std::make_shared<const fg::core::ScheduleIr>(
+      fg::core::ScheduleIr().tile(16).unroll(4));
+  const std::uint64_t h_flat = fg::core::schedule_program_hash(flat);
+  const std::uint64_t h_blocked = fg::core::schedule_program_hash(blocked);
+  ASSERT_NE(h_flat, h_blocked);
+
+  cache.schedule_for(1000, 8000, 64, 2, h_flat, tune);
+  cache.schedule_for(1000, 8000, 64, 2, h_blocked, tune);
+  EXPECT_EQ(tunes, 2);  // one geometric class, two programs -> two misses
+  EXPECT_EQ(cache.misses(), 2);
+  // Each program then hits its own entry.
+  cache.schedule_for(1010, 8100, 64, 2, h_flat, tune);
+  cache.schedule_for(1010, 8100, 64, 2, h_blocked, tune);
+  EXPECT_EQ(tunes, 2);
+  EXPECT_EQ(cache.hits(), 2);
 }
 
 TEST(Pipeline, ScheduleCacheHitsDominateAfterWarmup) {

@@ -186,6 +186,85 @@ TEST_P(IsaParity, WaxpyBinOpBitEqualAllOps) {
   }
 }
 
+TEST_P(IsaParity, AccumRowsBitEqualAllUnrollsAndMatchPerRowChain) {
+  // The Schedule-IR register-blocked fold (accum_rows): every backend pair
+  // AND every unroll hint must be bit-identical — unroll regroups vectors
+  // across the feature axis only, never across rows — and the whole group
+  // fold must equal the per-row accum chain it replaces (the protocol the
+  // unroll() transform's bit-identity contract rests on).
+  fg::support::Rng rng(2500);
+  const std::int64_t n_src = 29;
+  const std::int64_t cnt = 13;
+  for (std::int64_t n : kLens) {
+    const std::int64_t stride = n + 3;  // source rows wider than the span
+    auto src = random_span(n_src * stride, 2600 + static_cast<std::uint64_t>(n));
+    std::vector<std::int32_t> idx(static_cast<std::size_t>(cnt));
+    for (auto& i : idx)
+      i = static_cast<std::int32_t>(
+          rng.uniform(static_cast<std::uint64_t>(n_src)));
+    for (int r = 0; r < fg::simd::kNumAccum; ++r) {
+      auto base = random_span(n, 2700 + static_cast<std::uint64_t>(n));
+      auto want = base;  // the per-row chain cnt accum() calls would run
+      for (std::int64_t i = 0; i < cnt; ++i) {
+        lhs_->accum[r](want.data(),
+                       src.data() +
+                           static_cast<std::int64_t>(
+                               idx[static_cast<std::size_t>(i)]) *
+                               stride,
+                       n);
+      }
+      for (int unroll : {1, 2, 4, 8}) {
+        auto a = base, b = base;
+        lhs_->accum_rows[r](a.data(), src.data(), stride, idx.data(), cnt, n,
+                            unroll);
+        rhs_->accum_rows[r](b.data(), src.data(), stride, idx.data(), cnt, n,
+                            unroll);
+        EXPECT_TRUE(bit_equal(a, b))
+            << "accum_rows r=" << r << " n=" << n << " u=" << unroll;
+        EXPECT_TRUE(bit_equal(a, want))
+            << "accum_rows vs chain r=" << r << " n=" << n << " u=" << unroll;
+      }
+    }
+  }
+}
+
+TEST_P(IsaParity, WaxpyRowsBitEqualAllUnrollsAndMatchPerRowChain) {
+  // Weighted row-group fold (the fused attention blocked path): mul then
+  // add per element, no FMA — bit-identical to the per-row axpy chain at
+  // every unroll on every backend.
+  fg::support::Rng rng(3500);
+  const std::int64_t n_src = 29;
+  const std::int64_t cnt = 13;
+  for (std::int64_t n : kLens) {
+    const std::int64_t stride = n + 5;
+    auto src = random_span(n_src * stride, 3600 + static_cast<std::uint64_t>(n));
+    auto w = random_span(cnt, 3700 + static_cast<std::uint64_t>(n));
+    std::vector<std::int32_t> idx(static_cast<std::size_t>(cnt));
+    for (auto& i : idx)
+      i = static_cast<std::int32_t>(
+          rng.uniform(static_cast<std::uint64_t>(n_src)));
+    auto base = random_span(n, 3800 + static_cast<std::uint64_t>(n));
+    auto want = base;
+    for (std::int64_t i = 0; i < cnt; ++i) {
+      lhs_->axpy(want.data(),
+                 src.data() + static_cast<std::int64_t>(
+                                  idx[static_cast<std::size_t>(i)]) *
+                                  stride,
+                 w[static_cast<std::size_t>(i)], n);
+    }
+    for (int unroll : {1, 2, 4, 8}) {
+      auto a = base, b = base;
+      lhs_->waxpy_rows(a.data(), src.data(), stride, idx.data(), w.data(), cnt,
+                       n, unroll);
+      rhs_->waxpy_rows(b.data(), src.data(), stride, idx.data(), w.data(), cnt,
+                       n, unroll);
+      EXPECT_TRUE(bit_equal(a, b)) << "waxpy_rows n=" << n << " u=" << unroll;
+      EXPECT_TRUE(bit_equal(a, want))
+          << "waxpy_rows vs chain n=" << n << " u=" << unroll;
+    }
+  }
+}
+
 TEST_P(IsaParity, GatherRowsBitEqual) {
   // The sampling subsystem's row gather is a pure copy — exact class, so
   // every backend pair must agree bit-for-bit at every row width (kLens
