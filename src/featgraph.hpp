@@ -13,6 +13,8 @@
 //   minidgl::*                   miniature GNN framework (GCN/GraphSage/GAT)
 //   sample::*                    minibatch neighbor sampling, MFG blocks,
 //                                feature gather, pipelined serving loop
+//   serve::*                     multi-tenant front-end: request coalescing,
+//                                admission server, hot-vertex feature cache
 #pragma once
 
 #include "core/attention.hpp"
@@ -31,5 +33,8 @@
 #include "sample/feature_loader.hpp"
 #include "sample/neighbor_sampler.hpp"
 #include "sample/pipeline.hpp"
+#include "serve/coalescer.hpp"
+#include "serve/feature_cache.hpp"
+#include "serve/server.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/tensor.hpp"

@@ -124,6 +124,91 @@ MinibatchInferResult Trainer::infer_minibatch(
   return infer_minibatch(options, data_->test_rows);
 }
 
+serve::BatchComputeFn Trainer::make_serve_compute(
+    sample::BlockScheduleCache* schedule_cache, bool tune_schedules) {
+  return [this, schedule_cache, tune_schedules](
+             const sample::MinibatchBlocks& blocks,
+             tensor::Tensor input_feats) {
+    // Route the block launches through the shape-class memo for the call,
+    // then restore — mirrors infer_minibatch's discipline (schedules served
+    // from the cache pin num_partitions == 1, part of the solo-vs-coalesced
+    // bit-identity contract: partitioned folds regroup a destination row's
+    // accumulation by source bucket, which depends on the merged block's
+    // column count).
+    sample::BlockScheduleCache* prev_cache = ctx_.schedule_cache;
+    const bool prev_tune = ctx_.tune_block_schedules;
+    ctx_.schedule_cache = schedule_cache;
+    ctx_.tune_block_schedules = tune_schedules;
+    Var x = make_leaf(std::move(input_feats), false, "request_feats");
+    Var lp = model_.forward(ctx_, blocks, x);
+    ctx_.schedule_cache = prev_cache;
+    ctx_.tune_block_schedules = prev_tune;
+    return lp->value();
+  };
+}
+
+ServeRequestsResult Trainer::serve_requests(
+    const ServeRequestsOptions& options,
+    const std::vector<std::vector<std::int64_t>>& request_seeds) {
+  ServeRequestsResult result;
+  ctx_.reset_accounting();
+  support::Timer timer;
+
+  sample::NeighborSampler sampler(data_->graph.in_csr(), options.sampler);
+  serve::FeatureCache cache(options.feature_cache_rows,
+                            data_->features.row_size());
+  sample::BlockScheduleCache schedule_cache;
+
+  serve::ServeOptions admission = options.admission;
+  admission.num_threads = ctx_.num_threads;
+  serve::ServingEngine engine(
+      sampler, data_->features,
+      make_serve_compute(&schedule_cache, options.tune_schedules), admission,
+      options.feature_cache_rows > 0 ? &cache : nullptr);
+
+  // Deterministic grouping: coalesce packs requests into batches in order
+  // under the admission caps (what a fully-loaded live server converges
+  // to); solo serves each alone — the baseline the coalesced outputs are
+  // pinned bitwise against.
+  std::vector<serve::Request> pending;
+  pending.reserve(request_seeds.size());
+  for (std::size_t r = 0; r < request_seeds.size(); ++r) {
+    serve::Request req;
+    req.id = static_cast<std::int64_t>(r);
+    req.seeds.reserve(request_seeds[r].size());
+    for (const std::int64_t s : request_seeds[r])
+      req.seeds.push_back(static_cast<graph::vid_t>(s));
+    pending.push_back(std::move(req));
+  }
+
+  result.outputs.reserve(pending.size());
+  std::size_t i = 0;
+  while (i < pending.size()) {
+    std::vector<serve::Request> group;
+    std::int64_t seeds_taken = 0;
+    while (i < pending.size() &&
+           static_cast<int>(group.size()) <
+               (options.coalesce ? admission.max_requests_per_batch : 1) &&
+           (group.empty() ||
+            seeds_taken + static_cast<std::int64_t>(pending[i].seeds.size()) <=
+                admission.max_seeds_per_batch)) {
+      seeds_taken += static_cast<std::int64_t>(pending[i].seeds.size());
+      group.push_back(std::move(pending[i]));
+      ++i;
+    }
+    std::vector<tensor::Tensor> outs = engine.serve_batch(std::move(group));
+    for (auto& o : outs) result.outputs.push_back(std::move(o));
+  }
+
+  result.stats = engine.stats();
+  result.cache = cache.stats();
+  result.schedule_cache_hits = schedule_cache.hits();
+  result.schedule_cache_misses = schedule_cache.misses();
+  result.seconds =
+      ctx_.device == Device::kGpuSim ? ctx_.sim_seconds : timer.seconds();
+  return result;
+}
+
 double Trainer::test_accuracy() {
   Var x = make_leaf(data_->features.clone(), false, "features");
   Var log_probs = model_.forward(ctx_, data_->graph, x);

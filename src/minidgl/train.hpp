@@ -9,6 +9,8 @@
 #include "minidgl/modules.hpp"
 #include "minidgl/optim.hpp"
 #include "sample/pipeline.hpp"
+#include "serve/feature_cache.hpp"
+#include "serve/server.hpp"
 
 namespace featgraph::minidgl {
 
@@ -48,6 +50,32 @@ struct MinibatchInferResult {
   std::int64_t schedule_cache_misses = 0;
 };
 
+/// Knobs of the multi-tenant per-request serving path (src/serve).
+struct ServeRequestsOptions {
+  /// Sampler config every request is served under; admission.rng_stream is
+  /// the shared batch_index (solo == coalesced by the per-vertex stream
+  /// contract).
+  sample::SamplerConfig sampler{{-1, -1}, false, 1};
+  serve::ServeOptions admission;
+  /// false = serve every request as its own batch (the solo baseline the
+  /// coalesced path is pinned bit-identical against).
+  bool coalesce = true;
+  /// Hot-vertex feature cache in front of the input gather; 0 disables.
+  std::int64_t feature_cache_rows = 4096;
+  /// Grid-tune the first block of each shape class (as infer_minibatch).
+  bool tune_schedules = false;
+};
+
+struct ServeRequestsResult {
+  /// outputs[r]: per-seed log-probabilities of request r, row k for seed k.
+  std::vector<tensor::Tensor> outputs;
+  serve::ServeStats stats;
+  serve::FeatureCache::Stats cache;
+  std::int64_t schedule_cache_hits = 0;
+  std::int64_t schedule_cache_misses = 0;
+  double seconds = 0.0;
+};
+
 class Trainer {
  public:
   Trainer(const ClassificationData& data, Model model, ExecContext ctx,
@@ -66,6 +94,26 @@ class Trainer {
   MinibatchInferResult infer_minibatch(const MinibatchInferOptions& options,
                                        const std::vector<std::int64_t>& rows);
   MinibatchInferResult infer_minibatch(const MinibatchInferOptions& options);
+
+  /// Multi-tenant per-request inference (src/serve): each entry of
+  /// `request_seeds` is one tenant query (a duplicate-free seed set); with
+  /// options.coalesce the requests are merged into shared minibatches under
+  /// the admission caps, sampled/gathered/computed ONCE, and scattered back
+  /// — each request's output rows bit-identical to serving it alone
+  /// (options.coalesce = false), feature cache on or off. GCN and GraphSage
+  /// models only (same block-forward constraint as infer_minibatch).
+  ServeRequestsResult serve_requests(
+      const ServeRequestsOptions& options,
+      const std::vector<std::vector<std::int64_t>>& request_seeds);
+
+  /// Builds the serving compute callback over this trainer's model +
+  /// context (block forward -> log-probabilities per merged seed), for
+  /// callers wiring their own serve::ServingEngine / serve::Server. The
+  /// callback borrows the trainer; it must not outlive it. `schedule_cache`
+  /// (optional) routes the block launches through a shape-class memo as
+  /// infer_minibatch does.
+  serve::BatchComputeFn make_serve_compute(
+      sample::BlockScheduleCache* schedule_cache, bool tune_schedules);
 
   /// Test accuracy of the current parameters.
   double test_accuracy();

@@ -56,6 +56,35 @@ bool ThreadPool::launch_if_idle(int num_threads,
   return true;
 }
 
+bool ThreadPool::launch_detached_if_idle(int num_threads,
+                                         std::function<void(int, int)> fn) {
+  FG_CHECK(num_threads >= 1);
+  std::unique_lock<std::mutex> lock(mutex_);
+  // Same claim discipline as launch_if_idle — the decision happens under
+  // the job-slot lock — plus a worker-availability check: with no workers
+  // there is nobody to run a lane the caller does not participate in.
+  if (job_ != nullptr || workers_.empty()) return false;
+  detached_job_ = std::make_shared<std::function<void(int, int)>>(std::move(fn));
+  detached_ = true;
+  job_ = detached_job_.get();
+  job_lanes_ = num_threads;
+  next_lane_ = 0;
+  lanes_remaining_ = num_threads;
+  ++epoch_;
+  lock.unlock();
+  work_ready_.notify_all();
+  return true;
+}
+
+void ThreadPool::wait_detached_drained() {
+  // The last lane of a detached job releases the slot from worker_loop —
+  // AFTER the job's own code has returned. A caller that observed its
+  // detached work finish (e.g. Server::close joining its lane) waits here
+  // so the slot is reclaimable before it hands the pool to someone else.
+  std::unique_lock<std::mutex> lock(mutex_);
+  work_done_.wait(lock, [this] { return !detached_; });
+}
+
 void ThreadPool::run_claimed_lanes(std::unique_lock<std::mutex>& lock,
                                    const std::function<void(int, int)>& fn) {
   lock.unlock();
@@ -96,7 +125,16 @@ void ThreadPool::worker_loop() {
       (*fn)(lane, lanes);
       lock.lock();
       --lanes_remaining_;
-      if (lanes_remaining_ == 0) work_done_.notify_all();
+      if (lanes_remaining_ == 0) {
+        // A detached job has no caller waiting in run_claimed_lanes to
+        // clear the slot — the last lane releases it here.
+        if (detached_) {
+          job_ = nullptr;
+          detached_ = false;
+          detached_job_.reset();
+        }
+        work_done_.notify_all();
+      }
     }
   }
 }

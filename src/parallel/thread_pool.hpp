@@ -7,6 +7,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -43,6 +44,27 @@ class ThreadPool {
   /// idle by the serialization invariant) or the caller takes its fallback.
   bool launch_if_idle(int num_threads, const std::function<void(int, int)>& fn);
 
+  /// launch_if_idle's DETACHED sibling, the claim discipline the serving
+  /// front-end's admission loop reuses (src/serve): atomically claims the
+  /// job slot if idle and hands the lanes to pool WORKERS only — the caller
+  /// does not participate and returns immediately. The slot is released by
+  /// the last lane to finish, so `fn` may run for the lifetime of a server.
+  /// Declines (returns false, nothing runs) when a launch is in flight or
+  /// the pool has no workers; the caller takes its fallback (e.g. a
+  /// dedicated thread). While a detached job holds the slot, launch() from
+  /// any thread — including `fn` itself — degrades to inline execution, so
+  /// a long-lived lane can freely run parallel_for kernels and never
+  /// deadlocks on its own slot.
+  bool launch_detached_if_idle(int num_threads,
+                               std::function<void(int, int)> fn);
+
+  /// Blocks until no detached job holds the slot. The last detached lane
+  /// releases the slot AFTER the job's code returns, so a caller that saw
+  /// its detached work finish must wait here before expecting a fresh
+  /// launch_detached_if_idle claim to succeed. Returns immediately when no
+  /// detached job is active.
+  void wait_detached_drained();
+
   /// Process-wide pool, sized to hardware concurrency, created on first use.
   static ThreadPool& global();
 
@@ -67,6 +89,10 @@ class ThreadPool {
   int lanes_remaining_ = 0;  // lanes not yet completed
   std::uint64_t epoch_ = 0;  // bumps every launch so workers detect new work
   bool shutdown_ = false;
+  // Detached-job state: the pool owns the function (the caller is gone by
+  // the time lanes run); the last finishing lane releases the slot.
+  std::shared_ptr<std::function<void(int, int)>> detached_job_;
+  bool detached_ = false;
 };
 
 }  // namespace featgraph::parallel

@@ -10,15 +10,19 @@ namespace featgraph::sample {
 
 namespace {
 
-/// Stream id of one (batch, hop, destination-position) draw: three chained
+/// Stream id of one (batch, hop, destination-VERTEX) draw: three chained
 /// SplitMix64 avalanches so no two triples share a stream in practice, and
 /// the id depends on nothing but the triple — the order-independence the
-/// determinism contract rests on.
+/// determinism contract rests on. Keying on the vertex id (not the
+/// destination's position in the seed list) makes a vertex's sampled
+/// neighborhood invariant to where it appears in the batch, which is what
+/// lets the serving coalescer merge seed lists across requests and still
+/// reproduce each request's solo sampling bit-for-bit (src/serve).
 std::uint64_t stream_of(std::uint64_t batch, std::uint64_t hop,
-                        std::uint64_t i) {
+                        std::uint64_t vertex) {
   std::uint64_t s = support::splitmix64(batch);
   s = support::splitmix64(s ^ (hop + 0x9e3779b97f4a7c15ULL));
-  return support::splitmix64(s ^ i);
+  return support::splitmix64(s ^ vertex);
 }
 
 /// Chooses the sampled CSR positions [0, deg) for one destination row,
@@ -83,7 +87,9 @@ MinibatchBlocks NeighborSampler::sample(const std::vector<graph::vid_t>& seeds,
       const graph::vid_t v = dst[i];
       FG_CHECK_MSG(v >= 0 && v < csr_->num_rows,
                    "minibatch seed out of range");
-      support::Rng rng(config_.seed, stream_of(batch_index, hop, i));
+      support::Rng rng(config_.seed,
+                       stream_of(batch_index, hop,
+                                 static_cast<std::uint64_t>(v)));
       picked[i] =
           pick_positions(csr_->degree(v), fanout, config_.replace, rng);
     }

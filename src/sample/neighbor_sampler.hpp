@@ -3,11 +3,15 @@
 // NeighborSampler, GraphSAGE's fanout sampling).
 //
 // Determinism contract: the sampled blocks are a pure function of
-// (graph, config.seed, batch_index, seeds). Each (batch, hop, destination)
-// triple draws from its OWN splittable RNG stream (support::Rng's
+// (graph, config.seed, batch_index, seeds). Each (batch, hop, destination
+// VERTEX) triple draws from its OWN splittable RNG stream (support::Rng's
 // (seed, stream) constructor), so results do not depend on how many threads
-// run the pipeline, in which order batches are produced, or what was sampled
-// before — the property Pipeline.DeterministicAcrossPipelineThreads pins.
+// run the pipeline, in which order batches are produced, what was sampled
+// before — the property Pipeline.DeterministicAcrossPipelineThreads pins —
+// or WHERE in the seed list a vertex sits. That last invariance is what the
+// multi-tenant coalescer (src/serve) builds on: merging several requests'
+// seed lists into one batch leaves every vertex's sampled neighborhood
+// bit-identical to serving its request alone under the same batch_index.
 //
 // Fanout semantics per destination row of in-degree deg:
 //   * fanout < 0  — full neighborhood, all deg edges in CSR order (no RNG

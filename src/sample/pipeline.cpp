@@ -188,22 +188,30 @@ core::CpuSpmmSchedule BlockScheduleCache::schedule_for(
   // Shape-class key: sizes quantized to their floor log2 bucket (blocks of
   // one batch stream differ by a few rows/edges, not by magnitude), feature
   // width and thread count exact (few distinct values, and schedules
-  // genuinely depend on them). The Schedule-IR program hash is folded in
-  // with a golden-ratio mix so two programs over the same geometry never
-  // alias.
+  // genuinely depend on them). Empty sizes (rows or nnz == 0) get their OWN
+  // bucket — floor log2 would fold 0 in with 1, and an empty block's
+  // degenerate schedule must not be served to singleton blocks (or vice
+  // versa). Every field is folded in FULL WIDTH through a golden-ratio hash
+  // combine rather than packed into fixed bit slots: the old packing shifted
+  // feat_width into bits [8, 8 + width), so a width >= 2^32 XOR-clobbered
+  // the log2 fields and aliased unrelated classes.
   auto log2_bucket = [](std::int64_t v) -> std::uint64_t {
-    std::uint64_t b = 0;
+    if (v <= 0) return 0;  // empty sizes: a bucket of their own
+    std::uint64_t b = 1;   // v == 1 -> bucket 1, [2, 4) -> 2, ...
     while (v > 1) {
       v >>= 1;
       ++b;
     }
     return b;
   };
-  std::uint64_t key = (log2_bucket(rows) << 48) ^
-                      (log2_bucket(nnz) << 40) ^
-                      (static_cast<std::uint64_t>(feat_width) << 8) ^
-                      static_cast<std::uint64_t>(num_threads);
-  key ^= program_hash + 0x9e3779b97f4a7c15ull + (key << 6) + (key >> 2);
+  auto combine = [](std::uint64_t h, std::uint64_t v) -> std::uint64_t {
+    return h ^ (v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2));
+  };
+  std::uint64_t key = log2_bucket(rows);
+  key = combine(key, log2_bucket(nnz));
+  key = combine(key, static_cast<std::uint64_t>(feat_width));
+  key = combine(key, static_cast<std::uint64_t>(num_threads));
+  key = combine(key, program_hash);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = cache_.find(key);
@@ -214,12 +222,18 @@ core::CpuSpmmSchedule BlockScheduleCache::schedule_for(
   }
   // Tune OUTSIDE the lock: a real tuner callback times kernel launches and
   // must not serialize against concurrent lookups. Two racers may both tune
-  // the same fresh class; last write wins (both schedules are valid).
+  // the same fresh class; the re-check below makes the FIRST inserter the
+  // winner — a later racer discards its own schedule, returns the cached
+  // one (so every caller of one class observes one schedule), and counts a
+  // hit, keeping misses() == number of distinct classes tuned.
   const core::CpuSpmmSchedule sched = tune();
   std::lock_guard<std::mutex> lock(mutex_);
-  ++misses_;
-  cache_[key] = sched;
-  return sched;
+  auto [it, inserted] = cache_.try_emplace(key, sched);
+  if (inserted)
+    ++misses_;
+  else
+    ++hits_;
+  return it->second;
 }
 
 std::int64_t BlockScheduleCache::hits() const {

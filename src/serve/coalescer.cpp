@@ -1,0 +1,68 @@
+#include "serve/coalescer.hpp"
+
+#include <cstring>
+#include <unordered_map>
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace featgraph::serve {
+
+CoalescedBatch coalesce(std::vector<Request> requests) {
+  CoalescedBatch batch;
+  batch.requests = std::move(requests);
+  batch.row_of.resize(batch.requests.size());
+
+  // First-appearance dedup, the same discipline make_block uses for source
+  // relabeling: the map is only probed, never iterated, so the merged order
+  // is deterministic for a fixed request order.
+  std::unordered_map<graph::vid_t, std::int64_t> row_of_vertex;
+  std::size_t total = 0;
+  for (const Request& r : batch.requests) total += r.seeds.size();
+  row_of_vertex.reserve(total * 2 + 16);
+
+  for (std::size_t r = 0; r < batch.requests.size(); ++r) {
+    const Request& req = batch.requests[r];
+    auto& rows = batch.row_of[r];
+    rows.reserve(req.seeds.size());
+    // Per-request duplicate guard: solo serving would trip make_block's
+    // duplicate-free destination check, so the coalesced path holds the
+    // same precondition rather than silently serving what solo cannot.
+    std::unordered_map<graph::vid_t, bool> seen_here;
+    seen_here.reserve(req.seeds.size() * 2);
+    for (const graph::vid_t s : req.seeds) {
+      FG_CHECK_MSG(seen_here.emplace(s, true).second,
+                   "request seeds must be duplicate-free within one request");
+      const auto [it, fresh] = row_of_vertex.try_emplace(
+          s, static_cast<std::int64_t>(batch.seeds.size()));
+      if (fresh)
+        batch.seeds.push_back(s);
+      else
+        ++batch.shared_seed_rows;
+      rows.push_back(it->second);
+    }
+  }
+  return batch;
+}
+
+std::vector<tensor::Tensor> scatter_back(const CoalescedBatch& batch,
+                                         const tensor::Tensor& merged_out) {
+  FG_CHECK_MSG(merged_out.rows() ==
+                   static_cast<std::int64_t>(batch.seeds.size()),
+               "merged output must hold one row per merged seed");
+  const std::int64_t d = merged_out.row_size();
+  std::vector<tensor::Tensor> outs;
+  outs.reserve(batch.requests.size());
+  for (std::size_t r = 0; r < batch.requests.size(); ++r) {
+    const auto& rows = batch.row_of[r];
+    tensor::Tensor out({static_cast<std::int64_t>(rows.size()), d});
+    for (std::size_t k = 0; k < rows.size(); ++k)
+      std::memcpy(out.row(static_cast<std::int64_t>(k)),
+                  merged_out.row(rows[k]),
+                  static_cast<std::size_t>(d) * sizeof(float));
+    outs.push_back(std::move(out));
+  }
+  return outs;
+}
+
+}  // namespace featgraph::serve

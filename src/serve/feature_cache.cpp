@@ -1,0 +1,178 @@
+#include "serve/feature_cache.hpp"
+
+#include <cstring>
+#include <utility>
+
+#include "parallel/parallel_for.hpp"
+#include "sample/feature_loader.hpp"
+#include "support/check.hpp"
+
+namespace featgraph::serve {
+
+FeatureCache::FeatureCache(std::int64_t capacity_rows, std::int64_t feat_width)
+    : capacity_(capacity_rows), width_(feat_width) {
+  FG_CHECK(capacity_ >= 0 && width_ >= 1);
+  if (capacity_ > 0) {
+    arena_ = tensor::Tensor({capacity_, width_});
+    vertex_of_.assign(static_cast<std::size_t>(capacity_), -1);
+    lru_prev_.assign(static_cast<std::size_t>(capacity_), -1);
+    lru_next_.assign(static_cast<std::size_t>(capacity_), -1);
+    slot_of_.reserve(static_cast<std::size_t>(capacity_) * 2);
+  }
+}
+
+void FeatureCache::lru_unlink(std::int64_t slot) {
+  const std::int64_t p = lru_prev_[static_cast<std::size_t>(slot)];
+  const std::int64_t n = lru_next_[static_cast<std::size_t>(slot)];
+  if (p >= 0)
+    lru_next_[static_cast<std::size_t>(p)] = n;
+  else
+    lru_head_ = n;
+  if (n >= 0)
+    lru_prev_[static_cast<std::size_t>(n)] = p;
+  else
+    lru_tail_ = p;
+  lru_prev_[static_cast<std::size_t>(slot)] = -1;
+  lru_next_[static_cast<std::size_t>(slot)] = -1;
+}
+
+void FeatureCache::lru_push_front(std::int64_t slot) {
+  lru_prev_[static_cast<std::size_t>(slot)] = -1;
+  lru_next_[static_cast<std::size_t>(slot)] = lru_head_;
+  if (lru_head_ >= 0) lru_prev_[static_cast<std::size_t>(lru_head_)] = slot;
+  lru_head_ = slot;
+  if (lru_tail_ < 0) lru_tail_ = slot;
+}
+
+std::uint32_t FeatureCache::bump_freq(graph::vid_t v) {
+  // Age by halving every 32x-capacity ACCESSES, so the admission comparison
+  // reflects RECENT popularity, not all-time totals (a vertex hot an hour
+  // ago must not forever outrank today's hot set). Aging on accesses — not
+  // on counter-table size — bounds the decay a burst of distinct cold
+  // vertices can inflict: one scan cannot re-trigger halving per ~capacity
+  // insertions and grind the resident hot set's counts to zero
+  // (FeatureCache.FrequencyGuardKeepsHotRowsAgainstColdScan). The table
+  // stays bounded too: non-resident zeroes are pruned at each aging, so at
+  // most one window's worth of distinct vertices accumulates between prunes.
+  if (++accesses_since_age_ >= capacity_ * 32) {
+    accesses_since_age_ = 0;
+    for (auto it = freq_.begin(); it != freq_.end();) {
+      it->second /= 2;
+      if (it->second == 0 && slot_of_.find(it->first) == slot_of_.end())
+        it = freq_.erase(it);
+      else
+        ++it;
+    }
+  }
+  return ++freq_[v];
+}
+
+tensor::Tensor FeatureCache::gather(const tensor::Tensor& features,
+                                    const std::vector<graph::vid_t>& rows,
+                                    int num_threads) {
+  if (capacity_ == 0)  // disabled: pure pass-through
+    return sample::gather_rows(features, rows, num_threads);
+  FG_CHECK_MSG(features.row_size() == width_,
+               "feature cache width mismatch with feature matrix");
+  const std::int64_t d = width_;
+  const auto m = static_cast<std::int64_t>(rows.size());
+  tensor::Tensor out({m, d});
+  if (m == 0) return out;
+
+  // Phase 1, under the lock: probe every row; copy hits out of the arena
+  // (bitwise — the arena row was filled by the same gather primitive) and
+  // collect misses. Recency and frequency update on every access.
+  std::vector<std::int64_t> miss_pos;
+  std::vector<graph::vid_t> miss_vids;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::int64_t i = 0; i < m; ++i) {
+      const graph::vid_t v = rows[static_cast<std::size_t>(i)];
+      bump_freq(v);
+      const auto it = slot_of_.find(v);
+      if (it != slot_of_.end()) {
+        std::memcpy(out.row(i), arena_.row(it->second),
+                    static_cast<std::size_t>(d) * sizeof(float));
+        lru_unlink(it->second);
+        lru_push_front(it->second);
+        ++stats_.hits;
+        stats_.bytes_saved += d * static_cast<std::int64_t>(sizeof(float));
+      } else {
+        miss_pos.push_back(i);
+        miss_vids.push_back(v);
+        ++stats_.misses;
+      }
+    }
+  }
+  if (miss_vids.empty()) return out;
+
+  // Phase 2, no lock: one global gather of the cold remainder — the same
+  // SIMD span primitive (and the same folded bounds check) the uncached
+  // path runs, threaded over the miss list.
+  const tensor::Tensor cold =
+      sample::gather_rows(features, miss_vids, num_threads);
+
+  // Phase 3: scatter the cold rows to their output positions.
+  const auto nmiss = static_cast<std::int64_t>(miss_pos.size());
+  parallel::parallel_for_ranges(
+      0, nmiss, num_threads, [&](std::int64_t k0, std::int64_t k1) {
+        for (std::int64_t k = k0; k < k1; ++k)
+          std::memcpy(out.row(miss_pos[static_cast<std::size_t>(k)]),
+                      cold.row(k),
+                      static_cast<std::size_t>(d) * sizeof(float));
+      });
+
+  // Phase 4, under the lock: admit hot misses. Free slots fill first; a
+  // full cache evicts the LRU victim only when the candidate's access
+  // count has reached the victim's — one-shot cold scans bounce off the
+  // resident hot set instead of flushing it.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::int64_t k = 0; k < nmiss; ++k) {
+      const graph::vid_t v = miss_vids[static_cast<std::size_t>(k)];
+      if (slot_of_.find(v) != slot_of_.end())
+        continue;  // duplicate in this gather, or a concurrent fill
+      std::int64_t slot;
+      if (used_ < capacity_) {
+        slot = used_++;
+      } else {
+        const std::int64_t victim = lru_tail_;
+        const graph::vid_t victim_v =
+            vertex_of_[static_cast<std::size_t>(victim)];
+        const auto fit = freq_.find(v);
+        const auto vit = freq_.find(victim_v);
+        const std::uint32_t f_cand = fit == freq_.end() ? 0 : fit->second;
+        const std::uint32_t f_vict = vit == freq_.end() ? 0 : vit->second;
+        if (f_cand < f_vict) continue;  // not hot enough to displace
+        lru_unlink(victim);
+        slot_of_.erase(victim_v);
+        ++stats_.evictions;
+        slot = victim;
+      }
+      std::memcpy(arena_.row(slot), cold.row(k),
+                  static_cast<std::size_t>(d) * sizeof(float));
+      slot_of_.emplace(v, slot);
+      vertex_of_[static_cast<std::size_t>(slot)] = v;
+      lru_push_front(slot);
+      ++stats_.insertions;
+    }
+  }
+  return out;
+}
+
+FeatureCache::Stats FeatureCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void FeatureCache::reset_stats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_ = Stats{};
+}
+
+std::int64_t FeatureCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<std::int64_t>(slot_of_.size());
+}
+
+}  // namespace featgraph::serve

@@ -1,0 +1,94 @@
+// Bounded frequency/LRU feature-row cache fronting FeatureLoader's
+// gather_rows — the hot-vertex absorber of the serving front-end.
+//
+// Feature gather is the dominant memory-bound phase of GNN inference (the
+// GNN computer-architecture survey in PAPERS.md), and power-law traffic
+// concentrates it on a few high-degree vertices: every request whose
+// frontier touches a hub re-reads the same feature row from the global
+// matrix. A small cache keyed on ORIGINAL vertex id in front of the gather
+// serves those rows from its own arena; only the cold remainder pays the
+// global gather (which still runs the SIMD gather_rows span primitive —
+// cache fills use the very same primitive, so a cached row is a bitwise
+// copy and cache-on vs cache-off outputs are identical to the bit,
+// Serve.FeatureCacheOnOffBitIdentical).
+//
+// Replacement is frequency-GUARDED LRU: eviction order is least-recently-
+// used, but admission of a missed row requires its running access count to
+// be at least the LRU victim's — a one-shot scan of cold vertices cannot
+// flush the resident hot set (the classic LRU failure mode under zipfian
+// traffic). Access counts age by halving every 32x-capacity accesses, so
+// "hot" means hot RECENTLY. Capacity 0 disables the cache (pure
+// pass-through to gather_rows).
+//
+// Counters mirror BlockScheduleCache's stats discipline: hits / misses /
+// bytes_saved (feature bytes served from the arena instead of the global
+// gather) / insertions / evictions, all behind the same lock as the data.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <mutex>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "tensor/tensor.hpp"
+
+namespace featgraph::serve {
+
+class FeatureCache {
+ public:
+  struct Stats {
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    /// Bytes the global gather did NOT read because the row was resident.
+    std::int64_t bytes_saved = 0;
+    std::int64_t insertions = 0;
+    std::int64_t evictions = 0;
+  };
+
+  /// `capacity_rows` bounds the arena (0 disables caching); `feat_width` is
+  /// the row width every gathered tensor must have.
+  FeatureCache(std::int64_t capacity_rows, std::int64_t feat_width);
+
+  /// Drop-in for sample::gather_rows(features, rows, num_threads): returns
+  /// the (rows.size() x feat_width) tensor whose row i is
+  /// features.row(rows[i]), bit-for-bit — hits are bitwise copies from the
+  /// arena, misses run the SIMD gather_rows primitive and hot ones are
+  /// admitted for next time. Thread-safe; concurrent gathers serialize on
+  /// the probe/copy phases but run their miss gathers in parallel.
+  tensor::Tensor gather(const tensor::Tensor& features,
+                        const std::vector<graph::vid_t>& rows,
+                        int num_threads = 1);
+
+  Stats stats() const;
+  void reset_stats();
+  /// Rows currently resident (<= capacity).
+  std::int64_t size() const;
+  std::int64_t capacity() const { return capacity_; }
+  std::int64_t feat_width() const { return width_; }
+
+ private:
+  /// Unlinks slot from the LRU list. Caller holds mutex_.
+  void lru_unlink(std::int64_t slot);
+  /// Links slot at the most-recently-used head. Caller holds mutex_.
+  void lru_push_front(std::int64_t slot);
+  /// Bumps the access count of vertex v, aging every 32x-capacity accesses.
+  std::uint32_t bump_freq(graph::vid_t v);
+
+  const std::int64_t capacity_;
+  const std::int64_t width_;
+
+  mutable std::mutex mutex_;
+  tensor::Tensor arena_;                              // capacity x width
+  std::unordered_map<graph::vid_t, std::int64_t> slot_of_;
+  std::vector<graph::vid_t> vertex_of_;               // slot -> vertex
+  // Intrusive doubly-linked LRU over slot ids (-1 = none).
+  std::vector<std::int64_t> lru_prev_, lru_next_;
+  std::int64_t lru_head_ = -1, lru_tail_ = -1;
+  std::int64_t used_ = 0;
+  std::unordered_map<graph::vid_t, std::uint32_t> freq_;
+  std::int64_t accesses_since_age_ = 0;
+  Stats stats_;
+};
+
+}  // namespace featgraph::serve

@@ -1,0 +1,271 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <utility>
+
+#include "parallel/thread_pool.hpp"
+#include "sample/feature_loader.hpp"
+#include "support/check.hpp"
+#include "support/timer.hpp"
+
+namespace featgraph::serve {
+
+ServingEngine::ServingEngine(const sample::NeighborSampler& sampler,
+                             const tensor::Tensor& features,
+                             BatchComputeFn compute, ServeOptions options,
+                             FeatureCache* cache)
+    : sampler_(&sampler),
+      features_(&features),
+      compute_(std::move(compute)),
+      options_(options),
+      cache_(cache) {
+  FG_CHECK(options_.latency_bound_s >= 0.0);
+  FG_CHECK(options_.max_requests_per_batch >= 1);
+  FG_CHECK(options_.max_seeds_per_batch >= 1);
+}
+
+std::vector<tensor::Tensor> ServingEngine::serve_batch(
+    std::vector<Request> requests) {
+  if (requests.empty()) return {};
+  CoalescedBatch batch = coalesce(std::move(requests));
+
+  support::Timer t;
+  const sample::MinibatchBlocks blocks =
+      sampler_->sample(batch.seeds, options_.rng_stream);
+  const double sample_s = t.seconds();
+
+  t.reset();
+  tensor::Tensor input_feats =
+      cache_ != nullptr
+          ? cache_->gather(*features_, blocks.input_nodes(),
+                           options_.num_threads)
+          : sample::gather_rows(*features_, blocks.input_nodes(),
+                                options_.num_threads);
+  const double gather_s = t.seconds();
+
+  t.reset();
+  const tensor::Tensor merged_out =
+      compute_(blocks, std::move(input_feats));
+  const double compute_s = t.seconds();
+  FG_CHECK_MSG(merged_out.rows() ==
+                   static_cast<std::int64_t>(batch.seeds.size()),
+               "batch compute must return one row per merged seed");
+
+  std::vector<tensor::Tensor> outs = scatter_back(batch, merged_out);
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.requests += static_cast<std::int64_t>(batch.requests.size());
+    stats_.batches += 1;
+    stats_.seed_rows += batch.total_request_seeds();
+    stats_.merged_rows += static_cast<std::int64_t>(batch.seeds.size());
+    stats_.shared_seed_rows += batch.shared_seed_rows;
+    stats_.max_batch_requests =
+        std::max(stats_.max_batch_requests,
+                 static_cast<std::int64_t>(batch.requests.size()));
+    stats_.sample_seconds += sample_s;
+    stats_.gather_seconds += gather_s;
+    stats_.compute_seconds += compute_s;
+  }
+  return outs;
+}
+
+ServeStats ServingEngine::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+void ServingEngine::reset_stats() {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  stats_ = ServeStats{};
+}
+
+Server::Server(ServingEngine& engine) : engine_(engine) {
+  // The serving lane prefers a pool worker — launch_detached_if_idle claims
+  // the job slot atomically, exactly like the pipeline's 2-lane overlap.
+  // Declined (slot held, worker-less pool) falls back to a dedicated
+  // thread: admission is about latency, not CPU parallelism, so a plain
+  // thread serves fine. Either way the lane's kernels may run parallel_for
+  // freely (a held slot degrades nested launches to inline execution).
+  lane_on_pool_ = parallel::ThreadPool::global().launch_detached_if_idle(
+      1, [this](int, int) { drain_loop(); });
+  if (!lane_on_pool_) fallback_thread_ = std::thread([this] { drain_loop(); });
+}
+
+Server::~Server() { close(); }
+
+std::future<tensor::Tensor> Server::submit(std::vector<graph::vid_t> seeds) {
+  std::future<tensor::Tensor> fut;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    FG_CHECK_MSG(!closed_, "submit after Server::close");
+    Pending p;
+    p.request.id = next_id_++;
+    p.request.seeds = std::move(seeds);
+    p.arrival = std::chrono::steady_clock::now();
+    fut = p.promise.get_future();
+    pending_.push_back(std::move(p));
+  }
+  admission_cv_.notify_all();
+  return fut;
+}
+
+void Server::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  admission_cv_.notify_all();
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    lane_exited_cv_.wait(lock, [this] { return lane_exited_; });
+  }
+  if (fallback_thread_.joinable()) fallback_thread_.join();
+  // lane_exited_ is signalled from INSIDE drain_loop; the pool's job slot
+  // is only released once the lane returns to worker_loop. Wait that out so
+  // the slot is reclaimable (e.g. by the next Server) when close() returns.
+  // Reset the flag so an idempotent re-close doesn't wait on some LATER
+  // claimant's detached job.
+  if (lane_on_pool_) {
+    parallel::ThreadPool::global().wait_detached_drained();
+    lane_on_pool_ = false;
+  }
+}
+
+void Server::drain_loop() {
+  const ServeOptions& opts = engine_.options();
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    admission_cv_.wait(lock, [this] { return closed_ || !pending_.empty(); });
+    if (pending_.empty()) break;  // closed and drained
+
+    // Admission window: anchored at the oldest pending arrival, cut early
+    // when a cap fills or the server closes (drain what's there).
+    const auto window_end =
+        pending_.front().arrival +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(opts.latency_bound_s));
+    auto caps_filled = [&] {
+      if (static_cast<int>(pending_.size()) >= opts.max_requests_per_batch)
+        return true;
+      std::int64_t seeds = 0;
+      for (const Pending& p : pending_) {
+        seeds += static_cast<std::int64_t>(p.request.seeds.size());
+        if (seeds >= opts.max_seeds_per_batch) return true;
+      }
+      return false;
+    };
+    while (!closed_ && !caps_filled() &&
+           std::chrono::steady_clock::now() < window_end)
+      admission_cv_.wait_until(lock, window_end);
+
+    // Cut the batch: take pending requests in arrival order up to the caps.
+    std::vector<Request> requests;
+    std::vector<std::promise<tensor::Tensor>> promises;
+    std::int64_t seeds_taken = 0;
+    while (!pending_.empty() &&
+           static_cast<int>(requests.size()) < opts.max_requests_per_batch &&
+           (requests.empty() ||
+            seeds_taken + static_cast<std::int64_t>(
+                              pending_.front().request.seeds.size()) <=
+                opts.max_seeds_per_batch)) {
+      Pending p = std::move(pending_.front());
+      pending_.pop_front();
+      seeds_taken += static_cast<std::int64_t>(p.request.seeds.size());
+      requests.push_back(std::move(p.request));
+      promises.push_back(std::move(p.promise));
+    }
+
+    lock.unlock();
+    std::vector<tensor::Tensor> outs = engine_.serve_batch(std::move(requests));
+    for (std::size_t r = 0; r < promises.size(); ++r)
+      promises[r].set_value(std::move(outs[r]));
+    lock.lock();
+  }
+  // Signal exit while still holding the lock: notifying after unlock would
+  // let close() observe the flag and the destructor reclaim the condition
+  // variable while this lane is still inside notify_all (TSan-caught).
+  lane_exited_ = true;
+  lane_exited_cv_.notify_all();
+}
+
+TraceResult replay_trace(ServingEngine& engine,
+                         const std::vector<TraceRequest>& trace) {
+  const ServeOptions& opts = engine.options();
+  TraceResult result;
+  const std::size_t n = trace.size();
+  result.outputs.resize(n);
+  result.latency_s.resize(n, 0.0);
+  if (n == 0) return result;
+  for (std::size_t i = 1; i < n; ++i)
+    FG_CHECK_MSG(trace[i].arrival_s >= trace[i - 1].arrival_s,
+                 "trace arrivals must be sorted");
+
+  double lane_free_at = 0.0;  // simulated clock the serving lane frees up
+  std::size_t i = 0;
+  while (i < n) {
+    // The lane picks up the oldest pending request no earlier than its
+    // arrival; the admission window then holds the batch open until
+    // oldest-arrival + bound (or until a cap fills — handled by the
+    // admission scan below, which also sweeps in the backlog that piled up
+    // while the lane was busy).
+    const double window_close = trace[i].arrival_s + opts.latency_bound_s;
+    double start = std::max(lane_free_at, window_close);
+
+    std::vector<Request> requests;
+    std::int64_t seeds_taken = 0;
+    std::size_t j = i;
+    double capped_at = -1.0;  // arrival that filled a cap, if any
+    while (j < n && trace[j].arrival_s <= start) {
+      const auto sz = static_cast<std::int64_t>(trace[j].request.seeds.size());
+      if (!requests.empty() && seeds_taken + sz > opts.max_seeds_per_batch) {
+        // Seed cap: the overflowing arrival triggers the cut and stays
+        // pending for the next batch.
+        capped_at = trace[j].arrival_s;
+        break;
+      }
+      seeds_taken += sz;
+      requests.push_back(trace[j].request);
+      ++j;
+      if (static_cast<int>(requests.size()) >= opts.max_requests_per_batch) {
+        // Request cap: the last ADMITTED arrival triggers the cut.
+        capped_at = trace[j - 1].arrival_s;
+        break;
+      }
+    }
+    // A cap filled before the window closed: the live server cuts the batch
+    // at the triggering arrival instead of idling out the window.
+    if (capped_at >= 0.0) start = std::max(lane_free_at, capped_at);
+
+    support::Timer t;
+    std::vector<tensor::Tensor> outs = engine.serve_batch(std::move(requests));
+    const double service_s = t.seconds();
+
+    const double completion = start + service_s;
+    for (std::size_t k = i; k < j; ++k) {
+      result.outputs[k] = std::move(outs[k - i]);
+      result.latency_s[k] = completion - trace[k].arrival_s;
+    }
+    lane_free_at = completion;
+    result.makespan_s = completion;
+    ++result.batches;
+    i = j;
+  }
+  result.queries_per_second =
+      result.makespan_s > 0.0 ? static_cast<double>(n) / result.makespan_s
+                              : 0.0;
+  return result;
+}
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank = p / 100.0 * static_cast<double>(values.size());
+  auto idx = static_cast<std::size_t>(std::ceil(rank));
+  if (idx > 0) --idx;  // nearest-rank: ceil(p/100 * n)-th value, 1-indexed
+  if (idx >= values.size()) idx = values.size() - 1;
+  return values[idx];
+}
+
+}  // namespace featgraph::serve

@@ -263,6 +263,62 @@ TEST(Pipeline, ScheduleCacheSeparatesProgramsWithinOneShapeClass) {
   EXPECT_EQ(cache.hits(), 2);
 }
 
+TEST(Pipeline, ConcurrentTunersKeepFirstScheduleAndOneMiss) {
+  // The lost-race pin (ISSUE 7): N threads miss the same fresh class at
+  // once and tune DIFFERENT schedules. The first inserter must win — every
+  // caller gets the same schedule back (no overwrite of a schedule already
+  // handed out) and the class counts exactly one miss, not N.
+  for (int round = 0; round < 20; ++round) {
+    BlockScheduleCache cache;
+    constexpr int kThreads = 8;
+    std::vector<fg::core::CpuSpmmSchedule> got(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&cache, &got, t] {
+        got[static_cast<std::size_t>(t)] =
+            cache.schedule_for(1000, 8000, 64, 2, 0, [t] {
+              fg::core::CpuSpmmSchedule s;
+              s.feat_tile = 8 << t;  // every racer tunes a distinct result
+              return s;
+            });
+      });
+    }
+    for (auto& th : threads) th.join();
+    EXPECT_EQ(cache.misses(), 1) << "round " << round;
+    EXPECT_EQ(cache.hits() + cache.misses(), kThreads) << "round " << round;
+    for (int t = 1; t < kThreads; ++t)
+      EXPECT_EQ(got[static_cast<std::size_t>(t)].feat_tile, got[0].feat_tile)
+          << "round " << round << ": racer " << t
+          << " saw a different schedule than the first inserter's";
+    // The winner's schedule stays: a later lookup still returns it.
+    EXPECT_EQ(cache.schedule_for(1000, 8000, 64, 2, 0,
+                                 [] { return fg::core::CpuSpmmSchedule{}; })
+                  .feat_tile,
+              got[0].feat_tile);
+  }
+}
+
+TEST(Pipeline, ScheduleCacheKeyCollisionRegressions) {
+  // Key-aliasing pins (ISSUE 7). Zero gets its own log2 bucket: an empty
+  // block (0 rows / 0 nnz) must not share a class with a 1-row/1-nnz block.
+  BlockScheduleCache cache;
+  int tunes = 0;
+  const auto tune = [&] {
+    ++tunes;
+    return fg::core::CpuSpmmSchedule{};
+  };
+  cache.schedule_for(0, 0, 64, 2, 0, tune);
+  cache.schedule_for(1, 1, 64, 2, 0, tune);
+  EXPECT_EQ(tunes, 2) << "rows/nnz 0 aliased with 1";
+
+  // Full-width field mixing: a feat_width past 2^32 must not clobber the
+  // other packed key fields and collide with a small width.
+  cache.schedule_for(1000, 8000, (1ll << 32) + 64, 2, 0, tune);
+  cache.schedule_for(1000, 8000, 64, 2, 0, tune);
+  EXPECT_EQ(tunes, 4) << "feat_width 2^32+64 aliased with 64";
+  EXPECT_EQ(cache.misses(), 4);
+}
+
 TEST(Pipeline, ScheduleCacheHitsDominateAfterWarmup) {
   // The acceptance pin: after a warmup epoch, the schedule cache serves
   // > 50% hits — the tuner is consulted once per shape class, not per batch.
