@@ -288,13 +288,11 @@ void launch(const graph::Csr& adj, const LogitFn& logit, const WMsg& wmsg,
   // bit-for-bit contract. Narrow aggregation spans ride the intra-table
   // n < 16 fallback instead.
   const simd::SpanOps& span = simd::span_ops();
+  // shard(S) programs route through the same dispatcher as SpMM: the fused
+  // pass and the phase-1 softmax both write only rows they own, so the
+  // sharded sweep is bit-identical to the static split (alpha included).
   const auto row_sweep = [&](auto&& body) {
-    if (plan.load_balance == LoadBalance::kNnzBalanced) {
-      parallel::parallel_for_nnz_ranges(adj.indptr.data(), 0, n,
-                                        plan.num_threads, body);
-    } else {
-      parallel::parallel_for_ranges(0, n, plan.num_threads, body);
-    }
+    detail::run_row_sweep(plan, adj.indptr.data(), n, body);
   };
   const auto* parts = cached_partition(adj, plan.num_partitions);
   if (parts == nullptr || parts->parts.size() <= 1) {

@@ -3,6 +3,8 @@
 #include <map>
 #include <mutex>
 
+#include "parallel/thread_pool.hpp"
+
 namespace featgraph::core {
 
 namespace {
@@ -24,8 +26,13 @@ const graph::SrcPartitionedCsr* cached_partition(const graph::Csr& adj,
   std::lock_guard<std::mutex> lock(g_mutex);
   auto it = g_cache.find(key);
   if (it == g_cache.end()) {
+    // Build with every available lane (workers + the caller): partitioning
+    // is the per-topology setup cost on the sharded hot path, and the
+    // parallel build is bit-identical to the serial one by construction.
+    const int threads =
+        static_cast<int>(parallel::ThreadPool::global().num_workers()) + 1;
     auto parts = std::make_unique<graph::SrcPartitionedCsr>(
-        graph::partition_by_source(adj, num_partitions));
+        graph::partition_by_source(adj, num_partitions, threads));
     it = g_cache.emplace(key, std::move(parts)).first;
   }
   return it->second.get();

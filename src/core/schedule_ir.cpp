@@ -64,6 +64,10 @@ const char* ir_transform_name(IrTransformKind kind) {
       return "partition";
     case IrTransformKind::kOverridePartition:
       return "override_partition";
+    case IrTransformKind::kShardRows:
+      return "shard";
+    case IrTransformKind::kStealGrain:
+      return "steal_grain";
   }
   return "unknown";
 }
@@ -107,8 +111,9 @@ int isa_vector_width(simd::Isa isa) {
 
 std::string validate_spmm_ir(const ScheduleIr& ir, std::int64_t num_rows,
                              std::int64_t d_out, simd::Isa isa) {
-  bool seen[6] = {false, false, false, false, false, false};
+  bool seen[kNumIrTransformKinds] = {};
   bool has_tile = false;
+  bool has_shard = false;
   std::int64_t partitions = 0;
   std::vector<int> override_indices;
   for (const IrTransform& t : ir.transforms()) {
@@ -169,10 +174,27 @@ std::string validate_spmm_ir(const ScheduleIr& ir, std::int64_t num_rows,
         if (!err.empty()) return err;
         break;
       }
+      case IrTransformKind::kShardRows:
+        // A shard factor above the row count is legal — execution clamps it
+        // (effective_shards) so one program serves every block shape a
+        // schedule cache replays it on; chunk() rejects that instead because
+        // its factor is a per-thread blocking size, not a decomposition.
+        if (t.factor < 1)
+          return format("shard count must be >= 1, got %lld",
+                        static_cast<long long>(t.factor));
+        has_shard = true;
+        break;
+      case IrTransformKind::kStealGrain:
+        if (t.factor < 1)
+          return format("steal_grain must be >= 1, got %lld",
+                        static_cast<long long>(t.factor));
+        break;
     }
   }
   if (seen[static_cast<int>(IrTransformKind::kUnroll)] && !has_tile)
     return "unroll requires a feature tile (add tile(W) first)";
+  if (seen[static_cast<int>(IrTransformKind::kStealGrain)] && !has_shard)
+    return "steal_grain requires a shard transform (add shard(S) first)";
   for (const int idx : override_indices) {
     if (partitions == 0)
       return "override_partition requires a partition transform";
@@ -187,7 +209,7 @@ std::string validate_spmm_ir(const ScheduleIr& ir, std::int64_t num_rows,
 std::string validate_sddmm_ir(const ScheduleIr& ir, std::int64_t num_edges,
                               std::int64_t reduce_len, simd::Isa isa) {
   (void)isa;
-  bool seen[6] = {false, false, false, false, false, false};
+  bool seen[kNumIrTransformKinds] = {};
   for (const IrTransform& t : ir.transforms()) {
     const int k = static_cast<int>(t.kind);
     if (seen[k])
@@ -257,6 +279,12 @@ LoweredSpmmPlan lower_spmm_schedule(const CpuSpmmSchedule& sched,
         break;
       case IrTransformKind::kOverridePartition:
         plan.overrides.emplace_back(t.part_index, t.factor);
+        break;
+      case IrTransformKind::kShardRows:
+        plan.num_shards = static_cast<int>(t.factor);
+        break;
+      case IrTransformKind::kStealGrain:
+        plan.steal_grain = t.factor;
         break;
     }
   }

@@ -35,6 +35,16 @@
 //   override_partition(i, W) — per-partition feature-tile override: segment
 //                              i of a partitioned launch runs tile width W
 //                              instead of the program's default tile.
+//   shard(S)                 — shard-parallel row sweep: destination rows
+//                              split into S nnz-balanced shards drained with
+//                              cross-shard work stealing (parallel/
+//                              shard_exec.hpp) instead of one static range
+//                              per lane. S clamps to the row count at
+//                              execution, so one shard program serves every
+//                              block shape a schedule cache replays it on.
+//   steal_grain(G)           — shards claimed G at a time by the stealing
+//                              cursors (locality vs balance). Requires
+//                              shard().
 //
 // Legality is checked by validate_spmm_ir / validate_sddmm_ir, which return
 // a human-readable error string ("" = legal) so tuners can filter candidate
@@ -74,7 +84,13 @@ enum class IrTransformKind : int {
   kSplitNnz = 3,
   kPartition = 4,
   kOverridePartition = 5,
+  kShardRows = 6,
+  kStealGrain = 7,
 };
+
+/// Number of transform kinds (validators size their duplicate bitmaps off
+/// this so a new kind cannot silently index past them).
+inline constexpr int kNumIrTransformKinds = 8;
 
 const char* ir_transform_name(IrTransformKind kind);
 
@@ -121,6 +137,14 @@ class ScheduleIr {
                            LoadBalance::kNnzBalanced, index});
     return *this;
   }
+  ScheduleIr& shard(int num_shards) {
+    transforms_.push_back({IrTransformKind::kShardRows, num_shards});
+    return *this;
+  }
+  ScheduleIr& steal_grain(std::int64_t grain) {
+    transforms_.push_back({IrTransformKind::kStealGrain, grain});
+    return *this;
+  }
 
   const std::vector<IrTransform>& transforms() const { return transforms_; }
   bool empty() const { return transforms_.empty(); }
@@ -161,8 +185,21 @@ struct LoweredSpmmPlan {
   LoadBalance load_balance = LoadBalance::kNnzBalanced;
   int num_partitions = 1;
   int num_threads = 1;
+  /// shard(S): 0 = unsharded row sweep. Clamped to the row count at
+  /// execution (effective_shards), so a shard program is shape-portable.
+  int num_shards = 0;
+  /// steal_grain(G): shards per stealing claim (only read when sharded).
+  std::int64_t steal_grain = 1;
   /// (partition index, tile width) overrides, empty for most programs.
   std::vector<std::pair<int, std::int64_t>> overrides;
+
+  /// Shards the row sweep over `rows` actually runs: > 1 engages the
+  /// work-stealing shard executor, else the static parallel_for split.
+  int effective_shards(std::int64_t rows) const {
+    if (num_shards <= 1) return num_shards > 0 ? 1 : 0;
+    return static_cast<int>(
+        std::min<std::int64_t>(num_shards, std::max<std::int64_t>(rows, 1)));
+  }
 
   /// True when the plan needs the interpreting loop nest; false means the
   /// flat fast path (the exact pre-IR code) already implements it.

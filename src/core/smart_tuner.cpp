@@ -153,6 +153,13 @@ SmartTuneResult smart_tune_spmm_ir(std::int64_t d_out, std::int64_t num_rows,
     if (c <= num_rows) chunks.push_back(c);
   }
   const auto balances = load_balance_axis(num_threads);
+  // Shard axis (0 = unsharded). Only populated with real lanes, so the
+  // 1-thread lattice — and the deterministic search walk every recorded
+  // 1-core tuning took — is unchanged: a size-1 axis admits no moves.
+  std::vector<int> shard_counts = {0};
+  if (num_threads > 1) {
+    for (int mult : {2, 4, 8}) shard_counts.push_back(mult * num_threads);
+  }
 
   SmartTuneResult result;
   result.best_seconds = std::numeric_limits<double>::infinity();
@@ -161,12 +168,14 @@ SmartTuneResult smart_tune_spmm_ir(std::int64_t d_out, std::int64_t num_rows,
   // default schedule bit-for-bit — the first measurement is the baseline.
   result.trials_used = lattice_climb(
       {static_cast<int>(parts.size()), static_cast<int>(tile_unroll.size()),
-       static_cast<int>(chunks.size()), static_cast<int>(balances.size())},
-      {0, 0, 0, 0}, options, [&](const std::vector<int>& p) {
+       static_cast<int>(chunks.size()), static_cast<int>(balances.size()),
+       static_cast<int>(shard_counts.size())},
+      {0, 0, 0, 0, 0}, options, [&](const std::vector<int>& p) {
         const int n_parts = parts[static_cast<std::size_t>(p[0])];
         const auto [w, u] = tile_unroll[static_cast<std::size_t>(p[1])];
         const std::int64_t chunk = chunks[static_cast<std::size_t>(p[2])];
         const LoadBalance lb = balances[static_cast<std::size_t>(p[3])];
+        const int n_shards = shard_counts[static_cast<std::size_t>(p[4])];
         ScheduleIr ir;
         if (n_parts > 1) ir.partition(n_parts);
         if (w > 0) {
@@ -175,6 +184,7 @@ SmartTuneResult smart_tune_spmm_ir(std::int64_t d_out, std::int64_t num_rows,
         }
         if (chunk > 0) ir.chunk(chunk);
         if (lb != LoadBalance::kNnzBalanced) ir.split_nnz(lb);
+        if (n_shards > 0) ir.shard(n_shards);
         CpuSpmmSchedule s;
         s.num_threads = num_threads;
         if (!ir.empty()) s.ir = std::make_shared<const ScheduleIr>(ir);

@@ -26,11 +26,36 @@
 #include "graph/csr.hpp"
 #include "graph/partition.hpp"
 #include "parallel/parallel_for.hpp"
+#include "parallel/shard_exec.hpp"
 #include "support/check.hpp"
 
 namespace featgraph::core {
 
 namespace detail {
+
+/// The one row-sweep dispatcher every SpMM/attention launch goes through:
+/// shard(S) programs run the work-stealing shard executor, everything else
+/// keeps the static parallel_for split (nnz- or row-balanced per the plan).
+/// Bit-identity across the three paths is the shard executor's contract —
+/// `body(r0, r1)` only writes rows it owns, and shard/lane boundaries never
+/// split a row, so every path folds identical per-row edge chains.
+template <class Body>
+void run_row_sweep(const LoweredSpmmPlan& plan, const std::int64_t* indptr,
+                   std::int64_t num_rows, const Body& body) {
+  const int shards = plan.effective_shards(num_rows);
+  if (shards > 1) {
+    const bool nnz = plan.load_balance == LoadBalance::kNnzBalanced;
+    parallel::sharded_row_sweep(nnz ? indptr : nullptr, num_rows, shards,
+                                plan.steal_grain, plan.num_threads, body);
+    return;
+  }
+  if (plan.load_balance == LoadBalance::kNnzBalanced) {
+    parallel::parallel_for_nnz_ranges(indptr, 0, num_rows, plan.num_threads,
+                                      body);
+  } else {
+    parallel::parallel_for_ranges(0, num_rows, plan.num_threads, body);
+  }
+}
 
 /// Detects UDFs that implement the register-blocked row-group protocol
 /// (`kSupportsRowBlock` + `apply_rows`): the Schedule-IR unroll path calls
@@ -154,11 +179,7 @@ void spmm_interpret(const simd::SpanOps& ops, const graph::Csr& adj,
     const auto body = [&](std::int64_t r0, std::int64_t r1) {
       segment(indptr, indices, edge_ids, r0, r1, init, part);
     };
-    if (plan.load_balance == LoadBalance::kNnzBalanced) {
-      parallel::parallel_for_nnz_ranges(indptr, 0, n, plan.num_threads, body);
-    } else {
-      parallel::parallel_for_ranges(0, n, plan.num_threads, body);
-    }
+    run_row_sweep(plan, indptr, n, body);
   };
   if (parts == nullptr || parts->parts.size() <= 1) {
     sweep(adj.indptr.data(), adj.indices.data(), adj.edge_ids.data(),
@@ -232,11 +253,7 @@ void generalized_spmm(const graph::Csr& adj,
       detail::spmm_rows<MsgFn, Reducer>(span, indptr, indices, edge_ids, r0,
                                         r1, msg, out, d_out, j0, j1, init);
     };
-    if (plan.load_balance == LoadBalance::kNnzBalanced) {
-      parallel::parallel_for_nnz_ranges(indptr, 0, n, plan.num_threads, body);
-    } else {
-      parallel::parallel_for_ranges(0, n, plan.num_threads, body);
-    }
+    detail::run_row_sweep(plan, indptr, n, body);
   };
 
   for (std::int64_t j0 = 0; j0 < d_out; j0 += tile) {

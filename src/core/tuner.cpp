@@ -95,6 +95,22 @@ std::vector<CpuSpmmSchedule> default_spmm_ir_candidates(std::int64_t d_out,
     if (w_widest > 0) ir.tile(w_widest).unroll(4);
     push(ir);
   }
+
+  // Shard-parallel row sweeps (parallel/shard_exec.hpp). Only meaningful
+  // with real lanes — at one thread the stealing executor degrades to the
+  // serial sweep, so the 1-thread grid (and every recorded 1-core number)
+  // is unchanged. 2x threads = minimal stealing headroom, 4x = the classic
+  // over-decomposition point; each also tried register-blocked, plus a
+  // coarser steal granularity on the bigger decomposition.
+  if (num_threads > 1) {
+    for (int mult : {2, 4}) {
+      const int shards = mult * num_threads;
+      push(ScheduleIr().shard(shards));
+      if (w_widest > 0)
+        push(ScheduleIr().shard(shards).tile(w_widest).unroll(4));
+    }
+    push(ScheduleIr().shard(4 * num_threads).steal_grain(2));
+  }
   return grid;
 }
 

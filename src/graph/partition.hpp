@@ -62,6 +62,16 @@ struct SrcPartitionedCsr {
 /// boundaries balance nnz (so skewed graphs don't put all edges in one
 /// segment). Edge order within a row is preserved across the concatenation
 /// of segments.
-SrcPartitionedCsr partition_by_source(const Csr& in_csr, int num_parts);
+///
+/// `num_threads` parallelizes the two O(V+E) passes over destination rows
+/// (shard construction sits on the setup path of every sharded/partitioned
+/// launch). Output is BIT-IDENTICAL to the serial build at any thread
+/// count: rows are independent in both passes — pass 1 increments row-owned
+/// counters, pass 2 scatters into row-owned slot ranges whose cursors no
+/// other row touches — so no per-thread count arrays or merge step are
+/// needed, and within-row edge order is preserved verbatim. Pinned by
+/// Graph.PartitionBySourceParallelMatchesSerial.
+SrcPartitionedCsr partition_by_source(const Csr& in_csr, int num_parts,
+                                      int num_threads = 1);
 
 }  // namespace featgraph::graph

@@ -159,6 +159,15 @@ ServeRequestsResult Trainer::serve_requests(
                             data_->features.row_size());
   sample::BlockScheduleCache schedule_cache;
 
+  // Run every served block launch under the caller's Schedule-IR program
+  // (e.g. shard(S) for the shard-parallel serving path), restored on exit —
+  // the same set/restore discipline make_serve_compute applies to the
+  // schedule cache. The program hash keys the cache, so batches served
+  // under different programs never alias one shape class.
+  std::shared_ptr<const core::ScheduleIr> prev_ir = ctx_.block_schedule_ir;
+  if (options.block_schedule_ir != nullptr)
+    ctx_.block_schedule_ir = options.block_schedule_ir;
+
   serve::ServeOptions admission = options.admission;
   admission.num_threads = ctx_.num_threads;
   serve::ServingEngine engine(
@@ -200,6 +209,7 @@ ServeRequestsResult Trainer::serve_requests(
     for (auto& o : outs) result.outputs.push_back(std::move(o));
   }
 
+  ctx_.block_schedule_ir = prev_ir;
   result.stats = engine.stats();
   result.cache = cache.stats();
   result.schedule_cache_hits = schedule_cache.hits();

@@ -64,6 +64,13 @@ struct ServeRequestsOptions {
   std::int64_t feature_cache_rows = 4096;
   /// Grid-tune the first block of each shape class (as infer_minibatch).
   bool tune_schedules = false;
+  /// Schedule-IR program every served block launch runs under (set as
+  /// ExecContext::block_schedule_ir for the duration of the call, then
+  /// restored). A shard(S) program here runs the serving path
+  /// shard-parallel with work stealing (parallel/shard_exec.hpp) — S is
+  /// clamped to each block's row count, so one program serves every coalesced
+  /// batch shape; outputs stay bit-identical to the unsharded baseline.
+  std::shared_ptr<const core::ScheduleIr> block_schedule_ir;
 };
 
 struct ServeRequestsResult {

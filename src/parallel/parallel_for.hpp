@@ -18,6 +18,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "parallel/thread_pool.hpp"
 #include "support/check.hpp"
@@ -82,7 +83,14 @@ inline std::int64_t nnz_split_point(const std::int64_t* indptr,
   if (k == lanes) return end;
   const std::int64_t base = indptr[begin];
   const std::int64_t total = indptr[end] - base;
-  const std::int64_t target = base + (total * k) / lanes;
+  // floor(total * k / lanes) without materializing total * k, which
+  // overflows int64 once nnz x lanes passes 2^63 (billion-edge shards with
+  // many lanes). Write total = q * lanes + r; then
+  //   floor(total * k / lanes) = q * k + floor(r * k / lanes),
+  // where q * k <= total (k <= lanes) and r * k < lanes^2 both fit.
+  const std::int64_t q = total / lanes;
+  const std::int64_t r = total % lanes;
+  const std::int64_t target = base + q * k + (r * k) / lanes;
   // First row r with indptr[r] >= target: [begin, r) has just met the
   // k/lanes quota (for r - 1 it was still below), so r is the smallest
   // valid boundary.
@@ -110,6 +118,76 @@ void parallel_for_nnz_ranges(const std::int64_t* indptr, std::int64_t begin,
     if (lo < hi) fn(lo, hi);
   };
   ThreadPool::global().launch(num_threads, lane);
+}
+
+/// Counters a work-stealing drain reports back (tests + bench telemetry).
+struct WorkStealStats {
+  std::int64_t executed = 0;  // items run, across all lanes — == num_items
+  std::int64_t stolen = 0;    // items a lane claimed from another lane's range
+};
+
+/// Work-stealing extension of cooperative_chunks: each lane OWNS a
+/// contiguous slice of [0, num_items) behind its own atomic cursor and
+/// drains it in `grain`-sized claims; a lane that empties its slice walks
+/// the other lanes' cursors and steals grain-sized claims until every slice
+/// is drained. Compared to the single shared cursor this keeps a lane on
+/// ITS slice (locality: consecutive shards share boundary rows and source
+/// ranges) while imbalance still migrates — the FeatGraph Sec. IV-A
+/// cooperative discipline with dynamic balance bolted on.
+///
+/// Guarantees:
+///  * every item in [0, num_items) is executed EXACTLY once (each claim is
+///    a unique fetch_add interval on one cursor, and a lane's scan visits
+///    every slice including those of logical lanes that never got a worker
+///    — oversubscribed pools stay correct);
+///  * num_threads <= 1 degrades to the in-order serial loop;
+///  * results are deterministic whenever items own disjoint outputs — which
+///    lane runs an item never changes what the item computes.
+template <class Fn>
+WorkStealStats work_stealing_chunks(std::int64_t num_items, int num_threads,
+                                    std::int64_t grain, Fn&& fn) {
+  WorkStealStats stats;
+  if (num_items <= 0) return stats;
+  if (grain < 1) grain = 1;
+  if (num_threads <= 1 || num_items == 1) {
+    for (std::int64_t c = 0; c < num_items; ++c) fn(c);
+    stats.executed = num_items;
+    return stats;
+  }
+  struct alignas(64) Slice {
+    std::atomic<std::int64_t> next{0};
+    std::int64_t end = 0;
+  };
+  const int lanes = num_threads;
+  std::vector<Slice> slice(static_cast<std::size_t>(lanes));
+  for (int t = 0; t < lanes; ++t) {
+    slice[static_cast<std::size_t>(t)].next.store(
+        num_items * t / lanes, std::memory_order_relaxed);
+    slice[static_cast<std::size_t>(t)].end = num_items * (t + 1) / lanes;
+  }
+  std::atomic<std::int64_t> executed{0};
+  std::atomic<std::int64_t> stolen{0};
+  std::function<void(int, int)> lane = [&](int tid, int nlanes) {
+    // Own slice first, then victims in ring order — stealers spread out
+    // instead of all hammering lane 0's cursor.
+    for (int off = 0; off < nlanes; ++off) {
+      const int victim = (tid + off) % nlanes;
+      auto& s = slice[static_cast<std::size_t>(victim)];
+      for (;;) {
+        const std::int64_t c = s.next.fetch_add(grain,
+                                                std::memory_order_relaxed);
+        if (c >= s.end) break;  // drained (cursor overshoot is harmless)
+        const std::int64_t e = std::min(c + grain, s.end);
+        for (std::int64_t i = c; i < e; ++i) fn(i);
+        executed.fetch_add(e - c, std::memory_order_relaxed);
+        if (off != 0) stolen.fetch_add(e - c, std::memory_order_relaxed);
+      }
+    }
+  };
+  ThreadPool::global().launch(num_threads, lane);
+  stats.executed = executed.load(std::memory_order_relaxed);
+  stats.stolen = stolen.load(std::memory_order_relaxed);
+  return stats;
 }
 
 /// All lanes drain `num_chunks` work items through a shared atomic cursor:

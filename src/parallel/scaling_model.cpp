@@ -49,9 +49,18 @@ double predict_parallel_seconds(const std::vector<WorkChunk>& chunks,
   double concurrent_ws;  // bytes resident across threads at any instant
   if (mode == SchedulingMode::kCooperative) {
     // Threads split each chunk evenly; chunk boundaries are barriers, so the
-    // time is the sum of per-chunk times, each divided by k.
+    // time is the sum of per-chunk times, each divided by k — PLUS the
+    // barrier itself. Every boundary makes all k threads rendezvous before
+    // the next chunk starts, and the rendezvous cost grows with the number
+    // of arrivals: charge per_chunk_overhead_s per extra thread per barrier
+    // (k == 1 has no barrier and pays nothing, matching the serial path).
+    // Without this term the model was optimistic exactly where the shard
+    // engine operates — many small chunks at high thread counts.
     makespan = 0.0;
     for (double c : costs) makespan += c / threads;
+    makespan += params.per_chunk_overhead_s *
+                static_cast<double>(threads - 1) *
+                static_cast<double>(costs.size());
     concurrent_ws = avg_chunk_bytes;
   } else {
     makespan = lpt_makespan(costs, threads);

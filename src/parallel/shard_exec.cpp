@@ -1,0 +1,47 @@
+#include "parallel/shard_exec.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace featgraph::parallel {
+
+int choose_num_shards(std::int64_t num_rows, std::int64_t nnz,
+                      const ShardSizing& sizing, int num_threads) {
+  FG_CHECK(num_rows >= 0 && nnz >= 0);
+  if (num_rows <= 1) return 1;
+  const double work_bytes =
+      static_cast<double>(num_rows) * static_cast<double>(sizing.bytes_per_row) +
+      static_cast<double>(nnz) * static_cast<double>(sizing.bytes_per_edge);
+  const double budget = std::max(sizing.llc_bytes, 1.0);
+  // Enough shards that one shard's slice of the working set fits the LLC.
+  std::int64_t shards = static_cast<std::int64_t>(work_bytes / budget) + 1;
+  if (num_threads > 1) {
+    // Stealing needs at least one shard per lane, and a little surplus so
+    // imbalance has somewhere to migrate (2x is the classic over-decompose
+    // factor: halves the worst-case tail without drowning in dispatch).
+    shards = std::max<std::int64_t>(shards, 2 * num_threads);
+  } else if (shards <= 1) {
+    return 1;
+  }
+  shards = std::min<std::int64_t>(shards, num_rows);
+  return static_cast<int>(std::max<std::int64_t>(shards, 1));
+}
+
+std::vector<std::int64_t> shard_row_bounds(const std::int64_t* indptr,
+                                           std::int64_t num_rows,
+                                           int num_shards) {
+  FG_CHECK(num_rows >= 0 && num_shards >= 1);
+  num_shards = static_cast<int>(
+      std::min<std::int64_t>(num_shards, std::max<std::int64_t>(num_rows, 1)));
+  std::vector<std::int64_t> bounds(static_cast<std::size_t>(num_shards) + 1);
+  for (int s = 0; s <= num_shards; ++s) {
+    bounds[static_cast<std::size_t>(s)] =
+        indptr != nullptr
+            ? nnz_split_point(indptr, 0, num_rows, s, num_shards)
+            : num_rows * s / num_shards;
+  }
+  return bounds;
+}
+
+}  // namespace featgraph::parallel

@@ -1,0 +1,91 @@
+// Shard-parallel execution engine (the ROADMAP's "shard-parallel execution
+// engine + real multi-core numbers" item).
+//
+// A SHARD is a contiguous destination-row range of one CSR (or of one
+// partition segment — sharding composes with the Sec. IV-A source
+// partitioning: threads still sweep one partition at a time, sharded WITHIN
+// it). Shard boundaries are nnz-balanced via nnz_split_point, and the shard
+// count is chosen so one shard's working set — its output rows, the source
+// rows its edges stream, and its adjacency slice — fits the LLC budget, the
+// same sizing rule heuristic_spmm_schedule applies to partitions.
+//
+// Execution: shards are drained by work_stealing_chunks (parallel_for.hpp) —
+// each lane owns a contiguous run of shards behind its own atomic cursor and
+// steals grain-sized runs from other lanes once its own are done.
+//
+// Determinism argument (the "merge at shard boundaries" contract): a shard
+// OWNS its destination rows exclusively — shards tile [0, num_rows) — so the
+// merged output is plain concatenation by ownership, there are no partial
+// sums to combine, and a row's edges are visited in exactly the CSR order
+// the unsharded kernel uses. Which lane runs a shard, the steal granularity,
+// and the thread count therefore never change a single bit of the output:
+// sharded == unsharded at every thread count, per ISA, pinned by
+// tests/test_shard_exec.cpp's invariance matrix.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+
+namespace featgraph::parallel {
+
+/// Per-feature-row and per-edge byte estimates of an SpMM-shaped sweep used
+/// by choose_num_shards (float features: out row + streamed source row;
+/// edge: index + edge id + the source row lines it touches are already
+/// counted per row).
+struct ShardSizing {
+  std::int64_t bytes_per_row = 0;
+  std::int64_t bytes_per_edge = 0;
+  double llc_bytes = 25.0 * 1024 * 1024;  // paper machine: 25 MB LLC
+};
+
+/// Shard count for `num_rows` rows / `nnz` edges under `sizing`: enough
+/// shards that one shard's working set fits the LLC budget, at least one
+/// shard per thread (stealing needs per-lane slices), at most one shard per
+/// row. Returns 1 when a single shard already fits and num_threads <= 1 —
+/// sharding is pure overhead there.
+int choose_num_shards(std::int64_t num_rows, std::int64_t nnz,
+                      const ShardSizing& sizing, int num_threads);
+
+/// Row boundaries of `num_shards` shards over rows [0, num_rows):
+/// bounds.size() == num_shards + 1, bounds.front() == 0, bounds.back() ==
+/// num_rows, consecutive bounds tile the interval. With `indptr` non-null
+/// the boundaries balance nnz (nnz_split_point — a hub row yields empty
+/// neighbor shards rather than being split); with indptr == nullptr they
+/// balance row counts.
+std::vector<std::int64_t> shard_row_bounds(const std::int64_t* indptr,
+                                           std::int64_t num_rows,
+                                           int num_shards);
+
+/// Runs `body(r0, r1)` over every shard of rows [0, num_rows) with
+/// cross-shard work stealing: shards are the work items of
+/// work_stealing_chunks, claimed `steal_grain` at a time. Bit-identical to
+/// body(0, num_rows) whenever body only writes rows in [r0, r1) — the shard
+/// executor's whole contract. num_threads <= 1 sweeps shards in order on the
+/// caller (still exercising the shard decomposition, so 1-lane tests cover
+/// the same code path). Returns the steal counters for telemetry.
+template <class Body>
+WorkStealStats sharded_row_sweep(const std::int64_t* indptr,
+                                 std::int64_t num_rows, int num_shards,
+                                 std::int64_t steal_grain, int num_threads,
+                                 const Body& body) {
+  WorkStealStats stats;
+  if (num_rows <= 0) return stats;
+  if (num_shards > num_rows) num_shards = static_cast<int>(num_rows);
+  if (num_shards <= 1) {
+    body(0, num_rows);
+    stats.executed = 1;
+    return stats;
+  }
+  const std::vector<std::int64_t> bounds =
+      shard_row_bounds(indptr, num_rows, num_shards);
+  return work_stealing_chunks(
+      num_shards, num_threads, steal_grain, [&](std::int64_t s) {
+        const std::int64_t r0 = bounds[static_cast<std::size_t>(s)];
+        const std::int64_t r1 = bounds[static_cast<std::size_t>(s) + 1];
+        if (r0 < r1) body(r0, r1);
+      });
+}
+
+}  // namespace featgraph::parallel

@@ -1,6 +1,9 @@
 #include "parallel/thread_pool.hpp"
 
+#include <algorithm>
+
 #include "support/check.hpp"
+#include "support/env.hpp"
 
 namespace featgraph::parallel {
 
@@ -24,16 +27,30 @@ ThreadPool::~ThreadPool() {
 }
 
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
+  static ThreadPool pool(static_cast<unsigned>(
+      std::max(0L, support::env_long("FEATGRAPH_WORKERS", 0))));
   return pool;
 }
 
 void ThreadPool::launch(int num_threads, const std::function<void(int, int)>& fn) {
-  // Launches are serialized: nested/concurrent launches run inline instead of
-  // deadlocking on the single job slot.
-  if (!launch_if_idle(num_threads, fn)) {
-    for (int tid = 0; tid < num_threads; ++tid) fn(tid, num_threads);
+  FG_CHECK(num_threads >= 1);
+  if (num_threads == 1) {
+    fn(0, 1);
+    return;
   }
+  std::unique_lock<std::mutex> lock(mutex_);
+  // Attached launches are serialized among themselves: a nested/concurrent
+  // launch runs inline instead of deadlocking on the slot. A live DETACHED
+  // job is NOT a reason to degrade — the caller claims the attached slot and
+  // drives lanes itself; free workers help, and with none free the caller
+  // still completes every lane (multiplexed, never blocked on the pool).
+  if (attached_.active()) {
+    lock.unlock();
+    for (int tid = 0; tid < num_threads; ++tid) fn(tid, num_threads);
+    return;
+  }
+  attached_ = Job{&fn, num_threads, 0, num_threads};
+  run_claimed_lanes(lock, fn);
 }
 
 bool ThreadPool::launch_if_idle(int num_threads,
@@ -44,14 +61,13 @@ bool ThreadPool::launch_if_idle(int num_threads,
     return true;
   }
   std::unique_lock<std::mutex> lock(mutex_);
-  // Decline under the lock — unlike launch()'s inline fallback, the caller
+  // Decline under the lock — unlike launch()'s claim-anyway path, the caller
   // learns its lanes would NOT have run concurrently and takes another path.
-  if (job_ != nullptr) return false;
-  job_ = &fn;
-  job_lanes_ = num_threads;
-  next_lane_ = 0;
-  lanes_remaining_ = num_threads;
-  ++epoch_;
+  // Genuine concurrency needs a worker beyond those consumed by unfinished
+  // detached lanes (the caller itself only drives one lane at a time).
+  if (attached_.active()) return false;
+  if (static_cast<int>(workers_.size()) <= detached_unfinished_) return false;
+  attached_ = Job{&fn, num_threads, 0, num_threads};
   run_claimed_lanes(lock, fn);
   return true;
 }
@@ -60,17 +76,16 @@ bool ThreadPool::launch_detached_if_idle(int num_threads,
                                          std::function<void(int, int)> fn) {
   FG_CHECK(num_threads >= 1);
   std::unique_lock<std::mutex> lock(mutex_);
-  // Same claim discipline as launch_if_idle — the decision happens under
-  // the job-slot lock — plus a worker-availability check: with no workers
-  // there is nobody to run a lane the caller does not participate in.
-  if (job_ != nullptr || workers_.empty()) return false;
-  detached_job_ = std::make_shared<std::function<void(int, int)>>(std::move(fn));
-  detached_ = true;
-  job_ = detached_job_.get();
-  job_lanes_ = num_threads;
-  next_lane_ = 0;
-  lanes_remaining_ = num_threads;
-  ++epoch_;
+  // Same claim discipline — the decision happens under the job-slot lock —
+  // plus a worker-availability check: with no workers there is nobody to run
+  // a lane the caller does not participate in. Declining while an attached
+  // launch is in flight keeps the historical contract (the caller falls back
+  // to a dedicated thread rather than queueing behind a kernel).
+  if (detached_.active() || attached_.active() || workers_.empty())
+    return false;
+  detached_fn_ = std::make_shared<std::function<void(int, int)>>(std::move(fn));
+  detached_ = Job{detached_fn_.get(), num_threads, 0, num_threads};
+  detached_unfinished_ = num_threads;
   lock.unlock();
   work_ready_.notify_all();
   return true;
@@ -82,7 +97,7 @@ void ThreadPool::wait_detached_drained() {
   // detached work finish (e.g. Server::close joining its lane) waits here
   // so the slot is reclaimable before it hands the pool to someone else.
   std::unique_lock<std::mutex> lock(mutex_);
-  work_done_.wait(lock, [this] { return !detached_; });
+  work_done_.wait(lock, [this] { return !detached_.active(); });
 }
 
 void ThreadPool::run_claimed_lanes(std::unique_lock<std::mutex>& lock,
@@ -91,50 +106,54 @@ void ThreadPool::run_claimed_lanes(std::unique_lock<std::mutex>& lock,
   work_ready_.notify_all();
 
   // The caller also executes lanes so a pool of N workers plus the caller
-  // saturates N+1 cores and a launch can never wait on a busy pool.
+  // saturates N+1 cores and an attached launch can never wait on a busy
+  // pool — even when every worker is held by detached lanes.
   for (;;) {
     lock.lock();
-    if (next_lane_ >= job_lanes_) break;  // keep lock; wait for completion
-    int lane = next_lane_++;
+    if (attached_.next_lane >= attached_.lanes) break;  // keep lock; wait
+    const int lane = attached_.next_lane++;
     lock.unlock();
-    fn(lane, job_lanes_);
+    fn(lane, attached_.lanes);
     lock.lock();
-    --lanes_remaining_;
-    if (lanes_remaining_ == 0) work_done_.notify_all();
+    --attached_.remaining;
+    if (attached_.remaining == 0) work_done_.notify_all();
     lock.unlock();
   }
-  work_done_.wait(lock, [this] { return lanes_remaining_ == 0; });
-  job_ = nullptr;
+  work_done_.wait(lock, [this] { return attached_.remaining == 0; });
+  attached_ = Job{};
 }
 
 void ThreadPool::worker_loop() {
   std::unique_lock<std::mutex> lock(mutex_);
-  std::uint64_t seen_epoch = 0;
   for (;;) {
     work_ready_.wait(lock, [&] {
-      return shutdown_ || (job_ != nullptr && epoch_ != seen_epoch &&
-                           next_lane_ < job_lanes_);
+      return shutdown_ || attached_.pending() || detached_.pending();
     });
     if (shutdown_) return;
-    seen_epoch = epoch_;
-    while (job_ != nullptr && next_lane_ < job_lanes_) {
-      int lane = next_lane_++;
-      const auto* fn = job_;
-      int lanes = job_lanes_;
+    while (attached_.pending() || detached_.pending()) {
+      // Attached lanes first: they are short-lived kernels with a caller
+      // blocked on them, while detached lanes may run for a server's
+      // lifetime — picking a detached lane first could permanently consume
+      // this worker.
+      Job& job = attached_.pending() ? attached_ : detached_;
+      const bool is_detached = &job == &detached_;
+      const int lane = job.next_lane++;
+      const auto* fn = job.fn;
+      const int lanes = job.lanes;
       lock.unlock();
       (*fn)(lane, lanes);
       lock.lock();
-      --lanes_remaining_;
-      if (lanes_remaining_ == 0) {
-        // A detached job has no caller waiting in run_claimed_lanes to
-        // clear the slot — the last lane releases it here.
-        if (detached_) {
-          job_ = nullptr;
-          detached_ = false;
-          detached_job_.reset();
+      --job.remaining;
+      if (is_detached) {
+        --detached_unfinished_;
+        if (job.remaining == 0) {
+          // A detached job has no caller waiting in run_claimed_lanes to
+          // clear the slot — the last lane releases it here.
+          detached_ = Job{};
+          detached_fn_.reset();
         }
-        work_done_.notify_all();
       }
+      if (job.remaining == 0) work_done_.notify_all();
     }
   }
 }

@@ -18,6 +18,15 @@ namespace featgraph::parallel {
 /// `fn(tid, num_threads)` on `num_threads` logical lanes; lanes beyond the
 /// number of OS workers are multiplexed onto the available workers, so a
 /// launch with num_threads == 8 is functionally correct on a 2-core host.
+///
+/// Two independent job slots coexist: one ATTACHED slot (launch /
+/// launch_if_idle — the caller participates and blocks until done) and one
+/// DETACHED slot (launch_detached_if_idle — workers only, may run for a
+/// server's lifetime). Workers prefer attached lanes, so a kernel launched
+/// while a serving lane holds the detached slot still gets every worker the
+/// detached job is not actively occupying — the single-slot design this
+/// replaces degraded ALL launches to inline serial for the detached job's
+/// whole lifetime.
 class ThreadPool {
  public:
   /// Creates `num_workers` OS threads (defaults to hardware concurrency).
@@ -29,50 +38,70 @@ class ThreadPool {
 
   /// Runs fn(tid, num_threads) for tid in [0, num_threads). Blocks until all
   /// lanes finish. num_threads == 1 executes inline on the caller so
-  /// single-threaded measurements pay zero scheduling overhead.
+  /// single-threaded measurements pay zero scheduling overhead. When the
+  /// attached slot is already claimed (a nested or concurrent launch) the
+  /// lanes run inline serially instead of deadlocking on the slot; a live
+  /// DETACHED job does NOT force the inline fallback — the caller claims the
+  /// attached slot and drives lanes itself, with any worker not consumed by
+  /// a detached lane helping.
   void launch(int num_threads, const std::function<void(int, int)>& fn);
 
   unsigned num_workers() const { return static_cast<unsigned>(workers_.size()); }
 
   /// Like launch(), but atomically declines instead of running inline when
-  /// a launch is already in flight: returns false WITHOUT executing any
-  /// lane. For callers that need GENUINE lane concurrency — the sampling
-  /// pipeline's producer/consumer pair, where a producer blocking on a
-  /// bounded queue with no consumer lane running would deadlock. The claim
-  /// happens under the job-slot lock, so there is no busy-check/launch race:
-  /// either this call owns the slot (lanes run concurrently, workers are
-  /// idle by the serialization invariant) or the caller takes its fallback.
+  /// the lanes could NOT run genuinely concurrently: returns false WITHOUT
+  /// executing any lane when the attached slot is claimed OR every worker is
+  /// consumed by unfinished detached lanes (the caller alone cannot overlap
+  /// two lanes in time). For callers that need GENUINE lane concurrency —
+  /// the sampling pipeline's producer/consumer pair, where a producer
+  /// blocking on a bounded queue with no consumer lane running would
+  /// deadlock. The claim happens under the job-slot lock, so there is no
+  /// busy-check/launch race: either this call owns the slot with a free
+  /// worker guaranteed, or the caller takes its fallback.
   bool launch_if_idle(int num_threads, const std::function<void(int, int)>& fn);
 
-  /// launch_if_idle's DETACHED sibling, the claim discipline the serving
-  /// front-end's admission loop reuses (src/serve): atomically claims the
-  /// job slot if idle and hands the lanes to pool WORKERS only — the caller
-  /// does not participate and returns immediately. The slot is released by
-  /// the last lane to finish, so `fn` may run for the lifetime of a server.
-  /// Declines (returns false, nothing runs) when a launch is in flight or
-  /// the pool has no workers; the caller takes its fallback (e.g. a
-  /// dedicated thread). While a detached job holds the slot, launch() from
-  /// any thread — including `fn` itself — degrades to inline execution, so
-  /// a long-lived lane can freely run parallel_for kernels and never
-  /// deadlocks on its own slot.
+  /// The DETACHED slot, the claim discipline the serving front-end's
+  /// admission loop uses (src/serve): atomically claims it if free and hands
+  /// the lanes to pool WORKERS only — the caller does not participate and
+  /// returns immediately. The slot is released by the last lane to finish,
+  /// so `fn` may run for the lifetime of a server. Declines (returns false,
+  /// nothing runs) when the detached slot is already held, an attached
+  /// launch is in flight, or the pool has no workers; the caller takes its
+  /// fallback (e.g. a dedicated thread). A long-lived detached lane can
+  /// freely run launch()/parallel_for kernels: they claim the SEPARATE
+  /// attached slot and recruit the remaining workers (no self-deadlock, and
+  /// no serial degradation — the starvation bug this split fixes).
   bool launch_detached_if_idle(int num_threads,
                                std::function<void(int, int)> fn);
 
-  /// Blocks until no detached job holds the slot. The last detached lane
+  /// Blocks until no detached job holds its slot. The last detached lane
   /// releases the slot AFTER the job's code returns, so a caller that saw
   /// its detached work finish must wait here before expecting a fresh
   /// launch_detached_if_idle claim to succeed. Returns immediately when no
   /// detached job is active.
   void wait_detached_drained();
 
-  /// Process-wide pool, sized to hardware concurrency, created on first use.
+  /// Process-wide pool, created on first use. Sized to hardware concurrency
+  /// unless FEATGRAPH_WORKERS overrides it — the knob CI's multi-worker leg
+  /// uses to exercise real lane concurrency on 1-core hosts.
   static ThreadPool& global();
 
  private:
+  /// One job slot's state, guarded by mutex_ (CP.50: mutex lives with the
+  /// data it protects).
+  struct Job {
+    const std::function<void(int, int)>* fn = nullptr;
+    int lanes = 0;      // total logical lanes in this launch
+    int next_lane = 0;  // next lane index to hand out
+    int remaining = 0;  // lanes not yet completed
+    bool active() const { return fn != nullptr; }
+    bool pending() const { return fn != nullptr && next_lane < lanes; }
+  };
+
   void worker_loop();
-  /// Runs the claimed job's lanes (caller participates), waits for
-  /// completion, releases the job slot. `lock` must hold mutex_ with the
-  /// job state already published.
+  /// Runs the claimed attached job's lanes (caller participates), waits for
+  /// completion, releases the attached slot. `lock` must hold mutex_ with
+  /// the job state already published.
   void run_claimed_lanes(std::unique_lock<std::mutex>& lock,
                          const std::function<void(int, int)>& fn);
 
@@ -81,18 +110,16 @@ class ThreadPool {
   std::condition_variable work_ready_;
   std::condition_variable work_done_;
 
-  // State of the current launch, guarded by mutex_ (CP.50: mutex lives with
-  // the data it protects).
-  const std::function<void(int, int)>* job_ = nullptr;
-  int job_lanes_ = 0;        // total logical lanes in this launch
-  int next_lane_ = 0;        // next lane index to hand to a worker
-  int lanes_remaining_ = 0;  // lanes not yet completed
-  std::uint64_t epoch_ = 0;  // bumps every launch so workers detect new work
+  Job attached_;
+  Job detached_;
+  /// Detached lanes not yet finished (pending + running). Workers consumed
+  /// by these are unavailable for attached work — launch_if_idle's
+  /// genuine-concurrency check reads this.
+  int detached_unfinished_ = 0;
+  /// The pool owns the detached function (the caller is gone by the time
+  /// lanes run); the last finishing lane releases it.
+  std::shared_ptr<std::function<void(int, int)>> detached_fn_;
   bool shutdown_ = false;
-  // Detached-job state: the pool owns the function (the caller is gone by
-  // the time lanes run); the last finishing lane releases the slot.
-  std::shared_ptr<std::function<void(int, int)>> detached_job_;
-  bool detached_ = false;
 };
 
 }  // namespace featgraph::parallel

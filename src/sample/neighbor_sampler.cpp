@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "parallel/shard_exec.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
 
@@ -70,7 +71,9 @@ NeighborSampler::NeighborSampler(const graph::Csr& in_csr,
 }
 
 MinibatchBlocks NeighborSampler::sample(const std::vector<graph::vid_t>& seeds,
-                                        std::uint64_t batch_index) const {
+                                        std::uint64_t batch_index,
+                                        int num_threads) const {
+  FG_CHECK(num_threads >= 1);
   const int num_layers = static_cast<int>(config_.fanouts.size());
   MinibatchBlocks mfg;
   mfg.blocks.resize(static_cast<std::size_t>(num_layers));
@@ -83,15 +86,32 @@ MinibatchBlocks NeighborSampler::sample(const std::vector<graph::vid_t>& seeds,
     const std::uint64_t hop =
         static_cast<std::uint64_t>(num_layers - 1 - layer);
     std::vector<std::vector<std::int64_t>> picked(dst.size());
-    for (std::size_t i = 0; i < dst.size(); ++i) {
-      const graph::vid_t v = dst[i];
-      FG_CHECK_MSG(v >= 0 && v < csr_->num_rows,
-                   "minibatch seed out of range");
-      support::Rng rng(config_.seed,
-                       stream_of(batch_index, hop,
-                                 static_cast<std::uint64_t>(v)));
-      picked[i] =
-          pick_positions(csr_->degree(v), fanout, config_.replace, rng);
+    const auto sample_range = [&](std::int64_t i0, std::int64_t i1) {
+      for (std::int64_t i = i0; i < i1; ++i) {
+        const graph::vid_t v = dst[static_cast<std::size_t>(i)];
+        FG_CHECK_MSG(v >= 0 && v < csr_->num_rows,
+                     "minibatch seed out of range");
+        support::Rng rng(config_.seed,
+                         stream_of(batch_index, hop,
+                                   static_cast<std::uint64_t>(v)));
+        picked[static_cast<std::size_t>(i)] =
+            pick_positions(csr_->degree(v), fanout, config_.replace, rng);
+      }
+    };
+    const auto n = static_cast<std::int64_t>(dst.size());
+    if (num_threads <= 1 || n < 2) {
+      sample_range(0, n);
+    } else {
+      // Shard-local sampling with cross-shard stealing: destinations split
+      // into contiguous shards (a destination writes only picked[i], and
+      // its RNG stream depends only on the vertex id, so any lane-to-shard
+      // assignment produces identical blocks). Over-decompose 4x per lane
+      // so a shard of hub vertices migrates instead of straggling.
+      const int shards = static_cast<int>(std::min<std::int64_t>(
+          n, static_cast<std::int64_t>(4 * num_threads)));
+      parallel::sharded_row_sweep(/*indptr=*/nullptr, n, shards,
+                                  /*steal_grain=*/1, num_threads,
+                                  sample_range);
     }
     mfg.blocks[static_cast<std::size_t>(layer)] =
         make_block(*csr_, std::move(dst), picked);

@@ -52,8 +52,17 @@ class NeighborSampler {
   /// (output) vertices. `batch_index` selects the RNG stream family, making
   /// the call a pure function of its arguments — callers may sample batches
   /// in any order, concurrently, and reproduce results exactly.
+  ///
+  /// `num_threads` > 1 runs each hop's per-destination draws shard-parallel
+  /// (contiguous seed shards drained with work stealing, parallel/
+  /// shard_exec.hpp). Results are bit-identical at ANY thread count by
+  /// construction: every destination vertex draws from its own RNG stream
+  /// and writes only its own slot, so lane assignment can't reorder or
+  /// perturb anything — the standing determinism contract above, now
+  /// load-bearing for parallel sampling too.
   MinibatchBlocks sample(const std::vector<graph::vid_t>& seeds,
-                        std::uint64_t batch_index) const;
+                         std::uint64_t batch_index,
+                         int num_threads = 1) const;
 
   const SamplerConfig& config() const { return config_; }
   const graph::Csr& graph() const { return *csr_; }

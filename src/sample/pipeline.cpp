@@ -73,15 +73,15 @@ PreparedBatch produce_batch(const NeighborSampler& sampler,
                             const tensor::Tensor& features,
                             const std::vector<graph::vid_t>& seeds,
                             std::int64_t index, std::int64_t batch_size,
-                            int gather_threads) {
+                            int gather_threads, int sample_threads) {
   PreparedBatch batch;
   batch.index = index;
   const auto lo = static_cast<std::size_t>(index * batch_size);
   const auto hi = std::min(seeds.size(), lo + static_cast<std::size_t>(batch_size));
   batch.seeds.assign(seeds.begin() + static_cast<std::ptrdiff_t>(lo),
                      seeds.begin() + static_cast<std::ptrdiff_t>(hi));
-  batch.blocks =
-      sampler.sample(batch.seeds, static_cast<std::uint64_t>(index));
+  batch.blocks = sampler.sample(batch.seeds, static_cast<std::uint64_t>(index),
+                                sample_threads);
   batch.input_feats =
       gather_rows(features, batch.blocks.input_nodes(), gather_threads);
   return batch;
@@ -139,7 +139,8 @@ PipelineStats run_pipeline(const NeighborSampler& sampler,
               support::Timer t;
               PreparedBatch batch =
                   produce_batch(sampler, features, seeds, i,
-                                options.batch_size, options.gather_threads);
+                                options.batch_size, options.gather_threads,
+                                options.sample_threads);
               produce_seconds += t.seconds();
               queue.push(std::move(batch));
             }
@@ -171,7 +172,8 @@ PipelineStats run_pipeline(const NeighborSampler& sampler,
     support::Timer t;
     PreparedBatch batch = produce_batch(sampler, features, seeds, i,
                                         options.batch_size,
-                                        options.gather_threads);
+                                        options.gather_threads,
+                                        options.sample_threads);
     stats.produce_seconds += t.seconds();
     t.reset();
     consume(batch);

@@ -61,12 +61,16 @@ struct PipelineOptions {
   /// serially (the baseline bench_minibatch prices).
   bool pipelined = true;
   /// Threads for the feature gather inside the producer lane. NOTE: while
-  /// the 2-lane overlap is active it holds the pool's single job slot, so
+  /// the 2-lane overlap is active it holds the pool's ATTACHED job slot, so
   /// the gather's nested launch runs inline — effectively one thread. The
   /// knob only fans out in the serial path (pipelined = false, a declined
-  /// claim, or a single batch). Splitting producer-side work across
-  /// dedicated lanes is future serving work (see ROADMAP).
+  /// claim, or a single batch). The serving lane has no such limit: it runs
+  /// DETACHED (src/serve), so its nested launches recruit real workers.
   int gather_threads = 1;
+  /// Threads for the shard-parallel neighbor sampling inside the producer
+  /// lane (NeighborSampler::sample's num_threads — deterministic at any
+  /// value). Same overlap caveat as gather_threads.
+  int sample_threads = 1;
 };
 
 struct PipelineStats {

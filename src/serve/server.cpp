@@ -33,7 +33,7 @@ std::vector<tensor::Tensor> ServingEngine::serve_batch(
 
   support::Timer t;
   const sample::MinibatchBlocks blocks =
-      sampler_->sample(batch.seeds, options_.rng_stream);
+      sampler_->sample(batch.seeds, options_.rng_stream, options_.num_threads);
   const double sample_s = t.seconds();
 
   t.reset();

@@ -50,7 +50,11 @@ struct ServeOptions {
   /// Admission caps: a batch is cut early once either fills.
   int max_requests_per_batch = 64;
   std::int64_t max_seeds_per_batch = 8192;
-  /// Threads for the shared gather + scatter inside the serving lane.
+  /// Threads for the shard-parallel sampling plus the shared gather +
+  /// scatter inside the serving lane. Sampling stays bit-identical at any
+  /// value (per-vertex RNG streams, see neighbor_sampler.hpp), and because
+  /// the lane runs DETACHED these nested launches recruit real pool
+  /// workers — unlike the pipeline's attached 2-lane overlap.
   int num_threads = 1;
   /// Sampler stream (batch_index) EVERY request is served under — solo and
   /// coalesced serving share it, which (with per-vertex RNG streams) is

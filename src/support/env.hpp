@@ -1,5 +1,8 @@
 // Environment-variable driven configuration used by the benchmark harness
-// (FEATGRAPH_SCALE, FEATGRAPH_BENCH_REPS, ...).
+// (FEATGRAPH_SCALE, FEATGRAPH_BENCH_REPS, ...) and the runtime
+// (FEATGRAPH_WORKERS: worker count of parallel::ThreadPool::global();
+// 0/unset = hardware_concurrency. CI's multi-worker leg sets it > 1 so
+// 1-core hosts still exercise real cross-thread scheduling).
 #pragma once
 
 #include <string>

@@ -215,6 +215,38 @@ TEST_P(PartitionTest, NnzIsRoughlyBalanced) {
 INSTANTIATE_TEST_SUITE_P(Parts, PartitionTest,
                          ::testing::Values(1, 2, 3, 4, 8, 16, 61));
 
+TEST(Graph, PartitionBySourceParallelMatchesSerial) {
+  // Satellite fix: pass 1 (per-part edge counts) and pass 2 (the scatter)
+  // are row-parallel — every row owns its count slots and its cursor-owned
+  // scatter ranges — so the parallel build must reproduce the serial one
+  // EXACTLY, segment for segment, at every thread count. The graph must
+  // clear the 4096-row gate below which the build stays serial.
+  const Coo coo = fg::graph::gen_lognormal(6000, 12.0, 1.0, 21);
+  const Csr in = fg::graph::coo_to_in_csr(coo);
+  for (const int parts : {2, 4, 7}) {
+    const auto serial = fg::graph::partition_by_source(in, parts, 1);
+    for (const int threads : {2, 4, 8}) {
+      const auto par = fg::graph::partition_by_source(in, parts, threads);
+      ASSERT_EQ(par.parts.size(), serial.parts.size())
+          << "parts=" << parts << " threads=" << threads;
+      for (std::size_t p = 0; p < serial.parts.size(); ++p) {
+        const auto& a = serial.parts[p];
+        const auto& b = par.parts[p];
+        EXPECT_EQ(a.col_begin, b.col_begin);
+        EXPECT_EQ(a.col_end, b.col_end);
+        EXPECT_EQ(a.indptr, b.indptr)
+            << "part " << p << " threads=" << threads;
+        EXPECT_EQ(a.indices, b.indices)
+            << "part " << p << " threads=" << threads;
+        EXPECT_EQ(a.edge_ids, b.edge_ids)
+            << "part " << p << " threads=" << threads;
+        EXPECT_EQ(a.degrees(), b.degrees())
+            << "part " << p << " threads=" << threads;
+      }
+    }
+  }
+}
+
 // --- hilbert --------------------------------------------------------------
 
 TEST(Hilbert, IndexIsBijectiveOnSmallGrid) {

@@ -2,8 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
 #include <mutex>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "parallel/parallel_for.hpp"
@@ -47,6 +52,121 @@ TEST(ThreadPool, OversubscriptionIsFunctionallyCorrect) {
   std::atomic<int> total{0};
   ThreadPool::global().launch(64, [&](int, int) { total.fetch_add(1); });
   EXPECT_EQ(total.load(), 64);
+}
+
+// --- dual-slot pool (attached vs detached jobs) ---------------------------
+
+TEST(ThreadPool, DetachedJobDoesNotStarveAttachedLaunches) {
+  // Regression: the single-job-slot pool treated a live DETACHED serving
+  // lane as "busy", degrading EVERY launch() to inline serial for the
+  // lane's whole lifetime — the server ran all its kernels single-threaded.
+  // The dual-slot pool must keep attached lanes genuinely concurrent while
+  // a detached job blocks one worker.
+  ThreadPool pool(2);
+  std::mutex m;
+  std::condition_variable cv;
+  bool release = false;
+  ASSERT_TRUE(pool.launch_detached_if_idle(1, [&](int, int) {
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&] { return release; });
+  }));
+
+  // Rendezvous: each attached lane waits (bounded) for the other to arrive.
+  // Only lanes that overlap IN TIME can both observe arrived == 2; a serial
+  // inline fallback has the first lane time out before the second starts.
+  std::mutex rm;
+  std::condition_variable rcv;
+  int arrived = 0;
+  int observed = 0;
+  pool.launch(2, [&](int, int) {
+    std::unique_lock<std::mutex> lock(rm);
+    ++arrived;
+    rcv.notify_all();
+    if (rcv.wait_for(lock, std::chrono::seconds(10),
+                     [&] { return arrived == 2; }))
+      ++observed;
+  });
+  EXPECT_EQ(observed, 2) << "attached lanes did not overlap in time while a "
+                            "detached job was live";
+
+  {
+    std::lock_guard<std::mutex> lock(m);
+    release = true;
+  }
+  cv.notify_all();
+  pool.wait_detached_drained();
+}
+
+TEST(ThreadPool, LaunchIfIdleNeedsAWorkerBeyondDetachedLanes) {
+  // launch_if_idle promises GENUINE lane concurrency. With the pool's only
+  // worker consumed by an unfinished detached lane, the caller alone cannot
+  // overlap two lanes — the claim must decline without running anything,
+  // and succeed again once the detached job drains.
+  ThreadPool pool(1);
+  std::mutex m;
+  std::condition_variable cv;
+  bool release = false;
+  ASSERT_TRUE(pool.launch_detached_if_idle(1, [&](int, int) {
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&] { return release; });
+  }));
+
+  std::atomic<int> ran{0};
+  EXPECT_FALSE(pool.launch_if_idle(2, [&](int, int) { ran.fetch_add(1); }));
+  EXPECT_EQ(ran.load(), 0) << "a declined claim must not execute any lane";
+
+  {
+    std::lock_guard<std::mutex> lock(m);
+    release = true;
+  }
+  cv.notify_all();
+  pool.wait_detached_drained();
+  EXPECT_TRUE(pool.launch_if_idle(2, [&](int, int) { ran.fetch_add(1); }));
+  EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(ThreadPool, DetachedLaneRunsNestedParallelKernels) {
+  // A serving lane must be able to run parallel kernels: its nested
+  // launch() claims the SEPARATE attached slot — no self-deadlock, and no
+  // silent serial degradation (the payoff of the dual-slot fix).
+  ThreadPool pool(2);
+  std::promise<std::int64_t> result;
+  ASSERT_TRUE(pool.launch_detached_if_idle(1, [&](int, int) {
+    std::atomic<std::int64_t> sum{0};
+    pool.launch(4, [&](int tid, int) { sum.fetch_add(tid + 1); });
+    result.set_value(sum.load());
+  }));
+  auto fut = result.get_future();
+  ASSERT_EQ(fut.wait_for(std::chrono::seconds(10)),
+            std::future_status::ready);
+  EXPECT_EQ(fut.get(), 1 + 2 + 3 + 4);
+  pool.wait_detached_drained();
+}
+
+TEST(ThreadPool, DetachedSlotIsExclusiveUntilDrained) {
+  ThreadPool pool(2);
+  std::mutex m;
+  std::condition_variable cv;
+  bool release = false;
+  ASSERT_TRUE(pool.launch_detached_if_idle(1, [&](int, int) {
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&] { return release; });
+  }));
+  int ran = 0;
+  EXPECT_FALSE(pool.launch_detached_if_idle(1, [&](int, int) { ++ran; }));
+  EXPECT_EQ(ran, 0);
+  {
+    std::lock_guard<std::mutex> lock(m);
+    release = true;
+  }
+  cv.notify_all();
+  pool.wait_detached_drained();
+  std::atomic<bool> reran{false};
+  ASSERT_TRUE(pool.launch_detached_if_idle(1, [&](int, int) {
+    reran.store(true);
+  }));
+  pool.wait_detached_drained();
+  EXPECT_TRUE(reran.load());
 }
 
 TEST(ParallelFor, CoversRangeExactlyOnce) {
@@ -182,6 +302,43 @@ TEST(NnzSplit, AllEmptyRowsGoToOneLane) {
   EXPECT_EQ(hi_seen, 5);
 }
 
+TEST(NnzSplit, ExtremeNnzTotalsDoNotOverflow) {
+  // Satellite fix: the boundary target used to be computed as
+  // total * k / lanes, which overflows int64 once nnz x lanes passes 2^63
+  // (billion-edge shards split across many lanes). 8 rows of ~2^59 edges
+  // each put the total near 2^62, so the old product overflowed for every
+  // k >= 4 — check each boundary against a 128-bit reference.
+  const std::int64_t big = std::int64_t{1} << 59;
+  std::vector<std::int64_t> indptr(9);
+  indptr[0] = 0;
+  for (std::size_t i = 1; i < indptr.size(); ++i)
+    indptr[i] = indptr[i - 1] + big + static_cast<std::int64_t>(i) * 7919;
+  const std::int64_t n = 8;
+  for (int lanes : {3, 7, 16, 61}) {
+    std::int64_t prev = 0;
+    for (int k = 0; k <= lanes; ++k) {
+      const std::int64_t got =
+          fg::parallel::nnz_split_point(indptr.data(), 0, n, k, lanes);
+      std::int64_t want;
+      if (k == 0) {
+        want = 0;
+      } else if (k == lanes) {
+        want = n;
+      } else {
+        const auto target = static_cast<std::int64_t>(
+            static_cast<__int128>(indptr[static_cast<std::size_t>(n)]) * k /
+            lanes);
+        want = std::lower_bound(indptr.data(), indptr.data() + n, target) -
+               indptr.data();
+      }
+      EXPECT_EQ(got, want) << "lanes=" << lanes << " k=" << k;
+      EXPECT_GE(got, prev);
+      prev = got;
+    }
+    EXPECT_EQ(prev, n);
+  }
+}
+
 TEST(NnzSplit, EmptyIntervalIsNoop) {
   const auto indptr = indptr_of({4, 4});
   int calls = 0;
@@ -201,6 +358,73 @@ TEST(CooperativeChunks, EveryChunkProcessedOnce) {
     });
     for (auto& h : hits) EXPECT_EQ(h.load(), 1);
   }
+}
+
+// --- work stealing --------------------------------------------------------
+
+TEST(WorkStealingChunks, DrainsEveryItemExactlyOnce) {
+  for (int threads : {1, 2, 4, 8}) {
+    for (std::int64_t grain : {1, 3, 8}) {
+      constexpr std::int64_t kItems = 103;
+      std::vector<std::atomic<int>> hits(kItems);
+      for (auto& h : hits) h = 0;
+      const auto stats = fg::parallel::work_stealing_chunks(
+          kItems, threads, grain, [&](std::int64_t i) {
+            hits[static_cast<std::size_t>(i)].fetch_add(1);
+          });
+      for (std::int64_t i = 0; i < kItems; ++i)
+        EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1)
+            << "item " << i << " threads=" << threads << " grain=" << grain;
+      EXPECT_EQ(stats.executed, kItems);
+    }
+  }
+}
+
+TEST(WorkStealingChunks, SerialPathRunsInOrderWithNoSteals) {
+  std::vector<std::int64_t> order;
+  const auto stats = fg::parallel::work_stealing_chunks(
+      9, 1, 4, [&](std::int64_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 9u);
+  for (std::int64_t i = 0; i < 9; ++i)
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  EXPECT_EQ(stats.executed, 9);
+  EXPECT_EQ(stats.stolen, 0);
+}
+
+TEST(WorkStealingChunks, ImbalanceMigratesAcrossSlices) {
+  // Lane 0's slice is made pathologically slow while the other slices are
+  // trivial: whether lanes run truly concurrently (multi-worker pool) or
+  // one thread multiplexes them (1-core CI), items outside the running
+  // lane's own slice must be drained by STEALING — and still exactly once.
+  constexpr std::int64_t kItems = 16;
+  constexpr int kThreads = 4;
+  std::vector<std::atomic<int>> hits(kItems);
+  for (auto& h : hits) h = 0;
+  const auto stats = fg::parallel::work_stealing_chunks(
+      kItems, kThreads, 1, [&](std::int64_t i) {
+        if (i < kItems / kThreads)
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        hits[static_cast<std::size_t>(i)].fetch_add(1);
+      });
+  for (std::int64_t i = 0; i < kItems; ++i)
+    EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "item " << i;
+  EXPECT_EQ(stats.executed, kItems);
+  EXPECT_GT(stats.stolen, 0);
+}
+
+TEST(WorkStealingChunks, OversubscribedLanesStillDrainEverySlice) {
+  // More logical lanes than the pool has workers: slices of lanes that
+  // never get a worker must be drained by whoever scans past them.
+  constexpr std::int64_t kItems = 57;
+  std::vector<std::atomic<int>> hits(kItems);
+  for (auto& h : hits) h = 0;
+  const auto stats = fg::parallel::work_stealing_chunks(
+      kItems, 16, 2, [&](std::int64_t i) {
+        hits[static_cast<std::size_t>(i)].fetch_add(1);
+      });
+  for (std::int64_t i = 0; i < kItems; ++i)
+    EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "item " << i;
+  EXPECT_EQ(stats.executed, kItems);
 }
 
 // --- scaling model -----------------------------------------------------
@@ -297,4 +521,55 @@ TEST(ScalingModel, SkewedChunksScaleWorse) {
   const double ts =
       predict_parallel_seconds(skewed, 8, SchedulingMode::kIndependent);
   EXPECT_GT(ts, tu);
+}
+
+TEST(ScalingModel, CooperativeChargesBarrierPerChunkPerExtraThread) {
+  // Satellite fix: cooperative scheduling synchronizes ALL k threads at
+  // every chunk boundary, so the rendezvous cost must scale with
+  // (k - 1) x chunks. The old model charged only the flat per-chunk
+  // dispatch cost — identical to independent mode — and was optimistic
+  // exactly where the shard engine operates: many small chunks, high k.
+  fg::parallel::ScalingModelParams params;
+  params.per_chunk_overhead_s = 1e-4;
+  const auto chunks = uniform_chunks(200, 1e-6, 0.0);
+  const double coop1 =
+      predict_parallel_seconds(chunks, 1, SchedulingMode::kCooperative,
+                               params);
+  const double coop4 =
+      predict_parallel_seconds(chunks, 4, SchedulingMode::kCooperative,
+                               params);
+  // Work shrinks 200us -> 50us; everything else added is the barrier term
+  // 3 threads x 200 barriers x 1e-4 s.
+  EXPECT_NEAR(coop4 - coop1, 3 * 200 * 1e-4, 2e-4);
+}
+
+TEST(ScalingModel, OneThreadCooperativePaysNoBarrier) {
+  // k == 1 has no rendezvous: cooperative and independent predictions
+  // coincide regardless of how expensive a barrier would be.
+  fg::parallel::ScalingModelParams params;
+  params.per_chunk_overhead_s = 1e-2;
+  const auto chunks = uniform_chunks(64, 1e-3, 0.0);
+  const double coop =
+      predict_parallel_seconds(chunks, 1, SchedulingMode::kCooperative,
+                               params);
+  const double indep =
+      predict_parallel_seconds(chunks, 1, SchedulingMode::kIndependent,
+                               params);
+  EXPECT_NEAR(coop, indep, 1e-12);
+}
+
+TEST(ScalingModel, BarriersMakeCooperativeLoseOnManyTinyChunks) {
+  // The regime the fix exposes: slicing tiny chunks across k threads costs
+  // more in barriers than it saves in work — independent (steal-style)
+  // scheduling must predict faster there.
+  fg::parallel::ScalingModelParams params;
+  params.per_chunk_overhead_s = 1e-4;
+  const auto chunks = uniform_chunks(200, 1e-6, 0.0);
+  const double coop =
+      predict_parallel_seconds(chunks, 4, SchedulingMode::kCooperative,
+                               params);
+  const double indep =
+      predict_parallel_seconds(chunks, 4, SchedulingMode::kIndependent,
+                               params);
+  EXPECT_GT(coop, indep);
 }
