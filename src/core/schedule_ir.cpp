@@ -358,4 +358,15 @@ std::uint64_t schedule_program_hash(const CpuSpmmSchedule& sched) {
   return h;
 }
 
+std::uint64_t schedule_program_hash(const CpuSpmmSchedule& sched,
+                                    std::uint64_t epilogue_sig) {
+  std::uint64_t h = schedule_program_hash(sched);
+  if (epilogue_sig == 0) return h;  // unfused: identical to the base hash
+  for (int byte = 0; byte < 8; ++byte) {
+    h ^= (epilogue_sig >> (byte * 8)) & 0xffu;
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return h;
+}
+
 }  // namespace featgraph::core

@@ -267,4 +267,11 @@ ScheduleIr default_spmm_program(const CpuSpmmSchedule& sched);
 /// this hash (sample::BlockScheduleCache) already key on the thread count.
 std::uint64_t schedule_program_hash(const CpuSpmmSchedule& sched);
 
+/// Program hash extended with a fused-epilogue signature (EpilogueOps::
+/// signature(), 0 = no epilogue). Fused and unfused launches of the same
+/// loop nest are DIFFERENT programs — callers keying BlockScheduleCache on
+/// this hash never alias the two.
+std::uint64_t schedule_program_hash(const CpuSpmmSchedule& sched,
+                                    std::uint64_t epilogue_sig);
+
 }  // namespace featgraph::core

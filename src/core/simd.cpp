@@ -92,6 +92,20 @@ FG_SCALAR_FN void relu(float* out, std::int64_t n) {
   for (std::int64_t j = 0; j < n; ++j) out[j] = out[j] > 0.0f ? out[j] : 0.0f;
 }
 
+FG_SCALAR_FN void leaky_relu(float* out, float slope, std::int64_t n) {
+  FG_SCALAR_LOOP
+  for (std::int64_t j = 0; j < n; ++j)
+    out[j] = out[j] > 0.0f ? out[j] : out[j] * slope;
+}
+
+FG_SCALAR_FN void bias_relu(float* out, const float* b, std::int64_t n) {
+  FG_SCALAR_LOOP
+  for (std::int64_t j = 0; j < n; ++j) {
+    const float t = out[j] + b[j];
+    out[j] = t > 0.0f ? t : 0.0f;
+  }
+}
+
 FG_SCALAR_FN void axpy(float* out, const float* x, float s, std::int64_t n) {
   FG_SCALAR_LOOP
   for (std::int64_t j = 0; j < n; ++j) out[j] += x[j] * s;
@@ -258,6 +272,8 @@ SpanOps make_scalar_ops() {
   t.fill = scalar::fill;
   t.scale = scalar::scale;
   t.relu = scalar::relu;
+  t.leaky_relu = scalar::leaky_relu;
+  t.bias_relu = scalar::bias_relu;
   t.axpy = scalar::axpy;
   t.dot = scalar::dot;
   t.accum[0] = scalar::accum_sum;
@@ -337,6 +353,33 @@ FG_AVX2_FN void relu(float* out, std::int64_t n) {
     _mm256_storeu_ps(out + j, _mm256_max_ps(_mm256_loadu_ps(out + j), zero));
   }
   for (; j < n; ++j) out[j] = out[j] > 0.0f ? out[j] : 0.0f;
+}
+
+FG_AVX2_FN void leaky_relu(float* out, float slope, std::int64_t n) {
+  const __m256 zero = _mm256_setzero_ps();
+  const __m256 vs = _mm256_set1_ps(slope);
+  std::int64_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m256 v = _mm256_loadu_ps(out + j);
+    const __m256 scaled = _mm256_mul_ps(v, vs);
+    const __m256 pos = _mm256_cmp_ps(v, zero, _CMP_GT_OQ);
+    _mm256_storeu_ps(out + j, _mm256_blendv_ps(scaled, v, pos));
+  }
+  for (; j < n; ++j) out[j] = out[j] > 0.0f ? out[j] : out[j] * slope;
+}
+
+FG_AVX2_FN void bias_relu(float* out, const float* b, std::int64_t n) {
+  const __m256 zero = _mm256_setzero_ps();
+  std::int64_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m256 t =
+        _mm256_add_ps(_mm256_loadu_ps(out + j), _mm256_loadu_ps(b + j));
+    _mm256_storeu_ps(out + j, _mm256_max_ps(t, zero));
+  }
+  for (; j < n; ++j) {
+    const float t = out[j] + b[j];
+    out[j] = t > 0.0f ? t : 0.0f;
+  }
 }
 
 FG_AVX2_FN void axpy(float* out, const float* x, float s, std::int64_t n) {
@@ -696,6 +739,8 @@ SpanOps make_avx2_ops() {
   t.fill = avx2::fill;
   t.scale = avx2::scale;
   t.relu = avx2::relu;
+  t.leaky_relu = avx2::leaky_relu;
+  t.bias_relu = avx2::bias_relu;
   t.axpy = avx2::axpy;
   t.dot = avx2::dot;
   t.accum[0] = avx2::accum_sum;
@@ -808,6 +853,43 @@ FG_AVX512_FN void relu(float* out, std::int64_t n) {
     const __mmask16 m = tail_mask(n - j);
     const __m512 o = _mm512_maskz_loadu_ps(m, out + j);
     _mm512_mask_storeu_ps(out + j, m, _mm512_maskz_max_ps(m, o, zero));
+  }
+}
+
+FG_AVX512_FN void leaky_relu(float* out, float slope, std::int64_t n) {
+  FG_AVX512_NARROW(leaky_relu(out, slope, n))
+  const __m512 zero = _mm512_setzero_ps();
+  const __m512 vs = _mm512_set1_ps(slope);
+  std::int64_t j = 0;
+  for (; j + 16 <= n; j += 16) {
+    const __m512 v = _mm512_loadu_ps(out + j);
+    const __mmask16 pos = _mm512_cmp_ps_mask(v, zero, _CMP_GT_OQ);
+    _mm512_storeu_ps(out + j,
+                     _mm512_mask_mov_ps(_mm512_mul_ps(v, vs), pos, v));
+  }
+  if (j < n) {
+    const __mmask16 m = tail_mask(n - j);
+    const __m512 v = _mm512_maskz_loadu_ps(m, out + j);
+    const __mmask16 pos = _mm512_mask_cmp_ps_mask(m, v, zero, _CMP_GT_OQ);
+    _mm512_mask_storeu_ps(
+        out + j, m, _mm512_mask_mov_ps(_mm512_maskz_mul_ps(m, v, vs), pos, v));
+  }
+}
+
+FG_AVX512_FN void bias_relu(float* out, const float* b, std::int64_t n) {
+  FG_AVX512_NARROW(bias_relu(out, b, n))
+  const __m512 zero = _mm512_setzero_ps();
+  std::int64_t j = 0;
+  for (; j + 16 <= n; j += 16) {
+    const __m512 t =
+        _mm512_add_ps(_mm512_loadu_ps(out + j), _mm512_loadu_ps(b + j));
+    _mm512_storeu_ps(out + j, _mm512_max_ps(t, zero));
+  }
+  if (j < n) {
+    const __mmask16 m = tail_mask(n - j);
+    const __m512 t = _mm512_maskz_add_ps(m, _mm512_maskz_loadu_ps(m, out + j),
+                                         _mm512_maskz_loadu_ps(m, b + j));
+    _mm512_mask_storeu_ps(out + j, m, _mm512_maskz_max_ps(m, t, zero));
   }
 }
 
@@ -1239,6 +1321,8 @@ SpanOps make_avx512_ops() {
   t.fill = avx512::fill;
   t.scale = avx512::scale;
   t.relu = avx512::relu;
+  t.leaky_relu = avx512::leaky_relu;
+  t.bias_relu = avx512::bias_relu;
   t.axpy = avx512::axpy;
   t.dot = avx512::dot;
   t.accum[0] = avx512::accum_sum;

@@ -68,6 +68,15 @@ struct SpanOps {
   void (*scale)(float* out, float s, std::int64_t n);
   /// out[j] = max(out[j], 0)   (MLP aggregation's activation)
   void (*relu)(float* out, std::int64_t n);
+  /// out[j] = out[j] > 0 ? out[j] : out[j] * slope   (epilogue leaky-ReLU).
+  /// Exact class: one compare + one multiply per element, lanes never cross
+  /// features — bit-for-bit across backends.
+  void (*leaky_relu)(float* out, float slope, std::int64_t n);
+  /// out[j] = max(out[j] + b[j], 0)   (the fused bias+ReLU epilogue step).
+  /// Exact class: the same IEEE add-then-max chain an accum-kSum followed by
+  /// relu performs, so fusing the pair is bit-identical to running them
+  /// separately.
+  void (*bias_relu)(float* out, const float* b, std::int64_t n);
   /// out[j] += x[j] * s   (axpy; the MLP k-loop body)
   void (*axpy)(float* out, const float* x, float s, std::int64_t n);
   /// sum_j a[j] * b[j]   (SDDMM dot-product partial; reassociated + FMA)
@@ -217,6 +226,14 @@ inline void scale(const SpanOps& ops, float* out, float s, std::int64_t n) {
 }
 inline void relu(const SpanOps& ops, float* out, std::int64_t n) {
   ops.relu(out, n);
+}
+inline void leaky_relu(const SpanOps& ops, float* out, float slope,
+                       std::int64_t n) {
+  ops.leaky_relu(out, slope, n);
+}
+inline void bias_relu(const SpanOps& ops, float* out, const float* b,
+                      std::int64_t n) {
+  ops.bias_relu(out, b, n);
 }
 inline void axpy(const SpanOps& ops, float* out, const float* x, float s,
                  std::int64_t n) {

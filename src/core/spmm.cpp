@@ -17,19 +17,24 @@ using tensor::Tensor;
 template <class MsgFn>
 Tensor run_spmm(const graph::Csr& adj, const MsgFn& msg,
                 std::string_view reduce_op, std::int64_t d_out,
-                const CpuSpmmSchedule& fds) {
+                const CpuSpmmSchedule& fds,
+                const EpilogueOps* epilogue = nullptr) {
   Tensor out({adj.num_rows, d_out});
   // IR programs carry their partition(P) transform; flat schedules their
   // knob — schedule_num_partitions resolves whichever is authoritative.
   const auto* parts = cached_partition(adj, schedule_num_partitions(fds));
   if (reduce_op == "sum") {
-    generalized_spmm<MsgFn, SumReducer>(adj, parts, msg, out.data(), d_out, fds);
+    generalized_spmm<MsgFn, SumReducer>(adj, parts, msg, out.data(), d_out,
+                                       fds, epilogue);
   } else if (reduce_op == "max") {
-    generalized_spmm<MsgFn, MaxReducer>(adj, parts, msg, out.data(), d_out, fds);
+    generalized_spmm<MsgFn, MaxReducer>(adj, parts, msg, out.data(), d_out,
+                                       fds, epilogue);
   } else if (reduce_op == "min") {
-    generalized_spmm<MsgFn, MinReducer>(adj, parts, msg, out.data(), d_out, fds);
+    generalized_spmm<MsgFn, MinReducer>(adj, parts, msg, out.data(), d_out,
+                                       fds, epilogue);
   } else if (reduce_op == "mean") {
-    generalized_spmm<MsgFn, MeanReducer>(adj, parts, msg, out.data(), d_out, fds);
+    generalized_spmm<MsgFn, MeanReducer>(adj, parts, msg, out.data(), d_out,
+                                       fds, epilogue);
   } else {
     FG_CHECK_MSG(false, "unknown reduce op (expected sum/max/min/mean)");
   }
@@ -45,18 +50,18 @@ const Tensor& require(const Tensor* t, const char* what) {
 
 Tensor spmm(const graph::Csr& adj, std::string_view msg_op,
             std::string_view reduce_op, const CpuSpmmSchedule& fds,
-            const SpmmOperands& operands) {
+            const SpmmOperands& operands, const EpilogueOps* epilogue) {
   if (msg_op == "copy_u") {
     const Tensor& x = require(operands.src_feat, "copy_u requires src_feat");
     FG_CHECK(x.rows() == adj.num_cols);
     return run_spmm(adj, CopyU{x.data(), x.row_size()}, reduce_op,
-                    x.row_size(), fds);
+                    x.row_size(), fds, epilogue);
   }
   if (msg_op == "copy_e") {
     const Tensor& e = require(operands.edge_feat, "copy_e requires edge_feat");
     FG_CHECK(e.rows() == adj.nnz() || e.numel() == adj.nnz());
     const std::int64_t d = e.numel() / adj.nnz();
-    return run_spmm(adj, CopyE{e.data(), d}, reduce_op, d, fds);
+    return run_spmm(adj, CopyE{e.data(), d}, reduce_op, d, fds, epilogue);
   }
   if (msg_op == "u_add_v" || msg_op == "u_sub_v" || msg_op == "u_mul_v" ||
       msg_op == "u_div_v") {
@@ -64,12 +69,16 @@ Tensor spmm(const graph::Csr& adj, std::string_view msg_op,
     FG_CHECK(x.rows() == adj.num_cols);
     const std::int64_t d = x.row_size();
     if (msg_op == "u_add_v")
-      return run_spmm(adj, UOpV<OpAdd>{x.data(), d}, reduce_op, d, fds);
+      return run_spmm(adj, UOpV<OpAdd>{x.data(), d}, reduce_op, d, fds,
+                      epilogue);
     if (msg_op == "u_sub_v")
-      return run_spmm(adj, UOpV<OpSub>{x.data(), d}, reduce_op, d, fds);
+      return run_spmm(adj, UOpV<OpSub>{x.data(), d}, reduce_op, d, fds,
+                      epilogue);
     if (msg_op == "u_mul_v")
-      return run_spmm(adj, UOpV<OpMul>{x.data(), d}, reduce_op, d, fds);
-    return run_spmm(adj, UOpV<OpDiv>{x.data(), d}, reduce_op, d, fds);
+      return run_spmm(adj, UOpV<OpMul>{x.data(), d}, reduce_op, d, fds,
+                      epilogue);
+    return run_spmm(adj, UOpV<OpDiv>{x.data(), d}, reduce_op, d, fds,
+                    epilogue);
   }
   if (msg_op == "u_add_e" || msg_op == "u_mul_e") {
     const Tensor& x = require(operands.src_feat, "u_op_e requires src_feat");
@@ -81,9 +90,9 @@ Tensor spmm(const graph::Csr& adj, std::string_view msg_op,
                  "edge feature must be scalar or match src feature width");
     if (msg_op == "u_add_e")
       return run_spmm(adj, UOpE<OpAdd>{x.data(), e.data(), d, d_edge},
-                      reduce_op, d, fds);
+                      reduce_op, d, fds, epilogue);
     return run_spmm(adj, UOpE<OpMul>{x.data(), e.data(), d, d_edge},
-                    reduce_op, d, fds);
+                    reduce_op, d, fds, epilogue);
   }
   if (msg_op == "mlp") {
     const Tensor& x = require(operands.src_feat, "mlp requires src_feat");
@@ -94,7 +103,7 @@ Tensor spmm(const graph::Csr& adj, std::string_view msg_op,
                  "mlp UDF supports d1 <= kMaxMlpInputDim");
     return run_spmm(
         adj, MlpMsg{x.data(), x.row_size(), w.data(), w.shape(1)}, reduce_op,
-        w.shape(1), fds);
+        w.shape(1), fds, epilogue);
   }
   FG_CHECK_MSG(false, "unknown spmm message op");
 }

@@ -14,6 +14,7 @@
 
 #include <string_view>
 
+#include "core/epilogue.hpp"
 #include "core/schedule.hpp"
 #include "core/udf.hpp"
 #include "graph/csr.hpp"
@@ -31,9 +32,13 @@ struct SpmmOperands {
 /// Runs the generalized SpMM and returns the (num_rows x d_out) result.
 /// `adj` is destination-major: row v lists in-neighbors of v. Pass a graph's
 /// out_csr to aggregate in the reverse direction (used by gradients).
+/// An optional fused epilogue (see epilogue.hpp) runs per output row inside
+/// the kernel's row-finalize sweep — bit-identical to running the same
+/// elementwise chain eagerly on the returned tensor, minus the extra passes.
 tensor::Tensor spmm(const graph::Csr& adj, std::string_view msg_op,
                     std::string_view reduce_op, const CpuSpmmSchedule& fds,
-                    const SpmmOperands& operands);
+                    const SpmmOperands& operands,
+                    const EpilogueOps* epilogue = nullptr);
 
 /// Blackbox-UDF fallback: `msg` writes the full d_out message per edge. This
 /// is both the flexibility escape hatch and the reference semantics used by

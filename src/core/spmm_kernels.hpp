@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <type_traits>
 
+#include "core/epilogue.hpp"
 #include "core/reducers.hpp"
 #include "core/schedule.hpp"
 #include "core/schedule_ir.hpp"
@@ -98,11 +99,16 @@ void spmm_rows(const simd::SpanOps& ops, const std::int64_t* indptr,
 }
 
 /// Replaces untouched identities on empty rows and applies mean
-/// normalization. `row_degree[v]` is the total in-degree of v.
+/// normalization. `row_degree[v]` is the total in-degree of v. When a fused
+/// epilogue is attached it runs here, per row, after the reducer finalize —
+/// the one row sweep every SpMM launch already makes, so the fused chain
+/// costs zero extra |V|×d passes and sees exactly the value the eager chain
+/// would have read back from memory.
 template <class Reducer>
 void spmm_postprocess(const simd::SpanOps& ops, const std::int64_t* row_degree,
                       std::int64_t num_rows, float* out, std::int64_t d_out,
-                      int num_threads) {
+                      int num_threads, const EpilogueOps* epilogue = nullptr) {
+  const bool fused = epilogue != nullptr && !epilogue->empty();
   parallel::parallel_for_ranges(
       0, num_rows, num_threads, [&](std::int64_t r0, std::int64_t r1) {
         for (std::int64_t v = r0; v < r1; ++v) {
@@ -113,6 +119,7 @@ void spmm_postprocess(const simd::SpanOps& ops, const std::int64_t* row_degree,
           } else if (Reducer::needs_degree_normalize()) {
             simd::scale(ops, out_row, 1.0f / static_cast<float>(deg), d_out);
           }
+          if (fused) epilogue->apply(ops, v, out_row, d_out);
         }
       });
 }
@@ -206,7 +213,8 @@ template <class MsgFn, class Reducer>
 void generalized_spmm(const graph::Csr& adj,
                       const graph::SrcPartitionedCsr* parts, const MsgFn& msg,
                       float* out, std::int64_t d_out,
-                      const CpuSpmmSchedule& sched) {
+                      const CpuSpmmSchedule& sched,
+                      const EpilogueOps* epilogue = nullptr) {
   const std::int64_t n = adj.num_rows;
   if (n == 0 || d_out == 0) return;
 
@@ -224,7 +232,7 @@ void generalized_spmm(const graph::Csr& adj,
             ? parts->row_degrees().data()
             : adj.degrees().data();
     detail::spmm_postprocess<Reducer>(span, row_degree, n, out, d_out,
-                                      plan.num_threads);
+                                      plan.num_threads, epilogue);
     return;
   }
 
@@ -286,7 +294,7 @@ void generalized_spmm(const graph::Csr& adj,
           ? parts->row_degrees().data()
           : adj.degrees().data();
   detail::spmm_postprocess<Reducer>(span, row_degree, n, out, d_out,
-                                    plan.num_threads);
+                                    plan.num_threads, epilogue);
 }
 
 }  // namespace featgraph::core

@@ -17,6 +17,17 @@ void Node::accumulate_grad(const tensor::Tensor& g) {
   for (std::int64_t i = 0; i < grad_.numel(); ++i) dst[i] += src[i];
 }
 
+void Node::accumulate_grad(tensor::Tensor&& g) {
+  FG_CHECK(g.numel() == value_.numel());
+  if (!grad_.defined()) {
+    grad_ = std::move(g);
+    return;
+  }
+  float* dst = grad_.data();
+  const float* src = g.data();
+  for (std::int64_t i = 0; i < grad_.numel(); ++i) dst[i] += src[i];
+}
+
 Var make_leaf(tensor::Tensor value, bool requires_grad, std::string name) {
   return std::make_shared<Node>(std::move(value), requires_grad,
                                 std::move(name));

@@ -36,6 +36,9 @@ class Node {
   const tensor::Tensor& grad() const { return grad_; }
   bool has_grad() const { return grad_.defined(); }
   void accumulate_grad(const tensor::Tensor& g);
+  /// Move form: a freshly computed gradient is adopted on first
+  /// accumulation instead of deep-copied.
+  void accumulate_grad(tensor::Tensor&& g);
   void zero_grad() { grad_ = tensor::Tensor(); }
 
   const std::vector<Var>& inputs() const { return inputs_; }

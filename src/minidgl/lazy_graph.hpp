@@ -1,0 +1,180 @@
+// Lazy op-graph for minidgl: the forward pass is RECORDED as a small op DAG
+// (sparse anchors — SpMM / SDDMM / attention — plus the elementwise ops
+// around them), then COMPILED by three passes before anything executes:
+//
+//   1. Fusion: elementwise chains that follow an SpMM or matmul anchor fold
+//      into a per-row epilogue program (core/epilogue.hpp) applied inside
+//      the kernel's own row-finalize sweep — GCN's bias+ReLU never makes a
+//      second |V|×d pass. Legality: only single-consumer chains fold; an
+//      activation always terminates its chain (its output is then the
+//      anchor's materialized value, which its vjp reads as the mask);
+//      log-softmax, slices and reductions anchor at materialization.
+//   2. Buffer reuse: a linear scan over DAG liveness assigns dead
+//      intermediates' buffers to later values of the same size, so peak
+//      memory stops scaling with chain depth; values a vjp will read are
+//      excluded (the keep set). The plan reports peak_bytes.
+//   3. Backward derivation: ONE autograd node is wired per run; its
+//      backward walks the recorded DAG in reverse and applies a per-op vjp
+//      switch — there are no hand-written per-op tape closures anymore.
+//
+// The standing invariant: a fused plan's outputs (and gradients) are
+// bit-identical to executing the same recorded chain eagerly, per ISA ×
+// schedule program × thread count. Every epilogue step is exact-class span
+// arithmetic, activation masks are derivable from outputs (y > 0 ⟺ x > 0),
+// and IEEE addition is commutative, so folding changes where work happens,
+// never what it computes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/epilogue.hpp"
+#include "graph/csr.hpp"
+#include "minidgl/ops.hpp"
+
+namespace featgraph::sample {
+struct Block;
+}
+
+namespace featgraph::minidgl {
+
+using NodeId = std::int32_t;
+inline constexpr NodeId kNoNode = -1;
+
+enum class LazyOp : int {
+  kLeaf = 0,
+  kMatmul,
+  kAddBias,
+  kRelu,
+  kLeakyRelu,
+  kAdd,
+  kScale,
+  kLogSoftmax,
+  kNllLoss,
+  kSliceRows,
+  kSpmmCopyU,
+  kBlockSpmmCopyU,
+  kSpmmUMulE,
+  kSddmmDot,
+  kEdgeSoftmax,
+  kGatAttention,
+};
+
+/// One recorded op. Payload fields are op-specific; graph pointers are
+/// BORROWED with the same lifetime contract the old tape closures had (the
+/// graph must outlive backward). The block adjacency is borrowed only until
+/// run() returns — what backward actually needs (the transposed adjacency
+/// and inverse in-degrees) is derived at record time, and only when a
+/// gradient can flow, instead of deep-copying the whole operand onto the
+/// tape.
+struct LazyNode {
+  LazyOp op = LazyOp::kLeaf;
+  std::vector<NodeId> inputs;
+  std::vector<std::int64_t> shape;  ///< inferred output shape
+  bool needs_grad = false;
+  Var leaf;                          ///< kLeaf only
+  float scalar = 0.0f;               ///< scale factor / slope / logit_scale
+  std::string reduce;                ///< spmm reducer name
+  const graph::Graph* g = nullptr;   ///< full-graph sparse ops
+  const graph::Csr* block_adj = nullptr;          ///< valid during run() only
+  std::shared_ptr<const graph::Csr> block_rev;    ///< transposed block adj
+  std::shared_ptr<const std::vector<float>> block_inv_deg;
+  std::shared_ptr<const std::vector<std::int32_t>> labels;  ///< kNllLoss
+  std::shared_ptr<const std::vector<std::int64_t>> rows;    ///< kNllLoss
+};
+
+/// One symbolic epilogue step: the operand is a DAG node resolved to a data
+/// pointer at execution time.
+struct EpiloguePlanStep {
+  core::EpilogueKind kind;
+  float scalar = 0.0f;
+  NodeId operand = kNoNode;
+};
+
+struct PlanOptions {
+  /// Fold eligible chains into anchor epilogues (run() derives this from
+  /// the ExecContext: CPU device, fused sparse backend, fuse_epilogues).
+  bool fuse = true;
+  /// Recycle dead intermediates' buffers via the linear-scan plan.
+  bool reuse_buffers = true;
+  /// Apply the backward keep-set (run() uses the root's needs_grad).
+  bool training = true;
+};
+
+/// The compiled execution plan. Pure data — tests introspect it directly
+/// (fusion legality, liveness-disjointness, peak-byte scaling) without
+/// executing anything.
+struct LazyPlan {
+  /// Per node: kNoNode, or the anchor this node's op was folded into.
+  std::vector<NodeId> fused_into;
+  /// Per node: the materialized node holding this node's value — itself,
+  /// the anchor (for a fused chain's tail), or kNoNode (mid-chain values
+  /// are never materialized; no vjp reads them).
+  std::vector<NodeId> alias;
+  /// Per anchor node: its resolved epilogue program (empty otherwise).
+  std::vector<std::vector<EpiloguePlanStep>> epilogue;
+  /// Per node: value retained for the backward walk.
+  std::vector<char> keep;
+  /// Per node: execution step index (fused nodes inherit their anchor's;
+  /// leaves are step -1).
+  std::vector<std::int32_t> step;
+  /// Per node: last step whose execution reads this node's value.
+  std::vector<std::int32_t> last_use;
+  /// Per node: recycled buffer slot, or kNoNode (leaves, kept values).
+  std::vector<NodeId> buffer_id;
+  /// Per node: true when the op runs in place inside its input's buffer.
+  std::vector<char> in_place;
+  std::int64_t num_buffers = 0;
+  /// Pool high-water: bytes of all distinct reuse buffers plus every kept
+  /// value — what the executor actually holds live at once.
+  std::int64_t peak_bytes = 0;
+  /// Executed (non-leaf, non-fused) node count.
+  std::int64_t num_steps = 0;
+};
+
+class LazyGraph {
+ public:
+  // --- recording -----------------------------------------------------------
+  NodeId leaf(const Var& v);
+  NodeId matmul(NodeId a, NodeId b);
+  NodeId add_bias(NodeId a, NodeId bias);
+  NodeId relu(NodeId x);
+  NodeId leaky_relu(NodeId x, float slope);
+  NodeId add(NodeId a, NodeId b);
+  NodeId scale(NodeId a, float s);
+  NodeId log_softmax(NodeId x);
+  NodeId nll_loss(NodeId log_probs, std::vector<std::int32_t> labels,
+                  std::vector<std::int64_t> rows);
+  NodeId slice_rows(NodeId x, std::int64_t begin, std::int64_t count);
+  NodeId spmm_copy_u(const graph::Graph& g, NodeId x,
+                     const std::string& reduce);
+  NodeId block_spmm_copy_u(const sample::Block& block, NodeId x,
+                           const std::string& reduce);
+  NodeId spmm_u_mul_e(const graph::Graph& g, NodeId x, NodeId w);
+  NodeId sddmm_dot(const graph::Graph& g, NodeId x);
+  NodeId edge_softmax(const graph::Graph& g, NodeId logits);
+  NodeId gat_attention(const graph::Graph& g, NodeId z, float logit_scale);
+
+  const std::vector<LazyNode>& nodes() const { return nodes_; }
+
+  // --- compilation ---------------------------------------------------------
+  LazyPlan plan(const PlanOptions& options) const;
+
+  // --- execution -----------------------------------------------------------
+  /// Compiles (fusion gated on the context: CPU + fused backend +
+  /// ctx.fuse_epilogues), executes the plan, charges accounting
+  /// (sim_seconds / materialized_bytes / peak_bytes), and wires ONE
+  /// autograd node whose backward replays the DAG through the vjp switch.
+  /// The graph is consumed: record once, run once. The context is BORROWED
+  /// by the wired backward (same contract the old tape closures had): it
+  /// must stay alive until backward() on the returned Var has run.
+  Var run(ExecContext& ctx, NodeId root);
+
+ private:
+  NodeId push(LazyNode node);
+  std::vector<LazyNode> nodes_;
+};
+
+}  // namespace featgraph::minidgl

@@ -27,6 +27,10 @@ Var Linear::forward(ExecContext& ctx, const Var& x) const {
   return add_bias(ctx, matmul(ctx, x, w_), b_);
 }
 
+NodeId Linear::record(LazyGraph& g, NodeId x) const {
+  return g.add_bias(g.matmul(x, g.leaf(w_)), g.leaf(b_));
+}
+
 GcnLayer::GcnLayer(std::int64_t in_dim, std::int64_t out_dim, bool final_layer,
                    std::uint64_t seed, std::string normalization)
     : linear_(in_dim, out_dim, seed),
@@ -36,20 +40,40 @@ GcnLayer::GcnLayer(std::int64_t in_dim, std::int64_t out_dim, bool final_layer,
                "gcn normalization must be mean or sym");
 }
 
+NodeId GcnLayer::record(LazyGraph& g, const graph::Graph& gr, NodeId x) const {
+  // Dense-first: agg(x) W == agg(x W) for the linear mean/sym aggregations,
+  // and running the matmul first leaves bias+ReLU directly behind the SpMM
+  // anchor — the fusion pass folds them into the aggregation's row sweep
+  // (GCN's epilogue never makes a second |V| x d pass).
+  const NodeId z = g.matmul(x, g.leaf(linear_.w()));
+  NodeId agg;
+  if (normalization_ == "mean") {
+    agg = g.spmm_copy_u(gr, z, "mean");
+  } else {
+    if (cached_graph_uid_ != gr.coo().uid) {
+      cached_norm_ = make_leaf(symmetric_norm_weights(gr), false, "gcn_norm");
+      cached_graph_uid_ = gr.coo().uid;
+    }
+    agg = g.spmm_u_mul_e(gr, z, g.leaf(cached_norm_));
+  }
+  const NodeId h = g.add_bias(agg, g.leaf(linear_.b()));
+  return final_layer_ ? h : g.relu(h);
+}
+
+NodeId GcnLayer::record(LazyGraph& g, const sample::Block& block,
+                        NodeId x) const {
+  FG_CHECK_MSG(normalization_ == "mean",
+               "block forward supports mean normalization only");
+  const NodeId z = g.matmul(x, g.leaf(linear_.w()));
+  const NodeId agg = g.block_spmm_copy_u(block, z, "mean");
+  const NodeId h = g.add_bias(agg, g.leaf(linear_.b()));
+  return final_layer_ ? h : g.relu(h);
+}
+
 Var GcnLayer::forward(ExecContext& ctx, const graph::Graph& g,
                       const Var& x) const {
-  Var agg;
-  if (normalization_ == "mean") {
-    agg = spmm_copy_u(ctx, g, x, "mean");
-  } else {
-    if (cached_graph_uid_ != g.coo().uid) {
-      cached_norm_ = make_leaf(symmetric_norm_weights(g), false, "gcn_norm");
-      cached_graph_uid_ = g.coo().uid;
-    }
-    agg = spmm_u_mul_e(ctx, g, x, cached_norm_);
-  }
-  Var h = linear_.forward(ctx, agg);
-  return final_layer_ ? h : relu(ctx, h);
+  LazyGraph lg;
+  return lg.run(ctx, record(lg, g, lg.leaf(x)));
 }
 
 SageLayer::SageLayer(std::int64_t in_dim, std::int64_t out_dim,
@@ -65,27 +89,41 @@ SageLayer::SageLayer(std::int64_t in_dim, std::int64_t out_dim,
 
 Var GcnLayer::forward(ExecContext& ctx, const sample::Block& block,
                       const Var& x) const {
-  FG_CHECK_MSG(normalization_ == "mean",
-               "block forward supports mean normalization only");
-  Var agg = block_spmm_copy_u(ctx, block, x, "mean");
-  Var h = linear_.forward(ctx, agg);
-  return final_layer_ ? h : relu(ctx, h);
+  LazyGraph lg;
+  return lg.run(ctx, record(lg, block, lg.leaf(x)));
+}
+
+NodeId SageLayer::record(LazyGraph& g, const graph::Graph& gr,
+                         NodeId x) const {
+  // Self term first: by the time the neighbor branch's matmul anchor runs,
+  // the self activations are materialized, so `+ self` and the trailing
+  // ReLU both fold into the neighbor matmul's epilogue.
+  const NodeId self_h = self_.record(g, x);
+  const NodeId agg = g.spmm_copy_u(gr, x, aggregator_);
+  const NodeId h = g.add(self_h, neigh_.record(g, agg));
+  return final_layer_ ? h : g.relu(h);
+}
+
+NodeId SageLayer::record(LazyGraph& g, const sample::Block& block,
+                         NodeId x) const {
+  // dst-then-src: the destinations' own features are x's first num_dst rows.
+  const NodeId x_dst = g.slice_rows(x, 0, block.num_dst());
+  const NodeId self_h = self_.record(g, x_dst);
+  const NodeId agg = g.block_spmm_copy_u(block, x, aggregator_);
+  const NodeId h = g.add(self_h, neigh_.record(g, agg));
+  return final_layer_ ? h : g.relu(h);
 }
 
 Var SageLayer::forward(ExecContext& ctx, const graph::Graph& g,
                        const Var& x) const {
-  Var agg = spmm_copy_u(ctx, g, x, aggregator_);
-  Var h = add(ctx, self_.forward(ctx, x), neigh_.forward(ctx, agg));
-  return final_layer_ ? h : relu(ctx, h);
+  LazyGraph lg;
+  return lg.run(ctx, record(lg, g, lg.leaf(x)));
 }
 
 Var SageLayer::forward(ExecContext& ctx, const sample::Block& block,
                        const Var& x) const {
-  Var agg = block_spmm_copy_u(ctx, block, x, aggregator_);
-  // dst-then-src: the destinations' own features are x's first num_dst rows.
-  Var x_dst = slice_rows(ctx, x, 0, block.num_dst());
-  Var h = add(ctx, self_.forward(ctx, x_dst), neigh_.forward(ctx, agg));
-  return final_layer_ ? h : relu(ctx, h);
+  LazyGraph lg;
+  return lg.run(ctx, record(lg, block, lg.leaf(x)));
 }
 
 std::vector<Var> SageLayer::parameters() const {
@@ -111,33 +149,40 @@ std::vector<Var> GatLayer::parameters() const {
   return params;
 }
 
-Var GatLayer::forward(ExecContext& ctx, const graph::Graph& g,
-                      const Var& x) const {
-  Var sum;
+NodeId GatLayer::record(const ExecContext& ctx, LazyGraph& g,
+                        const graph::Graph& gr, NodeId x) const {
+  NodeId sum = kNoNode;
   for (const auto& head : heads_) {
-    Var z = head.forward(ctx, x);
+    const NodeId z = head.record(g, x);
     // Scaled dot-product attention (Sec. II-A / Fig. 4a) — scaling by
     // 1/sqrt(d) keeps the softmax in a trainable range.
-    const float s =
-        1.0f / std::sqrt(static_cast<float>(z->value().row_size()));
-    Var h;
+    const float s = 1.0f / std::sqrt(static_cast<float>(
+                        g.nodes()[static_cast<std::size_t>(z)].shape[1]));
+    NodeId h;
     if (ctx.backend == SparseBackend::kFused) {
       // One fused SDDMM -> edge-softmax -> SpMM pass per destination row —
       // the core engine on kCpu, the fused gpusim kernel on kGpuSim (one
       // simulated launch and traversal instead of three).
-      h = gat_attention(ctx, g, z, s);
+      h = g.gat_attention(gr, z, s);
     } else {
       // Composed chain: the materialize baseline (Table VI).
-      Var logits = scale(ctx, sddmm_dot(ctx, g, z), s);
-      Var alpha = edge_softmax(ctx, g, logits);
-      h = spmm_u_mul_e(ctx, g, z, alpha);
+      const NodeId logits = g.scale(g.sddmm_dot(gr, z), s);
+      const NodeId alpha = g.edge_softmax(gr, logits);
+      h = g.spmm_u_mul_e(gr, z, alpha);
     }
-    sum = sum == nullptr ? h : add(ctx, sum, h);
+    sum = sum == kNoNode ? h : g.add(sum, h);
   }
-  Var h = heads_.size() == 1
-              ? sum
-              : scale(ctx, sum, 1.0f / static_cast<float>(heads_.size()));
-  return final_layer_ ? h : relu(ctx, h);
+  const NodeId h =
+      heads_.size() == 1
+          ? sum
+          : g.scale(sum, 1.0f / static_cast<float>(heads_.size()));
+  return final_layer_ ? h : g.relu(h);
+}
+
+Var GatLayer::forward(ExecContext& ctx, const graph::Graph& g,
+                      const Var& x) const {
+  LazyGraph lg;
+  return lg.run(ctx, record(ctx, lg, g, lg.leaf(x)));
 }
 
 Model::Model(const std::string& kind, std::int64_t in_dim, std::int64_t hidden,
@@ -167,33 +212,40 @@ Model::Model(const std::string& kind, std::int64_t in_dim, std::int64_t hidden,
 
 Var Model::forward(ExecContext& ctx, const graph::Graph& g,
                    const Var& x) const {
-  Var h;
+  // One LazyGraph for the whole model: both layers plus the log-softmax
+  // compile together, so the planner sees cross-layer liveness and one
+  // autograd node carries the full derived backward.
+  LazyGraph lg;
+  const NodeId x0 = lg.leaf(x);
+  NodeId h;
   if (gcn1_) {
-    h = gcn2_->forward(ctx, g, gcn1_->forward(ctx, g, x));
+    h = gcn2_->record(lg, g, gcn1_->record(lg, g, x0));
   } else if (sage1_) {
-    h = sage2_->forward(ctx, g, sage1_->forward(ctx, g, x));
+    h = sage2_->record(lg, g, sage1_->record(lg, g, x0));
   } else {
-    h = gat2_->forward(ctx, g, gat1_->forward(ctx, g, x));
+    h = gat2_->record(ctx, lg, g, gat1_->record(ctx, lg, g, x0));
   }
-  return log_softmax(ctx, h);
+  return lg.run(ctx, lg.log_softmax(h));
 }
 
 Var Model::forward(ExecContext& ctx, const sample::MinibatchBlocks& mfg,
                    const Var& x) const {
   FG_CHECK_MSG(mfg.blocks.size() == 2,
                "2-layer models need exactly 2 blocks per minibatch");
-  Var h;
+  LazyGraph lg;
+  const NodeId x0 = lg.leaf(x);
+  NodeId h;
   if (gcn1_) {
-    h = gcn2_->forward(ctx, mfg.blocks[1],
-                       gcn1_->forward(ctx, mfg.blocks[0], x));
+    h = gcn2_->record(lg, mfg.blocks[1],
+                      gcn1_->record(lg, mfg.blocks[0], x0));
   } else if (sage1_) {
-    h = sage2_->forward(ctx, mfg.blocks[1],
-                        sage1_->forward(ctx, mfg.blocks[0], x));
+    h = sage2_->record(lg, mfg.blocks[1],
+                       sage1_->record(lg, mfg.blocks[0], x0));
   } else {
     FG_CHECK_MSG(false,
                  "minibatch block inference supports gcn and sage models");
   }
-  return log_softmax(ctx, h);
+  return lg.run(ctx, lg.log_softmax(h));
 }
 
 }  // namespace featgraph::minidgl

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "graph/csr.hpp"
+#include "minidgl/lazy_graph.hpp"
 #include "minidgl/ops.hpp"
 #include "sample/block.hpp"
 
@@ -25,7 +26,11 @@ class Linear {
  public:
   Linear(std::int64_t in_dim, std::int64_t out_dim, std::uint64_t seed);
   Var forward(ExecContext& ctx, const Var& x) const;
+  /// Records x W + b into `g` without executing.
+  NodeId record(LazyGraph& g, NodeId x) const;
   std::vector<Var> parameters() const { return {w_, b_}; }
+  const Var& w() const { return w_; }
+  const Var& b() const { return b_; }
 
  private:
   Var w_;
@@ -47,6 +52,13 @@ class GcnLayer {
   /// block does not carry). With a full-fanout block this is bit-identical
   /// to the full-graph forward restricted to the block's destinations.
   Var forward(ExecContext& ctx, const sample::Block& block, const Var& x) const;
+  /// Records the layer into `g`. The dense transform runs BEFORE the
+  /// aggregation (z = x W, then agg(z), then + b, then ReLU) — legal by
+  /// linearity of mean/sym aggregation, and it puts bias+ReLU directly after
+  /// the SpMM anchor, where the fusion pass folds them into the kernel's own
+  /// row sweep.
+  NodeId record(LazyGraph& g, const graph::Graph& gr, NodeId x) const;
+  NodeId record(LazyGraph& g, const sample::Block& block, NodeId x) const;
   std::vector<Var> parameters() const { return linear_.parameters(); }
 
  private:
@@ -69,6 +81,13 @@ class SageLayer {
   /// num_dst rows of x — the block's dst-then-src relabeling invariant puts
   /// the destinations' own features exactly there.
   Var forward(ExecContext& ctx, const sample::Block& block, const Var& x) const;
+  /// Records the layer. The self term is recorded FIRST so the neighbor
+  /// branch's matmul anchor can fold `+ self` (and the trailing ReLU) into
+  /// its epilogue — the self term is materialized by the time the anchor
+  /// runs. The aggregation stays before the dense transform: max is
+  /// nonlinear, so the GCN-style reorder is illegal here.
+  NodeId record(LazyGraph& g, const graph::Graph& gr, NodeId x) const;
+  NodeId record(LazyGraph& g, const sample::Block& block, NodeId x) const;
   std::vector<Var> parameters() const;
 
  private:
@@ -88,6 +107,10 @@ class GatLayer {
   GatLayer(std::int64_t in_dim, std::int64_t out_dim, bool final_layer,
            std::uint64_t seed, int num_heads = 1);
   Var forward(ExecContext& ctx, const graph::Graph& g, const Var& x) const;
+  /// Records the layer; the fused/composed attention choice follows
+  /// ctx.backend, exactly as forward() does.
+  NodeId record(const ExecContext& ctx, LazyGraph& g, const graph::Graph& gr,
+                NodeId x) const;
   std::vector<Var> parameters() const;
   int num_heads() const { return static_cast<int>(heads_.size()); }
 
@@ -103,7 +126,11 @@ class Model {
   Model(const std::string& kind, std::int64_t in_dim, std::int64_t hidden,
         std::int64_t num_classes, std::uint64_t seed);
 
-  /// Returns per-vertex log-probabilities (n x num_classes).
+  /// Returns per-vertex log-probabilities (n x num_classes). The WHOLE
+  /// 2-layer forward is recorded into one LazyGraph and compiled/run as a
+  /// unit: cross-op fusion sees every layer boundary, the buffer planner
+  /// sees the full liveness horizon, and one autograd node carries the
+  /// DAG-derived backward for the entire model.
   Var forward(ExecContext& ctx, const graph::Graph& g, const Var& x) const;
 
   /// Minibatch forward over the blocks of one sampled batch: layer l runs

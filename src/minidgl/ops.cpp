@@ -1,740 +1,112 @@
+// The op library is now a thin veneer over the lazy op-graph
+// (minidgl/lazy_graph.{hpp,cpp}): each free function records a one-node
+// LazyGraph and runs it. Multi-op callers (modules.cpp's layer `record`
+// methods, Model::forward) record WHOLE chains into one graph instead, which
+// is where cross-op fusion and planned buffer reuse actually pay — but the
+// single-op spelling stays available and chains across graphs through
+// ordinary Var edges, so mixed eager/lazy code keeps composing.
+//
+// Every hand-written per-op tape closure that used to live here is gone; the
+// backward of every op is derived from the recorded DAG by lazy_graph.cpp's
+// vjp switch. The execution semantics (backend split, gpusim cost charges,
+// materialized-bytes accounting, Sec. II-A gradient duality) moved verbatim.
 #include "minidgl/ops.hpp"
 
-#include <algorithm>
 #include <cmath>
-#include <cstring>
-#include <limits>
 
-#include "core/attention.hpp"
-#include "core/schedule_ir.hpp"
-#include "core/sddmm.hpp"
-#include "core/spmm.hpp"
-#include "core/tuner.hpp"
-#include "gpusim/attention_gpu.hpp"
-#include "gpusim/sddmm_gpu.hpp"
-#include "gpusim/spmm_gpu.hpp"
-#include "parallel/parallel_for.hpp"
+#include "minidgl/lazy_graph.hpp"
 #include "sample/block.hpp"
-#include "sample/pipeline.hpp"
 #include "support/check.hpp"
-#include "tensor/ops.hpp"
 
 namespace featgraph::minidgl {
 
-namespace {
-
 using graph::eid_t;
-using graph::vid_t;
 using tensor::Tensor;
 
-void charge_dense(ExecContext& ctx, double flops, double bytes) {
-  if (ctx.device == Device::kGpuSim)
-    ctx.sim_seconds += gpusim::dense_op_seconds(flops, bytes, ctx.gpu);
-}
-
-/// Fused generalized SpMM: native on CPU, functional + simulated cost on
-/// gpusim. `adj` may be the in-CSR (forward) or out-CSR (gradients).
-Tensor run_spmm(ExecContext& ctx, const graph::Csr& adj,
-                std::string_view msg_op, std::string_view reduce_op,
-                const core::SpmmOperands& operands, std::int64_t d_out) {
-  if (ctx.device == Device::kGpuSim) {
-    core::GpuSpmmSchedule sched;
-    sched.num_blocks = std::max<std::int64_t>(1024, adj.num_rows / 4);
-    // 256 threads regardless of feature width: narrow features pack
-    // multiple rows per block, so the grid always fills the device.
-    sched.threads_per_block = 256;
-    auto result = gpusim::spmm_gpu(adj, msg_op, reduce_op, sched, operands,
-                                   ctx.gpu);
-    ctx.sim_seconds += result.cost.total_s;
-    return std::move(result.out);
-  }
-  core::CpuSpmmSchedule sched;
-  if (ctx.schedule_cache != nullptr) {
-    // Shape-class memo (the minibatch pipeline): the tuner/heuristic runs
-    // once per (log2 rows, log2 nnz, width, threads, program) class, then
-    // the stream of same-shaped blocks reuses the winner. The context's
-    // Schedule-IR program (or the empty default) hashes into the key so two
-    // programs over one geometry get distinct entries. num_partitions is
-    // pinned to 1 (see ExecContext::schedule_cache) — also what keeps
-    // full-fanout block inference bit-identical to the unpartitioned
-    // full-graph path.
-    core::CpuSpmmSchedule probe;
-    probe.ir = ctx.block_schedule_ir;
-    sched = ctx.schedule_cache->schedule_for(
-        adj.num_rows, adj.nnz(), d_out, ctx.num_threads,
-        core::schedule_program_hash(probe), [&] {
-          if (ctx.tune_block_schedules) {
-            return core::tune_spmm(adj, msg_op, reduce_op, operands,
-                                   core::default_spmm_candidates(
-                                       d_out, ctx.num_threads))
-                .best;
-          }
-          return core::heuristic_spmm_schedule(adj, d_out, ctx.num_threads);
-        });
-    sched.num_partitions = 1;
-  } else {
-    sched = core::heuristic_spmm_schedule(adj, d_out, ctx.num_threads);
-  }
-  // The context's IR program, when present, overrides the flat knobs above
-  // (lowering treats an attached program as authoritative).
-  if (ctx.block_schedule_ir != nullptr) sched.ir = ctx.block_schedule_ir;
-  return core::spmm(adj, msg_op, reduce_op, sched, operands);
-}
-
-Tensor run_sddmm_dot(ExecContext& ctx, const graph::Coo& coo, const Tensor& a,
-                     const Tensor& b) {
-  core::SddmmOperands ops{&a, &b};
-  if (ctx.device == Device::kGpuSim) {
-    core::GpuSddmmSchedule sched;  // tree reduction on by default
-    auto result = gpusim::sddmm_gpu(coo, "dot", sched, ops, ctx.gpu);
-    ctx.sim_seconds += result.cost.total_s;
-    return std::move(result.out);
-  }
-  core::CpuSddmmSchedule sched;
-  sched.num_threads = ctx.num_threads;
-  return core::sddmm(coo, "dot", sched, ops);
-}
-
-// --- materialize-backend primitives (the DGL-without-FeatGraph path) -------
-
-/// M[e, :] = x[idx[e], :]. Books the materialized tensor and its traffic.
-Tensor gather_rows(ExecContext& ctx, const Tensor& x,
-                   const std::vector<vid_t>& idx) {
-  const std::int64_t d = x.row_size();
-  const auto m = static_cast<std::int64_t>(idx.size());
-  Tensor out({m, d});
-  parallel::parallel_for_ranges(
-      0, m, ctx.num_threads, [&](std::int64_t e0, std::int64_t e1) {
-        for (std::int64_t e = e0; e < e1; ++e) {
-          const float* src = x.row(idx[static_cast<std::size_t>(e)]);
-          float* dst = out.row(e);
-          for (std::int64_t j = 0; j < d; ++j) dst[j] = src[j];
-        }
-      });
-  const double bytes = static_cast<double>(m) * d * 4.0;
-  ctx.materialized_bytes += bytes;
-  charge_dense(ctx, 0.0, 2.0 * bytes + m * 4.0);
-  return out;
-}
-
-/// out[v, :] = reduce over in-edges e of M[edge_id(e), :]. For max, records
-/// the winning edge id per output element in `arg_eid` when non-null.
-Tensor segment_reduce(ExecContext& ctx, const graph::Csr& in_csr,
-                      const Tensor& msgs, const std::string& reduce,
-                      std::vector<eid_t>* arg_eid) {
-  const std::int64_t d = msgs.row_size();
-  const std::int64_t n = in_csr.num_rows;
-  Tensor out({n, d});
-  if (arg_eid != nullptr) arg_eid->assign(static_cast<std::size_t>(n * d), -1);
-  parallel::parallel_for_ranges(
-      0, n, ctx.num_threads, [&](std::int64_t v0, std::int64_t v1) {
-        for (std::int64_t v = v0; v < v1; ++v) {
-          float* ov = out.row(v);
-          const std::int64_t lo = in_csr.indptr[v], hi = in_csr.indptr[v + 1];
-          if (lo == hi) {
-            for (std::int64_t j = 0; j < d; ++j) ov[j] = 0.0f;
-            continue;
-          }
-          const bool is_max = reduce == "max";
-          for (std::int64_t j = 0; j < d; ++j)
-            ov[j] = is_max ? -std::numeric_limits<float>::infinity() : 0.0f;
-          for (std::int64_t i = lo; i < hi; ++i) {
-            const eid_t e = in_csr.edge_ids[static_cast<std::size_t>(i)];
-            const float* me = msgs.row(e);
-            for (std::int64_t j = 0; j < d; ++j) {
-              if (is_max) {
-                if (me[j] > ov[j]) {
-                  ov[j] = me[j];
-                  if (arg_eid != nullptr)
-                    (*arg_eid)[static_cast<std::size_t>(v * d + j)] = e;
-                }
-              } else {
-                ov[j] += me[j];
-              }
-            }
-          }
-          if (reduce == "mean") {
-            const float inv = 1.0f / static_cast<float>(hi - lo);
-            for (std::int64_t j = 0; j < d; ++j) ov[j] *= inv;
-          }
-        }
-      });
-  charge_dense(ctx, static_cast<double>(in_csr.nnz()) * d,
-               static_cast<double>(in_csr.nnz()) * d * 4.0 +
-                   static_cast<double>(n) * d * 4.0);
-  return out;
-}
-
-/// dx[u, :] = sum over out-edges e of u of dM[edge_id(e), :] — the backward
-/// of gather_rows-by-source, computed race-free over the out-CSR.
-Tensor scatter_rows_by_src(ExecContext& ctx, const graph::Csr& out_csr,
-                           const Tensor& d_msgs) {
-  const std::int64_t d = d_msgs.row_size();
-  Tensor out = Tensor::zeros({out_csr.num_rows, d});
-  parallel::parallel_for_ranges(
-      0, out_csr.num_rows, ctx.num_threads,
-      [&](std::int64_t u0, std::int64_t u1) {
-        for (std::int64_t u = u0; u < u1; ++u) {
-          float* ou = out.row(u);
-          for (std::int64_t i = out_csr.indptr[u]; i < out_csr.indptr[u + 1];
-               ++i) {
-            const float* me =
-                d_msgs.row(out_csr.edge_ids[static_cast<std::size_t>(i)]);
-            for (std::int64_t j = 0; j < d; ++j) ou[j] += me[j];
-          }
-        }
-      });
-  charge_dense(ctx, static_cast<double>(out_csr.nnz()) * d,
-               static_cast<double>(out_csr.nnz()) * d * 4.0 +
-                   static_cast<double>(out_csr.num_rows) * d * 4.0);
-  return out;
-}
-
-/// Scales each row v of `t` (n x d) by s[v].
-Tensor scale_rows(const Tensor& t, const std::vector<float>& s) {
-  Tensor out(t.shape());
-  const std::int64_t d = t.row_size();
-  for (std::int64_t v = 0; v < t.rows(); ++v) {
-    const float* src = t.row(v);
-    float* dst = out.row(v);
-    for (std::int64_t j = 0; j < d; ++j) dst[j] = src[j] * s[static_cast<std::size_t>(v)];
-  }
-  return out;
-}
-
-std::vector<float> inverse_in_degrees(const graph::Csr& in_csr) {
-  std::vector<float> inv(static_cast<std::size_t>(in_csr.num_rows), 0.0f);
-  for (vid_t v = 0; v < in_csr.num_rows; ++v) {
-    const auto deg = in_csr.degree(v);
-    if (deg > 0) inv[static_cast<std::size_t>(v)] = 1.0f / static_cast<float>(deg);
-  }
-  return inv;
-}
-
-}  // namespace
-
-// --- dense ops --------------------------------------------------------------
+// --- dense ops -------------------------------------------------------------
 
 Var matmul(ExecContext& ctx, const Var& a, const Var& b) {
-  const std::int64_t m = a->value().shape(0), k = a->value().shape(1),
-                     n = b->value().shape(1);
-  Tensor value = tensor::matmul(a->value(), b->value(), ctx.num_threads);
-  charge_dense(ctx, 2.0 * m * k * n,
-               4.0 * (static_cast<double>(m) * k + static_cast<double>(k) * n +
-                      static_cast<double>(m) * n));
-  ExecContext* c = &ctx;
-  return make_op(
-      std::move(value), {a, b},
-      [a, b, c, m, k, n](Node& node) {
-        if (a->requires_grad()) {
-          a->accumulate_grad(
-              tensor::matmul_transposed(node.grad(), b->value(), c->num_threads));
-          charge_dense(*c, 2.0 * m * k * n, 0.0);
-        }
-        if (b->requires_grad()) {
-          Tensor at = tensor::transpose(a->value());
-          b->accumulate_grad(tensor::matmul(at, node.grad(), c->num_threads));
-          charge_dense(*c, 2.0 * m * k * n, 0.0);
-        }
-      },
-      "matmul");
+  LazyGraph g;
+  return g.run(ctx, g.matmul(g.leaf(a), g.leaf(b)));
 }
 
 Var add_bias(ExecContext& ctx, const Var& a, const Var& bias) {
-  Tensor value = tensor::add_bias(a->value(), bias->value());
-  charge_dense(ctx, a->value().numel(), a->value().numel() * 8.0);
-  return make_op(
-      std::move(value), {a, bias},
-      [a, bias](Node& node) {
-        if (a->requires_grad()) a->accumulate_grad(node.grad());
-        if (bias->requires_grad()) {
-          const std::int64_t n = node.grad().shape(1);
-          Tensor db = Tensor::zeros({n});
-          for (std::int64_t i = 0; i < node.grad().shape(0); ++i) {
-            const float* g = node.grad().row(i);
-            for (std::int64_t j = 0; j < n; ++j) db.at(j) += g[j];
-          }
-          bias->accumulate_grad(db);
-        }
-      },
-      "add_bias");
+  LazyGraph g;
+  return g.run(ctx, g.add_bias(g.leaf(a), g.leaf(bias)));
 }
 
 Var relu(ExecContext& ctx, const Var& x) {
-  Tensor value = tensor::relu(x->value());
-  charge_dense(ctx, x->value().numel(), x->value().numel() * 8.0);
-  return make_op(
-      std::move(value), {x},
-      [x](Node& node) {
-        x->accumulate_grad(tensor::relu_backward(node.grad(), x->value()));
-      },
-      "relu");
+  LazyGraph g;
+  return g.run(ctx, g.relu(g.leaf(x)));
 }
 
 Var leaky_relu(ExecContext& ctx, const Var& x, float slope) {
-  Tensor value = tensor::leaky_relu(x->value(), slope);
-  charge_dense(ctx, x->value().numel(), x->value().numel() * 8.0);
-  return make_op(
-      std::move(value), {x},
-      [x, slope](Node& node) {
-        x->accumulate_grad(
-            tensor::leaky_relu_backward(node.grad(), x->value(), slope));
-      },
-      "leaky_relu");
+  LazyGraph g;
+  return g.run(ctx, g.leaky_relu(g.leaf(x), slope));
 }
 
 Var add(ExecContext& ctx, const Var& a, const Var& b) {
-  Tensor value = tensor::add(a->value(), b->value());
-  charge_dense(ctx, a->value().numel(), a->value().numel() * 12.0);
-  return make_op(
-      std::move(value), {a, b},
-      [a, b](Node& node) {
-        if (a->requires_grad()) a->accumulate_grad(node.grad());
-        if (b->requires_grad()) b->accumulate_grad(node.grad());
-      },
-      "add");
+  LazyGraph g;
+  return g.run(ctx, g.add(g.leaf(a), g.leaf(b)));
 }
 
 Var scale(ExecContext& ctx, const Var& a, float s) {
-  Tensor value = tensor::scale(a->value(), s);
-  charge_dense(ctx, a->value().numel(), a->value().numel() * 8.0);
-  return make_op(
-      std::move(value), {a},
-      [a, s](Node& node) {
-        a->accumulate_grad(tensor::scale(node.grad(), s));
-      },
-      "scale");
+  LazyGraph g;
+  return g.run(ctx, g.scale(g.leaf(a), s));
 }
 
 Var log_softmax(ExecContext& ctx, const Var& x) {
-  Tensor value = tensor::log_softmax_rows(x->value());
-  charge_dense(ctx, 4.0 * x->value().numel(), x->value().numel() * 8.0);
-  Tensor ls = value.clone();
-  return make_op(
-      std::move(value), {x},
-      [x, ls = std::move(ls)](Node& node) {
-        // dx = dY - softmax(x) * rowsum(dY)
-        const std::int64_t n = ls.shape(0), c = ls.shape(1);
-        Tensor dx({n, c});
-        for (std::int64_t i = 0; i < n; ++i) {
-          const float* g = node.grad().row(i);
-          const float* l = ls.row(i);
-          float gsum = 0.0f;
-          for (std::int64_t j = 0; j < c; ++j) gsum += g[j];
-          float* d = dx.row(i);
-          for (std::int64_t j = 0; j < c; ++j)
-            d[j] = g[j] - std::exp(l[j]) * gsum;
-        }
-        x->accumulate_grad(dx);
-      },
-      "log_softmax");
+  LazyGraph g;
+  return g.run(ctx, g.log_softmax(g.leaf(x)));
 }
 
 Var nll_loss(ExecContext& ctx, const Var& log_probs,
              const std::vector<std::int32_t>& labels,
              const std::vector<std::int64_t>& rows) {
-  FG_CHECK(!rows.empty());
-  double loss = 0.0;
-  for (std::int64_t r : rows)
-    loss -= log_probs->value().at(r, labels[static_cast<std::size_t>(r)]);
-  Tensor value({1});
-  value.at(0) = static_cast<float>(loss / static_cast<double>(rows.size()));
-  charge_dense(ctx, static_cast<double>(rows.size()), rows.size() * 8.0);
-  return make_op(
-      std::move(value), {log_probs},
-      [log_probs, labels, rows](Node& node) {
-        const float seed = node.grad().at(0);
-        Tensor d = Tensor::zeros(log_probs->value().shape());
-        const float inv = seed / static_cast<float>(rows.size());
-        for (std::int64_t r : rows)
-          d.at(r, labels[static_cast<std::size_t>(r)]) -= inv;
-        log_probs->accumulate_grad(d);
-      },
-      "nll_loss");
+  LazyGraph g;
+  return g.run(ctx, g.nll_loss(g.leaf(log_probs), labels, rows));
 }
 
-// --- sparse ops ---------------------------------------------------------
+// --- sparse (message passing) ops -------------------------------------------
 
-namespace {
-
-/// Fused copy_u/max with argmax tracking over any destination-major CSR —
-/// shared by the full-graph and block paths (the adjacency is the only
-/// difference). The argmax holds source ids in `adj`'s column space, which
-/// is what the gradient scatter needs in both cases.
-Var fused_copy_u_max(ExecContext& ctx, const graph::Csr& adj, const Var& x,
-                     std::string op_name) {
-  const std::int64_t d = x->value().row_size();
-  ExecContext* c = &ctx;
-  auto arg = std::make_shared<std::vector<vid_t>>();
-  Tensor value =
-      core::spmm_copy_u_max_arg(adj, x->value(), arg.get(), ctx.num_threads);
-  if (ctx.device == Device::kGpuSim) {
-    // Same traffic as a fused max-SpMM; charge it.
-    core::GpuSpmmSchedule sched;
-    auto r = gpusim::spmm_gpu(adj, "copy_u", "max", sched,
-                              {&x->value(), nullptr, nullptr}, ctx.gpu);
-    ctx.sim_seconds += r.cost.total_s;
-  }
-  return make_op(
-      std::move(value), {x},
-      [x, arg, c, d](Node& node) {
-        Tensor dx = Tensor::zeros(x->value().shape());
-        const std::int64_t n = node.grad().rows();
-        for (std::int64_t v = 0; v < n; ++v) {
-          const float* gv = node.grad().row(v);
-          for (std::int64_t j = 0; j < d; ++j) {
-            const vid_t u = (*arg)[static_cast<std::size_t>(v * d + j)];
-            if (u >= 0) dx.at(u, j) += gv[j];
-          }
-        }
-        charge_dense(*c, 0.0, node.grad().numel() * 12.0);
-        x->accumulate_grad(dx);
-      },
-      std::move(op_name));
-}
-
-}  // namespace
-
-Var spmm_copy_u(ExecContext& ctx, const graph::Graph& g, const Var& x,
+Var spmm_copy_u(ExecContext& ctx, const graph::Graph& gr, const Var& x,
                 const std::string& reduce) {
-  FG_CHECK_MSG(reduce == "sum" || reduce == "mean" || reduce == "max",
-               "spmm_copy_u supports sum/mean/max");
-  const std::int64_t d = x->value().row_size();
-  ExecContext* c = &ctx;
-  const graph::Graph* gp = &g;
-
-  if (reduce == "max") {
-    // Both backends need the argmax for the gradient; the fused kernel
-    // tracks the winning source, the materialize path the winning edge.
-    if (ctx.backend == SparseBackend::kFused) {
-      return fused_copy_u_max(ctx, g.in_csr(), x, "spmm_copy_u_max");
-    }
-    // Materialize: gather messages, segment-max with edge arg.
-    Tensor msgs = gather_rows(ctx, x->value(), g.coo().src);
-    auto arg = std::make_shared<std::vector<eid_t>>();
-    Tensor value = segment_reduce(ctx, g.in_csr(), msgs, "max", arg.get());
-    return make_op(
-        std::move(value), {x},
-        [x, arg, c, gp, d](Node& node) {
-          const auto m = gp->num_edges();
-          Tensor d_msgs = Tensor::zeros({m, d});
-          c->materialized_bytes += static_cast<double>(m) * d * 4.0;
-          const std::int64_t n = node.grad().rows();
-          for (std::int64_t v = 0; v < n; ++v) {
-            const float* gv = node.grad().row(v);
-            for (std::int64_t j = 0; j < d; ++j) {
-              const eid_t e = (*arg)[static_cast<std::size_t>(v * d + j)];
-              if (e >= 0) d_msgs.at(e * d + j) += gv[j];
-            }
-          }
-          x->accumulate_grad(scatter_rows_by_src(*c, gp->out_csr(), d_msgs));
-        },
-        "spmm_copy_u_max_mat");
-  }
-
-  // sum / mean.
-  Tensor value;
-  if (ctx.backend == SparseBackend::kFused) {
-    value = run_spmm(ctx, g.in_csr(), "copy_u", reduce,
-                     {&x->value(), nullptr, nullptr}, d);
-  } else {
-    Tensor msgs = gather_rows(ctx, x->value(), g.coo().src);
-    value = segment_reduce(ctx, g.in_csr(), msgs, reduce, nullptr);
-  }
-  const bool is_mean = reduce == "mean";
-  return make_op(
-      std::move(value), {x},
-      [x, c, gp, d, is_mean](Node& node) {
-        // d(loss)/dx[u] = sum over out-edges (u->v) of dout[v] (scaled by
-        // 1/in-deg(v) for mean): an SpMM over the reversed graph.
-        Tensor dout = node.grad();
-        if (is_mean)
-          dout = scale_rows(node.grad(), inverse_in_degrees(gp->in_csr()));
-        if (c->backend == SparseBackend::kFused) {
-          x->accumulate_grad(run_spmm(*c, gp->out_csr(), "copy_u", "sum",
-                                      {&dout, nullptr, nullptr}, d));
-        } else {
-          Tensor d_msgs = gather_rows(*c, dout, gp->coo().dst);
-          x->accumulate_grad(scatter_rows_by_src(*c, gp->out_csr(), d_msgs));
-        }
-      },
-      "spmm_copy_u_" + reduce);
+  LazyGraph g;
+  return g.run(ctx, g.spmm_copy_u(gr, g.leaf(x), reduce));
 }
 
 Var block_spmm_copy_u(ExecContext& ctx, const sample::Block& block,
                       const Var& x, const std::string& reduce) {
-  FG_CHECK_MSG(reduce == "sum" || reduce == "mean" || reduce == "max",
-               "block_spmm_copy_u supports sum/mean/max");
-  FG_CHECK_MSG(x->value().rows() == block.num_src(),
-               "x must hold one row per block source node");
-  const std::int64_t d = x->value().row_size();
-  ExecContext* c = &ctx;
-  const graph::Csr& adj = block.adj;
-
-  if (reduce == "max") {
-    // Same fused max-with-argmax kernel the full-graph path runs; the
-    // argmax holds block-LOCAL source ids, exactly what the shared
-    // gradient scatter needs.
-    return fused_copy_u_max(ctx, adj, x, "block_spmm_copy_u_max");
-  }
-
-  // sum / mean: block aggregation always runs the fused kernels (the block
-  // adjacency is a drop-in Csr for generalized_spmm; materialized_bytes
-  // stays 0 — serving never materializes messages).
-  Tensor value = run_spmm(ctx, adj, "copy_u", reduce,
-                          {&x->value(), nullptr, nullptr}, d);
-  const bool is_mean = reduce == "mean";
-  // The tape must not dangle into the caller's Block (batches are destroyed
-  // right after the forward in the serving loop), so backward captures its
-  // own copy of the adjacency — taken only when a gradient can actually
-  // flow; pure inference pays nothing.
-  std::shared_ptr<const graph::Csr> adj_copy =
-      x->requires_grad() ? std::make_shared<graph::Csr>(adj) : nullptr;
-  return make_op(
-      std::move(value), {x},
-      [x, c, d, is_mean, adj_copy](Node& node) {
-        FG_CHECK_MSG(adj_copy != nullptr,
-                     "block_spmm_copy_u backward without requires_grad input");
-        Tensor dout = node.grad();
-        if (is_mean) dout = scale_rows(node.grad(), inverse_in_degrees(*adj_copy));
-        // d(loss)/dx[u] = sum over block out-edges (u->v) of dout[v]: an
-        // SpMM over the transposed block adjacency.
-        const graph::Csr rev = graph::transpose(*adj_copy);
-        x->accumulate_grad(
-            run_spmm(*c, rev, "copy_u", "sum", {&dout, nullptr, nullptr}, d));
-      },
-      "block_spmm_copy_u_" + reduce);
+  LazyGraph g;
+  return g.run(ctx, g.block_spmm_copy_u(block, g.leaf(x), reduce));
 }
 
 Var slice_rows(ExecContext& ctx, const Var& x, std::int64_t begin,
                std::int64_t count) {
-  FG_CHECK(begin >= 0 && count >= 0 && begin + count <= x->value().rows());
-  const std::int64_t d = x->value().row_size();
-  Tensor value({count, d});
-  std::memcpy(value.data(), x->value().data() + begin * d,
-              static_cast<std::size_t>(count * d) * sizeof(float));
-  charge_dense(ctx, 0.0, 2.0 * static_cast<double>(count) * d * 4.0);
-  return make_op(
-      std::move(value), {x},
-      [x, begin, count, d](Node& node) {
-        Tensor dx = Tensor::zeros(x->value().shape());
-        std::memcpy(dx.data() + begin * d, node.grad().data(),
-                    static_cast<std::size_t>(count * d) * sizeof(float));
-        x->accumulate_grad(dx);
-      },
-      "slice_rows");
+  LazyGraph g;
+  return g.run(ctx, g.slice_rows(g.leaf(x), begin, count));
 }
 
-Var spmm_u_mul_e(ExecContext& ctx, const graph::Graph& g, const Var& x,
+Var spmm_u_mul_e(ExecContext& ctx, const graph::Graph& gr, const Var& x,
                  const Var& w) {
-  FG_CHECK(w->value().numel() == g.num_edges());
-  const std::int64_t d = x->value().row_size();
-  ExecContext* c = &ctx;
-  const graph::Graph* gp = &g;
-
-  Tensor value;
-  if (ctx.backend == SparseBackend::kFused) {
-    value = run_spmm(ctx, g.in_csr(), "u_mul_e", "sum",
-                     {&x->value(), &w->value(), nullptr}, d);
-  } else {
-    Tensor msgs = gather_rows(ctx, x->value(), g.coo().src);
-    for (eid_t e = 0; e < g.num_edges(); ++e) {
-      float* me = msgs.row(e);
-      const float we = w->value().at(e);
-      for (std::int64_t j = 0; j < d; ++j) me[j] *= we;
-    }
-    charge_dense(ctx, static_cast<double>(g.num_edges()) * d,
-                 static_cast<double>(g.num_edges()) * d * 8.0);
-    value = segment_reduce(ctx, g.in_csr(), msgs, "sum", nullptr);
-  }
-  return make_op(
-      std::move(value), {x, w},
-      [x, w, c, gp, d](Node& node) {
-        if (x->requires_grad()) {
-          // dx[u] = sum over out-edges of w_e * dout[v]: u_mul_e SpMM on the
-          // reversed graph (edge ids are shared between orientations).
-          if (c->backend == SparseBackend::kFused) {
-            x->accumulate_grad(run_spmm(*c, gp->out_csr(), "u_mul_e", "sum",
-                                        {&node.grad(), &w->value(), nullptr},
-                                        d));
-          } else {
-            Tensor d_msgs = gather_rows(*c, node.grad(), gp->coo().dst);
-            for (eid_t e = 0; e < gp->num_edges(); ++e) {
-              float* me = d_msgs.row(e);
-              const float we = w->value().at(e);
-              for (std::int64_t j = 0; j < d; ++j) me[j] *= we;
-            }
-            x->accumulate_grad(scatter_rows_by_src(*c, gp->out_csr(), d_msgs));
-          }
-        }
-        if (w->requires_grad()) {
-          // dw_e = <x[u], dout[v]>: the SDDMM pattern (Sec. II-A).
-          if (c->backend == SparseBackend::kFused) {
-            w->accumulate_grad(
-                run_sddmm_dot(*c, gp->coo(), x->value(), node.grad()));
-          } else {
-            Tensor xu = gather_rows(*c, x->value(), gp->coo().src);
-            Tensor gv = gather_rows(*c, node.grad(), gp->coo().dst);
-            Tensor dw({gp->num_edges()});
-            for (eid_t e = 0; e < gp->num_edges(); ++e) {
-              const float* a = xu.row(e);
-              const float* b = gv.row(e);
-              float acc = 0.0f;
-              for (std::int64_t j = 0; j < d; ++j) acc += a[j] * b[j];
-              dw.at(e) = acc;
-            }
-            charge_dense(*c, static_cast<double>(gp->num_edges()) * d * 2.0,
-                         static_cast<double>(gp->num_edges()) * d * 8.0);
-            w->accumulate_grad(dw);
-          }
-        }
-      },
-      "spmm_u_mul_e");
+  LazyGraph g;
+  return g.run(ctx, g.spmm_u_mul_e(gr, g.leaf(x), g.leaf(w)));
 }
 
-Var sddmm_dot(ExecContext& ctx, const graph::Graph& g, const Var& x) {
-  const std::int64_t d = x->value().row_size();
-  ExecContext* c = &ctx;
-  const graph::Graph* gp = &g;
-
-  Tensor value;
-  if (ctx.backend == SparseBackend::kFused) {
-    value = run_sddmm_dot(ctx, g.coo(), x->value(), x->value());
-  } else {
-    Tensor xu = gather_rows(ctx, x->value(), g.coo().src);
-    Tensor xv = gather_rows(ctx, x->value(), g.coo().dst);
-    value = Tensor({g.num_edges()});
-    for (eid_t e = 0; e < g.num_edges(); ++e) {
-      const float* a = xu.row(e);
-      const float* b = xv.row(e);
-      float acc = 0.0f;
-      for (std::int64_t j = 0; j < d; ++j) acc += a[j] * b[j];
-      value.at(e) = acc;
-    }
-    charge_dense(ctx, static_cast<double>(g.num_edges()) * d * 2.0,
-                 static_cast<double>(g.num_edges()) * d * 8.0);
-  }
-  return make_op(
-      std::move(value), {x},
-      [x, c, gp, d](Node& node) {
-        // d x[u] += g_e x[v] over out-edges; d x[v] += g_e x[u] over
-        // in-edges: two u_mul_e SpMMs (the SpMM pattern, Sec. II-A).
-        if (c->backend == SparseBackend::kFused) {
-          x->accumulate_grad(run_spmm(*c, gp->out_csr(), "u_mul_e", "sum",
-                                      {&x->value(), &node.grad(), nullptr}, d));
-          x->accumulate_grad(run_spmm(*c, gp->in_csr(), "u_mul_e", "sum",
-                                      {&x->value(), &node.grad(), nullptr}, d));
-        } else {
-          Tensor xv = gather_rows(*c, x->value(), gp->coo().dst);
-          Tensor xu = gather_rows(*c, x->value(), gp->coo().src);
-          for (eid_t e = 0; e < gp->num_edges(); ++e) {
-            const float ge = node.grad().at(e);
-            float* pv = xv.row(e);
-            float* pu = xu.row(e);
-            for (std::int64_t j = 0; j < d; ++j) {
-              pv[j] *= ge;
-              pu[j] *= ge;
-            }
-          }
-          // xv rows scatter to sources, xu rows scatter to destinations.
-          x->accumulate_grad(scatter_rows_by_src(*c, gp->out_csr(), xv));
-          Tensor to_dst = scatter_rows_by_src(*c, gp->in_csr(), xu);
-          x->accumulate_grad(to_dst);
-        }
-      },
-      "sddmm_dot");
+Var sddmm_dot(ExecContext& ctx, const graph::Graph& gr, const Var& x) {
+  LazyGraph g;
+  return g.run(ctx, g.sddmm_dot(gr, g.leaf(x)));
 }
 
-Var edge_softmax(ExecContext& ctx, const graph::Graph& g, const Var& logits) {
-  FG_CHECK(logits->value().numel() == g.num_edges());
-  // Fused threaded segment softmax (core/attention.hpp) — same values as
-  // the former scalar triple sweep, shared by both sparse backends (the
-  // materialize/fused split concerns |E| x d messages, not |E| scalars).
-  Tensor value =
-      core::edge_softmax(g.in_csr(), logits->value(), ctx.num_threads);
-  charge_dense(ctx, 3.0 * static_cast<double>(g.num_edges()),
-               6.0 * static_cast<double>(g.num_edges()) * 4.0);
-
-  Tensor alpha = value.clone();
-  ExecContext* c = &ctx;
-  const graph::Graph* gp = &g;
-  return make_op(
-      std::move(value), {logits},
-      [logits, alpha = std::move(alpha), c, gp](Node& node) {
-        // dlogit_e = alpha_e * (dalpha_e - sum_{e' in segment} alpha_e'
-        // dalpha_e'), per destination segment — the fused softmax backward.
-        Tensor d = core::edge_softmax_backward(gp->in_csr(), alpha,
-                                               node.grad(), c->num_threads);
-        charge_dense(*c, 3.0 * static_cast<double>(gp->num_edges()),
-                     6.0 * static_cast<double>(gp->num_edges()) * 4.0);
-        logits->accumulate_grad(d);
-      },
-      "edge_softmax");
+Var edge_softmax(ExecContext& ctx, const graph::Graph& gr, const Var& logits) {
+  LazyGraph g;
+  return g.run(ctx, g.edge_softmax(gr, g.leaf(logits)));
 }
 
-Var gat_attention(ExecContext& ctx, const graph::Graph& g, const Var& z,
+Var gat_attention(ExecContext& ctx, const graph::Graph& gr, const Var& z,
                   float logit_scale) {
-  FG_CHECK_MSG(ctx.backend == SparseBackend::kFused,
-               "gat_attention is the fused kernel; the materialize backend "
-               "runs the composed chain");
-  const std::int64_t d = z->value().row_size();
-  core::AttentionOperands operands;
-  operands.src_feat = &z->value();  // query/key default to src_feat
-  operands.logit_scale = logit_scale;
-  Tensor value;
-  std::shared_ptr<Tensor> alpha;
-  if (ctx.device == Device::kGpuSim) {
-    // One fused grid-stride kernel on the simulated device: one traversal,
-    // one launch, zero atomics — versus the composed three-launch chain
-    // (gpusim/attention_gpu.hpp). Output stays bit-identical to the CPU
-    // fused kernel; nothing |E| x d is materialized on either device.
-    core::GpuSpmmSchedule sched;
-    sched.num_blocks = std::max<std::int64_t>(1024, g.in_csr().num_rows / 4);
-    auto r = gpusim::attention_gpu(g.in_csr(), "copy_u", sched, operands,
-                                   ctx.gpu);
-    ctx.sim_seconds += r.cost.total_s;
-    value = std::move(r.out);
-    alpha = std::make_shared<Tensor>(std::move(r.alpha));
-  } else {
-    const core::CpuSpmmSchedule sched =
-        core::heuristic_spmm_schedule(g.in_csr(), d, ctx.num_threads);
-    core::AttentionResult res =
-        core::attention(g.in_csr(), "copy_u", sched, operands);
-    value = std::move(res.out);
-    alpha = std::make_shared<Tensor>(std::move(res.alpha));
-  }
-
-  ExecContext* c = &ctx;
-  const graph::Graph* gp = &g;
-  return make_op(
-      std::move(value), {z},
-      [z, alpha, c, gp, d, logit_scale](Node& node) {
-        if (!z->requires_grad()) return;
-        // Chain rule over the fused pipeline, every term a fused sparse
-        // kernel (Sec. II-A duality; nothing |E| x d is materialized):
-        //   dz[u] += sum_out-edges alpha_e * dOut[v]       (u_mul_e SpMM)
-        z->accumulate_grad(run_spmm(*c, gp->out_csr(), "u_mul_e", "sum",
-                                    {&node.grad(), alpha.get(), nullptr}, d));
-        //   dalpha_e = <z_u, dOut_v>                       (SDDMM dot)
-        Tensor dalpha =
-            run_sddmm_dot(*c, gp->coo(), z->value(), node.grad());
-        //   dlogit = softmax backward, then the logit scale
-        Tensor dlogit = core::edge_softmax_backward(
-            gp->in_csr(), *alpha, dalpha, c->num_threads);
-        charge_dense(*c, 3.0 * static_cast<double>(gp->num_edges()),
-                     6.0 * static_cast<double>(gp->num_edges()) * 4.0);
-        if (logit_scale != 1.0f) {
-          for (std::int64_t i = 0; i < dlogit.numel(); ++i)
-            dlogit.at(i) *= logit_scale;
-        }
-        //   logits = scale * <z_u, z_v>: dz[u] += dl_e z_v over out-edges,
-        //   dz[v] += dl_e z_u over in-edges (two u_mul_e SpMMs).
-        z->accumulate_grad(run_spmm(*c, gp->out_csr(), "u_mul_e", "sum",
-                                    {&z->value(), &dlogit, nullptr}, d));
-        z->accumulate_grad(run_spmm(*c, gp->in_csr(), "u_mul_e", "sum",
-                                    {&z->value(), &dlogit, nullptr}, d));
-      },
-      "gat_attention");
+  LazyGraph g;
+  return g.run(ctx, g.gat_attention(gr, g.leaf(z), logit_scale));
 }
 
 Tensor symmetric_norm_weights(const graph::Graph& g) {

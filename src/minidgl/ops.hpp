@@ -60,15 +60,27 @@ struct ExecContext {
   /// chunk(C) beyond the smallest block's row count).
   std::shared_ptr<const core::ScheduleIr> block_schedule_ir;
 
+  /// Fold recorded elementwise chains into SpMM / matmul epilogues (lazy
+  /// graph pass 1). Effective on the CPU fused backend only; flip off to
+  /// force the eager plan (the fused-vs-eager bit-identity baseline).
+  bool fuse_epilogues = true;
+  /// Run the linear-scan buffer-reuse / eager-release plan (lazy graph
+  /// pass 2). Off = every intermediate stays live to the end of the run.
+  bool plan_buffers = true;
+
   /// Simulated GPU seconds accumulated across ops (kGpuSim only).
   double sim_seconds = 0.0;
   /// Total bytes of materialized per-edge message tensors this epoch —
   /// drives the paper's "GAT training runs out of GPU memory" observation.
   double materialized_bytes = 0.0;
+  /// High-water of planned live intermediate bytes across lazy-graph runs
+  /// since the last reset — the buffer-reuse pass's figure of merit.
+  double peak_bytes = 0.0;
 
   void reset_accounting() {
     sim_seconds = 0.0;
     materialized_bytes = 0.0;
+    peak_bytes = 0.0;
   }
 };
 
@@ -96,10 +108,11 @@ Var spmm_copy_u(ExecContext& ctx, const graph::Graph& g, const Var& x,
 /// Minibatch (MFG) form of spmm_copy_u: aggregates over a sampled block's
 /// local adjacency (sample/block.hpp). `x` holds one row per block SOURCE
 /// node; the result has one row per block destination. Backward routes the
-/// gradient through the transposed block adjacency (built lazily, only when
-/// an input requires grad — inference pays nothing). The block must outlive
-/// the forward call only; the autograd tape keeps its own copy of what
-/// backward needs.
+/// gradient through the transposed block adjacency, which is derived at
+/// record time — and only when an input requires grad; inference pays
+/// nothing. The block must outlive the forward call only: backward reads the
+/// derived transpose/inverse-degrees, never the block itself (the old tape's
+/// unconditional deep copy of the whole adjacency is gone).
 Var block_spmm_copy_u(ExecContext& ctx, const sample::Block& block,
                       const Var& x, const std::string& reduce);
 

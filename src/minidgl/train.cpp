@@ -19,7 +19,10 @@ EpochResult Trainer::train_epoch() {
   ctx_.reset_accounting();
   support::Timer timer;
 
-  Var x = make_leaf(data_->features.clone(), false, "features");
+  // Shared-storage view: Tensor copies alias the buffer, the leaf never
+  // requires grad, and no lazy-graph step mutates leaf storage — so the
+  // former defensive clone() was a pure |V| x d copy per epoch.
+  Var x = make_leaf(data_->features, false, "features");
   Var log_probs = model_.forward(ctx_, data_->graph, x);
   Var loss = nll_loss(ctx_, log_probs, data_->labels, data_->train_rows);
   optimizer_.zero_grad();
@@ -32,6 +35,7 @@ EpochResult Trainer::train_epoch() {
   result.seconds =
       ctx_.device == Device::kGpuSim ? ctx_.sim_seconds : timer.seconds();
   result.materialized_bytes = ctx_.materialized_bytes;
+  result.peak_bytes = ctx_.peak_bytes;
   return result;
 }
 
@@ -40,7 +44,10 @@ EpochResult Trainer::infer() {
   ctx_.reset_accounting();
   support::Timer timer;
 
-  Var x = make_leaf(data_->features.clone(), false, "features");
+  // Shared-storage view: Tensor copies alias the buffer, the leaf never
+  // requires grad, and no lazy-graph step mutates leaf storage — so the
+  // former defensive clone() was a pure |V| x d copy per epoch.
+  Var x = make_leaf(data_->features, false, "features");
   Var log_probs = model_.forward(ctx_, data_->graph, x);
 
   result.loss = 0.0f;
@@ -49,6 +56,7 @@ EpochResult Trainer::infer() {
   result.seconds =
       ctx_.device == Device::kGpuSim ? ctx_.sim_seconds : timer.seconds();
   result.materialized_bytes = ctx_.materialized_bytes;
+  result.peak_bytes = ctx_.peak_bytes;
   return result;
 }
 
@@ -116,6 +124,7 @@ MinibatchInferResult Trainer::infer_minibatch(
                               static_cast<double>(rows.size());
   result.seconds =
       ctx_.device == Device::kGpuSim ? ctx_.sim_seconds : timer.seconds();
+  result.peak_bytes = ctx_.peak_bytes;
   return result;
 }
 
@@ -220,7 +229,10 @@ ServeRequestsResult Trainer::serve_requests(
 }
 
 double Trainer::test_accuracy() {
-  Var x = make_leaf(data_->features.clone(), false, "features");
+  // Shared-storage view: Tensor copies alias the buffer, the leaf never
+  // requires grad, and no lazy-graph step mutates leaf storage — so the
+  // former defensive clone() was a pure |V| x d copy per epoch.
+  Var x = make_leaf(data_->features, false, "features");
   Var log_probs = model_.forward(ctx_, data_->graph, x);
   return accuracy(log_probs->value(), data_->labels, data_->test_rows);
 }

@@ -21,6 +21,9 @@ struct EpochResult {
   double seconds = 0.0;
   /// Materialized message bytes this epoch (0 for the fused backend).
   double materialized_bytes = 0.0;
+  /// High-water of planned live intermediate bytes (lazy-graph buffer
+  /// planner) across the epoch's forward runs.
+  double peak_bytes = 0.0;
 };
 
 /// Knobs of one minibatch block-inference epoch (the serving loop).
@@ -48,6 +51,8 @@ struct MinibatchInferResult {
   sample::PipelineStats pipeline;
   std::int64_t schedule_cache_hits = 0;
   std::int64_t schedule_cache_misses = 0;
+  /// High-water of planned live intermediate bytes over the block forwards.
+  double peak_bytes = 0.0;
 };
 
 /// Knobs of the multi-tenant per-request serving path (src/serve).

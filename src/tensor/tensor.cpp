@@ -1,6 +1,7 @@
 #include "tensor/tensor.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
@@ -10,6 +11,8 @@
 namespace featgraph::tensor {
 
 namespace {
+
+std::atomic<std::int64_t> g_allocations{0};
 
 std::int64_t shape_numel(const std::vector<std::int64_t>& shape) {
   std::int64_t n = 1;
@@ -22,12 +25,17 @@ std::int64_t shape_numel(const std::vector<std::int64_t>& shape) {
 
 std::shared_ptr<float[]> allocate_aligned(std::int64_t numel) {
   if (numel == 0) numel = 1;  // keep data() non-null for empty tensors
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
   support::AlignedAllocator<float> alloc;
   float* p = alloc.allocate(static_cast<std::size_t>(numel));
   return std::shared_ptr<float[]>(p, [](float* q) { std::free(q); });
 }
 
 }  // namespace
+
+std::int64_t allocation_count() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
 
 Tensor::Tensor(std::vector<std::int64_t> shape)
     : shape_(std::move(shape)),

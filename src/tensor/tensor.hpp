@@ -15,6 +15,11 @@
 
 namespace featgraph::tensor {
 
+/// Buffer allocations since process start. Tensor copies SHARE storage and
+/// do not bump this — only fresh buffers (constructors, clone, zeros/full/
+/// randn) do. Test hook: diff across a code path to pin its copy count.
+std::int64_t allocation_count();
+
 class Tensor {
  public:
   Tensor() = default;

@@ -191,7 +191,9 @@ TEST(ShardIr, ProgramHashCoversShardKnobs) {
   CpuSpmmSchedule grained;
   grained.ir = std::make_shared<const ScheduleIr>(
       ScheduleIr().shard(8).steal_grain(2));
-  const auto h = fg::core::schedule_program_hash;
+  const auto h = [](const CpuSpmmSchedule& s) {
+    return fg::core::schedule_program_hash(s);
+  };
   EXPECT_NE(h(plain), h(sharded));
   EXPECT_NE(h(sharded), h(sharded16));
   EXPECT_NE(h(sharded), h(grained));

@@ -110,6 +110,28 @@ TEST_P(IsaParity, FillScaleReluAxpyBitEqual) {
   }
 }
 
+TEST_P(IsaParity, EpiloguePrimitivesLeakyReluBiasReluBitEqual) {
+  // The fused-epilogue primitives (core/epilogue.hpp): exact-class select /
+  // add+select, so the parity contract is bitwise like relu/axpy.
+  for (std::int64_t n : kLens) {
+    auto base = random_span(n, 2100 + static_cast<std::uint64_t>(n));
+    auto bias = random_span(n, 2200 + static_cast<std::uint64_t>(n));
+
+    for (const float slope : {0.0f, 0.01f, 0.2f}) {
+      auto a = base, b = base;
+      lhs_->leaky_relu(a.data(), slope, n);
+      rhs_->leaky_relu(b.data(), slope, n);
+      EXPECT_TRUE(bit_equal(a, b)) << "leaky_relu slope=" << slope
+                                   << " n=" << n;
+    }
+
+    auto a = base, b = base;
+    lhs_->bias_relu(a.data(), bias.data(), n);
+    rhs_->bias_relu(b.data(), bias.data(), n);
+    EXPECT_TRUE(bit_equal(a, b)) << "bias_relu n=" << n;
+  }
+}
+
 TEST_P(IsaParity, AccumBitEqualAllReducers) {
   for (int r = 0; r < fg::simd::kNumAccum; ++r) {
     for (std::int64_t n : kLens) {
@@ -377,6 +399,16 @@ TEST(Simd, NarrowSpansRouteAvx512ToAvx2BitIdentically) {
     a512.axpy(a.data(), x.data(), 0.7f, n);
     a2.axpy(b.data(), x.data(), 0.7f, n);
     EXPECT_TRUE(bit_equal(a, b)) << "axpy n=" << n;
+
+    a = base, b = base;
+    a512.leaky_relu(a.data(), 0.01f, n);
+    a2.leaky_relu(b.data(), 0.01f, n);
+    EXPECT_TRUE(bit_equal(a, b)) << "leaky_relu n=" << n;
+
+    a = base, b = base;
+    a512.bias_relu(a.data(), x.data(), n);
+    a2.bias_relu(b.data(), x.data(), n);
+    EXPECT_TRUE(bit_equal(a, b)) << "bias_relu n=" << n;
 
     // The tolerance-class primitives: bitwise on narrow spans post-reroute.
     const float d512 = a512.dot(x.data(), y.data(), n);
