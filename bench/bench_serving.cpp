@@ -22,6 +22,7 @@
 
 #include "common.hpp"
 #include "minidgl/train.hpp"
+#include "obs/metrics.hpp"
 #include "support/rng.hpp"
 
 namespace fg = featgraph;
@@ -53,6 +54,11 @@ struct Summary {
 int main() {
   fg::bench::print_banner("serving",
                           "multi-tenant coalescing + feature cache latency");
+  // Everything below attributes to this baseline: the profile report at the
+  // end shows only what the serving runs themselves did. Run with
+  // FEATGRAPH_TRACE=trace.json to additionally get the Chrome trace of every
+  // serve.batch -> sample/gather/compute/scatter span (CI uploads it).
+  const auto obs_baseline = fg::obs::Registry::global().snapshot();
   const double scale = fg::bench::dataset_scale();
   const auto n = static_cast<vid_t>(32768 * scale * 10);
   const auto data = fg::minidgl::make_sbm_classification(
@@ -198,5 +204,10 @@ int main() {
       static_cast<long long>(co_cached.cache_bytes_saved));
   fg::bench::splice_json_section("BENCH_kernels.json", "serving", body);
   std::printf("BENCH_kernels.json: serving section updated\n");
+
+  std::printf("\n%s",
+              fg::obs::render_profile_report(
+                  fg::obs::Registry::global().snapshot().since(obs_baseline))
+                  .c_str());
   return 0;
 }

@@ -1,8 +1,10 @@
 #include "common.hpp"
 
 #include <cstdio>
+#include <thread>
 
 #include "core/simd.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace featgraph::bench {
 
@@ -41,8 +43,32 @@ std::string slurp_file(const char* path) {
   return content;
 }
 
+std::string host_info_json() {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "{\"hardware_concurrency\": %u, \"isa\": \"%s\", "
+                "\"workers\": %u}",
+                std::thread::hardware_concurrency(),
+                simd::isa_name(simd::active_isa()),
+                parallel::ThreadPool::global().num_workers());
+  return buf;
+}
+
 void splice_json_section(const char* path, const std::string& key,
                          const std::string& body) {
+  // Stamp the host into every object-valued section (first key, zero
+  // call-site churn): a BENCH number without the machine and ISA it was
+  // measured on is unreadable a PR later.
+  std::string stamped = body;
+  if (!stamped.empty() && stamped.front() == '{' &&
+      stamped.find("\"host\"") == std::string::npos) {
+    const std::size_t first = stamped.find_first_not_of(" \n", 1);
+    const std::string host = "\"host\": " + host_info_json();
+    if (first != std::string::npos && stamped[first] == '}')
+      stamped.insert(1, host);
+    else
+      stamped.insert(1, host + ",\n    ");
+  }
   std::string json = slurp_file(path);
   const auto key_pos = json.find("\"" + key + "\"");
   if (key_pos != std::string::npos) {
@@ -86,7 +112,7 @@ void splice_json_section(const char* path, const std::string& key,
     return;
   }
   std::fprintf(f, "%s%s\n  \"%s\": %s\n}\n", first_entry ? "{" : json.c_str(),
-               first_entry ? "" : ",", key.c_str(), body.c_str());
+               first_entry ? "" : ",", key.c_str(), stamped.c_str());
   std::fclose(f);
 }
 

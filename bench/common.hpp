@@ -39,6 +39,12 @@ std::string speedup_str(double baseline_seconds, double system_seconds);
 /// Reads the whole file, or "" when absent.
 std::string slurp_file(const char* path);
 
+/// JSON object describing the measuring host: hardware_concurrency, the
+/// active SIMD ISA, and the pool's worker count. splice_json_section stamps
+/// it as the "host" key of every BENCH section so a recorded number can
+/// never be read without the machine it came from.
+std::string host_info_json();
+
 /// Splices `"key": body` in front of `path`'s closing brace, replacing a
 /// previous copy of the same key if present — the idiom every bench binary
 /// uses to keep one BENCH_kernels.json trajectory across PRs. Handles a

@@ -275,6 +275,21 @@ void launch(const graph::Csr& adj, const LogitFn& logit, const WMsg& wmsg,
             const CpuSpmmSchedule& sched) {
   const std::int64_t n = adj.num_rows;
   if (n == 0) return;
+  static obs::Counter& obs_launches =
+      obs::Registry::global().counter("attention.launch.count");
+  static obs::Counter& obs_edges =
+      obs::Registry::global().counter("attention.edges.swept");
+  obs_launches.add(1);
+  obs_edges.add(static_cast<std::int64_t>(adj.nnz()));
+  obs::TraceScope obs_span("attention.launch");
+  if (obs_span.active()) {
+    obs_span.arg("rows", n)
+        .arg("nnz", static_cast<std::int64_t>(adj.nnz()))
+        .arg("d_out", d_out)
+        .arg("isa", simd::isa_name(simd::active_isa()))
+        .arg("program",
+             static_cast<std::int64_t>(schedule_program_hash(sched)));
+  }
   // Flat knobs or the attached Schedule-IR program lower once per launch
   // (the same hoisting as generalized_spmm).
   const LoweredSpmmPlan plan =

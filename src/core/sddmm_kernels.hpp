@@ -19,6 +19,8 @@
 #include "core/schedule_ir.hpp"
 #include "core/simd.hpp"
 #include "graph/csr.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/parallel_for.hpp"
 #include "support/check.hpp"
 
@@ -35,6 +37,21 @@ void generalized_sddmm(const graph::Coo& coo,
   if (m == 0 || n_out == 0) return;
   FG_CHECK(order == nullptr ||
            static_cast<graph::eid_t>(order->size()) == m);
+
+  static obs::Counter& obs_launches =
+      obs::Registry::global().counter("sddmm.launch.count");
+  static obs::Counter& obs_edges =
+      obs::Registry::global().counter("sddmm.edges.swept");
+  obs_launches.add(1);
+  obs_edges.add(static_cast<std::int64_t>(m));
+  obs::TraceScope obs_span("sddmm.launch");
+  if (obs_span.active()) {
+    obs_span.arg("edges", static_cast<std::int64_t>(m))
+        .arg("n_out", n_out)
+        .arg("reduce_len", len)
+        .arg("isa", simd::isa_name(simd::active_isa()))
+        .arg("hilbert", order != nullptr ? 1 : 0);
+  }
 
   // Flat knobs (or the attached Schedule-IR program) lower once per launch.
   const LoweredSddmmPlan plan =

@@ -8,6 +8,8 @@
 #include <utility>
 
 #include "core/schedule_ir.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
 
@@ -42,6 +44,9 @@ int lattice_climb(const std::vector<int>& sizes, const Point& seed0,
                   const SmartTuneOptions& options, const MeasureAt& measure_at) {
   const std::size_t axes = sizes.size();
   FG_CHECK(seed0.size() == axes);
+  FG_TRACE_SCOPE("tuner.smart_climb",
+                 obs::arg("axes", static_cast<std::int64_t>(axes)),
+                 obs::arg("max_trials", options.max_trials));
   std::map<Point, double> measured;
   int trials_used = 0;
 
@@ -50,6 +55,10 @@ int lattice_climb(const std::vector<int>& sizes, const Point& seed0,
     if (it != measured.end()) return it->second;
     if (trials_used >= options.max_trials)
       return std::numeric_limits<double>::infinity();
+    static obs::Counter& obs_trials =
+        obs::Registry::global().counter("tuner.trial.count");
+    obs_trials.add(1);
+    FG_TRACE_SCOPE("tuner.trial");
     const double secs = measure_at(p);
     ++trials_used;
     measured.emplace(p, secs);

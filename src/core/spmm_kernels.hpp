@@ -26,6 +26,8 @@
 #include "core/simd.hpp"
 #include "graph/csr.hpp"
 #include "graph/partition.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/shard_exec.hpp"
 #include "support/check.hpp"
@@ -217,6 +219,30 @@ void generalized_spmm(const graph::Csr& adj,
                       const EpilogueOps* epilogue = nullptr) {
   const std::int64_t n = adj.num_rows;
   if (n == 0 || d_out == 0) return;
+
+  // Launch-granular observability: three relaxed counter bumps plus one
+  // disabled-flag branch when tracing is off; the program hash (a real
+  // reduction over the schedule) is only computed when a trace is live.
+  static obs::Counter& obs_launches =
+      obs::Registry::global().counter("spmm.launch.count");
+  static obs::Counter& obs_rows =
+      obs::Registry::global().counter("spmm.rows.swept");
+  static obs::Counter& obs_nnz =
+      obs::Registry::global().counter("spmm.nnz.swept");
+  obs_launches.add(1);
+  obs_rows.add(n);
+  obs_nnz.add(static_cast<std::int64_t>(adj.nnz()));
+  obs::TraceScope obs_span("spmm.launch");
+  if (obs_span.active()) {
+    const std::uint64_t sig = epilogue != nullptr ? epilogue->signature() : 0;
+    obs_span.arg("rows", n)
+        .arg("nnz", static_cast<std::int64_t>(adj.nnz()))
+        .arg("d_out", d_out)
+        .arg("isa", simd::isa_name(simd::active_isa()))
+        .arg("program",
+             static_cast<std::int64_t>(schedule_program_hash(sched, sig)))
+        .arg("epilogue_sig", static_cast<std::int64_t>(sig));
+  }
 
   // Hoist every loop-nest decision out of the launch: flat knobs (or the
   // attached Schedule-IR program) lower ONCE into a plain plan struct.

@@ -9,6 +9,8 @@
 
 #include "core/schedule_ir.hpp"
 #include "gpusim/attention_gpu.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/timer.hpp"
 
 namespace featgraph::core {
@@ -120,9 +122,19 @@ SpmmTuneResult tune_spmm(const graph::Csr& adj, std::string_view msg_op,
                          std::vector<CpuSpmmSchedule> candidates,
                          int timing_reps) {
   FG_CHECK(!candidates.empty());
+  static obs::Counter& obs_tunes =
+      obs::Registry::global().counter("tuner.tune.count");
+  static obs::Counter& obs_trials =
+      obs::Registry::global().counter("tuner.trial.count");
+  obs_tunes.add(1);
+  FG_TRACE_SCOPE("tuner.tune", obs::arg("kind", "spmm"),
+                 obs::arg("candidates",
+                          static_cast<std::int64_t>(candidates.size())));
   SpmmTuneResult result;
   result.best_seconds = std::numeric_limits<double>::infinity();
   for (const auto& cand : candidates) {
+    obs_trials.add(1);
+    FG_TRACE_SCOPE("tuner.trial");
     const double secs = support::time_mean_seconds(
         [&] { (void)spmm(adj, msg_op, reduce_op, cand, operands); },
         timing_reps);
@@ -182,9 +194,19 @@ SpmmTuneResult tune_attention(const graph::Csr& adj, std::string_view msg_op,
                               std::vector<CpuSpmmSchedule> candidates,
                               int timing_reps) {
   FG_CHECK(!candidates.empty());
+  static obs::Counter& obs_tunes =
+      obs::Registry::global().counter("tuner.tune.count");
+  static obs::Counter& obs_trials =
+      obs::Registry::global().counter("tuner.trial.count");
+  obs_tunes.add(1);
+  FG_TRACE_SCOPE("tuner.tune", obs::arg("kind", "attention"),
+                 obs::arg("candidates",
+                          static_cast<std::int64_t>(candidates.size())));
   SpmmTuneResult result;
   result.best_seconds = std::numeric_limits<double>::infinity();
   for (const auto& cand : candidates) {
+    obs_trials.add(1);
+    FG_TRACE_SCOPE("tuner.trial");
     const double secs = support::time_mean_seconds(
         [&] { (void)attention(adj, msg_op, cand, operands); }, timing_reps);
     result.trials.push_back({cand, secs});

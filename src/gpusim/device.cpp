@@ -1,10 +1,22 @@
 #include "gpusim/device.hpp"
 
 #include <algorithm>
+#include <cstdint>
+
+#include "obs/metrics.hpp"
 
 namespace featgraph::gpusim {
 
 CostBreakdown estimate_time(const KernelStats& stats, const DeviceSpec& spec) {
+  static obs::Counter& obs_kernels =
+      obs::Registry::global().counter("gpusim.kernel.count");
+  static obs::Counter& obs_loads =
+      obs::Registry::global().counter("gpusim.load.transactions");
+  static obs::Counter& obs_stores =
+      obs::Registry::global().counter("gpusim.store.transactions");
+  obs_kernels.add(1);
+  obs_loads.add(static_cast<std::int64_t>(stats.global_load_transactions));
+  obs_stores.add(static_cast<std::int64_t>(stats.global_store_transactions));
   CostBreakdown cost;
   cost.mem_s = (stats.global_load_transactions + stats.global_store_transactions) *
                DeviceSpec::kSectorBytes / spec.mem_bw_bytes_per_s;

@@ -15,6 +15,8 @@
 #include "gpusim/attention_gpu.hpp"
 #include "gpusim/sddmm_gpu.hpp"
 #include "gpusim/spmm_gpu.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/parallel_for.hpp"
 #include "sample/block.hpp"
 #include "sample/pipeline.hpp"
@@ -886,6 +888,8 @@ NodeId LazyGraph::gat_attention(const graph::Graph& g, NodeId z,
 LazyPlan LazyGraph::plan(const PlanOptions& options) const {
   const auto n = static_cast<NodeId>(nodes_.size());
   const auto sz = static_cast<std::size_t>(n);
+  FG_TRACE_SCOPE("lazy.plan", obs::arg("nodes", static_cast<std::int64_t>(n)),
+                 obs::arg("fuse", options.fuse ? 1 : 0));
   LazyPlan p;
   p.fused_into.assign(sz, kNoNode);
   p.alias.resize(sz);
@@ -1174,6 +1178,32 @@ Var LazyGraph::run(ExecContext& ctx, NodeId root) {
   LazyPlan lp = plan(po);
   ctx.peak_bytes =
       std::max(ctx.peak_bytes, static_cast<double>(lp.peak_bytes));
+
+  // Plan-shape metrics: how much the op-graph compiler actually bought.
+  {
+    std::int64_t fused = 0;
+    std::int64_t buffered = 0;
+    for (std::size_t ui = 0; ui < sz; ++ui) {
+      if (lp.fused_into[ui] != kNoNode) ++fused;
+      if (lp.buffer_id[ui] != kNoNode) ++buffered;
+    }
+    static obs::Counter& obs_runs =
+        obs::Registry::global().counter("lazy.run.count");
+    static obs::Counter& obs_fused =
+        obs::Registry::global().counter("lazy.fusion.count");
+    static obs::Counter& obs_reused =
+        obs::Registry::global().counter("lazy.buffer.reused");
+    static obs::Gauge& obs_peak =
+        obs::Registry::global().gauge("lazy.peak_bytes");
+    obs_runs.add(1);
+    obs_fused.add(fused);
+    // Nodes sharing a recycled slot beyond the first occupant of each.
+    obs_reused.add(std::max<std::int64_t>(0, buffered - lp.num_buffers));
+    obs_peak.set_max(lp.peak_bytes);
+  }
+  FG_TRACE_SCOPE("lazy.run", obs::arg("steps", lp.num_steps),
+                 obs::arg("buffers", lp.num_buffers),
+                 obs::arg("peak_bytes", lp.peak_bytes));
 
   std::vector<Tensor> vals(sz);
   std::vector<SideData> side(sz);

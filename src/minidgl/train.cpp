@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sample/neighbor_sampler.hpp"
 #include "support/timer.hpp"
 
@@ -15,6 +17,10 @@ Trainer::Trainer(const ClassificationData& data, Model model, ExecContext ctx,
       optimizer_(model_.parameters(), lr) {}
 
 EpochResult Trainer::train_epoch() {
+  static obs::Counter& obs_epochs =
+      obs::Registry::global().counter("train.epoch.count");
+  obs_epochs.add(1);
+  FG_TRACE_SCOPE("train.epoch");
   EpochResult result;
   ctx_.reset_accounting();
   support::Timer timer;
@@ -40,6 +46,10 @@ EpochResult Trainer::train_epoch() {
 }
 
 EpochResult Trainer::infer() {
+  static obs::Counter& obs_infers =
+      obs::Registry::global().counter("train.infer.count");
+  obs_infers.add(1);
+  FG_TRACE_SCOPE("train.infer");
   EpochResult result;
   ctx_.reset_accounting();
   support::Timer timer;

@@ -1,0 +1,205 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "support/check.hpp"
+#include "support/table.hpp"
+
+namespace featgraph::obs {
+
+double HistogramSnapshot::percentile(double p) const {
+  if (total <= 0) return 0.0;
+  // Nearest rank, exactly as serve::percentile: ceil(p/100 * n), 1-indexed.
+  const double raw = p / 100.0 * static_cast<double>(total);
+  std::int64_t rank = static_cast<std::int64_t>(std::ceil(raw));
+  if (rank < 1) rank = 1;
+  if (rank > total) rank = total;
+  std::int64_t cum = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    cum += counts[b];
+    if (cum >= rank)
+      return b < bounds.size() ? bounds[b]
+                               : (bounds.empty() ? 0.0 : bounds.back());
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  FG_CHECK_MSG(!bounds_.empty(), "histogram needs at least one bucket bound");
+  FG_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()),
+               "histogram bounds must be ascending");
+  counts_ = std::make_unique<std::atomic<std::int64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0);
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto b = static_cast<std::size_t>(it - bounds_.begin());
+  counts_[b].fetch_add(1, std::memory_order_relaxed);
+  total_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
+  s.bounds = bounds_;
+  s.counts.resize(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i)
+    s.counts[i] = counts_[i].load(std::memory_order_relaxed);
+  s.total = total_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i)
+    counts_[i].store(0, std::memory_order_relaxed);
+  total_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+const std::vector<double>& default_latency_buckets_s() {
+  static const std::vector<double> bounds = [] {
+    std::vector<double> b;
+    for (double decade = 1e-6; decade < 20.0; decade *= 10.0)
+      for (double m : {1.0, 2.0, 5.0}) b.push_back(decade * m);
+    return b;
+  }();
+  return bounds;
+}
+
+MetricsSnapshot MetricsSnapshot::since(const MetricsSnapshot& baseline) const {
+  MetricsSnapshot d;
+  for (const auto& [name, v] : counters) {
+    const auto it = baseline.counters.find(name);
+    const std::int64_t delta = v - (it != baseline.counters.end() ? it->second : 0);
+    if (delta != 0) d.counters.emplace(name, delta);
+  }
+  d.gauges = gauges;
+  for (const auto& [name, h] : histograms) {
+    const auto it = baseline.histograms.find(name);
+    if (it == baseline.histograms.end()) {
+      if (h.total > 0) d.histograms.emplace(name, h);
+      continue;
+    }
+    HistogramSnapshot delta = h;
+    delta.total -= it->second.total;
+    delta.sum -= it->second.sum;
+    for (std::size_t b = 0;
+         b < delta.counts.size() && b < it->second.counts.size(); ++b)
+      delta.counts[b] -= it->second.counts[b];
+    if (delta.total > 0) d.histograms.emplace(name, delta);
+  }
+  return d;
+}
+
+Registry& Registry::global() {
+  // Leaky heap singleton: detached lanes and atexit writers may still bump
+  // counters after main() returns.
+  static Registry* g = new Registry;
+  return *g;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  FG_CHECK_MSG(gauges_.find(name) == gauges_.end() &&
+                   histograms_.find(name) == histograms_.end(),
+               "metric name already registered as a different kind");
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  FG_CHECK_MSG(counters_.find(name) == counters_.end() &&
+                   histograms_.find(name) == histograms_.end(),
+               "metric name already registered as a different kind");
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  return histogram(name, default_latency_buckets_s());
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  FG_CHECK_MSG(counters_.find(name) == counters_.end() &&
+                   gauges_.find(name) == gauges_.end(),
+               "metric name already registered as a different kind");
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot s;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, c] : counters_) s.counters.emplace(name, c->value());
+  for (const auto& [name, g] : gauges_) s.gauges.emplace(name, g->value());
+  for (const auto& [name, h] : histograms_)
+    s.histograms.emplace(name, h->snapshot());
+  return s;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, c] : counters_) c->reset();
+  for (const auto& [name, g] : gauges_) g->reset();
+  for (const auto& [name, h] : histograms_) h->reset();
+}
+
+namespace {
+
+std::string format_count(std::int64_t v) { return std::to_string(v); }
+
+std::string format_seconds(double s) {
+  char buf[32];
+  if (s < 1e-3)
+    std::snprintf(buf, sizeof buf, "%.1f us", s * 1e6);
+  else if (s < 1.0)
+    std::snprintf(buf, sizeof buf, "%.2f ms", s * 1e3);
+  else
+    std::snprintf(buf, sizeof buf, "%.3f s", s);
+  return buf;
+}
+
+}  // namespace
+
+std::string render_profile_report(const MetricsSnapshot& snap) {
+  std::string out = "=== profile report ===\n";
+  if (!snap.counters.empty()) {
+    support::Table t({"counter", "value"});
+    for (const auto& [name, v] : snap.counters)
+      t.add_row({name, format_count(v)});
+    out += t.to_string();
+  }
+  if (!snap.gauges.empty()) {
+    support::Table t({"gauge", "value"});
+    for (const auto& [name, v] : snap.gauges)
+      t.add_row({name, format_count(v)});
+    out += "\n" + t.to_string();
+  }
+  if (!snap.histograms.empty()) {
+    support::Table t({"histogram", "count", "mean", "p50", "p90", "p99"});
+    for (const auto& [name, h] : snap.histograms)
+      t.add_row({name, format_count(h.total), format_seconds(h.mean()),
+                 format_seconds(h.percentile(50)),
+                 format_seconds(h.percentile(90)),
+                 format_seconds(h.percentile(99))});
+    out += "\n" + t.to_string();
+  }
+  if (snap.counters.empty() && snap.gauges.empty() && snap.histograms.empty())
+    out += "(no metrics recorded)\n";
+  return out;
+}
+
+}  // namespace featgraph::obs

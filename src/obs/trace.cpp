@@ -1,0 +1,295 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+
+#include "support/check.hpp"
+#include "support/env.hpp"
+
+namespace featgraph::obs {
+
+namespace {
+
+using clock = std::chrono::steady_clock;
+
+std::int64_t default_buffer_capacity() {
+  const long v = support::env_long("FEATGRAPH_TRACE_BUFFER", 1 << 16);
+  return v > 0 ? static_cast<std::int64_t>(v) : (1 << 16);
+}
+
+/// One thread's write-once span buffer. Only the owning thread writes
+/// records and count_; snapshotters read count_ (acquire) and the records
+/// below it, so a record is fully written before it becomes visible.
+struct ThreadBuffer {
+  explicit ThreadBuffer(std::int64_t capacity, int tid)
+      : slots(static_cast<std::size_t>(capacity)), tid(tid) {}
+
+  std::vector<SpanRecord> slots;
+  std::atomic<std::int64_t> count{0};
+  std::atomic<std::int64_t> dropped{0};
+  const int tid;
+  int depth = 0;  // owner-thread only
+
+  void record(const SpanRecord& r) {
+    const std::int64_t idx = count.load(std::memory_order_relaxed);
+    if (idx >= static_cast<std::int64_t>(slots.size())) {
+      dropped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    slots[static_cast<std::size_t>(idx)] = r;
+    count.store(idx + 1, std::memory_order_release);
+  }
+};
+
+/// Process-wide stitcher. Leaky heap singleton: buffers must stay readable
+/// by the atexit FEATGRAPH_TRACE writer after thread_local handles die.
+class TraceRegistry {
+ public:
+  static TraceRegistry& instance() {
+    static TraceRegistry* g = new TraceRegistry;
+    return *g;
+  }
+
+  ThreadBuffer* this_thread() {
+    thread_local std::shared_ptr<ThreadBuffer> local;
+    if (local == nullptr) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      const std::int64_t cap =
+          test_capacity_ > 0 ? test_capacity_ : default_buffer_capacity();
+      local = std::make_shared<ThreadBuffer>(
+          cap, static_cast<int>(buffers_.size()));
+      buffers_.push_back(local);
+    }
+    return local.get();
+  }
+
+  std::vector<SpanRecord> collect() const {
+    std::vector<SpanRecord> out;
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& buf : buffers_) {
+      const std::int64_t n = buf->count.load(std::memory_order_acquire);
+      for (std::int64_t i = 0; i < n; ++i)
+        out.push_back(buf->slots[static_cast<std::size_t>(i)]);
+    }
+    return out;
+  }
+
+  std::int64_t dropped() const {
+    std::int64_t total = 0;
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& buf : buffers_)
+      total += buf->dropped.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  void reset() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& buf : buffers_) {
+      buf->count.store(0, std::memory_order_release);
+      buf->dropped.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  void set_test_capacity(std::int64_t spans) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    test_capacity_ = spans;
+  }
+
+  /// Trace epoch: captured once, all timestamps are relative to it.
+  clock::time_point epoch() {
+    std::call_once(epoch_once_, [this] { epoch_ = clock::now(); });
+    return epoch_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  std::int64_t test_capacity_ = 0;
+  std::once_flag epoch_once_;
+  clock::time_point epoch_;
+};
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             clock::now() - TraceRegistry::instance().epoch())
+      .count();
+}
+
+void set_trace_enabled(bool on) {
+  detail::g_trace_state.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+std::string env_trace_path() {
+  return support::env_string("FEATGRAPH_TRACE", "");
+}
+
+void atexit_write_env_trace() {
+  const std::string path = env_trace_path();
+  if (!path.empty()) write_chrome_trace(path);
+}
+
+void json_escape_into(std::string& out, const char* s) {
+  for (; s != nullptr && *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) >= 0x20) {
+      out.push_back(c);
+    }
+  }
+}
+
+bool g_session_active = false;
+std::mutex g_session_mutex;
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<int> g_trace_state{-1};
+
+/// First trace_enabled() call: FEATGRAPH_TRACE=<path> turns tracing on for
+/// the whole process and registers the exit-time writer.
+bool trace_enabled_slow() {
+  [[maybe_unused]] static const bool env_on = [] {
+    const bool on = !env_trace_path().empty();
+    if (on) {
+      TraceRegistry::instance().epoch();  // anchor timestamps now
+      std::atexit(atexit_write_env_trace);
+    }
+    // Publish AFTER the registry/atexit setup so racing fast paths that
+    // observe the final state never miss initialization.
+    g_trace_state.store(on ? 1 : 0, std::memory_order_release);
+    return on;
+  }();
+  return g_trace_state.load(std::memory_order_relaxed) > 0;
+}
+
+}  // namespace detail
+
+void TraceScope::begin(const char* name) {
+  name_ = name;
+  ThreadBuffer* buf = TraceRegistry::instance().this_thread();
+  depth_ = buf->depth++;
+  t0_ns_ = now_ns();
+}
+
+void TraceScope::end() {
+  const std::int64_t t1 = now_ns();
+  ThreadBuffer* buf = TraceRegistry::instance().this_thread();
+  --buf->depth;
+  SpanRecord r;
+  r.name = name_;
+  r.t0_ns = t0_ns_;
+  r.t1_ns = t1;
+  r.tid = buf->tid;
+  r.depth = depth_;
+  r.num_args = num_args_;
+  for (int i = 0; i < num_args_; ++i) r.args[i] = args_[i];
+  buf->record(r);
+}
+
+TraceSession::TraceSession(std::string path) : path_(std::move(path)) {
+  // Run the env init first: if FEATGRAPH_TRACE is set, this registers the
+  // atexit writer even when a session is the process's first trace op
+  // (a direct store below would otherwise skip the slow path forever).
+  (void)detail::trace_enabled_slow();
+  std::lock_guard<std::mutex> lock(g_session_mutex);
+  FG_CHECK_MSG(!g_session_active, "nested TraceSession");
+  g_session_active = true;
+  TraceRegistry::instance().reset();
+  set_trace_enabled(true);
+}
+
+TraceSession::~TraceSession() {
+  // Env-requested process-wide tracing survives a session's end.
+  set_trace_enabled(!env_trace_path().empty());
+  if (!path_.empty()) write_chrome_trace(path_);
+  std::lock_guard<std::mutex> lock(g_session_mutex);
+  g_session_active = false;
+}
+
+std::string TraceSession::json() const { return chrome_trace_json(); }
+
+std::vector<SpanRecord> collect_spans() {
+  return TraceRegistry::instance().collect();
+}
+
+std::int64_t trace_dropped_spans() {
+  return TraceRegistry::instance().dropped();
+}
+
+std::string chrome_trace_json() {
+  const std::vector<SpanRecord> spans = collect_spans();
+  std::string out;
+  out.reserve(spans.size() * 128 + 256);
+  out += "{\n\"displayTimeUnit\": \"ms\",\n\"otherData\": "
+         "{\"dropped_spans\": ";
+  out += std::to_string(trace_dropped_spans());
+  out += "},\n\"traceEvents\": [";
+  char buf[64];
+  bool first = true;
+  for (const SpanRecord& s : spans) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "{\"name\": \"";
+    json_escape_into(out, s.name);
+    out += "\", \"cat\": \"featgraph\", \"ph\": \"X\", \"pid\": 1, \"tid\": ";
+    out += std::to_string(s.tid);
+    std::snprintf(buf, sizeof buf, "%.3f", static_cast<double>(s.t0_ns) / 1e3);
+    out += ", \"ts\": ";
+    out += buf;
+    std::snprintf(buf, sizeof buf, "%.3f",
+                  static_cast<double>(s.t1_ns - s.t0_ns) / 1e3);
+    out += ", \"dur\": ";
+    out += buf;
+    out += ", \"args\": {";
+    for (int i = 0; i < s.num_args; ++i) {
+      if (i > 0) out += ", ";
+      out += "\"";
+      json_escape_into(out, s.args[i].key);
+      out += "\": ";
+      switch (s.args[i].kind) {
+        case TraceArg::Kind::kI64:
+          out += std::to_string(s.args[i].i64);
+          break;
+        case TraceArg::Kind::kF64:
+          std::snprintf(buf, sizeof buf, "%.6g", s.args[i].f64);
+          out += buf;
+          break;
+        case TraceArg::Kind::kStr:
+          out += "\"";
+          json_escape_into(out, s.args[i].str);
+          out += "\"";
+          break;
+      }
+    }
+    out += "}}";
+  }
+  out += "\n]\n}\n";
+  return out;
+}
+
+bool write_chrome_trace(const std::string& path) {
+  const std::string json = chrome_trace_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "obs: cannot write trace to %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+void reset_trace_buffers() { TraceRegistry::instance().reset(); }
+
+void set_trace_buffer_capacity_for_test(std::int64_t spans) {
+  TraceRegistry::instance().set_test_capacity(spans);
+}
+
+}  // namespace featgraph::obs

@@ -1,0 +1,228 @@
+// Scoped-span tracing — the "where did this request's 14 ms go?" half of
+// the observability layer (obs/metrics.hpp is the counter half).
+//
+// Design: each thread owns a write-once buffer of completed spans; emitting
+// a span never takes a lock and never touches another thread's cache lines.
+// A process-wide registry stitches the thread buffers into one Chrome
+// trace-event JSON (load it in chrome://tracing or Perfetto) when a
+// TraceSession ends or at process exit when FEATGRAPH_TRACE=<path> is set.
+//
+// Zero-overhead-when-off contract: FG_TRACE_SCOPE compiles to ONE relaxed
+// atomic load + predictable branch when tracing is disabled — no timestamp,
+// no buffer touch, no allocation. Kernel hot paths instrument at LAUNCH
+// granularity (once per SpMM/SDDMM/attention call), never per edge, and the
+// trace-off overhead on the SpMM hot loop is gated < 1% by
+// bench_observability (the "observability" BENCH section).
+//
+// Determinism contract: tracing records timestamps and pre-computed values;
+// it never changes what a kernel computes. Outputs are bit-identical with
+// tracing on vs off (ObsDifferential.TracingChangesNoOutputBytes, per ISA).
+//
+// Span args are key=value pairs (int64 / double / STATIC string — the
+// buffer stores the pointer, not a copy). Cheap args go through the
+// variadic macro; anything expensive to compute belongs behind
+// `if (scope.active())` so disabled runs never pay for it:
+//
+//   FG_TRACE_SCOPE("serve.sample", obs::arg("seeds", n));
+//
+//   obs::TraceScope ts("spmm.launch");
+//   if (ts.active())
+//     ts.arg("rows", adj.num_rows).arg("program", expensive_hash());
+//
+// Buffers are bounded (FEATGRAPH_TRACE_BUFFER spans per thread, default
+// 1 << 16) and write-once: when a thread's buffer fills, further spans are
+// counted as dropped rather than wrapping — so concurrent snapshotting is
+// race-free (every slot is written exactly once, published by a release
+// store the reader acquires), which the TSan leg exercises.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace featgraph::obs {
+
+// --- span args --------------------------------------------------------------
+
+struct TraceArg {
+  enum class Kind : std::uint8_t { kI64, kF64, kStr };
+  const char* key = nullptr;
+  Kind kind = Kind::kI64;
+  std::int64_t i64 = 0;
+  double f64 = 0.0;
+  const char* str = nullptr;  // must outlive the session (static strings)
+};
+
+inline TraceArg arg(const char* key, std::int64_t v) {
+  TraceArg a;
+  a.key = key;
+  a.kind = TraceArg::Kind::kI64;
+  a.i64 = v;
+  return a;
+}
+inline TraceArg arg(const char* key, int v) {
+  return arg(key, static_cast<std::int64_t>(v));
+}
+inline TraceArg arg(const char* key, unsigned v) {
+  return arg(key, static_cast<std::int64_t>(v));
+}
+inline TraceArg arg(const char* key, std::uint64_t v) {
+  return arg(key, static_cast<std::int64_t>(v));
+}
+inline TraceArg arg(const char* key, double v) {
+  TraceArg a;
+  a.key = key;
+  a.kind = TraceArg::Kind::kF64;
+  a.f64 = v;
+  return a;
+}
+inline TraceArg arg(const char* key, const char* static_str) {
+  TraceArg a;
+  a.key = key;
+  a.kind = TraceArg::Kind::kStr;
+  a.str = static_str;
+  return a;
+}
+
+/// Args stored inline per span; extras beyond this are silently dropped.
+inline constexpr int kMaxTraceArgs = 6;
+
+/// One completed span as the registry stitches it (tests introspect these;
+/// the JSON writer renders them as Chrome "X" complete events).
+struct SpanRecord {
+  const char* name = nullptr;
+  std::int64_t t0_ns = 0;  // steady-clock ns since the trace epoch
+  std::int64_t t1_ns = 0;
+  int tid = 0;    // sequential thread index (registration order)
+  int depth = 0;  // nesting depth within its thread at begin time
+  int num_args = 0;
+  TraceArg args[kMaxTraceArgs];
+};
+
+// --- the enabled flag -------------------------------------------------------
+
+namespace detail {
+/// -1 = not yet initialized from FEATGRAPH_TRACE, 0 = off, 1 = on.
+extern std::atomic<int> g_trace_state;
+bool trace_enabled_slow();
+}  // namespace detail
+
+/// The one branch every disabled FG_TRACE_SCOPE pays.
+inline bool trace_enabled() {
+  const int v = detail::g_trace_state.load(std::memory_order_relaxed);
+  if (v >= 0) return v != 0;
+  return detail::trace_enabled_slow();
+}
+
+// --- scoped spans -----------------------------------------------------------
+
+/// RAII span: records [construction, destruction) into the calling thread's
+/// buffer when tracing is enabled, else does nothing beyond the
+/// trace_enabled() branch. Not copyable/movable; stack-scoped only.
+class TraceScope {
+ public:
+  explicit TraceScope(const char* name) {
+    if (trace_enabled()) begin(name);
+  }
+  template <class... Args>
+  TraceScope(const char* name, const Args&... args) {
+    if (trace_enabled()) {
+      begin(name);
+      (add_arg(args), ...);
+    }
+  }
+  ~TraceScope() {
+    if (name_ != nullptr) end();
+  }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+  /// True when this span is being recorded — guard expensive arg
+  /// computations on it.
+  bool active() const { return name_ != nullptr; }
+
+  /// Attaches one arg (no-op when inactive). Chainable.
+  TraceScope& arg(const char* key, std::int64_t v) {
+    if (name_ != nullptr) add_arg(obs::arg(key, v));
+    return *this;
+  }
+  TraceScope& arg(const char* key, int v) {
+    return arg(key, static_cast<std::int64_t>(v));
+  }
+  TraceScope& arg(const char* key, double v) {
+    if (name_ != nullptr) add_arg(obs::arg(key, v));
+    return *this;
+  }
+  TraceScope& arg(const char* key, const char* static_str) {
+    if (name_ != nullptr) add_arg(obs::arg(key, static_str));
+    return *this;
+  }
+
+ private:
+  void begin(const char* name);
+  void end();
+  void add_arg(const TraceArg& a) {
+    if (num_args_ < kMaxTraceArgs) args_[num_args_++] = a;
+  }
+
+  const char* name_ = nullptr;
+  std::int64_t t0_ns_ = 0;
+  int depth_ = 0;
+  int num_args_ = 0;
+  TraceArg args_[kMaxTraceArgs];
+};
+
+#define FG_TRACE_CONCAT_IMPL(a, b) a##b
+#define FG_TRACE_CONCAT(a, b) FG_TRACE_CONCAT_IMPL(a, b)
+/// FG_TRACE_SCOPE("subsystem.noun.verb"[, obs::arg("k", v), ...]) — the
+/// standard span spelling. One per C++ scope; for post-hoc args use a named
+/// obs::TraceScope directly.
+#define FG_TRACE_SCOPE(...)                                         \
+  ::featgraph::obs::TraceScope FG_TRACE_CONCAT(fg_trace_scope_,     \
+                                               __LINE__)(__VA_ARGS__)
+
+// --- sessions & export ------------------------------------------------------
+
+/// RAII tracing window: enables span recording on construction, disables on
+/// destruction and (when `path` is non-empty) writes the stitched Chrome
+/// trace JSON there. Buffers are cleared on construction so a session
+/// contains only its own spans. One session at a time (nesting aborts).
+class TraceSession {
+ public:
+  explicit TraceSession(std::string path = "");
+  ~TraceSession();
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  /// The stitched JSON for everything recorded so far.
+  std::string json() const;
+
+ private:
+  std::string path_;
+};
+
+/// Snapshot of every thread's recorded spans, stitched (registry order, then
+/// buffer order — i.e. per-thread chronological). Safe to call concurrently
+/// with span emission.
+std::vector<SpanRecord> collect_spans();
+
+/// Spans dropped because a thread's buffer filled.
+std::int64_t trace_dropped_spans();
+
+/// Chrome trace-event JSON of collect_spans() ("traceEvents" array of "X"
+/// complete events, ts/dur in microseconds, displayTimeUnit ms).
+std::string chrome_trace_json();
+
+/// Writes chrome_trace_json() to `path`; returns false on I/O failure.
+bool write_chrome_trace(const std::string& path);
+
+/// Test hook: clears every thread buffer (call only while no spans are
+/// being emitted — the write-once invariant restarts per buffer).
+void reset_trace_buffers();
+
+/// Test hook: span capacity for buffers created AFTER this call (new
+/// threads). 0 restores the FEATGRAPH_TRACE_BUFFER / default capacity.
+void set_trace_buffer_capacity_for_test(std::int64_t spans);
+
+}  // namespace featgraph::obs

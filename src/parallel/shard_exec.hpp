@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "parallel/parallel_for.hpp"
 
 namespace featgraph::parallel {
@@ -70,22 +71,33 @@ WorkStealStats sharded_row_sweep(const std::int64_t* indptr,
                                  std::int64_t num_rows, int num_shards,
                                  std::int64_t steal_grain, int num_threads,
                                  const Body& body) {
+  // The steal counters double as process metrics: every drain mirrors its
+  // stats into the shard.* registry counters, so a serving run or bench can
+  // read migration pressure without plumbing WorkStealStats upward.
+  static obs::Counter& obs_executed =
+      obs::Registry::global().counter("shard.shards.executed");
+  static obs::Counter& obs_stolen =
+      obs::Registry::global().counter("shard.steal.count");
   WorkStealStats stats;
   if (num_rows <= 0) return stats;
   if (num_shards > num_rows) num_shards = static_cast<int>(num_rows);
   if (num_shards <= 1) {
     body(0, num_rows);
     stats.executed = 1;
+    obs_executed.add(1);
     return stats;
   }
   const std::vector<std::int64_t> bounds =
       shard_row_bounds(indptr, num_rows, num_shards);
-  return work_stealing_chunks(
+  stats = work_stealing_chunks(
       num_shards, num_threads, steal_grain, [&](std::int64_t s) {
         const std::int64_t r0 = bounds[static_cast<std::size_t>(s)];
         const std::int64_t r1 = bounds[static_cast<std::size_t>(s) + 1];
         if (r0 < r1) body(r0, r1);
       });
+  obs_executed.add(stats.executed);
+  obs_stolen.add(stats.stolen);
+  return stats;
 }
 
 }  // namespace featgraph::parallel

@@ -1,6 +1,8 @@
 #include "sample/feature_loader.hpp"
 
 #include "core/simd.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/parallel_for.hpp"
 #include "support/check.hpp"
 
@@ -13,6 +15,13 @@ tensor::Tensor gather_rows(const tensor::Tensor& features,
   const auto m = static_cast<std::int64_t>(rows.size());
   tensor::Tensor out({m, d});
   if (m == 0 || d == 0) return out;
+  static obs::Counter& obs_gathers =
+      obs::Registry::global().counter("gather.rows.count");
+  static obs::Counter& obs_bytes =
+      obs::Registry::global().counter("gather.bytes.copied");
+  obs_gathers.add(m);
+  obs_bytes.add(m * d * static_cast<std::int64_t>(sizeof(float)));
+  FG_TRACE_SCOPE("gather.rows", obs::arg("rows", m), obs::arg("d", d));
   const std::int64_t n = features.rows();
   // Dispatch hoisted per launch, width-aware like the kernel templates: a
   // d < 16 gather resolves the AVX2 table outright.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/shard_exec.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
@@ -75,6 +77,15 @@ MinibatchBlocks NeighborSampler::sample(const std::vector<graph::vid_t>& seeds,
                                         int num_threads) const {
   FG_CHECK(num_threads >= 1);
   const int num_layers = static_cast<int>(config_.fanouts.size());
+  static obs::Counter& obs_samples =
+      obs::Registry::global().counter("sample.khop.count");
+  static obs::Counter& obs_seeds =
+      obs::Registry::global().counter("sample.seeds.expanded");
+  obs_samples.add(1);
+  obs_seeds.add(static_cast<std::int64_t>(seeds.size()));
+  FG_TRACE_SCOPE("sample.khop",
+                 obs::arg("seeds", static_cast<std::int64_t>(seeds.size())),
+                 obs::arg("layers", num_layers));
   MinibatchBlocks mfg;
   mfg.blocks.resize(static_cast<std::size_t>(num_layers));
 

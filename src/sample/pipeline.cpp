@@ -6,6 +6,8 @@
 #include <thread>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 #include "sample/feature_loader.hpp"
 #include "support/check.hpp"
@@ -14,6 +16,15 @@
 namespace featgraph::sample {
 
 namespace {
+
+/// Live handoff-queue depth, visible to a profile report mid-run. One gauge
+/// for the process: concurrent pipelines blend, which is exactly the load
+/// signal the gauge exists to show.
+obs::Gauge& queue_depth_gauge() {
+  static obs::Gauge& g =
+      obs::Registry::global().gauge("pipeline.queue.depth");
+  return g;
+}
 
 /// Bounded FIFO handoff between the producer and consumer lanes (CP.42
 /// style: every wait has a predicate). close() lets the producer signal
@@ -32,6 +43,7 @@ class BatchQueue {
     queue_.push_back(std::move(batch));
     if (static_cast<int>(queue_.size()) > max_depth_)
       max_depth_ = static_cast<int>(queue_.size());
+    queue_depth_gauge().set(static_cast<std::int64_t>(queue_.size()));
     not_empty_.notify_one();
   }
 
@@ -50,6 +62,7 @@ class BatchQueue {
     if (queue_.empty()) return false;
     out = std::move(queue_.front());
     queue_.pop_front();
+    queue_depth_gauge().set(static_cast<std::int64_t>(queue_.size()));
     not_full_.notify_one();
     return true;
   }
@@ -74,6 +87,10 @@ PreparedBatch produce_batch(const NeighborSampler& sampler,
                             const std::vector<graph::vid_t>& seeds,
                             std::int64_t index, std::int64_t batch_size,
                             int gather_threads, int sample_threads) {
+  static obs::Counter& obs_batches =
+      obs::Registry::global().counter("pipeline.batch.produced");
+  obs_batches.add(1);
+  FG_TRACE_SCOPE("pipeline.produce", obs::arg("batch", index));
   PreparedBatch batch;
   batch.index = index;
   const auto lo = static_cast<std::size_t>(index * batch_size);
@@ -149,6 +166,7 @@ PipelineStats run_pipeline(const NeighborSampler& sampler,
             PreparedBatch batch;
             while (queue.pop(batch)) {
               support::Timer t;
+              FG_TRACE_SCOPE("pipeline.consume", obs::arg("batch", batch.index));
               consume(batch);
               consume_seconds += t.seconds();
             }
@@ -176,7 +194,10 @@ PipelineStats run_pipeline(const NeighborSampler& sampler,
                                         options.sample_threads);
     stats.produce_seconds += t.seconds();
     t.reset();
-    consume(batch);
+    {
+      FG_TRACE_SCOPE("pipeline.consume", obs::arg("batch", batch.index));
+      consume(batch);
+    }
     stats.consume_seconds += t.seconds();
   }
   stats.total_seconds = total.seconds();
@@ -214,11 +235,18 @@ core::CpuSpmmSchedule BlockScheduleCache::schedule_for(
   key = combine(key, static_cast<std::uint64_t>(feat_width));
   key = combine(key, static_cast<std::uint64_t>(num_threads));
   key = combine(key, program_hash);
+  // Per-instance hits_/misses_ stay the tested API; the registry counters
+  // are a process-wide mirror so profile reports see schedule-cache traffic.
+  static obs::Counter& obs_hits =
+      obs::Registry::global().counter("cache.schedule.hit");
+  static obs::Counter& obs_misses =
+      obs::Registry::global().counter("cache.schedule.miss");
   {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = cache_.find(key);
     if (it != cache_.end()) {
       ++hits_;
+      obs_hits.add(1);
       return it->second;
     }
   }
@@ -231,10 +259,13 @@ core::CpuSpmmSchedule BlockScheduleCache::schedule_for(
   const core::CpuSpmmSchedule sched = tune();
   std::lock_guard<std::mutex> lock(mutex_);
   auto [it, inserted] = cache_.try_emplace(key, sched);
-  if (inserted)
+  if (inserted) {
     ++misses_;
-  else
+    obs_misses.add(1);
+  } else {
     ++hits_;
+    obs_hits.add(1);
+  }
   return it->second;
 }
 

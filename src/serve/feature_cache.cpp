@@ -3,6 +3,7 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "parallel/parallel_for.hpp"
 #include "sample/feature_loader.hpp"
 #include "support/check.hpp"
@@ -104,6 +105,18 @@ tensor::Tensor FeatureCache::gather(const tensor::Tensor& features,
       }
     }
   }
+  // Registry mirror of the per-instance Stats (which stay the tested API):
+  // one bulk add per gather, outside the lock.
+  static obs::Counter& g_hits =
+      obs::Registry::global().counter("cache.feature.hit");
+  static obs::Counter& g_misses =
+      obs::Registry::global().counter("cache.feature.miss");
+  static obs::Counter& g_bytes =
+      obs::Registry::global().counter("cache.feature.bytes_saved");
+  const auto misses = static_cast<std::int64_t>(miss_vids.size());
+  g_hits.add(m - misses);
+  g_misses.add(misses);
+  g_bytes.add((m - misses) * d * static_cast<std::int64_t>(sizeof(float)));
   if (miss_vids.empty()) return out;
 
   // Phase 2, no lock: one global gather of the cold remainder — the same

@@ -5,12 +5,26 @@
 #include <cmath>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 #include "sample/feature_loader.hpp"
 #include "support/check.hpp"
 #include "support/timer.hpp"
 
 namespace featgraph::serve {
+
+namespace {
+
+/// Seconds a request sat in admission before its batch started serving
+/// (live drain_loop: wall clock; replay_trace: the simulated clock — both
+/// feed the same histogram, so bench and live runs render comparably).
+obs::Histogram& queue_latency_hist() {
+  static obs::Histogram& h =
+      obs::Registry::global().histogram("serve.queue_latency.seconds");
+  return h;
+}
+
+}  // namespace
 
 ServingEngine::ServingEngine(const sample::NeighborSampler& sampler,
                              const tensor::Tensor& features,
@@ -29,56 +43,106 @@ ServingEngine::ServingEngine(const sample::NeighborSampler& sampler,
 std::vector<tensor::Tensor> ServingEngine::serve_batch(
     std::vector<Request> requests) {
   if (requests.empty()) return {};
-  CoalescedBatch batch = coalesce(std::move(requests));
+  obs::TraceScope batch_span("serve.batch");
+
+  CoalescedBatch batch = [&] {
+    FG_TRACE_SCOPE("serve.coalesce",
+                   obs::arg("requests",
+                            static_cast<std::int64_t>(requests.size())));
+    return coalesce(std::move(requests));
+  }();
+  if (batch_span.active()) {
+    batch_span
+        .arg("requests", static_cast<std::int64_t>(batch.requests.size()))
+        .arg("seed_rows", batch.total_request_seeds())
+        .arg("merged_rows", static_cast<std::int64_t>(batch.seeds.size()))
+        .arg("shared_rows", batch.shared_seed_rows);
+  }
 
   support::Timer t;
-  const sample::MinibatchBlocks blocks =
-      sampler_->sample(batch.seeds, options_.rng_stream, options_.num_threads);
-  const double sample_s = t.seconds();
+  const sample::MinibatchBlocks blocks = [&] {
+    FG_TRACE_SCOPE("serve.sample");
+    return sampler_->sample(batch.seeds, options_.rng_stream,
+                            options_.num_threads);
+  }();
+  const std::int64_t sample_ns = t.elapsed_ns();
 
   t.reset();
-  tensor::Tensor input_feats =
-      cache_ != nullptr
-          ? cache_->gather(*features_, blocks.input_nodes(),
-                           options_.num_threads)
-          : sample::gather_rows(*features_, blocks.input_nodes(),
-                                options_.num_threads);
-  const double gather_s = t.seconds();
+  tensor::Tensor input_feats = [&] {
+    FG_TRACE_SCOPE("serve.gather");
+    return cache_ != nullptr
+               ? cache_->gather(*features_, blocks.input_nodes(),
+                                options_.num_threads)
+               : sample::gather_rows(*features_, blocks.input_nodes(),
+                                     options_.num_threads);
+  }();
+  const std::int64_t gather_ns = t.elapsed_ns();
 
   t.reset();
-  const tensor::Tensor merged_out =
-      compute_(blocks, std::move(input_feats));
-  const double compute_s = t.seconds();
+  const tensor::Tensor merged_out = [&] {
+    FG_TRACE_SCOPE("serve.compute");
+    return compute_(blocks, std::move(input_feats));
+  }();
+  const std::int64_t compute_ns = t.elapsed_ns();
   FG_CHECK_MSG(merged_out.rows() ==
                    static_cast<std::int64_t>(batch.seeds.size()),
                "batch compute must return one row per merged seed");
 
-  std::vector<tensor::Tensor> outs = scatter_back(batch, merged_out);
-  {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    stats_.requests += static_cast<std::int64_t>(batch.requests.size());
-    stats_.batches += 1;
-    stats_.seed_rows += batch.total_request_seeds();
-    stats_.merged_rows += static_cast<std::int64_t>(batch.seeds.size());
-    stats_.shared_seed_rows += batch.shared_seed_rows;
-    stats_.max_batch_requests =
-        std::max(stats_.max_batch_requests,
-                 static_cast<std::int64_t>(batch.requests.size()));
-    stats_.sample_seconds += sample_s;
-    stats_.gather_seconds += gather_s;
-    stats_.compute_seconds += compute_s;
-  }
+  std::vector<tensor::Tensor> outs = [&] {
+    FG_TRACE_SCOPE("serve.scatter");
+    return scatter_back(batch, merged_out);
+  }();
+
+  // Per-instance atomics (no lock): the detached lane bumps these while a
+  // monitor thread reads stats() — every field is torn-free on its own.
+  requests_.add(static_cast<std::int64_t>(batch.requests.size()));
+  batches_.add(1);
+  seed_rows_.add(batch.total_request_seeds());
+  merged_rows_.add(static_cast<std::int64_t>(batch.seeds.size()));
+  shared_seed_rows_.add(batch.shared_seed_rows);
+  max_batch_requests_.set_max(static_cast<std::int64_t>(batch.requests.size()));
+  sample_ns_.add(sample_ns);
+  gather_ns_.add(gather_ns);
+  compute_ns_.add(compute_ns);
+
+  // Process-wide mirror for profile reports.
+  static obs::Counter& g_requests =
+      obs::Registry::global().counter("serve.request.count");
+  static obs::Counter& g_batches =
+      obs::Registry::global().counter("serve.batch.count");
+  static obs::Counter& g_dedup =
+      obs::Registry::global().counter("serve.rows.deduped");
+  g_requests.add(static_cast<std::int64_t>(batch.requests.size()));
+  g_batches.add(1);
+  g_dedup.add(batch.total_request_seeds() -
+              static_cast<std::int64_t>(batch.seeds.size()));
   return outs;
 }
 
 ServeStats ServingEngine::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  return stats_;
+  ServeStats s;
+  s.requests = requests_.value();
+  s.batches = batches_.value();
+  s.seed_rows = seed_rows_.value();
+  s.merged_rows = merged_rows_.value();
+  s.shared_seed_rows = shared_seed_rows_.value();
+  s.max_batch_requests = max_batch_requests_.value();
+  s.sample_seconds = static_cast<double>(sample_ns_.value()) * 1e-9;
+  s.gather_seconds = static_cast<double>(gather_ns_.value()) * 1e-9;
+  s.compute_seconds = static_cast<double>(compute_ns_.value()) * 1e-9;
+  return s;
 }
 
 void ServingEngine::reset_stats() {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  stats_ = ServeStats{};
+  requests_.reset();
+  batches_.reset();
+  seed_rows_.reset();
+  merged_rows_.reset();
+  shared_seed_rows_.reset();
+  max_batch_requests_.reset();
+  sample_ns_.reset();
+  gather_ns_.reset();
+  compute_ns_.reset();
 }
 
 Server::Server(ServingEngine& engine) : engine_(engine) {
@@ -161,6 +225,7 @@ void Server::drain_loop() {
       admission_cv_.wait_until(lock, window_end);
 
     // Cut the batch: take pending requests in arrival order up to the caps.
+    const auto cut_time = std::chrono::steady_clock::now();
     std::vector<Request> requests;
     std::vector<std::promise<tensor::Tensor>> promises;
     std::int64_t seeds_taken = 0;
@@ -172,6 +237,8 @@ void Server::drain_loop() {
                 opts.max_seeds_per_batch)) {
       Pending p = std::move(pending_.front());
       pending_.pop_front();
+      queue_latency_hist().observe(
+          std::chrono::duration<double>(cut_time - p.arrival).count());
       seeds_taken += static_cast<std::int64_t>(p.request.seeds.size());
       requests.push_back(std::move(p.request));
       promises.push_back(std::move(p.promise));
@@ -246,6 +313,8 @@ TraceResult replay_trace(ServingEngine& engine,
     for (std::size_t k = i; k < j; ++k) {
       result.outputs[k] = std::move(outs[k - i]);
       result.latency_s[k] = completion - trace[k].arrival_s;
+      // Simulated admission wait — same histogram the live lane feeds.
+      queue_latency_hist().observe(start - trace[k].arrival_s);
     }
     lane_free_at = completion;
     result.makespan_s = completion;

@@ -35,6 +35,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sample/neighbor_sampler.hpp"
 #include "serve/coalescer.hpp"
 #include "serve/feature_cache.hpp"
@@ -82,9 +83,14 @@ using BatchComputeFn = std::function<tensor::Tensor(
     const sample::MinibatchBlocks& blocks, tensor::Tensor input_feats)>;
 
 /// The synchronous serving core: coalesce -> sample -> gather -> compute ->
-/// scatter_back, with stats. Thread-safe (stats behind a lock; the shared
-/// state it touches — sampler, features, cache — is itself safe), though the
-/// async Server drives it from a single lane.
+/// scatter_back, with stats. Thread-safe: stats are per-instance lock-free
+/// atomics (obs::Counter/Gauge), so a caller polling stats() while the
+/// DETACHED serving lane is mid-batch reads torn-free values without a lock
+/// — the old single-mutex scheme serialized the lane's stats update against
+/// monitoring reads, and a reader between two phase-field writes could see
+/// a half-updated batch. Phase times accumulate as integer nanoseconds
+/// (Timer::elapsed_ns); stats() converts to the same seconds fields as
+/// before, so the ServeStats API is unchanged.
 class ServingEngine {
  public:
   /// `sampler` and `features` must outlive the engine; `cache` may be null
@@ -108,8 +114,15 @@ class ServingEngine {
   BatchComputeFn compute_;
   ServeOptions options_;
   FeatureCache* cache_;
-  mutable std::mutex stats_mutex_;
-  ServeStats stats_;
+  obs::Counter requests_;
+  obs::Counter batches_;
+  obs::Counter seed_rows_;
+  obs::Counter merged_rows_;
+  obs::Counter shared_seed_rows_;
+  obs::Gauge max_batch_requests_;  // set_max: monotone high-water
+  obs::Counter sample_ns_;
+  obs::Counter gather_ns_;
+  obs::Counter compute_ns_;
 };
 
 /// The concurrent admission front-end: tenants submit seed sets from any

@@ -2,7 +2,10 @@
 // (FEATGRAPH_SCALE, FEATGRAPH_BENCH_REPS, ...) and the runtime
 // (FEATGRAPH_WORKERS: worker count of parallel::ThreadPool::global();
 // 0/unset = hardware_concurrency. CI's multi-worker leg sets it > 1 so
-// 1-core hosts still exercise real cross-thread scheduling).
+// 1-core hosts still exercise real cross-thread scheduling.
+// FEATGRAPH_TRACE=<path>: enable scoped-span tracing for the whole process
+// and write a Chrome trace-event JSON to <path> at exit — see obs/trace.hpp.
+// FEATGRAPH_TRACE_BUFFER: per-thread span-buffer capacity, default 65536).
 #pragma once
 
 #include <string>

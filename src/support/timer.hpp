@@ -1,7 +1,13 @@
-// Wall-clock timing helpers for the benchmark harness.
+// Wall-clock timing helpers — the ONE steady-clock stopwatch the whole
+// repo shares. The serving phase timers (serve/server.cpp), the pipeline's
+// lane timers (sample/pipeline.cpp), the bench harness, and the obs layer's
+// phase accounting all use this class; nanosecond phase accumulation goes
+// through elapsed_ns() so it can feed atomic std::int64_t counters without
+// a float round-trip.
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <utility>
 
 namespace featgraph::support {
@@ -19,6 +25,14 @@ class Timer {
   }
 
   double millis() const { return seconds() * 1e3; }
+
+  /// Elapsed integer nanoseconds — the form phase accumulators store in
+  /// atomic counters (obs/metrics.hpp) so concurrent readers never tear.
+  std::int64_t elapsed_ns() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                                start_)
+        .count();
+  }
 
  private:
   using clock = std::chrono::steady_clock;

@@ -1,0 +1,461 @@
+// Observability layer (ISSUE 10): scoped-span tracing (nesting, thread
+// stitching, bounded-buffer drops, Chrome JSON), the metrics registry
+// (counters / gauges / histograms, snapshot diffs, the profile report), the
+// histogram-percentile-vs-serve::percentile oracle, and the differential
+// contract that tracing changes ZERO output bytes for SpMM / SDDMM /
+// attention / gather / serving, per ISA. The concurrent suites
+// (Trace.ConcurrentEmissionAndSnapshotIsRaceFree,
+// Metrics.CounterConcurrentAdds) are in CI's TSan leg.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/attention.hpp"
+#include "core/sddmm.hpp"
+#include "core/spmm.hpp"
+#include "graph/generators.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sample/feature_loader.hpp"
+#include "serve/server.hpp"
+#include "support/env.hpp"
+
+namespace fg = featgraph;
+namespace obs = featgraph::obs;
+using fg::tensor::Tensor;
+
+namespace {
+
+bool tensors_bit_equal(const Tensor& a, const Tensor& b) {
+  return a.numel() == b.numel() &&
+         std::memcmp(a.data(), b.data(),
+                     static_cast<std::size_t>(a.numel()) * sizeof(float)) == 0;
+}
+
+/// Spans of one collect() snapshot matching `name`.
+std::vector<obs::SpanRecord> spans_named(const char* name) {
+  std::vector<obs::SpanRecord> out;
+  for (const obs::SpanRecord& s : obs::collect_spans())
+    if (std::strcmp(s.name, name) == 0) out.push_back(s);
+  return out;
+}
+
+/// FEATGRAPH_TRACE forces process-wide tracing on, which inverts every
+/// "disabled" expectation below — these suites are meant for plain runs.
+bool env_trace_forced() { return std::getenv("FEATGRAPH_TRACE") != nullptr; }
+
+}  // namespace
+
+// --- tracing ---------------------------------------------------------------
+
+TEST(Trace, DisabledRecordsNothing) {
+  if (env_trace_forced()) GTEST_SKIP() << "FEATGRAPH_TRACE forces tracing on";
+  obs::reset_trace_buffers();
+  {
+    FG_TRACE_SCOPE("trace_test.disabled", obs::arg("k", 1));
+    obs::TraceScope named("trace_test.disabled_named");
+    EXPECT_FALSE(named.active());
+    named.arg("ignored", 2.0);  // must be a no-op, not a crash
+  }
+  EXPECT_TRUE(spans_named("trace_test.disabled").empty());
+  EXPECT_TRUE(spans_named("trace_test.disabled_named").empty());
+}
+
+TEST(Trace, SpanNestingDepthsAndContainment) {
+  obs::TraceSession session;
+  {
+    FG_TRACE_SCOPE("trace_test.outer");
+    {
+      FG_TRACE_SCOPE("trace_test.mid");
+      { FG_TRACE_SCOPE("trace_test.inner"); }
+    }
+  }
+  const auto outer = spans_named("trace_test.outer");
+  const auto mid = spans_named("trace_test.mid");
+  const auto inner = spans_named("trace_test.inner");
+  ASSERT_EQ(outer.size(), 1u);
+  ASSERT_EQ(mid.size(), 1u);
+  ASSERT_EQ(inner.size(), 1u);
+  EXPECT_EQ(outer[0].depth, 0);
+  EXPECT_EQ(mid[0].depth, 1);
+  EXPECT_EQ(inner[0].depth, 2);
+  // Children are contained in their parent's [t0, t1] window.
+  EXPECT_GE(mid[0].t0_ns, outer[0].t0_ns);
+  EXPECT_LE(mid[0].t1_ns, outer[0].t1_ns);
+  EXPECT_GE(inner[0].t0_ns, mid[0].t0_ns);
+  EXPECT_LE(inner[0].t1_ns, mid[0].t1_ns);
+  // Same thread throughout.
+  EXPECT_EQ(outer[0].tid, inner[0].tid);
+}
+
+TEST(Trace, ArgsRecordedAllKinds) {
+  obs::TraceSession session;
+  {
+    obs::TraceScope ts("trace_test.args");
+    ASSERT_TRUE(ts.active());
+    ts.arg("rows", std::int64_t{123}).arg("ratio", 0.5).arg("isa", "avx2");
+  }
+  const auto spans = spans_named("trace_test.args");
+  ASSERT_EQ(spans.size(), 1u);
+  ASSERT_EQ(spans[0].num_args, 3);
+  EXPECT_STREQ(spans[0].args[0].key, "rows");
+  EXPECT_EQ(spans[0].args[0].i64, 123);
+  EXPECT_STREQ(spans[0].args[1].key, "ratio");
+  EXPECT_DOUBLE_EQ(spans[0].args[1].f64, 0.5);
+  EXPECT_STREQ(spans[0].args[2].key, "isa");
+  EXPECT_STREQ(spans[0].args[2].str, "avx2");
+}
+
+TEST(Trace, ThreadStitching) {
+  obs::TraceSession session;
+  constexpr int kThreads = 3;
+  constexpr int kSpansPerThread = 5;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([] {
+      for (int i = 0; i < kSpansPerThread; ++i)
+        FG_TRACE_SCOPE("trace_test.stitch");
+    });
+  for (auto& th : threads) th.join();
+  const auto spans = spans_named("trace_test.stitch");
+  ASSERT_EQ(spans.size(),
+            static_cast<std::size_t>(kThreads * kSpansPerThread));
+  // Each emitting thread has its own tid, and within a tid the snapshot is
+  // chronological (buffer order).
+  std::vector<int> tids;
+  for (const auto& s : spans)
+    if (std::find(tids.begin(), tids.end(), s.tid) == tids.end())
+      tids.push_back(s.tid);
+  EXPECT_EQ(tids.size(), static_cast<std::size_t>(kThreads));
+  for (const int tid : tids) {
+    std::int64_t prev = -1;
+    int count = 0;
+    for (const auto& s : spans)
+      if (s.tid == tid) {
+        EXPECT_GE(s.t0_ns, prev);
+        prev = s.t0_ns;
+        ++count;
+      }
+    EXPECT_EQ(count, kSpansPerThread);
+  }
+}
+
+TEST(Trace, BufferCapacityDropsInsteadOfWrapping) {
+  obs::set_trace_buffer_capacity_for_test(4);
+  obs::TraceSession session;
+  const std::int64_t dropped_before = obs::trace_dropped_spans();
+  // A fresh thread gets a fresh (4-span) buffer; the write-once contract
+  // drops overflow rather than overwriting published slots.
+  std::thread([] {
+    for (int i = 0; i < 10; ++i) FG_TRACE_SCOPE("trace_test.drop");
+  }).join();
+  EXPECT_EQ(spans_named("trace_test.drop").size(), 4u);
+  EXPECT_EQ(obs::trace_dropped_spans() - dropped_before, 6);
+  obs::set_trace_buffer_capacity_for_test(0);  // restore default
+}
+
+TEST(Trace, ChromeJsonWellFormed) {
+  obs::TraceSession session;
+  {
+    FG_TRACE_SCOPE("trace_test.json", obs::arg("n", 7),
+                   obs::arg("label", "x\"y"));
+  }
+  const std::string json = session.json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"trace_test.json\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"n\": 7"), std::string::npos);
+  EXPECT_NE(json.find("x\\\"y"), std::string::npos);  // escaped quote
+  // Balanced braces (cheap structural sanity; Chrome/Perfetto parse it).
+  std::int64_t depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (c == '"' && (i == 0 || json[i - 1] != '\\')) in_string = !in_string;
+    if (in_string) continue;
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(Trace, SessionWritesFile) {
+  const std::string path = ::testing::TempDir() + "fg_trace_test.json";
+  {
+    obs::TraceSession session(path);
+    FG_TRACE_SCOPE("trace_test.file");
+  }
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string content;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) content.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_NE(content.find("trace_test.file"), std::string::npos);
+  EXPECT_NE(content.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(Trace, ConcurrentEmissionAndSnapshotIsRaceFree) {
+  // Small per-thread buffers (fresh threads pick up the test capacity) keep
+  // the TSan-instrumented snapshot copies cheap; the race surface is the
+  // same regardless of capacity.
+  obs::set_trace_buffer_capacity_for_test(256);
+  obs::TraceSession session;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> emitters;
+  for (int t = 0; t < 3; ++t)
+    emitters.emplace_back([&stop] {
+      while (!stop.load(std::memory_order_relaxed))
+        FG_TRACE_SCOPE("trace_test.race");
+    });
+  // Snapshot while spans are being emitted: every span visible in a
+  // snapshot must be fully written (write-once slots published by a
+  // release store). TSan validates the absence of a data race; the
+  // assertions validate the publication invariant.
+  for (int i = 0; i < 20; ++i) {
+    for (const obs::SpanRecord& s : obs::collect_spans()) {
+      ASSERT_NE(s.name, nullptr);
+      ASSERT_GE(s.t1_ns, s.t0_ns);
+    }
+  }
+  stop.store(true);
+  for (auto& th : emitters) th.join();
+  obs::set_trace_buffer_capacity_for_test(0);
+}
+
+// --- metrics ----------------------------------------------------------------
+
+TEST(Metrics, CounterConcurrentAdds) {
+  obs::Counter c;
+  constexpr int kThreads = 4;
+  constexpr int kAdds = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kAdds; ++i) c.add(1);
+    });
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.value(), static_cast<std::int64_t>(kThreads) * kAdds);
+}
+
+TEST(Metrics, GaugeSetMaxIsMonotone) {
+  obs::Gauge g;
+  g.set_max(5);
+  g.set_max(3);
+  EXPECT_EQ(g.value(), 5);
+  g.set_max(9);
+  EXPECT_EQ(g.value(), 9);
+  g.set(2);  // plain set is not monotone
+  EXPECT_EQ(g.value(), 2);
+}
+
+TEST(Metrics, HistogramPercentileMatchesServeNearestRank) {
+  // Observations that sit exactly on bucket bounds: the histogram's
+  // "containing bucket's upper bound" then IS the observed value, so its
+  // nearest-rank percentile must reproduce serve::percentile (server.cpp)
+  // on the raw values exactly.
+  const std::vector<double> bounds = {0.001, 0.002, 0.005, 0.01, 0.02, 0.05};
+  obs::Histogram h(bounds);
+  std::vector<double> values = {0.001, 0.002, 0.002, 0.005, 0.01,
+                                0.01,  0.01,  0.02,  0.05,  0.05};
+  for (double v : values) h.observe(v);
+  const obs::HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.total, static_cast<std::int64_t>(values.size()));
+  for (double p : {0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 100.0})
+    EXPECT_DOUBLE_EQ(snap.percentile(p), fg::serve::percentile(values, p))
+        << "p = " << p;
+}
+
+TEST(Metrics, HistogramOverflowBucket) {
+  obs::Histogram h({1.0, 2.0});
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(100.0);  // above every bound: overflow bucket
+  const auto snap = h.snapshot();
+  ASSERT_EQ(snap.counts.size(), 3u);
+  EXPECT_EQ(snap.counts[0], 1);
+  EXPECT_EQ(snap.counts[1], 1);
+  EXPECT_EQ(snap.counts[2], 1);
+  EXPECT_EQ(snap.total, 3);
+  // Overflow-bucket ranks report the largest finite bound.
+  EXPECT_DOUBLE_EQ(snap.percentile(100.0), 2.0);
+}
+
+TEST(Metrics, RegistryStableRefsAndResetKeepsObjects) {
+  obs::Counter& a = obs::Registry::global().counter("obs_test.stable.count");
+  a.add(41);
+  obs::Counter& b = obs::Registry::global().counter("obs_test.stable.count");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 41);
+  obs::Registry::global().reset();
+  // reset() zeroes but never invalidates: the old reference still works.
+  EXPECT_EQ(a.value(), 0);
+  a.add(1);
+  EXPECT_EQ(
+      obs::Registry::global().counter("obs_test.stable.count").value(), 1);
+}
+
+TEST(Metrics, SnapshotSinceDiffsCountersAndHistograms) {
+  obs::Counter& c = obs::Registry::global().counter("obs_test.diff.count");
+  obs::Counter& idle = obs::Registry::global().counter("obs_test.diff.idle");
+  obs::Histogram& h =
+      obs::Registry::global().histogram("obs_test.diff.seconds");
+  (void)idle;
+  c.add(10);
+  h.observe(0.001);
+  const obs::MetricsSnapshot base = obs::Registry::global().snapshot();
+  c.add(5);
+  h.observe(0.002);
+  h.observe(0.002);
+  const obs::MetricsSnapshot diff =
+      obs::Registry::global().snapshot().since(base);
+  ASSERT_EQ(diff.counters.count("obs_test.diff.count"), 1u);
+  EXPECT_EQ(diff.counters.at("obs_test.diff.count"), 5);
+  // Zero-delta counters are omitted from the diff.
+  EXPECT_EQ(diff.counters.count("obs_test.diff.idle"), 0u);
+  ASSERT_EQ(diff.histograms.count("obs_test.diff.seconds"), 1u);
+  EXPECT_EQ(diff.histograms.at("obs_test.diff.seconds").total, 2);
+}
+
+TEST(Metrics, ProfileReportRenders) {
+  obs::Registry::global().counter("obs_test.report.count").add(7);
+  obs::Registry::global().gauge("obs_test.report.depth").set(3);
+  obs::Registry::global().histogram("obs_test.report.seconds").observe(0.002);
+  const std::string report =
+      obs::render_profile_report(obs::Registry::global().snapshot());
+  EXPECT_NE(report.find("profile report"), std::string::npos);
+  EXPECT_NE(report.find("obs_test.report.count"), std::string::npos);
+  EXPECT_NE(report.find("obs_test.report.depth"), std::string::npos);
+  EXPECT_NE(report.find("obs_test.report.seconds"), std::string::npos);
+  EXPECT_NE(report.find("p99"), std::string::npos);
+}
+
+TEST(Metrics, KernelLaunchCountersTick) {
+  const auto coo = fg::graph::gen_rmat(200, 4.0, 17);
+  const auto csr = fg::graph::coo_to_in_csr(coo);
+  const Tensor x = Tensor::randn({csr.num_cols, 8}, 18);
+  const fg::core::SpmmOperands ops{&x, nullptr, nullptr};
+  const obs::MetricsSnapshot base = obs::Registry::global().snapshot();
+  (void)fg::core::spmm(csr, "copy_u", "sum", fg::core::CpuSpmmSchedule{}, ops);
+  const obs::MetricsSnapshot diff =
+      obs::Registry::global().snapshot().since(base);
+  ASSERT_EQ(diff.counters.count("spmm.launch.count"), 1u);
+  EXPECT_GE(diff.counters.at("spmm.launch.count"), 1);
+  ASSERT_EQ(diff.counters.count("spmm.nnz.swept"), 1u);
+  EXPECT_EQ(diff.counters.at("spmm.nnz.swept"), csr.nnz());
+}
+
+// --- differential: tracing changes zero output bytes ------------------------
+
+TEST(ObsDifferential, TracingChangesNoOutputBytesPerIsa) {
+  const auto coo = fg::graph::gen_rmat(400, 8.0, 33);
+  const auto csr = fg::graph::coo_to_in_csr(coo);
+  const std::int64_t d = 19;
+  const Tensor x = Tensor::randn({csr.num_cols, d}, 34);
+  const Tensor e = Tensor::randn({csr.nnz(), d}, 35);
+  const fg::core::SpmmOperands spmm_ops{&x, &e, nullptr};
+  fg::core::SddmmOperands sddmm_ops;
+  sddmm_ops.src_feat = &x;
+  const Tensor xk = Tensor::randn({csr.num_rows, d}, 36);
+  sddmm_ops.dst_feat = &xk;
+  fg::core::AttentionOperands att_ops;
+  att_ops.src_feat = &x;
+  std::vector<fg::graph::vid_t> gather_ids;
+  for (fg::graph::vid_t v = 0; v < csr.num_cols; v += 3)
+    gather_ids.push_back(v);
+
+  for (const fg::simd::Isa isa : fg::simd::supported_isas()) {
+    fg::simd::ScopedIsa pin(isa);
+    const Tensor spmm_off = fg::core::spmm(csr, "u_mul_e", "sum",
+                                           fg::core::CpuSpmmSchedule{},
+                                           spmm_ops);
+    const Tensor sddmm_off = fg::core::sddmm(coo, "dot",
+                                             fg::core::CpuSddmmSchedule{},
+                                             sddmm_ops);
+    const auto att_off = fg::core::attention(
+        csr, "copy_u", fg::core::CpuSpmmSchedule{}, att_ops);
+    const Tensor gather_off = fg::sample::gather_rows(x, gather_ids, 1);
+    {
+      obs::TraceSession session;
+      const Tensor spmm_on = fg::core::spmm(csr, "u_mul_e", "sum",
+                                            fg::core::CpuSpmmSchedule{},
+                                            spmm_ops);
+      const Tensor sddmm_on = fg::core::sddmm(coo, "dot",
+                                              fg::core::CpuSddmmSchedule{},
+                                              sddmm_ops);
+      const auto att_on = fg::core::attention(
+          csr, "copy_u", fg::core::CpuSpmmSchedule{}, att_ops);
+      const Tensor gather_on = fg::sample::gather_rows(x, gather_ids, 1);
+      EXPECT_TRUE(tensors_bit_equal(spmm_off, spmm_on))
+          << fg::simd::isa_name(isa);
+      EXPECT_TRUE(tensors_bit_equal(sddmm_off, sddmm_on))
+          << fg::simd::isa_name(isa);
+      EXPECT_TRUE(tensors_bit_equal(att_off.out, att_on.out))
+          << fg::simd::isa_name(isa);
+      EXPECT_TRUE(tensors_bit_equal(att_off.alpha, att_on.alpha))
+          << fg::simd::isa_name(isa);
+      EXPECT_TRUE(tensors_bit_equal(gather_off, gather_on))
+          << fg::simd::isa_name(isa);
+      // And the traced run really did record kernel spans (the contract is
+      // "no output change WITH tracing live", not "tracing no-opped").
+      EXPECT_FALSE(spans_named("spmm.launch").empty());
+    }
+  }
+}
+
+TEST(ObsDifferential, ServingOutputsIdenticalUnderTracing) {
+  const auto coo = fg::graph::gen_rmat(300, 6.0, 55);
+  const auto csr = fg::graph::coo_to_in_csr(coo);
+  const Tensor feats = Tensor::randn({csr.num_cols, 16}, 56);
+  fg::sample::SamplerConfig cfg;
+  cfg.fanouts = {4};
+  cfg.seed = 57;
+  fg::sample::NeighborSampler sampler(csr, cfg);
+  auto identity = [](const fg::sample::MinibatchBlocks& blocks,
+                     Tensor input_feats) {
+    Tensor out({static_cast<std::int64_t>(blocks.output_nodes().size()),
+                input_feats.row_size()});
+    std::memcpy(out.data(), input_feats.data(),
+                static_cast<std::size_t>(out.numel()) * sizeof(float));
+    return out;
+  };
+  const std::vector<fg::serve::Request> requests = {
+      {0, {5, 9}}, {1, {9, 2, 7}}, {2, {5, 11}}};
+
+  fg::serve::ServingEngine engine(sampler, feats, identity,
+                                  fg::serve::ServeOptions{});
+  const auto off = engine.serve_batch(requests);
+  std::vector<Tensor> on;
+  {
+    obs::TraceSession session;
+    on = engine.serve_batch(requests);
+    // The batch's phase spans are present and nested under serve.batch.
+    EXPECT_EQ(spans_named("serve.batch").size(), 1u);
+    EXPECT_EQ(spans_named("serve.sample").size(), 1u);
+    EXPECT_EQ(spans_named("serve.gather").size(), 1u);
+    EXPECT_EQ(spans_named("serve.compute").size(), 1u);
+    EXPECT_EQ(spans_named("serve.scatter").size(), 1u);
+    const auto batch = spans_named("serve.batch");
+    for (const char* child :
+         {"serve.sample", "serve.gather", "serve.compute", "serve.scatter"}) {
+      const auto c = spans_named(child);
+      EXPECT_GE(c[0].t0_ns, batch[0].t0_ns);
+      EXPECT_LE(c[0].t1_ns, batch[0].t1_ns);
+      EXPECT_EQ(c[0].depth, batch[0].depth + 1);
+    }
+  }
+  ASSERT_EQ(off.size(), on.size());
+  for (std::size_t r = 0; r < off.size(); ++r)
+    EXPECT_TRUE(tensors_bit_equal(off[r], on[r]));
+  // The engine's atomic stats counted both batches.
+  EXPECT_EQ(engine.stats().batches, 2);
+  EXPECT_EQ(engine.stats().requests, 6);
+  EXPECT_EQ(engine.stats().max_batch_requests, 3);
+}
